@@ -1,0 +1,117 @@
+"""Ablation: db-page fragments vs materialising every db-page.
+
+Section IV argues that materialising and indexing every db-page is infeasible
+because page contents overlap massively and overlapping pages pollute search
+results.  This ablation quantifies the claim on the running example and on a
+small TPC-H slice: it compares
+
+* total indexed keyword occurrences (postings volume),
+* approximate index size in bytes, and
+* the redundancy of the top-10 result list for a hot keyword
+
+between the materialize-everything baseline and Dash's fragment index.
+"""
+
+import pytest
+
+from repro.analysis import make_servlet_source
+from repro.baselines import MaterializedPageSearch
+from repro.bench.reporting import print_table
+from repro.core.engine import DashEngine
+from repro.datasets.fooddb import FOODDB_SEARCH_SERVLET_SOURCE, build_fooddb
+from repro.datasets.tpch import TPCH_QUERY_SQL, TpchScale, build_tpch
+from repro.analysis.analyzer import ApplicationAnalyzer
+
+
+def _fooddb_setup():
+    database = build_fooddb()
+    analyzed = ApplicationAnalyzer(database).analyze(FOODDB_SEARCH_SERVLET_SOURCE, name="Search")
+    application = analyzed.to_web_application("www.example.com/Search",
+                                              source=FOODDB_SEARCH_SERVLET_SOURCE)
+    return database, application
+
+
+def test_ablation_fragments_vs_pages_fooddb(benchmark):
+    database, application = _fooddb_setup()
+
+    def build_both():
+        baseline = MaterializedPageSearch(application, database)
+        baseline.build()
+        engine = DashEngine.build(application, database, algorithm="integrated")
+        return baseline, engine
+
+    baseline, engine = benchmark.pedantic(build_both, rounds=1, iterations=1)
+
+    fragment_keywords = sum(engine.index.fragment_sizes.values())
+    rows = [
+        ("materialized db-pages", baseline.report.pages_generated,
+         baseline.report.total_page_keywords, baseline.index.approximate_bytes()),
+        ("Dash fragments", engine.index.fragment_count,
+         fragment_keywords, engine.index.approximate_bytes()),
+    ]
+    print_table(
+        ["approach", "indexed units", "indexed keyword occurrences", "approx index bytes"],
+        rows,
+        title="Ablation (fooddb): fragments vs materialised pages",
+    )
+
+    results = baseline.search(["burger"], k=10)
+    redundancy = baseline.redundancy_of_results(results)
+    dash_results = engine.search(["burger"], k=10, size_threshold=20)
+    dash_combos = [result.fragments for result in dash_results]
+    benchmark.extra_info.update(
+        {"page_redundancy": round(redundancy, 2), "dash_results": len(dash_results)}
+    )
+    print_table(
+        ["approach", "results for 'burger'", "redundant results"],
+        [
+            ("materialized db-pages", len(results), round(redundancy * len(results))),
+            ("Dash fragments", len(dash_results), len(dash_combos) - len(set(dash_combos))),
+        ],
+        title="Result redundancy for keyword 'burger'",
+    )
+
+    # The paper's claims: page materialisation indexes strictly more content
+    # than fragments, and its result list contains redundant (covered) pages
+    # while Dash's does not.
+    assert baseline.report.total_page_keywords > fragment_keywords
+    assert baseline.report.pages_generated > engine.index.fragment_count
+    assert redundancy > 0.0
+    assert len(dash_combos) == len(set(dash_combos))
+
+
+def test_ablation_fragments_vs_pages_tpch(benchmark):
+    """The same comparison on a (tiny) TPC-H slice, capping the baseline's
+    page enumeration so the benchmark stays tractable — which is itself the
+    point: the page space explodes while the fragment count stays bounded."""
+    tier = TpchScale("ablation", customers=10, orders_per_customer=4,
+                     lineitems_per_order=3, parts=30, quantity_values=8)
+    database = build_tpch(tier)
+    analyzer = ApplicationAnalyzer(database)
+    source = make_servlet_source("Orders", [("r", "r"), ("lo", "min"), ("hi", "max")],
+                                 TPCH_QUERY_SQL["Q2"])
+    analyzed = analyzer.analyze(source, name="Q2")
+    application = analyzed.to_web_application("shop.example.com/Orders", source=source)
+
+    def build_both():
+        baseline = MaterializedPageSearch(application, database)
+        baseline.build(max_pages=200)
+        engine = DashEngine.build(application, database, algorithm="integrated")
+        return baseline, engine
+
+    baseline, engine = benchmark.pedantic(build_both, rounds=1, iterations=1)
+
+    total_query_strings = len(application.enumerate_query_strings(database))
+    print_table(
+        ["quantity", "value"],
+        [
+            ("deducible query strings", total_query_strings),
+            ("pages indexed by baseline (capped)", baseline.report.pages_generated),
+            ("Dash fragments", engine.index.fragment_count),
+            ("baseline keyword occurrences", baseline.report.total_page_keywords),
+            ("fragment keyword occurrences", sum(engine.index.fragment_sizes.values())),
+        ],
+        title="Ablation (TPC-H slice): page space vs fragment space",
+    )
+    assert total_query_strings > engine.index.fragment_count
+    assert baseline.report.total_page_keywords > sum(engine.index.fragment_sizes.values())

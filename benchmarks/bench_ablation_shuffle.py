@@ -1,0 +1,50 @@
+"""Ablation: where the integrated algorithm's advantage comes from.
+
+Section V-B attributes the integrated algorithm's win to keeping projection
+attributes out of the join pipeline.  This ablation decomposes the shuffled
+data volume of both algorithms per reporting stage (join / group / index vs
+join / extract / consolidate) for Q2 and Q3 on the medium dataset and checks
+that the integrated join stage moves a small fraction of the stepwise join
+stage's bytes — the mechanism behind Figure 10 — while the indexing-side
+stages are comparable.
+"""
+
+import pytest
+
+from repro.bench.harness import run_crawl
+from repro.bench.reporting import print_table
+
+
+@pytest.mark.parametrize("query_name", ["Q2", "Q3"])
+def test_shuffle_volume_decomposition(benchmark, crawl_cache, tpch_databases,
+                                      tpch_query_sets, query_name):
+    def collect():
+        stepwise = run_crawl(crawl_cache, tpch_databases, tpch_query_sets,
+                             "medium", query_name, "stepwise")
+        integrated = run_crawl(crawl_cache, tpch_databases, tpch_query_sets,
+                               "medium", query_name, "integrated")
+        return stepwise, integrated
+
+    stepwise, integrated = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    sw_stages = stepwise.metrics.stage_shuffle_bytes()
+    int_stages = integrated.metrics.stage_shuffle_bytes()
+    rows = [
+        ("stepwise", *[round(sw_stages.get(stage, 0) / 1e6, 2) for stage in ("join", "group", "index")],
+         round(stepwise.metrics.total_shuffle_bytes / 1e6, 2)),
+        ("integrated", *[round(int_stages.get(stage, 0) / 1e6, 2) for stage in ("join", "extract", "consolidate")],
+         round(integrated.metrics.total_shuffle_bytes / 1e6, 2)),
+    ]
+    print_table(
+        ["algorithm", "stage 1 MB", "stage 2 MB", "stage 3 MB", "total MB"],
+        rows,
+        title=f"Shuffle-volume decomposition ({query_name}, medium)",
+    )
+
+    join_ratio = int_stages["join"] / sw_stages["join"]
+    benchmark.extra_info["join_shuffle_ratio"] = round(join_ratio, 3)
+    # The integrated join pipeline ships only compact (selection, join, count)
+    # rows — a fraction of the stepwise join volume.
+    assert join_ratio < 0.5
+    # And the end-to-end shuffle volume is lower too.
+    assert integrated.metrics.total_shuffle_bytes < stepwise.metrics.total_shuffle_bytes

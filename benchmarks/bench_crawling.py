@@ -1,0 +1,133 @@
+"""Figure 10: database crawling and fragment indexing performance.
+
+The paper's Figure 10 plots the elapsed time of the stepwise (SW) and the
+integrated (INT) algorithms for Q1/Q2/Q3 on the small/medium/large datasets,
+broken down into the per-stage bars SW-Jn/SW-Grp/SW-Idx and
+INT-Jn/INT-Ext/INT-Cnsd.
+
+Each benchmark below runs one (dataset, query, algorithm) crawl on the
+simulated 4-node cluster, records the wall-clock time of the in-process run
+(pytest-benchmark's number) and prints the *simulated* cluster elapsed time
+per stage — the quantity comparable to the paper's bars.  A final summary test
+prints the whole figure as a table and checks the qualitative claims:
+
+* elapsed time grows steeply with the dataset size;
+* INT beats SW for the large-operand queries (Q2, Q3), with the gap growing
+  with dataset size;
+* SW can win only when the operand relations are very small (Q1).
+"""
+
+import pytest
+
+from repro.bench.harness import run_crawl
+from repro.bench.reporting import print_table
+
+CASES = [
+    (scale, query, algorithm)
+    for scale in ("small", "medium", "large")
+    for query in ("Q1", "Q2", "Q3")
+    for algorithm in ("stepwise", "integrated")
+]
+
+_STAGE_LABELS = {
+    "stepwise": [("join", "SW-Jn"), ("group", "SW-Grp"), ("index", "SW-Idx")],
+    "integrated": [("join", "INT-Jn"), ("extract", "INT-Ext"), ("consolidate", "INT-Cnsd")],
+}
+
+
+@pytest.mark.parametrize("scale,query,algorithm", CASES,
+                         ids=[f"{s}-{q}-{a}" for s, q, a in CASES])
+def test_figure10_crawling_and_indexing(benchmark, crawl_cache, tpch_databases,
+                                        tpch_query_sets, scale, query, algorithm):
+    result = benchmark.pedantic(
+        run_crawl,
+        args=(crawl_cache, tpch_databases, tpch_query_sets, scale, query, algorithm),
+        rounds=1,
+        iterations=1,
+    )
+    stages = result.stage_seconds()
+    labelled = {label: round(stages.get(stage, 0.0), 2) for stage, label in _STAGE_LABELS[algorithm]}
+    benchmark.extra_info.update(
+        {
+            "simulated_seconds": round(result.simulated_seconds(), 2),
+            "fragments": result.fragment_count,
+            "shuffle_mb": round(result.metrics.total_shuffle_bytes / 1e6, 2),
+            **labelled,
+        }
+    )
+    print_table(
+        ["dataset", "query", "algorithm", "simulated s", *labelled.keys(), "shuffle MB", "fragments"],
+        [(scale, query, algorithm.upper()[:3], round(result.simulated_seconds(), 2),
+          *labelled.values(), round(result.metrics.total_shuffle_bytes / 1e6, 2),
+          result.fragment_count)],
+        title="Figure 10 data point",
+    )
+    assert result.fragment_count > 0
+
+
+def test_figure10_summary_and_claims(benchmark, crawl_cache, tpch_databases, tpch_query_sets):
+    """Prints the full Figure 10 table and checks the paper's qualitative claims."""
+
+    def collect():
+        table = {}
+        for scale in ("small", "medium", "large"):
+            for query in ("Q1", "Q2", "Q3"):
+                for algorithm in ("stepwise", "integrated"):
+                    result = run_crawl(
+                        crawl_cache, tpch_databases, tpch_query_sets, scale, query, algorithm
+                    )
+                    table[(scale, query, algorithm)] = result
+        return table
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = []
+    for scale in ("small", "medium", "large"):
+        for query in ("Q1", "Q2", "Q3"):
+            stepwise = table[(scale, query, "stepwise")]
+            integrated = table[(scale, query, "integrated")]
+            saving = 100.0 * (
+                1.0 - integrated.simulated_seconds() / stepwise.simulated_seconds()
+            )
+            rows.append(
+                (
+                    scale,
+                    query,
+                    round(stepwise.simulated_seconds(), 1),
+                    round(integrated.simulated_seconds(), 1),
+                    round(saving, 1),
+                    round(stepwise.metrics.total_shuffle_bytes / 1e6, 2),
+                    round(integrated.metrics.total_shuffle_bytes / 1e6, 2),
+                    integrated.fragment_count,
+                )
+            )
+    print_table(
+        ["dataset", "query", "SW sim s", "INT sim s", "INT saving %",
+         "SW shuffle MB", "INT shuffle MB", "fragments"],
+        rows,
+        title="Figure 10 (reproduced): database crawling and fragment indexing",
+    )
+
+    # Claim 1: elapsed time grows steeply with dataset size (per query/algorithm).
+    for query in ("Q1", "Q2", "Q3"):
+        for algorithm in ("stepwise", "integrated"):
+            small = table[("small", query, algorithm)].simulated_seconds()
+            large = table[("large", query, algorithm)].simulated_seconds()
+            assert large > small
+
+    # Claim 2: INT outperforms SW on the large-operand queries at medium/large,
+    # and its join stage always moves less data than SW's.
+    for scale in ("medium", "large"):
+        for query in ("Q2", "Q3"):
+            stepwise = table[(scale, query, "stepwise")]
+            integrated = table[(scale, query, "integrated")]
+            assert integrated.simulated_seconds() < stepwise.simulated_seconds()
+            assert (
+                integrated.metrics.stage_shuffle_bytes()["join"]
+                < stepwise.metrics.stage_shuffle_bytes()["join"]
+            )
+
+    # Claim 3: SW is competitive only when the operand relations are tiny (Q1).
+    q1_small_sw = table[("small", "Q1", "stepwise")].simulated_seconds()
+    q1_small_int = table[("small", "Q1", "integrated")].simulated_seconds()
+    assert q1_small_sw <= q1_small_int

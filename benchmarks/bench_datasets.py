@@ -1,0 +1,70 @@
+"""Table II and Table III: the evaluation datasets and application queries.
+
+Table II of the paper lists the sizes of the operand relations in the three
+TPC-H datasets; Table III lists the three application queries.  These
+benchmarks regenerate both: dataset construction is timed, and the resulting
+per-relation sizes / parsed query structures are printed in the paper's
+format.
+"""
+
+import pytest
+
+from repro.bench.reporting import print_table
+from repro.datasets.tpch import SCALES, TPCH_QUERY_SQL, build_tpch
+from repro.db.sqlparse import parse_psj_query
+
+
+@pytest.mark.parametrize("scale", ["small", "medium", "large"])
+def test_table2_dataset_sizes(benchmark, settings, scale):
+    """Table II: operand-relation sizes of the small/medium/large datasets."""
+    tier = SCALES[scale]
+    if settings.dataset_scale != 1.0:
+        tier = tier.scaled(settings.dataset_scale)
+
+    database = benchmark.pedantic(build_tpch, args=(tier,), rounds=1, iterations=1)
+
+    report = database.size_report()
+    rows = [
+        (
+            scale,
+            *[report[name]["records"] for name in ("region", "nation", "customer", "orders", "lineitem", "part")],
+            *[round(report[name]["approx_bytes"] / 1024, 1) for name in ("customer", "orders", "lineitem")],
+        )
+    ]
+    print_table(
+        ["dataset", "R rows", "N rows", "C rows", "O rows", "L rows", "P rows",
+         "C KB", "O KB", "L KB"],
+        rows,
+        title=f"Table II (reproduced, laptop scale): dataset {scale}",
+    )
+    benchmark.extra_info["records"] = database.total_records()
+
+    # The paper's ~1:5:10 relative sizing must hold between the tiers.
+    assert report["lineitem"]["records"] > 0
+
+
+def test_table3_application_queries(benchmark, tpch_databases):
+    """Table III: the three parameterized application queries Q1, Q2, Q3."""
+    database = tpch_databases["small"]
+
+    def parse_all():
+        return {name: parse_psj_query(sql, database, name=name) for name, sql in TPCH_QUERY_SQL.items()}
+
+    queries = benchmark(parse_all)
+
+    rows = []
+    for name, query in sorted(queries.items()):
+        rows.append(
+            (
+                name,
+                " JOIN ".join(query.operand_relations),
+                ", ".join(query.selection_attributes),
+                ", ".join(f"${p}" for p in query.parameters()),
+            )
+        )
+    print_table(["query", "operand relations", "selection attributes", "parameters"], rows,
+                title="Table III (reproduced): application queries")
+
+    assert set(queries) == {"Q1", "Q2", "Q3"}
+    for query in queries.values():
+        assert query.parameters() == ("r", "min", "max")

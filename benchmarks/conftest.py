@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's tables and figures.  Expensive artefacts
+(generated datasets, crawled fragment indexes) are built once per session and
+shared; the ``benchmark`` fixture then times only the operation each
+table/figure actually measures.
+
+Configuration:
+
+* ``REPRO_BENCH_SCALE`` — multiplies the dataset tiers (default 1.0).  Use a
+  smaller value (e.g. 0.5) for a faster smoke run of the whole suite.
+* ``REPRO_BENCH_TIME_SCALE`` — the cost-model calibration factor mapping the
+  laptop-scale datasets back into the paper's elapsed-time regime
+  (default 400; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.settings import default_settings
+from repro.core.fragments import derive_fragments
+from repro.datasets.tpch import SCALES, build_tpch, tpch_queries
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return default_settings()
+
+
+@pytest.fixture(scope="session")
+def tpch_databases(settings):
+    """The three dataset tiers (Table II), resized by the bench scale factor."""
+    databases = {}
+    for name in settings.datasets:
+        tier = SCALES[name]
+        if settings.dataset_scale != 1.0:
+            tier = tier.scaled(settings.dataset_scale)
+        databases[name] = build_tpch(tier)
+    return databases
+
+
+@pytest.fixture(scope="session")
+def tpch_query_sets(tpch_databases):
+    """Q1/Q2/Q3 parsed against each dataset tier."""
+    return {name: tpch_queries(database) for name, database in tpch_databases.items()}
+
+
+@pytest.fixture(scope="session")
+def crawl_cache():
+    """Session-wide cache of crawl results keyed by (scale, query, algorithm, ...)."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def medium_q2_fragments(tpch_databases, tpch_query_sets):
+    """Reference fragments of Q2 on the medium dataset (Figure 11 / Table IV input)."""
+    return derive_fragments(tpch_query_sets["medium"]["Q2"], tpch_databases["medium"])

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets may have an older setuptools without
+the ``wheel`` package, in which case PEP 517 editable installs fail with
+``invalid command 'bdist_wheel'``.  Keeping a ``setup.py`` lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic develop install.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

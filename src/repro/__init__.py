@@ -1,0 +1,24 @@
+"""Reproduction of "Dash: A Novel Search Engine for Database-Generated
+Dynamic Web Pages" (Lee, Bankar, Zheng, Chow, Wang — ICDCS 2012).
+
+The public API most users need:
+
+* :class:`repro.core.DashEngine` — analyse a web application, crawl its
+  database into db-page fragments, build the fragment index and answer
+  top-k keyword searches with db-page URLs.
+* :mod:`repro.datasets` — the paper's ``fooddb`` running example and the
+  TPC-H-like evaluation datasets.
+* :mod:`repro.webapp` — the web-application model and the simulated web
+  server used to validate suggested URLs.
+* :mod:`repro.baselines` — the approaches the paper compares against.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the full system
+inventory and the experiment index.
+"""
+
+from repro.core.engine import DashEngine
+from repro.core.search import SearchResult
+
+__version__ = "1.0.0"
+
+__all__ = ["DashEngine", "SearchResult", "__version__"]

@@ -1,0 +1,36 @@
+"""Web-application analysis (Section III / Figure 4, "Web Application Analysis").
+
+Dash reverse-engineers db-page generation from the application implementation:
+it identifies (a) the query-string parsing logic, (b) the application query and
+(c) the result-presentation step, then inverts (a) so query strings can be
+*formulated* from database values instead of parsed from requests.
+
+This package implements that analysis for servlet-like source text (the mini
+dialect of Figure 3):
+
+* :mod:`repro.analysis.source` — statement-level source representation and a
+  template generator producing servlet sources for arbitrary PSJ queries.
+* :mod:`repro.analysis.dataflow` — data-flow analysis of
+  ``getParameter``/copy assignments (which variable carries which field).
+* :mod:`repro.analysis.symbolic` — symbolic execution of the SQL string
+  concatenation (which parameterized SQL text the application issues).
+* :mod:`repro.analysis.analyzer` — ties the pieces together into an
+  :class:`AnalyzedApplication` holding the parameterized PSJ query and the
+  query-string field mapping.
+"""
+
+from repro.analysis.analyzer import AnalyzedApplication, ApplicationAnalyzer
+from repro.analysis.dataflow import DataFlowAnalysis, ParameterBinding
+from repro.analysis.source import ServletSource, make_servlet_source
+from repro.analysis.symbolic import SymbolicString, symbolic_sql
+
+__all__ = [
+    "AnalyzedApplication",
+    "ApplicationAnalyzer",
+    "DataFlowAnalysis",
+    "ParameterBinding",
+    "ServletSource",
+    "SymbolicString",
+    "make_servlet_source",
+    "symbolic_sql",
+]

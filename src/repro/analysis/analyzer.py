@@ -1,0 +1,126 @@
+"""The application analyzer: servlet source → analysed application.
+
+Combines the data-flow analysis (which variable carries which query-string
+field) with symbolic execution of the SQL construction (which parameterized
+query the application issues) and parses the recovered SQL against the backend
+database.  The product — an :class:`AnalyzedApplication` — is everything the
+rest of Dash needs:
+
+* the :class:`~repro.db.query.ParameterizedPSJQuery` used for database
+  crawling and fragment derivation, and
+* the :class:`~repro.webapp.request.QueryStringSpec` used for reverse
+  query-string parsing when the top-k search formulates result URLs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.dataflow import DataFlowAnalysis, DataFlowError
+from repro.analysis.source import ServletSource
+from repro.analysis.symbolic import SymbolicExecutionError, SymbolicString, symbolic_sql
+from repro.db.database import Database
+from repro.db.query import ParameterizedPSJQuery
+from repro.db.sqlparse import parse_psj_query
+from repro.webapp.application import WebApplication
+from repro.webapp.request import QueryStringSpec
+
+
+class AnalysisError(Exception):
+    """Raised when an application cannot be analysed into a PSJ query."""
+
+
+@dataclass(frozen=True)
+class AnalyzedApplication:
+    """The artefacts Dash extracts from one web application."""
+
+    name: str
+    query: ParameterizedPSJQuery
+    query_string_spec: QueryStringSpec
+    symbolic_sql: str
+    dataflow: DataFlowAnalysis
+
+    def parameter_fields(self) -> Dict[str, str]:
+        """Mapping from query parameter to the query-string field carrying it."""
+        return {parameter: field for field, parameter in self.query_string_spec.fields}
+
+    def to_web_application(self, uri: str, source: Optional[str] = None) -> WebApplication:
+        """Materialise a runnable :class:`WebApplication` from the analysis."""
+        return WebApplication(
+            name=self.name,
+            uri=uri,
+            query=self.query,
+            query_string_spec=self.query_string_spec,
+            source=source,
+        )
+
+
+class ApplicationAnalyzer:
+    """Analyses servlet-like sources against one backend database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def analyze(self, source_text: str, name: Optional[str] = None) -> AnalyzedApplication:
+        """Analyse ``source_text`` and return the extracted artefacts.
+
+        Raises :class:`AnalysisError` when the source does not follow the
+        query-string-parsing / query-evaluation / result-presentation shape the
+        execution model assumes.
+        """
+        source = ServletSource(source_text)
+        application_name = name or source.class_name or "application"
+
+        dataflow = DataFlowAnalysis.analyze(source)
+        if len(dataflow) == 0:
+            raise AnalysisError(
+                f"application {application_name!r}: no getParameter(...) calls found — "
+                "cannot recover the query-string parsing step"
+            )
+        try:
+            symbolic = symbolic_sql(source, dataflow.variables())
+        except SymbolicExecutionError as exc:
+            raise AnalysisError(f"application {application_name!r}: {exc}") from exc
+
+        sql_text = symbolic.normalized_sql()
+        try:
+            query = parse_psj_query(sql_text, self.database, name=application_name)
+        except Exception as exc:
+            raise AnalysisError(
+                f"application {application_name!r}: recovered SQL is not a supported "
+                f"PSJ query ({exc}); SQL was: {sql_text!r}"
+            ) from exc
+
+        spec = self._build_query_string_spec(application_name, query, dataflow)
+        return AnalyzedApplication(
+            name=application_name,
+            query=query,
+            query_string_spec=spec,
+            symbolic_sql=sql_text,
+            dataflow=dataflow,
+        )
+
+    def analyze_application(self, application: WebApplication) -> AnalyzedApplication:
+        """Analyse a deployed application from its attached source text."""
+        if not application.source:
+            raise AnalysisError(f"application {application.name!r} has no source attached")
+        return self.analyze(application.source, name=application.name)
+
+    # ------------------------------------------------------------------
+    def _build_query_string_spec(
+        self,
+        application_name: str,
+        query: ParameterizedPSJQuery,
+        dataflow: DataFlowAnalysis,
+    ) -> QueryStringSpec:
+        fields: Tuple[Tuple[str, str], ...] = ()
+        pairs = []
+        for parameter in query.parameters():
+            try:
+                field = dataflow.require_field_of(parameter)
+            except DataFlowError as exc:
+                raise AnalysisError(f"application {application_name!r}: {exc}") from exc
+            pairs.append((field, parameter))
+        fields = tuple(pairs)
+        return QueryStringSpec(fields)

@@ -1,0 +1,100 @@
+"""Data-flow analysis of the query-string parsing step.
+
+The analysis answers one question: *which servlet variable carries which
+query-string field?*  It tracks two statement forms —
+
+* ``String cuisine = q.getParameter('c');`` (a field read), and
+* ``String min = lower;`` (a straight copy of another tracked variable),
+
+propagating field provenance through copies.  The result is the set of
+:class:`ParameterBinding` facts the analyzer later matches against the
+parameters appearing in the symbolic SQL.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.source import ServletSource
+
+
+class DataFlowError(Exception):
+    """Raised when the query-string parsing step cannot be recovered."""
+
+
+_GET_PARAMETER_RE = re.compile(
+    r"(?:String\s+)?(?P<variable>[A-Za-z_][A-Za-z_0-9]*)\s*=\s*"
+    r"[A-Za-z_][A-Za-z_0-9]*\.getParameter\(\s*['\"](?P<field>[^'\"]+)['\"]\s*\)"
+)
+_COPY_RE = re.compile(
+    r"(?:String\s+)?(?P<target>[A-Za-z_][A-Za-z_0-9]*)\s*=\s*(?P<source>[A-Za-z_][A-Za-z_0-9]*)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class ParameterBinding:
+    """One fact: servlet ``variable`` carries the query-string ``field``."""
+
+    variable: str
+    field: str
+    statement_index: int
+
+
+class DataFlowAnalysis:
+    """Field provenance of servlet variables."""
+
+    def __init__(self, bindings: List[ParameterBinding]) -> None:
+        self.bindings = list(bindings)
+        self._by_variable: Dict[str, ParameterBinding] = {
+            binding.variable: binding for binding in bindings
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def analyze(cls, source: ServletSource) -> "DataFlowAnalysis":
+        """Run the analysis over ``source``."""
+        bindings: Dict[str, ParameterBinding] = {}
+        for statement in source:
+            match = _GET_PARAMETER_RE.search(statement.text)
+            if match:
+                variable = match.group("variable")
+                field = match.group("field")
+                bindings[variable] = ParameterBinding(variable, field, statement.index)
+                continue
+            copy_match = _COPY_RE.search(statement.text)
+            if copy_match:
+                source_variable = copy_match.group("source")
+                target_variable = copy_match.group("target")
+                if source_variable in bindings:
+                    provenance = bindings[source_variable]
+                    bindings[target_variable] = ParameterBinding(
+                        target_variable, provenance.field, statement.index
+                    )
+        return cls(sorted(bindings.values(), key=lambda binding: binding.statement_index))
+
+    # ------------------------------------------------------------------
+    def field_of(self, variable: str) -> Optional[str]:
+        """The query-string field carried by ``variable`` (None when untracked)."""
+        binding = self._by_variable.get(variable)
+        return binding.field if binding else None
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(binding.variable for binding in self.bindings)
+
+    def field_variable_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """Ordered ``(field, variable)`` pairs, in source order."""
+        return tuple((binding.field, binding.variable) for binding in self.bindings)
+
+    def require_field_of(self, variable: str) -> str:
+        field = self.field_of(variable)
+        if field is None:
+            raise DataFlowError(
+                f"variable {variable!r} is used as a query parameter but never "
+                "assigned from a query-string field"
+            )
+        return field
+
+    def __len__(self) -> int:
+        return len(self.bindings)

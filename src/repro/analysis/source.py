@@ -1,0 +1,164 @@
+"""Servlet-like source representation.
+
+The analyzer operates on a small Java-servlet-like dialect — the shape of the
+paper's Figure 3.  A :class:`ServletSource` splits the raw text into
+statements (``;``-terminated, comments and braces stripped) and exposes simple
+pattern queries over them.  :func:`make_servlet_source` does the reverse: it
+renders a servlet for a given SQL template and field mapping, which is how the
+TPC-H experiment applications are produced so that the full
+analyse → crawl → search pipeline is exercised on every dataset.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+_CLASS_RE = re.compile(r"public\s+class\s+([A-Za-z_][A-Za-z_0-9]*)")
+_LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One ``;``-terminated statement of the servlet body."""
+
+    text: str
+    index: int
+
+    def matches(self, pattern: "re.Pattern[str]") -> Optional["re.Match[str]"]:
+        return pattern.search(self.text)
+
+
+class ServletSource:
+    """A parsed view over servlet-like source text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        cleaned = _BLOCK_COMMENT_RE.sub(" ", text)
+        cleaned = _LINE_COMMENT_RE.sub(" ", cleaned)
+        self._cleaned = cleaned
+        self.statements: Tuple[Statement, ...] = tuple(self._split_statements(cleaned))
+
+    @staticmethod
+    def _split_statements(cleaned: str) -> Iterator[Statement]:
+        # Split on ';' that are not inside single- or double-quoted literals.
+        statements: List[str] = []
+        current: List[str] = []
+        quote: Optional[str] = None
+        for character in cleaned:
+            if quote is not None:
+                current.append(character)
+                if character == quote:
+                    quote = None
+                continue
+            if character in ("'", '"'):
+                quote = character
+                current.append(character)
+                continue
+            if character == ";":
+                statements.append("".join(current))
+                current = []
+                continue
+            current.append(character)
+        if current:
+            statements.append("".join(current))
+        index = 0
+        for raw in statements:
+            text = " ".join(raw.split())
+            text = text.strip("{} \t")
+            if text:
+                yield Statement(text=text, index=index)
+                index += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def class_name(self) -> Optional[str]:
+        match = _CLASS_RE.search(self._cleaned)
+        return match.group(1) if match else None
+
+    def find_all(self, pattern: "re.Pattern[str]") -> List[Tuple[Statement, "re.Match[str]"]]:
+        """Every (statement, match) pair where ``pattern`` matches the statement."""
+        found = []
+        for statement in self.statements:
+            match = pattern.search(statement.text)
+            if match:
+                found.append((statement, match))
+        return found
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+def make_servlet_source(
+    class_name: str,
+    field_to_variable: Sequence[Tuple[str, str]],
+    sql_template: str,
+    query_variable: str = "Q",
+) -> str:
+    """Render servlet-like source for an application.
+
+    Parameters
+    ----------
+    class_name:
+        Java class name (also used as the application name).
+    field_to_variable:
+        Ordered ``(query_string_field, variable)`` pairs; each becomes a
+        ``String var = q.getParameter('field');`` statement.
+    sql_template:
+        SQL text whose ``$variable`` placeholders are replaced by string
+        concatenation with the corresponding servlet variables — mirroring how
+        real applications splice user input into their queries.
+    query_variable:
+        Name of the variable the SQL string is assigned to and that is passed
+        to ``executeQuery``.
+
+    Example
+    -------
+    >>> text = make_servlet_source(
+    ...     "Search", [("c", "cuisine")], "SELECT * FROM r WHERE cuisine = '$cuisine'")
+    >>> "q.getParameter('c')" in text
+    True
+    """
+    parameter_lines = [
+        f"    String {variable} = q.getParameter('{field}');"
+        for field, variable in field_to_variable
+    ]
+    concatenation = _template_to_concatenation(sql_template, [v for _f, v in field_to_variable])
+    lines = [
+        f"public class {class_name} extends HttpServlet {{",
+        "  public void doGet(HttpServletRequest q, HttpServletResponse p) {",
+        *parameter_lines,
+        "    Connection cn = DriverManager.getConnection(db);",
+        f"    {query_variable} = {concatenation};",
+        f"    ResultSet r = cn.createStatement().executeQuery({query_variable});",
+        "    output(p, r);",
+        "  }",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+def _template_to_concatenation(sql_template: str, variables: Sequence[str]) -> str:
+    """Turn ``... WHERE x = $v ...`` into ``'... WHERE x = ' + v + ' ...'``."""
+    pattern = re.compile(r"\$([A-Za-z_][A-Za-z_0-9]*)")
+    parts: List[str] = []
+    cursor = 0
+    for match in pattern.finditer(sql_template):
+        literal = sql_template[cursor:match.start()]
+        variable = match.group(1)
+        if variable not in variables:
+            raise ValueError(f"SQL template references unknown variable ${variable}")
+        if literal:
+            parts.append(f"'{literal}'")
+        parts.append(variable)
+        cursor = match.end()
+    tail = sql_template[cursor:]
+    if tail:
+        parts.append(f"'{tail}'")
+    return " + ".join(parts) if parts else "''"

@@ -1,0 +1,145 @@
+"""Symbolic execution of the application-query construction.
+
+Real applications build their SQL by concatenating string literals with the
+variables recovered from the query string (Figure 3, line 5).  The analyzer
+re-executes that concatenation *symbolically*: string literals evaluate to
+themselves, tracked variables evaluate to symbolic markers ``$variable``, and
+the result is the parameterized SQL text the application would issue — ready
+to be parsed into a :class:`~repro.db.query.ParameterizedPSJQuery`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.source import ServletSource, Statement
+
+
+class SymbolicExecutionError(Exception):
+    """Raised when the query construction cannot be evaluated symbolically."""
+
+
+_ASSIGNMENT_RE = re.compile(
+    r"(?:String\s+)?(?P<variable>[A-Za-z_][A-Za-z_0-9]*)\s*=\s*(?P<expression>.+)$"
+)
+_EXECUTE_RE = re.compile(r"executeQuery\(\s*(?P<argument>[A-Za-z_][A-Za-z_0-9]*)\s*\)")
+_QUOTED_MARKER_RE = re.compile(r"""['"]\s*\$(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*['"]""")
+
+
+@dataclass(frozen=True)
+class SymbolicString:
+    """The outcome of symbolically evaluating one string expression."""
+
+    text: str
+    parameters: Tuple[str, ...]
+
+    def normalized_sql(self) -> str:
+        """The SQL text with quoted markers unwrapped and whitespace squeezed.
+
+        Applications quote string-typed inputs (``cuisine = "<input>"``); after
+        symbolic substitution that appears as ``cuisine = "$cuisine"``, which we
+        normalise to ``cuisine = $cuisine`` so the SQL parser sees a parameter.
+        """
+        text = _QUOTED_MARKER_RE.sub(lambda match: f"${match.group('name')}", self.text)
+        return " ".join(text.split())
+
+
+def _tokenize_concatenation(expression: str) -> List[str]:
+    """Split ``'a' + x + "b"`` into its literal and variable operands."""
+    operands: List[str] = []
+    current: List[str] = []
+    quote: Optional[str] = None
+    for character in expression:
+        if quote is not None:
+            current.append(character)
+            if character == quote:
+                quote = None
+            continue
+        if character in ("'", '"'):
+            quote = character
+            current.append(character)
+            continue
+        if character == "+":
+            operand = "".join(current).strip()
+            if operand:
+                operands.append(operand)
+            current = []
+            continue
+        current.append(character)
+    operand = "".join(current).strip()
+    if operand:
+        operands.append(operand)
+    if quote is not None:
+        raise SymbolicExecutionError(f"unterminated string literal in expression: {expression!r}")
+    return operands
+
+
+def evaluate_concatenation(expression: str, symbolic_variables: Set[str]) -> SymbolicString:
+    """Evaluate a concatenation expression with ``symbolic_variables`` as symbols."""
+    parts: List[str] = []
+    used: List[str] = []
+    for operand in _tokenize_concatenation(expression):
+        if operand.startswith("'") or operand.startswith('"'):
+            if not (operand.endswith(operand[0]) and len(operand) >= 2):
+                raise SymbolicExecutionError(f"malformed string literal {operand!r}")
+            parts.append(operand[1:-1])
+        elif re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", operand):
+            if operand not in symbolic_variables:
+                raise SymbolicExecutionError(
+                    f"expression uses variable {operand!r} with unknown (non-query-string) origin"
+                )
+            parts.append(f"${operand}")
+            if operand not in used:
+                used.append(operand)
+        else:
+            raise SymbolicExecutionError(f"unsupported operand {operand!r} in SQL construction")
+    return SymbolicString(text="".join(parts), parameters=tuple(used))
+
+
+def symbolic_sql(source: ServletSource, symbolic_variables: Sequence[str]) -> SymbolicString:
+    """Recover the parameterized SQL text issued by ``source``.
+
+    The function finds the ``executeQuery(<variable>)`` call, then symbolically
+    evaluates the (possibly chained) assignments that build ``<variable>``,
+    treating ``symbolic_variables`` (the query-string variables found by the
+    data-flow analysis) as symbols.
+    """
+    query_variable = _find_query_variable(source)
+    assignments = _collect_assignments(source)
+    if query_variable not in assignments:
+        raise SymbolicExecutionError(
+            f"no assignment found for query variable {query_variable!r}"
+        )
+    symbols = set(symbolic_variables)
+    resolved = evaluate_concatenation(assignments[query_variable], symbols)
+    return SymbolicString(text=resolved.text, parameters=resolved.parameters)
+
+
+def _find_query_variable(source: ServletSource) -> str:
+    for statement in source:
+        match = _EXECUTE_RE.search(statement.text)
+        if match:
+            return match.group("argument")
+    raise SymbolicExecutionError("the application never calls executeQuery(...)")
+
+
+def _collect_assignments(source: ServletSource) -> dict:
+    assignments = {}
+    for statement in source:
+        if "getParameter" in statement.text or "executeQuery" in statement.text:
+            continue
+        match = _ASSIGNMENT_RE.match(statement.text)
+        if match:
+            variable = match.group("variable")
+            expression = match.group("expression").strip()
+            existing = assignments.get(variable)
+            if existing is not None:
+                # Applications often build the SQL incrementally with
+                # `Q = Q + '...'` chains; splice the previous expression in.
+                self_ref = re.match(rf"^{re.escape(variable)}\s*\+\s*(?P<rest>.+)$", expression)
+                if self_ref:
+                    expression = f"{existing} + {self_ref.group('rest')}"
+            assignments[variable] = expression
+    return assignments

@@ -1,0 +1,27 @@
+"""Baselines the paper positions Dash against.
+
+* :mod:`repro.baselines.materialize` — the "intuitive approach" of Section IV:
+  enumerate every query string, materialise every db-page and index them with a
+  conventional inverted file.
+* :mod:`repro.baselines.discover` — keyword search in relational databases
+  (DISCOVER-style record joins, Section II).
+* :mod:`repro.baselines.single_relation` — Google-Search-Appliance-style
+  search over a single derived (outer-joined) relation (Section II).
+* :mod:`repro.baselines.surfacing` — deep-web surfacing by submitting trial
+  query strings to the live application (Section I's second existing
+  approach), running against the simulated web server.
+"""
+
+from repro.baselines.discover import JoinedResult, RelationalKeywordSearch
+from repro.baselines.materialize import MaterializedPageSearch
+from repro.baselines.single_relation import SingleRelationSearch
+from repro.baselines.surfacing import SurfacingCrawler, SurfacingReport
+
+__all__ = [
+    "JoinedResult",
+    "MaterializedPageSearch",
+    "RelationalKeywordSearch",
+    "SingleRelationSearch",
+    "SurfacingCrawler",
+    "SurfacingReport",
+]

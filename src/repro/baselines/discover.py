@@ -1,0 +1,127 @@
+"""Keyword search in relational databases (DISCOVER-style, Section II).
+
+The common idea of the systems the paper reviews (DISCOVER and follow-ups):
+
+1. find the records whose attribute values contain any queried keyword, and
+2. join matching records whenever they are linked through foreign keys,
+   producing *joined result records* rather than db-pages.
+
+The paper criticises the output (partial views, surrogate keys exposed, one
+result per record combination rather than grouped db-pages); the baseline is
+implemented here so those comparisons can be made concrete in the examples and
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.db.database import Database
+from repro.db.relation import Record
+from repro.db.schema import ForeignKey
+from repro.text.tfidf import TfIdfScorer
+from repro.text.tokenizer import count_keywords, tokenize
+
+
+@dataclass(frozen=True)
+class JoinedResult:
+    """One joined result record: the matched record plus records reachable
+    through foreign keys that were joined onto it."""
+
+    relations: Tuple[str, ...]
+    values: Tuple[Tuple[str, object], ...]
+    score: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.values)
+
+    def text(self) -> str:
+        return " ".join(str(value) for _name, value in self.values if value is not None)
+
+
+class RelationalKeywordSearch:
+    """DISCOVER-style keyword search over one database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._keyword_cache: Dict[str, Dict[str, List[int]]] = {}
+
+    # ------------------------------------------------------------------
+    def matching_records(self, relation_name: str, keywords: Sequence[str]) -> List[Record]:
+        """Records of ``relation_name`` containing at least one of ``keywords``."""
+        wanted = {keyword.lower() for keyword in keywords}
+        matches: List[Record] = []
+        for record in self.database.relation(relation_name):
+            text = " ".join(record.text_values())
+            if wanted & set(tokenize(text)):
+                matches.append(record)
+        return matches
+
+    def search(self, keywords: Iterable[str], k: Optional[int] = None) -> List[JoinedResult]:
+        """Top results: matched records joined with their FK-linked neighbours."""
+        keyword_list = [keyword.lower() for keyword in list(keywords)]
+        results: List[JoinedResult] = []
+        document_frequencies = self._document_frequencies(keyword_list)
+        scorer = TfIdfScorer(document_frequencies, total_documents=self.database.total_records())
+        for relation_name in self.database.relation_names:
+            for record in self.matching_records(relation_name, keyword_list):
+                joined = self._expand_through_foreign_keys(relation_name, record)
+                text = " ".join(str(value) for _name, value in joined if value is not None)
+                score = scorer.score(count_keywords(tokenize(text)), keyword_list)
+                if score > 0.0:
+                    results.append(
+                        JoinedResult(
+                            relations=self._relations_of(relation_name, record),
+                            values=joined,
+                            score=score,
+                        )
+                    )
+        results.sort(key=lambda result: (-result.score, result.relations, str(result.values)))
+        if k is not None:
+            results = results[:k]
+        return results
+
+    # ------------------------------------------------------------------
+    def _document_frequencies(self, keywords: Sequence[str]) -> Dict[str, int]:
+        frequencies: Dict[str, int] = {}
+        for keyword in keywords:
+            frequency = 0
+            for relation_name in self.database.relation_names:
+                for record in self.database.relation(relation_name):
+                    if keyword in tokenize(" ".join(record.text_values())):
+                        frequency += 1
+            frequencies[keyword] = frequency
+        return frequencies
+
+    def _relations_of(self, relation_name: str, record: Record) -> Tuple[str, ...]:
+        relations = [relation_name]
+        for foreign_key in self.database.relation(relation_name).schema.foreign_keys:
+            if record[foreign_key.attribute] is not None:
+                relations.append(foreign_key.referenced_relation)
+        return tuple(relations)
+
+    def _expand_through_foreign_keys(
+        self, relation_name: str, record: Record
+    ) -> Tuple[Tuple[str, object], ...]:
+        """The record's values plus the values of FK-referenced records."""
+        values: List[Tuple[str, object]] = [
+            (f"{relation_name}.{name}", record[name])
+            for name in record.schema.attribute_names
+        ]
+        for foreign_key in self.database.relation(relation_name).schema.foreign_keys:
+            referenced = self._lookup(foreign_key, record[foreign_key.attribute])
+            if referenced is not None:
+                values.extend(
+                    (f"{foreign_key.referenced_relation}.{name}", referenced[name])
+                    for name in referenced.schema.attribute_names
+                )
+        return tuple(values)
+
+    def _lookup(self, foreign_key: ForeignKey, value) -> Optional[Record]:
+        if value is None:
+            return None
+        for record in self.database.relation(foreign_key.referenced_relation):
+            if record[foreign_key.referenced_attribute] == value:
+                return record
+        return None

@@ -1,0 +1,118 @@
+"""Deep-web surfacing by trial query strings (Section I).
+
+The second existing approach the paper describes: a crawler that "submits as
+many trial query strings as possible to web applications to generate
+db-pages".  The crawler below probes the simulated web server with query
+strings assembled from value samples (optionally the true value domains, which
+is the best case for this baseline), discards empty and duplicate pages, and
+indexes the survivors with a conventional inverted file.
+
+The interesting outputs are the report counters: how many application
+invocations were spent, how many pages turned out valueless, and how much of
+the application's true page space was actually discovered — the completeness
+and cost problems that motivate Dash.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.webapp.application import WebApplication
+from repro.webapp.rendering import DbPage, page_signature
+from repro.webapp.request import QueryString
+from repro.webapp.server import WebServer
+from repro.text.inverted_index import InvertedIndex
+
+
+@dataclass
+class SurfacingReport:
+    """Outcome counters of one surfacing crawl."""
+
+    trial_query_strings: int = 0
+    application_invocations: int = 0
+    empty_pages: int = 0
+    duplicate_pages: int = 0
+    indexed_pages: int = 0
+    elapsed_seconds: float = 0.0
+
+
+class SurfacingCrawler:
+    """Probes a web application with trial query strings and indexes the results."""
+
+    def __init__(self, server: WebServer, application: WebApplication, seed: int = 3) -> None:
+        self.server = server
+        self.application = application
+        self.index = InvertedIndex()
+        self.pages: Dict[str, DbPage] = {}
+        self.report = SurfacingReport()
+        self._signatures: set = set()
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def crawl_with_values(
+        self,
+        field_values: Mapping[str, Sequence[object]],
+        max_trials: Optional[int] = None,
+    ) -> SurfacingReport:
+        """Probe with the cartesian product of per-field value samples.
+
+        ``field_values`` maps each query-string field to the candidate values
+        the crawler will try (e.g. guessed form fill-ins).  ``max_trials``
+        caps the number of submissions, sampling uniformly from the product.
+        """
+        started = time.perf_counter()
+        fields = list(self.application.query_string_spec.field_names)
+        missing = [field for field in fields if field not in field_values]
+        if missing:
+            raise ValueError(f"no candidate values supplied for fields {missing}")
+
+        combinations = self._combinations(fields, field_values)
+        if max_trials is not None and len(combinations) > max_trials:
+            combinations = self._rng.sample(combinations, max_trials)
+
+        for combination in combinations:
+            query_string = QueryString(tuple(zip(fields, [str(value) for value in combination])))
+            self._probe(query_string)
+        self.index.finalize()
+        self.report.elapsed_seconds = time.perf_counter() - started
+        return self.report
+
+    def _combinations(
+        self, fields: Sequence[str], field_values: Mapping[str, Sequence[object]]
+    ) -> List[Tuple[object, ...]]:
+        combinations: List[Tuple[object, ...]] = [()]
+        for field in fields:
+            combinations = [existing + (value,) for existing in combinations for value in field_values[field]]
+        return combinations
+
+    def _probe(self, query_string: QueryString) -> None:
+        self.report.trial_query_strings += 1
+        url = self.application.url_for_query_string(query_string)
+        self.report.application_invocations += 1
+        page = self.server.get(url)
+        if page.record_count == 0:
+            self.report.empty_pages += 1
+            return
+        signature = page_signature(page)
+        if signature in self._signatures:
+            self.report.duplicate_pages += 1
+            return
+        self._signatures.add(signature)
+        self.pages[page.url] = page
+        self.index.add_term_frequencies(page.url, page.term_frequencies())
+        self.report.indexed_pages += 1
+
+    # ------------------------------------------------------------------
+    def search(self, keywords: Iterable[str], k: int = 10) -> List[Tuple[str, float]]:
+        """Top-``k`` discovered page URLs by conventional TF/IDF."""
+        return self.index.search(keywords, k=k)
+
+    def coverage_of(self, all_page_signatures: Iterable[Tuple[str, ...]]) -> float:
+        """Fraction of the application's distinct page contents that were discovered."""
+        universe = set(all_page_signatures)
+        if not universe:
+            return 1.0
+        return len(self._signatures & universe) / len(universe)

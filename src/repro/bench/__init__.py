@@ -1,0 +1,26 @@
+"""Shared benchmark support: experiment settings (Table I/III) and reporting."""
+
+from repro.bench.settings import (
+    DATASET_NAMES,
+    K_VALUES,
+    KEYWORD_TEMPERATURES,
+    QUERY_NAMES,
+    SIZE_THRESHOLDS,
+    ExperimentSettings,
+    default_settings,
+    quick_settings,
+)
+from repro.bench.reporting import format_table, print_table
+
+__all__ = [
+    "DATASET_NAMES",
+    "ExperimentSettings",
+    "K_VALUES",
+    "KEYWORD_TEMPERATURES",
+    "QUERY_NAMES",
+    "SIZE_THRESHOLDS",
+    "default_settings",
+    "format_table",
+    "print_table",
+    "quick_settings",
+]

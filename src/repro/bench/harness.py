@@ -1,0 +1,54 @@
+"""Helpers shared by the benchmark suite (benchmarks/ directory).
+
+Kept inside the installed package (rather than in ``benchmarks/conftest.py``)
+so that benchmark modules and example scripts can import them without relying
+on pytest's conftest discovery.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Mapping, Tuple
+
+from repro.core.crawler import CrawlResult, IntegratedCrawler, StepwiseCrawler
+from repro.mapreduce import Cluster, CostModel, DistributedFileSystem, MapReduceRuntime
+
+#: Calibration factor mapping laptop-scale data volumes back into the paper's
+#: elapsed-time regime (see DESIGN.md, substitution table).  Override with the
+#: ``REPRO_BENCH_TIME_SCALE`` environment variable.
+DATA_TIME_SCALE = float(os.environ.get("REPRO_BENCH_TIME_SCALE", "400"))
+
+
+def calibrated_runtime(num_nodes: int = 4, data_time_scale: float = None) -> MapReduceRuntime:
+    """A fresh simulated cluster runtime with the calibrated cost model."""
+    cluster = Cluster.default(num_nodes=num_nodes)
+    scale = DATA_TIME_SCALE if data_time_scale is None else data_time_scale
+    return MapReduceRuntime(
+        cluster,
+        DistributedFileSystem(cluster),
+        CostModel(data_time_scale=scale),
+    )
+
+
+def run_crawl(
+    cache: Dict,
+    databases: Mapping[str, object],
+    query_sets: Mapping[str, Mapping[str, object]],
+    scale: str,
+    query_name: str,
+    algorithm: str,
+    num_reducers: int = 4,
+    num_nodes: int = 4,
+) -> CrawlResult:
+    """Run (or reuse from ``cache``) one crawling/indexing workflow."""
+    key = (scale, query_name, algorithm, num_reducers, num_nodes)
+    if key not in cache:
+        crawler_cls = StepwiseCrawler if algorithm == "stepwise" else IntegratedCrawler
+        crawler = crawler_cls(
+            query_sets[scale][query_name],
+            databases[scale],
+            runtime=calibrated_runtime(num_nodes=num_nodes),
+            num_reduce_tasks=num_reducers,
+        )
+        cache[key] = crawler.crawl()
+    return cache[key]

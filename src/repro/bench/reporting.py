@@ -1,0 +1,50 @@
+"""Plain-text tables for benchmark output.
+
+Every benchmark prints the rows/series of the paper table or figure it
+reproduces; these helpers keep that output aligned and consistent so
+``EXPERIMENTS.md`` can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Format ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> None:
+    """Print a formatted table (with a leading blank line for readability)."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def _render(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and abs(cell) < 0.01:
+            return f"{cell:.5f}"
+        return f"{cell:,.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)

@@ -1,0 +1,57 @@
+"""Experiment settings (the paper's Table I and Table III).
+
+The benchmark modules under ``benchmarks/`` all read their parameter space
+from here so that the whole evaluation uses one consistent configuration, and
+so tests can swap in a smaller configuration (``quick_settings``) without
+editing the benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Table I — the experiment parameter space.
+DATASET_NAMES: Tuple[str, ...] = ("small", "medium", "large")
+QUERY_NAMES: Tuple[str, ...] = ("Q1", "Q2", "Q3")
+K_VALUES: Tuple[int, ...] = (1, 5, 10, 20)
+SIZE_THRESHOLDS: Tuple[int, ...] = (100, 200, 500, 1000)
+KEYWORD_TEMPERATURES: Tuple[str, ...] = ("cold", "warm", "hot")
+
+#: Number of keywords sampled per temperature group (Section VII-B uses 30).
+KEYWORDS_PER_GROUP = 30
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """One benchmark configuration."""
+
+    datasets: Tuple[str, ...] = DATASET_NAMES
+    queries: Tuple[str, ...] = QUERY_NAMES
+    k_values: Tuple[int, ...] = K_VALUES
+    size_thresholds: Tuple[int, ...] = SIZE_THRESHOLDS
+    temperatures: Tuple[str, ...] = KEYWORD_TEMPERATURES
+    keywords_per_group: int = KEYWORDS_PER_GROUP
+    #: scale factor applied to the dataset tiers (1.0 = the tiers in
+    #: repro.datasets.tpch.SCALES; benchmarks shrink it via REPRO_BENCH_SCALE).
+    dataset_scale: float = 1.0
+    cluster_nodes: int = 4
+    num_reduce_tasks: int = 4
+
+
+def default_settings() -> ExperimentSettings:
+    """The full evaluation configuration (honours ``REPRO_BENCH_SCALE``)."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return ExperimentSettings(dataset_scale=scale)
+
+
+def quick_settings() -> ExperimentSettings:
+    """A much smaller configuration for smoke-testing the benchmark harness."""
+    return ExperimentSettings(
+        datasets=("small",),
+        queries=("Q1", "Q2"),
+        k_values=(1, 10),
+        size_thresholds=(100, 500),
+        dataset_scale=0.25,
+    )

@@ -1,0 +1,641 @@
+"""MapReduce-based database crawling and fragment indexing (Section V).
+
+Two algorithms build the inverted fragment index for one application query:
+
+* :class:`StepwiseCrawler` — the stepwise algorithm of Section V-A
+  (Figure 7): join the operand relations (carrying every projection attribute
+  through the join pipeline), group the joined records into db-page fragments,
+  then index each fragment like a document.  Reporting stages: ``join``,
+  ``group``, ``index`` (the paper's SW-Jn / SW-Grp / SW-Idx).
+
+* :class:`IntegratedCrawler` — the integrated algorithm of Section V-B
+  (Figure 8): first join only the *compact* per-relation views of selection
+  attributes, join attributes and record counts (deriving the query
+  parameters and the join multiplicities θ — the θ aggregation happens inside
+  the join jobs, as the paper notes it can), then join each operand relation
+  back against that compact result to extract its keywords directly into the
+  right fragments with the right multiplicities, and finally consolidate the
+  per-relation keyword streams into the inverted fragment index.  Reporting
+  stages: ``join``, ``extract``, ``consolidate`` (INT-Jn / INT-Ext /
+  INT-Cnsd).  Projection attributes never travel through the join pipeline,
+  which is exactly where its Figure 10 advantage comes from.
+
+Joins are reduce-side repartition joins over multiple inputs (one map
+function per input file, Hadoop ``MultipleInputs`` style).  Both algorithms
+produce identical inverted fragment indexes (a property the test suite
+verifies against the reference derivation of
+:func:`repro.core.fragments.derive_fragments`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.fragment_index import InvertedFragmentIndex
+from repro.core.fragments import FragmentId
+from repro.db.database import Database
+from repro.db.query import ParameterizedPSJQuery
+from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.mapreduce.joins import join_reducer, tag_mapper
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.mapreduce.workflow import Workflow, WorkflowMetrics
+from repro.text.tokenizer import count_keywords, tokenize
+
+RecordDict = Dict[str, Any]
+
+
+# ----------------------------------------------------------------------
+# shared query layout bookkeeping
+# ----------------------------------------------------------------------
+class QueryLayout:
+    """Per-operand-relation attribute bookkeeping shared by both crawlers.
+
+    Works entirely from the query definition and the relation schemas — it
+    never looks at the data — and answers questions such as "which attributes
+    does relation X contribute to the joined output", "which attributes
+    identify X's records for the integrated extract join" and "under which
+    name does attribute a appear in the joined result".
+    """
+
+    def __init__(self, query: ParameterizedPSJQuery, database: Database) -> None:
+        self.query = query
+        self.database = database
+        self.relations: Tuple[str, ...] = query.operand_relations
+
+        # right-hand join keys are dropped from the joined output; map each to
+        # the surviving left-hand attribute.
+        self._replacement: Dict[str, str] = {}
+        for join in query.joins:
+            for left_attr, right_attr in join.on:
+                if right_attr != left_attr:
+                    self._replacement[right_attr] = left_attr
+        self._dropped_per_relation: Dict[str, set] = {relation: set() for relation in self.relations}
+        for join in query.joins:
+            for _left_attr, right_attr in join.on:
+                self._dropped_per_relation[join.relation].add(right_attr)
+
+        self.contributed: Dict[str, Tuple[str, ...]] = {}
+        for relation_name in self.relations:
+            schema = database.relation(relation_name).schema
+            dropped = self._dropped_per_relation[relation_name]
+            self.contributed[relation_name] = tuple(
+                attribute for attribute in schema.attribute_names if attribute not in dropped
+            )
+
+        projections = query.projections
+        self.projected: Dict[str, Tuple[str, ...]] = {}
+        for relation_name in self.relations:
+            contributed = self.contributed[relation_name]
+            if projections is None:
+                self.projected[relation_name] = contributed
+            else:
+                wanted = set(projections)
+                self.projected[relation_name] = tuple(
+                    attribute for attribute in contributed if attribute in wanted
+                )
+
+        self.selection_attributes: Tuple[str, ...] = query.selection_attributes
+        self.selection_owner: Dict[str, str] = {}
+        for attribute in self.selection_attributes:
+            self.selection_owner[attribute] = self._find_owner(attribute)
+
+        self.join_attributes: Dict[str, Tuple[str, ...]] = {}
+        for relation_name in self.relations:
+            schema = database.relation(relation_name).schema
+            used: List[str] = []
+            for join in query.joins:
+                for left_attr, right_attr in join.on:
+                    if join.relation == relation_name and right_attr not in used:
+                        used.append(right_attr)
+                    elif (
+                        join.relation != relation_name
+                        and schema.has_attribute(left_attr)
+                        and self._find_owner(left_attr) == relation_name
+                        and left_attr not in used
+                    ):
+                        used.append(left_attr)
+            self.join_attributes[relation_name] = tuple(used)
+
+    # ------------------------------------------------------------------
+    def _find_owner(self, attribute: str) -> str:
+        for relation_name in self.relations:
+            schema = self.database.relation(relation_name).schema
+            if schema.has_attribute(attribute):
+                return relation_name
+        raise ValueError(f"attribute {attribute!r} belongs to no operand relation")
+
+    def surviving_name(self, attribute: str) -> str:
+        """The name under which ``attribute`` appears in the joined output."""
+        seen = set()
+        current = attribute
+        while current in self._replacement and current not in seen:
+            seen.add(current)
+            replacement = self._replacement[current]
+            if replacement == current:
+                break
+            current = replacement
+        return current
+
+    def fragment_identifier(self, record: Mapping[str, Any]) -> Optional[FragmentId]:
+        """The fragment identifier of a joined record (None if any component is NULL)."""
+        identifier = tuple(
+            record.get(self.surviving_name(attribute)) for attribute in self.selection_attributes
+        )
+        if any(component is None for component in identifier):
+            return None
+        return identifier
+
+    def all_projected_attributes(self) -> Tuple[str, ...]:
+        """Every projected attribute of the joined output, in operand order."""
+        attributes: List[str] = []
+        for relation_name in self.relations:
+            attributes.extend(self.projected[relation_name])
+        return tuple(attributes)
+
+    def compact_key_attributes(self, relation_name: str) -> Tuple[str, ...]:
+        """Selection + join attributes of one relation (the integrated compact view)."""
+        selection = [
+            attribute
+            for attribute in self.selection_attributes
+            if self.selection_owner[attribute] == relation_name
+        ]
+        joins = [
+            attribute
+            for attribute in self.join_attributes[relation_name]
+            if attribute not in selection
+        ]
+        return tuple(selection + joins)
+
+    def theta_field(self, relation_name: str) -> str:
+        """Name of the record-count (θ) field contributed by ``relation_name``.
+
+        Kept deliberately short (``#t0``, ``#t1`` ...) because these fields
+        travel in every row of the integrated algorithm's parameter relation.
+        """
+        return f"#t{self.relations.index(relation_name)}"
+
+
+# ----------------------------------------------------------------------
+# crawl result
+# ----------------------------------------------------------------------
+@dataclass
+class CrawlResult:
+    """The product of one crawling + indexing run."""
+
+    algorithm: str
+    query_name: str
+    index: InvertedFragmentIndex
+    metrics: WorkflowMetrics
+    export_bytes: int = 0
+
+    @property
+    def fragment_count(self) -> int:
+        return self.index.fragment_count
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Simulated seconds per reporting stage (Figure 10 bars)."""
+        return self.metrics.stage_simulated_seconds()
+
+    def simulated_seconds(self) -> float:
+        return self.metrics.simulated_seconds
+
+
+# ----------------------------------------------------------------------
+# helpers shared by both crawlers
+# ----------------------------------------------------------------------
+def _row_term_frequencies(record: Mapping[str, Any], attributes: Sequence[str]) -> Dict[str, int]:
+    keywords: List[str] = []
+    for attribute in attributes:
+        value = record.get(attribute)
+        if value is None:
+            continue
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        keywords.extend(tokenize(str(value)))
+    return count_keywords(keywords)
+
+
+def _merge_posting_lists(values: List[List[Tuple[FragmentId, int]]]) -> Dict[FragmentId, int]:
+    merged: Dict[FragmentId, int] = {}
+    for postings in values:
+        for identifier, occurrences in postings:
+            identifier = tuple(identifier)
+            merged[identifier] = merged.get(identifier, 0) + occurrences
+    return merged
+
+
+def _consolidate_mapper(identifier: FragmentId, counts: Dict[str, int]) -> Iterator[KeyValue]:
+    """Turn one extract-output record (fragment → term frequencies) into
+    keyword-keyed postings for the consolidation reduce."""
+    identifier = tuple(identifier)
+    for keyword, occurrences in counts.items():
+        yield keyword, [(identifier, occurrences)]
+
+
+def _consolidate_combiner(keyword: str, values: List[List[Tuple[FragmentId, int]]]) -> Iterator[KeyValue]:
+    merged = _merge_posting_lists(values)
+    yield keyword, list(merged.items())
+
+
+def _consolidate_reducer(keyword: str, values: List[List[Tuple[FragmentId, int]]]) -> Iterator[KeyValue]:
+    merged = _merge_posting_lists(values)
+    ranked = sorted(merged.items(), key=lambda item: (-item[1], str(item[0])))
+    yield keyword, ranked
+
+
+def _load_index(runtime: MapReduceRuntime, path: str) -> InvertedFragmentIndex:
+    posting_lists: Dict[str, List[Tuple[FragmentId, int]]] = {}
+    for keyword, postings in runtime.filesystem.read_all(path):
+        posting_lists[keyword] = [(tuple(identifier), occurrences) for identifier, occurrences in postings]
+    return InvertedFragmentIndex.from_posting_lists(posting_lists)
+
+
+def _forward_mapper(key: Any, value: Any) -> Iterator[KeyValue]:
+    yield key, value
+
+
+class _CrawlerBase:
+    """Common machinery: exporting relations and running workflows."""
+
+    algorithm = "base"
+
+    def __init__(
+        self,
+        query: ParameterizedPSJQuery,
+        database: Database,
+        runtime: Optional[MapReduceRuntime] = None,
+        num_reduce_tasks: int = 4,
+    ) -> None:
+        self.query = query
+        self.database = database
+        self.runtime = runtime or MapReduceRuntime()
+        self.num_reduce_tasks = num_reduce_tasks
+        self.layout = QueryLayout(query, database)
+
+    # ------------------------------------------------------------------
+    def export_relations(self, prefix: str) -> Tuple[Dict[str, str], int]:
+        """Export every operand relation into the cluster's file system."""
+        paths: Dict[str, str] = {}
+        exported_bytes = 0
+        for relation_name in self.layout.relations:
+            path = f"{prefix}/input/{relation_name}"
+            hdfs_file = self.runtime.filesystem.write_relation(
+                path, self.database.relation(relation_name), overwrite=True
+            )
+            paths[relation_name] = path
+            exported_bytes += hdfs_file.size_bytes
+        return paths, exported_bytes
+
+    def crawl(self) -> CrawlResult:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# the stepwise algorithm (Section V-A)
+# ----------------------------------------------------------------------
+class StepwiseCrawler(_CrawlerBase):
+    """Database crawling and fragment indexing as two separate steps."""
+
+    algorithm = "stepwise"
+
+    def crawl(self) -> CrawlResult:
+        prefix = f"stepwise/{self.query.name}"
+        paths, export_bytes = self.export_relations(prefix)
+        workflow = Workflow(f"stepwise-{self.query.name}", self.runtime)
+
+        joined_path = self._add_join_steps(workflow, paths, prefix)
+        grouped_path = f"{prefix}/grouped"
+        workflow.add_step(
+            self._group_job(), inputs=[joined_path], output=grouped_path, stage="group"
+        )
+        index_path = f"{prefix}/index"
+        workflow.add_step(
+            self._index_job(), inputs=[grouped_path], output=index_path, stage="index"
+        )
+
+        metrics = workflow.run()
+        index = _load_index(self.runtime, index_path)
+        return CrawlResult(
+            algorithm=self.algorithm,
+            query_name=self.query.name,
+            index=index,
+            metrics=metrics,
+            export_bytes=export_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def _add_join_steps(self, workflow: Workflow, paths: Dict[str, str], prefix: str) -> str:
+        """Chain one repartition-join job per JOIN clause; return the joined file path."""
+        accumulated_path = paths[self.query.base_relation]
+        for step_number, join in enumerate(self.query.joins):
+            left_keys = [self.layout.surviving_name(left) for left, _right in join.on]
+            right_keys = [right for _left, right in join.on]
+            joined = f"{prefix}/join{step_number}"
+            workflow.add_step(
+                MapReduceJob(
+                    name=f"{self.query.name}-sw-join{step_number}",
+                    mapper=_forward_mapper,
+                    reducer=join_reducer(
+                        "left", join.relation, kind=join.kind, drop_right_attributes=right_keys
+                    ),
+                    num_reduce_tasks=self.num_reduce_tasks,
+                ),
+                inputs=[
+                    (accumulated_path, tag_mapper("left", left_keys)),
+                    (paths[join.relation], tag_mapper(join.relation, right_keys)),
+                ],
+                output=joined,
+                stage="join",
+            )
+            accumulated_path = joined
+        return accumulated_path
+
+    def _group_job(self) -> MapReduceJob:
+        layout = self.layout
+        projected = layout.all_projected_attributes()
+
+        def mapper(_key: Any, record: RecordDict) -> Iterator[KeyValue]:
+            identifier = layout.fragment_identifier(record)
+            if identifier is None:
+                return
+            yield identifier, {attribute: record.get(attribute) for attribute in projected}
+
+        def reducer(identifier: FragmentId, rows: List[RecordDict]) -> Iterator[KeyValue]:
+            yield identifier, {"rows": rows}
+
+        return MapReduceJob(
+            name=f"{self.query.name}-sw-group",
+            mapper=mapper,
+            reducer=reducer,
+            num_reduce_tasks=self.num_reduce_tasks,
+        )
+
+    def _index_job(self) -> MapReduceJob:
+        projected = self.layout.all_projected_attributes()
+
+        def mapper(identifier: FragmentId, value: RecordDict) -> Iterator[KeyValue]:
+            frequencies: Dict[str, int] = {}
+            for row in value["rows"]:
+                for keyword, occurrences in _row_term_frequencies(row, projected).items():
+                    frequencies[keyword] = frequencies.get(keyword, 0) + occurrences
+            for keyword, occurrences in frequencies.items():
+                yield keyword, [(tuple(identifier), occurrences)]
+
+        return MapReduceJob(
+            name=f"{self.query.name}-sw-index",
+            mapper=mapper,
+            reducer=_consolidate_reducer,
+            combiner=_consolidate_combiner,
+            num_reduce_tasks=self.num_reduce_tasks,
+        )
+
+
+# ----------------------------------------------------------------------
+# the integrated algorithm (Section V-B)
+# ----------------------------------------------------------------------
+class IntegratedCrawler(_CrawlerBase):
+    """Integrated database crawling and fragment indexing."""
+
+    algorithm = "integrated"
+
+    def crawl(self) -> CrawlResult:
+        prefix = f"integrated/{self.query.name}"
+        paths, export_bytes = self.export_relations(prefix)
+        workflow = Workflow(f"integrated-{self.query.name}", self.runtime)
+
+        params_path = self._add_parameter_join_steps(workflow, paths, prefix)
+        extract_paths = self._add_extract_steps(workflow, paths, params_path, prefix)
+
+        index_path = f"{prefix}/index"
+        workflow.add_step(
+            MapReduceJob(
+                name=f"{self.query.name}-int-consolidate",
+                mapper=_consolidate_mapper,
+                reducer=_consolidate_reducer,
+                combiner=_consolidate_combiner,
+                num_reduce_tasks=self.num_reduce_tasks,
+            ),
+            inputs=list(extract_paths),
+            output=index_path,
+            stage="consolidate",
+        )
+
+        metrics = workflow.run()
+        index = _load_index(self.runtime, index_path)
+        return CrawlResult(
+            algorithm=self.algorithm,
+            query_name=self.query.name,
+            index=index,
+            metrics=metrics,
+            export_bytes=export_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # step (1): query-parameter derivation (compact joins with in-join θ aggregation)
+    # ------------------------------------------------------------------
+    def _compact_mapper(self, relation_name: str, key_attributes: Sequence[str]):
+        """Project a raw relation record to its compact (selection+join) view."""
+        compact_attributes = self.layout.compact_key_attributes(relation_name)
+        key_attributes = tuple(key_attributes)
+
+        def mapper(_key: Any, record: RecordDict) -> Iterator[KeyValue]:
+            compact = {attribute: record.get(attribute) for attribute in compact_attributes}
+            join_key = tuple(compact.get(attribute) for attribute in key_attributes)
+            if any(component is None for component in join_key):
+                return
+            yield join_key, (relation_name, compact)
+
+        return mapper
+
+    def _params_mapper(self, key_attributes: Sequence[str]):
+        """Re-key an already-derived params record by the next join key."""
+        key_attributes = tuple(key_attributes)
+
+        def mapper(_key: Any, record: RecordDict) -> Iterator[KeyValue]:
+            join_key = tuple(record.get(attribute) for attribute in key_attributes)
+            yield join_key, ("params", record)
+
+        return mapper
+
+    def _params_join_reducer(
+        self,
+        right_relation: str,
+        right_keys: Sequence[str],
+        kind: str,
+        left_is_raw: bool,
+        left_relation: str,
+    ):
+        """Join compact views, aggregating duplicate compacts into θ counts."""
+        layout = self.layout
+        dropped = set(right_keys)
+        left_theta_field = layout.theta_field(left_relation)
+        right_theta_field = layout.theta_field(right_relation)
+
+        def aggregate(rows: List[RecordDict], theta_field: Optional[str]) -> List[RecordDict]:
+            if theta_field is None:
+                return rows
+            counted: Dict[Tuple, Tuple[RecordDict, int]] = {}
+            for row in rows:
+                signature = tuple(sorted(row.items(), key=lambda item: item[0]))
+                if signature in counted:
+                    counted[signature] = (counted[signature][0], counted[signature][1] + 1)
+                else:
+                    counted[signature] = (row, 1)
+            aggregated = []
+            for row, theta in counted.values():
+                merged = dict(row)
+                merged[theta_field] = theta
+                aggregated.append(merged)
+            return aggregated
+
+        def reducer(key: Any, values: List[Tuple[str, RecordDict]]) -> Iterator[KeyValue]:
+            left_rows = [record for tag, record in values if tag != right_relation]
+            right_rows = [record for tag, record in values if tag == right_relation]
+            left_rows = aggregate(left_rows, left_theta_field if left_is_raw else None)
+            right_rows = aggregate(right_rows, right_theta_field)
+            if right_rows:
+                for left_record in left_rows:
+                    for right_record in right_rows:
+                        merged = dict(left_record)
+                        for attribute, value in right_record.items():
+                            if attribute in dropped:
+                                continue
+                            merged[attribute] = value
+                        yield key, merged
+            elif kind == "left":
+                for left_record in left_rows:
+                    yield key, dict(left_record)
+
+        return reducer
+
+    def _add_parameter_join_steps(
+        self, workflow: Workflow, paths: Dict[str, str], prefix: str
+    ) -> str:
+        """Join the compact relation views along the query's join chain."""
+        accumulated_path = paths[self.query.base_relation]
+        accumulated_is_raw = True
+        for step_number, join in enumerate(self.query.joins):
+            left_keys = [self.layout.surviving_name(left) for left, _right in join.on]
+            right_keys = [right for _left, right in join.on]
+            joined = f"{prefix}/params{step_number}"
+
+            if accumulated_is_raw:
+                left_mapper = self._compact_mapper(self.query.base_relation, left_keys)
+            else:
+                left_mapper = self._params_mapper(left_keys)
+            right_mapper = self._compact_mapper(join.relation, right_keys)
+
+            workflow.add_step(
+                MapReduceJob(
+                    name=f"{self.query.name}-int-params{step_number}",
+                    mapper=_forward_mapper,
+                    reducer=self._params_join_reducer(
+                        right_relation=join.relation,
+                        right_keys=right_keys,
+                        kind=join.kind,
+                        left_is_raw=accumulated_is_raw,
+                        left_relation=self.query.base_relation,
+                    ),
+                    num_reduce_tasks=self.num_reduce_tasks,
+                ),
+                inputs=[
+                    (accumulated_path, left_mapper),
+                    (paths[join.relation], right_mapper),
+                ],
+                output=joined,
+                stage="join",
+            )
+            accumulated_path = joined
+            accumulated_is_raw = False
+        return accumulated_path
+
+    # ------------------------------------------------------------------
+    # step (2): keyword extraction with join-multiplicity estimation
+    # ------------------------------------------------------------------
+    def _add_extract_steps(
+        self,
+        workflow: Workflow,
+        paths: Dict[str, str],
+        params_path: str,
+        prefix: str,
+    ) -> List[str]:
+        extract_paths: List[str] = []
+        theta_fields = [self.layout.theta_field(name) for name in self.layout.relations]
+        for relation_name in self.layout.relations:
+            projected = self.layout.projected[relation_name]
+            if not projected:
+                # The relation contributes no projected content (it only
+                # provides selection/join attributes); nothing to extract.
+                continue
+            key_attributes = self.layout.compact_key_attributes(relation_name)
+            params_key_attributes = tuple(
+                self.layout.surviving_name(attribute) for attribute in key_attributes
+            )
+            theta_field = self.layout.theta_field(relation_name)
+            extracted = f"{prefix}/extract-{relation_name}"
+
+            workflow.add_step(
+                MapReduceJob(
+                    name=f"{self.query.name}-int-extract-{relation_name}",
+                    mapper=_forward_mapper,
+                    reducer=self._extract_reducer(projected, theta_field, theta_fields),
+                    num_reduce_tasks=self.num_reduce_tasks,
+                ),
+                inputs=[
+                    (params_path, tag_mapper("params", params_key_attributes)),
+                    (paths[relation_name], tag_mapper("records", key_attributes)),
+                ],
+                output=extracted,
+                stage="extract",
+            )
+            extract_paths.append(extracted)
+        return extract_paths
+
+    def _extract_reducer(
+        self,
+        projected_attributes: Sequence[str],
+        own_theta_field: str,
+        theta_fields: Sequence[str],
+    ):
+        layout = self.layout
+
+        def reducer(_key: Any, values: List[Tuple[str, RecordDict]]) -> Iterator[KeyValue]:
+            params_rows = [record for tag, record in values if tag == "params"]
+            record_rows = [record for tag, record in values if tag == "records"]
+            if not params_rows or not record_rows:
+                return
+            # Pre-compute each record's keyword counts once per reduce group.
+            record_frequencies = [
+                _row_term_frequencies(record, projected_attributes) for record in record_rows
+            ]
+            # Accumulate keyword counts per fragment across the whole reduce
+            # group before emitting: the same fragment identifier typically
+            # appears in many parameter rows of the group (e.g. one customer's
+            # orders sharing a quantity).  Emitting one term-frequency map per
+            # fragment keeps the materialised extract output proportional to
+            # distinct (fragment, keyword) pairs rather than to join
+            # multiplicity, and avoids repeating the fragment identifier next
+            # to every keyword.
+            merged: Dict[FragmentId, Dict[str, int]] = {}
+            for params in params_rows:
+                identifier = layout.fragment_identifier(params)
+                if identifier is None:
+                    continue
+                multiplicity = 1
+                for theta_field in theta_fields:
+                    theta = params.get(theta_field)
+                    if theta:
+                        multiplicity *= theta
+                own_theta = params.get(own_theta_field) or 1
+                multiplicity = multiplicity // own_theta if own_theta else multiplicity
+                if multiplicity <= 0:
+                    continue
+                counts = merged.setdefault(identifier, {})
+                for frequencies in record_frequencies:
+                    for keyword, occurrences in frequencies.items():
+                        counts[keyword] = counts.get(keyword, 0) + occurrences * multiplicity
+            for identifier, counts in merged.items():
+                yield identifier, counts
+
+        return reducer

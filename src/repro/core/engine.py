@@ -1,0 +1,170 @@
+"""The Dash engine facade (Figure 4).
+
+Wires the whole pipeline together for one web application over one database:
+
+1. **Web application analysis** — recover the parameterized PSJ query and the
+   reverse query-string parsing logic from the application source (skipped
+   when the caller already has a fully-specified :class:`WebApplication`).
+2. **Database crawling + fragment indexing** — run the stepwise or the
+   integrated MapReduce workflow to build the inverted fragment index.
+3. **Fragment graph construction** — build the combinability graph.
+4. **Top-k search** — answer keyword queries with db-page URLs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.analyzer import AnalyzedApplication, ApplicationAnalyzer
+from repro.core.crawler import CrawlResult, IntegratedCrawler, StepwiseCrawler
+from repro.core.fragment_graph import FragmentGraph, GraphBuildReport
+from repro.core.fragment_index import InvertedFragmentIndex
+from repro.core.search import SearchResult, TopKSearcher
+from repro.core.urls import UrlFormulator
+from repro.db.database import Database
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.webapp.application import WebApplication
+
+
+class DashEngineError(Exception):
+    """Raised for invalid engine configuration."""
+
+
+_CRAWLERS = {
+    "stepwise": StepwiseCrawler,
+    "integrated": IntegratedCrawler,
+}
+
+
+@dataclass
+class DashBuildReport:
+    """Everything measured while building an engine (used by benchmarks)."""
+
+    crawl: CrawlResult
+    graph: GraphBuildReport
+    analyzed: Optional[AnalyzedApplication] = None
+
+
+class DashEngine:
+    """A built, searchable Dash instance for one web application."""
+
+    def __init__(
+        self,
+        application: WebApplication,
+        database: Database,
+        index: InvertedFragmentIndex,
+        graph: FragmentGraph,
+        build_report: DashBuildReport,
+    ) -> None:
+        self.application = application
+        self.database = database
+        self.index = index
+        self.graph = graph
+        self.build_report = build_report
+        self._searcher = TopKSearcher(
+            index=index,
+            graph=graph,
+            url_formulator=UrlFormulator(
+                query=application.query,
+                query_string_spec=application.query_string_spec,
+                application_uri=application.uri,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        application: WebApplication,
+        database: Database,
+        algorithm: str = "integrated",
+        runtime: Optional[MapReduceRuntime] = None,
+        analyze_source: bool = True,
+        presorted_graph: bool = True,
+        num_reduce_tasks: int = 4,
+    ) -> "DashEngine":
+        """Analyse, crawl, index and wire up a searchable engine.
+
+        ``algorithm`` selects the crawling workflow (``"integrated"`` — the
+        paper's recommendation — or ``"stepwise"``).  When ``analyze_source``
+        is true and the application carries servlet source, the application's
+        query and query-string mapping are recovered from the source through
+        :class:`~repro.analysis.analyzer.ApplicationAnalyzer` (the path Dash
+        itself takes); otherwise the application's declared query is trusted.
+        """
+        if algorithm not in _CRAWLERS:
+            raise DashEngineError(
+                f"unknown crawling algorithm {algorithm!r}; expected one of {sorted(_CRAWLERS)}"
+            )
+
+        analyzed: Optional[AnalyzedApplication] = None
+        effective_application = application
+        if analyze_source and application.source:
+            analyzer = ApplicationAnalyzer(database)
+            analyzed = analyzer.analyze(application.source, name=application.name)
+            effective_application = WebApplication(
+                name=application.name,
+                uri=application.uri,
+                query=analyzed.query,
+                query_string_spec=analyzed.query_string_spec,
+                source=application.source,
+            )
+
+        crawler_cls = _CRAWLERS[algorithm]
+        crawler = crawler_cls(
+            query=effective_application.query,
+            database=database,
+            runtime=runtime,
+            num_reduce_tasks=num_reduce_tasks,
+        )
+        crawl_result = crawler.crawl()
+
+        graph, graph_report = FragmentGraph.build_with_report(
+            effective_application.query,
+            crawl_result.index.fragment_sizes,
+            presorted=presorted_graph,
+        )
+        report = DashBuildReport(crawl=crawl_result, graph=graph_report, analyzed=analyzed)
+        return cls(
+            application=effective_application,
+            database=database,
+            index=crawl_result.index,
+            graph=graph,
+            build_report=report,
+        )
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        keywords: Iterable[str],
+        k: int = 10,
+        size_threshold: int = 100,
+    ) -> List[SearchResult]:
+        """Top-``k`` db-page URLs for ``keywords`` (Algorithm 1)."""
+        return self._searcher.search(keywords, k=k, size_threshold=size_threshold)
+
+    @property
+    def searcher(self) -> TopKSearcher:
+        return self._searcher
+
+    # ------------------------------------------------------------------
+    # inspection helpers
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, Any]:
+        """A summary of the built engine (fragment counts, build costs)."""
+        return {
+            "application": self.application.name,
+            "algorithm": self.build_report.crawl.algorithm,
+            "fragments": self.index.fragment_count,
+            "vocabulary": len(self.index),
+            "average_keywords_per_fragment": self.index.average_keywords_per_fragment(),
+            "graph_edges": self.graph.edge_count,
+            "graph_build_seconds": self.build_report.graph.build_seconds,
+            "crawl_simulated_seconds": self.build_report.crawl.simulated_seconds(),
+            "crawl_stage_seconds": self.build_report.crawl.stage_seconds(),
+        }

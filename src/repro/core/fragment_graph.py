@@ -1,0 +1,288 @@
+"""The fragment graph (Section VI-A, Figure 9).
+
+Nodes are db-page fragments (annotated with their total keyword count); an
+edge connects fragments ``f`` and ``f'`` when they can be combined into a
+db-page — i.e. there is a query-string binding whose page contains both — and
+that combined page contains *no other* fragment.
+
+For the PSJ queries the paper considers (one or more equality parameters plus
+one BETWEEN range parameter), that means:
+
+* two fragments must agree on every equality-constrained attribute value, and
+* they must be *adjacent* in the ordering of their range-attribute value
+  within that equality group (if a third fragment's range value lay strictly
+  between theirs, the combining page would contain it too).
+
+Fragments with different equality values are never connected — e.g. the
+``(Thai, 10)`` node is disconnected from the ``American`` chain in Figure 9.
+
+The class supports both the paper's incremental insertion (add one fragment at
+a time, splitting an existing edge when the new fragment falls between its two
+endpoints) and the pre-sorted bulk construction the paper recommends as an
+optimisation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.fragments import FragmentId
+from repro.db.query import BetweenCondition, ParameterizedPSJQuery
+from repro.db.types import compare_values
+
+
+class FragmentGraphError(Exception):
+    """Raised for inconsistent graph operations."""
+
+
+@dataclass
+class GraphBuildReport:
+    """Statistics of one graph construction (Table IV)."""
+
+    build_seconds: float
+    fragment_count: int
+    edge_count: int
+    average_keywords: float
+    comparisons: int
+
+
+class FragmentGraph:
+    """Fragment adjacency plus per-fragment keyword counts."""
+
+    def __init__(self, query: ParameterizedPSJQuery) -> None:
+        self.query = query
+        self._equality_positions, self._range_positions = _condition_positions(query)
+        self._keyword_counts: Dict[FragmentId, int] = {}
+        self._adjacency: Dict[FragmentId, Set[FragmentId]] = {}
+        self.comparisons = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        query: ParameterizedPSJQuery,
+        fragment_sizes: Mapping[FragmentId, int],
+        presorted: bool = True,
+    ) -> "FragmentGraph":
+        """Build the graph for all fragments in ``fragment_sizes``.
+
+        ``presorted=True`` applies the paper's optimisation: fragments are
+        sorted by their query-parameter values before insertion, so each one
+        simply extends the end of its equality group's chain — a single
+        comparison per fragment instead of a scan over all existing nodes.
+        """
+        graph = cls(query)
+        if not presorted:
+            for identifier in fragment_sizes:
+                graph.add_fragment(identifier, fragment_sizes[identifier])
+            return graph
+
+        def group_then_range(identifier: FragmentId):
+            return (
+                tuple(_orderable(component) for component in graph._equality_key(identifier)),
+                tuple(_orderable(component) for component in graph._range_key(identifier)),
+            )
+
+        identifiers = sorted((tuple(identifier) for identifier in fragment_sizes), key=group_then_range)
+        previous: Optional[FragmentId] = None
+        for identifier in identifiers:
+            if identifier in graph._keyword_counts:
+                raise FragmentGraphError(f"fragment {identifier!r} already in the graph")
+            graph._keyword_counts[identifier] = fragment_sizes[identifier]
+            graph._adjacency[identifier] = set()
+            if (
+                graph._range_positions
+                and previous is not None
+                and graph._equality_key(previous) == graph._equality_key(identifier)
+            ):
+                graph._add_edge(previous, identifier)
+            graph.comparisons += 1
+            previous = identifier
+        return graph
+
+    @classmethod
+    def build_with_report(
+        cls,
+        query: ParameterizedPSJQuery,
+        fragment_sizes: Mapping[FragmentId, int],
+        presorted: bool = True,
+    ) -> Tuple["FragmentGraph", GraphBuildReport]:
+        """Build the graph and report construction statistics (Table IV)."""
+        started = time.perf_counter()
+        graph = cls.build(query, fragment_sizes, presorted=presorted)
+        elapsed = time.perf_counter() - started
+        sizes = list(fragment_sizes.values())
+        average = sum(sizes) / len(sizes) if sizes else 0.0
+        report = GraphBuildReport(
+            build_seconds=elapsed,
+            fragment_count=len(fragment_sizes),
+            edge_count=graph.edge_count,
+            average_keywords=average,
+            comparisons=graph.comparisons,
+        )
+        return graph, report
+
+    def add_fragment(self, identifier: FragmentId, keyword_count: int) -> None:
+        """Incrementally insert one fragment (the paper's per-turn insertion).
+
+        The new node is linked to its neighbours within its equality group;
+        if it falls strictly between two currently-connected fragments, their
+        edge is removed and replaced by two edges through the new node.
+        """
+        identifier = tuple(identifier)
+        if identifier in self._keyword_counts:
+            raise FragmentGraphError(f"fragment {identifier!r} already in the graph")
+        self._keyword_counts[identifier] = keyword_count
+        self._adjacency[identifier] = set()
+
+        if not self._range_positions:
+            # No range parameter: every fragment is its own maximal db-page.
+            return
+
+        group = self._equality_key(identifier)
+        below: Optional[FragmentId] = None
+        above: Optional[FragmentId] = None
+        for other in self._keyword_counts:
+            if other == identifier:
+                continue
+            self.comparisons += 1
+            if self._equality_key(other) != group:
+                continue
+            comparison = self._compare_range(other, identifier)
+            if comparison < 0:
+                if below is None or self._compare_range(other, below) > 0:
+                    below = other
+            elif comparison > 0:
+                if above is None or self._compare_range(other, above) < 0:
+                    above = other
+            else:
+                raise FragmentGraphError(
+                    f"two fragments share the identifier components {identifier!r}"
+                )
+        if below is not None and above is not None and above in self._adjacency[below]:
+            self._remove_edge(below, above)
+        if below is not None:
+            self._add_edge(below, identifier)
+        if above is not None:
+            self._add_edge(identifier, above)
+
+    def _add_edge(self, left: FragmentId, right: FragmentId) -> None:
+        self._adjacency[left].add(right)
+        self._adjacency[right].add(left)
+
+    def _remove_edge(self, left: FragmentId, right: FragmentId) -> None:
+        self._adjacency[left].discard(right)
+        self._adjacency[right].discard(left)
+
+    # ------------------------------------------------------------------
+    # ordering helpers
+    # ------------------------------------------------------------------
+    def _equality_key(self, identifier: FragmentId) -> Tuple:
+        return tuple(identifier[position] for position in self._equality_positions)
+
+    def _range_key(self, identifier: FragmentId) -> Tuple:
+        return tuple(identifier[position] for position in self._range_positions)
+
+    def _compare_range(self, left: FragmentId, right: FragmentId) -> int:
+        for position in self._range_positions:
+            comparison = compare_values(left[position], right[position])
+            if comparison != 0:
+                return comparison
+        return 0
+
+    def _sort_key(self, identifier: FragmentId):
+        return tuple(_orderable(component) for component in identifier)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_fragment(self, identifier: FragmentId) -> bool:
+        return tuple(identifier) in self._keyword_counts
+
+    def keyword_count(self, identifier: FragmentId) -> int:
+        try:
+            return self._keyword_counts[tuple(identifier)]
+        except KeyError:
+            raise FragmentGraphError(f"unknown fragment {identifier!r}") from None
+
+    def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
+        """Fragments directly combinable with ``identifier``."""
+        identifier = tuple(identifier)
+        if identifier not in self._adjacency:
+            raise FragmentGraphError(f"unknown fragment {identifier!r}")
+        return tuple(sorted(self._adjacency[identifier], key=self._sort_key))
+
+    def are_connected(self, left: FragmentId, right: FragmentId) -> bool:
+        return tuple(right) in self._adjacency.get(tuple(left), set())
+
+    def fragment_ids(self) -> Tuple[FragmentId, ...]:
+        return tuple(self._keyword_counts)
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self._keyword_counts)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+    def connected_component(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
+        """All fragments reachable from ``identifier`` (one application chain)."""
+        identifier = tuple(identifier)
+        if identifier not in self._adjacency:
+            raise FragmentGraphError(f"unknown fragment {identifier!r}")
+        seen: Set[FragmentId] = {identifier}
+        frontier: List[FragmentId] = [identifier]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return tuple(sorted(seen, key=self._sort_key))
+
+    def remove_fragment(self, identifier: FragmentId) -> None:
+        """Remove a fragment, reconnecting its neighbours (incremental deletes)."""
+        identifier = tuple(identifier)
+        if identifier not in self._keyword_counts:
+            return
+        neighbors = sorted(self._adjacency[identifier], key=self._sort_key)
+        for neighbor in neighbors:
+            self._adjacency[neighbor].discard(identifier)
+        # Reconnect the two range-order neighbours so the chain stays intact.
+        if len(neighbors) == 2:
+            self._add_edge(neighbors[0], neighbors[1])
+        del self._adjacency[identifier]
+        del self._keyword_counts[identifier]
+
+    def update_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
+        """Change a node's keyword count (incremental maintenance)."""
+        identifier = tuple(identifier)
+        if identifier not in self._keyword_counts:
+            raise FragmentGraphError(f"unknown fragment {identifier!r}")
+        self._keyword_counts[identifier] = keyword_count
+
+
+def _condition_positions(query: ParameterizedPSJQuery) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    equality: List[int] = []
+    ranges: List[int] = []
+    for position, condition in enumerate(query.conditions):
+        if isinstance(condition, BetweenCondition):
+            ranges.append(position)
+        else:
+            equality.append(position)
+    return tuple(equality), tuple(ranges)
+
+
+def _orderable(component) -> Tuple[int, object]:
+    if component is None:
+        return (0, "")
+    if isinstance(component, bool):
+        return (1, float(component))
+    if isinstance(component, (int, float)):
+        return (1, float(component))
+    return (2, str(component))

@@ -1,0 +1,188 @@
+"""The inverted fragment index (Section V, Figure 6).
+
+Structurally identical to a conventional inverted file, but the indexed
+"documents" are db-page fragment identifiers: for every keyword ``w`` the
+index keeps the list of ``(fragment identifier, occurrences)`` pairs sorted by
+descending occurrence count.  The index additionally records every fragment's
+total keyword count (its *size*), which the fragment graph displays on its
+nodes and the top-k search uses against the size threshold ``s``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.fragments import Fragment, FragmentId
+from repro.text.inverted_index import Posting
+
+
+class InvertedFragmentIndex:
+    """Keyword → sorted list of (fragment identifier, occurrence count)."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[Posting]] = {}
+        self._fragment_sizes: Dict[FragmentId, int] = {}
+        self._sorted = True
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fragments(cls, fragments: Mapping[FragmentId, Fragment]) -> "InvertedFragmentIndex":
+        """Build the index from fully-derived fragments (reference path)."""
+        index = cls()
+        for identifier, fragment in fragments.items():
+            index.add_fragment(identifier, fragment.term_frequencies)
+        index.finalize()
+        return index
+
+    @classmethod
+    def from_posting_lists(
+        cls,
+        posting_lists: Mapping[str, Sequence[Tuple[FragmentId, int]]],
+    ) -> "InvertedFragmentIndex":
+        """Build the index from consolidated ``keyword -> [(fragment, count)]`` lists.
+
+        This is the format both MapReduce crawling workflows leave behind in
+        their final output file.
+        """
+        index = cls()
+        for keyword, postings in posting_lists.items():
+            for identifier, occurrences in postings:
+                index._add_occurrences(keyword, tuple(identifier), int(occurrences))
+        index.finalize()
+        return index
+
+    def add_fragment(self, identifier: FragmentId, term_frequencies: Mapping[str, int]) -> None:
+        """Index one fragment's keyword counts."""
+        identifier = tuple(identifier)
+        if identifier in self._fragment_sizes:
+            raise ValueError(f"fragment {identifier!r} already indexed")
+        self._fragment_sizes[identifier] = 0
+        for keyword, occurrences in term_frequencies.items():
+            if occurrences > 0:
+                self._add_occurrences(keyword, identifier, occurrences)
+
+    def _add_occurrences(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
+        keyword = keyword.lower()
+        self._postings.setdefault(keyword, []).append(Posting(identifier, occurrences))
+        self._fragment_sizes[identifier] = self._fragment_sizes.get(identifier, 0) + occurrences
+        self._sorted = False
+
+    def remove_fragment(self, identifier: FragmentId) -> None:
+        """Remove every posting of ``identifier`` (no-op when absent)."""
+        identifier = tuple(identifier)
+        if identifier not in self._fragment_sizes:
+            return
+        del self._fragment_sizes[identifier]
+        empty = []
+        for keyword, postings in self._postings.items():
+            kept = [posting for posting in postings if posting.document_id != identifier]
+            if len(kept) != len(postings):
+                self._postings[keyword] = kept
+            if not kept:
+                empty.append(keyword)
+        for keyword in empty:
+            del self._postings[keyword]
+
+    def replace_fragment(self, identifier: FragmentId, term_frequencies: Mapping[str, int]) -> None:
+        """Replace a fragment's postings (incremental maintenance)."""
+        self.remove_fragment(identifier)
+        if term_frequencies:
+            self.add_fragment(identifier, term_frequencies)
+
+    def finalize(self) -> None:
+        """Sort every inverted list by descending occurrence count."""
+        if self._sorted:
+            return
+        for postings in self._postings.values():
+            postings.sort(key=lambda posting: (-posting.term_frequency, str(posting.document_id)))
+        self._sorted = True
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def postings(self, keyword: str) -> Tuple[Posting, ...]:
+        """The inverted list of ``keyword`` (sorted, possibly empty)."""
+        self.finalize()
+        return tuple(self._postings.get(keyword.lower(), ()))
+
+    def fragment_frequency(self, keyword: str) -> int:
+        """Number of fragments containing ``keyword`` (the DF Dash uses for IDF)."""
+        return len(self._postings.get(keyword.lower(), ()))
+
+    def document_frequencies(self) -> Dict[str, int]:
+        """DF of every keyword in the vocabulary."""
+        return {keyword: len(postings) for keyword, postings in self._postings.items()}
+
+    def idf(self, keyword: str) -> float:
+        """Dash's IDF approximation: the inverse of the fragment frequency."""
+        frequency = self.fragment_frequency(keyword)
+        return 1.0 / frequency if frequency else 0.0
+
+    def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
+        """Occurrences of ``keyword`` in fragment ``identifier``."""
+        identifier = tuple(identifier)
+        for posting in self._postings.get(keyword.lower(), ()):
+            if posting.document_id == identifier:
+                return posting.term_frequency
+        return 0
+
+    def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
+        """All keyword counts of one fragment (linear scan; maintenance/tests)."""
+        identifier = tuple(identifier)
+        frequencies: Dict[str, int] = {}
+        for keyword, postings in self._postings.items():
+            for posting in postings:
+                if posting.document_id == identifier:
+                    frequencies[keyword] = posting.term_frequency
+                    break
+        return frequencies
+
+    def fragment_size(self, identifier: FragmentId) -> int:
+        """Total keyword occurrences of ``identifier`` (0 when unknown)."""
+        return self._fragment_sizes.get(tuple(identifier), 0)
+
+    @property
+    def fragment_sizes(self) -> Dict[FragmentId, int]:
+        return dict(self._fragment_sizes)
+
+    def fragment_ids(self) -> Tuple[FragmentId, ...]:
+        return tuple(self._fragment_sizes)
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self._fragment_sizes)
+
+    @property
+    def vocabulary(self) -> Tuple[str, ...]:
+        return tuple(self._postings)
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword.lower() in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def average_keywords_per_fragment(self) -> float:
+        """The Table IV statistic, computed from the index itself."""
+        if not self._fragment_sizes:
+            return 0.0
+        return sum(self._fragment_sizes.values()) / len(self._fragment_sizes)
+
+    def approximate_bytes(self) -> int:
+        """Rough serialized size of the index (ablation benchmarks)."""
+        total = 0
+        for keyword, postings in self._postings.items():
+            total += len(keyword) + 1
+            for posting in postings:
+                total += 8
+                for component in posting.document_id:
+                    total += len(str(component)) + 1
+        return total
+
+    def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
+        """Iterate ``(keyword, postings)`` in keyword order."""
+        self.finalize()
+        for keyword in sorted(self._postings):
+            yield keyword, tuple(self._postings[keyword])

@@ -1,0 +1,82 @@
+"""Relevance scoring of db-page fragments and assembled db-pages (Section VI).
+
+Dash modifies the classic TF/IDF scheme in two ways:
+
+* **IDF approximation** — since db-pages are never materialised, the IDF of a
+  keyword ``w`` is approximated by the inverse of the number of db-page
+  *fragments* containing ``w`` (a keyword common to many fragments is expected
+  to appear in many db-pages).
+* **Relative term frequency** — the TF of ``w`` in a (pending) db-page is the
+  number of occurrences of ``w`` divided by the page's total keyword count, as
+  in the paper's Example 7 (fragment ``(American, 10)`` has TF ``2/8`` for
+  "burger"; after merging with ``(American, 12)`` the page's TF drops to
+  ``3/25``).  Dividing by the page size is what makes expansion with less
+  relevant text lower the score, giving the best-first search its
+  monotonicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.core.fragment_index import InvertedFragmentIndex
+from repro.core.fragments import FragmentId
+
+
+class DashScorer:
+    """Scores fragments and fragment combinations for a set of query keywords."""
+
+    def __init__(self, index: InvertedFragmentIndex, keywords: Iterable[str]) -> None:
+        self.index = index
+        self.keywords: Tuple[str, ...] = tuple(dict.fromkeys(keyword.lower() for keyword in keywords))
+        self._idf: Dict[str, float] = {keyword: index.idf(keyword) for keyword in self.keywords}
+        # Per-keyword occurrence counts of every relevant fragment, gathered
+        # once from the inverted lists so scoring a candidate page is O(|W| * |page|).
+        self._occurrences: Dict[str, Dict[FragmentId, int]] = {}
+        for keyword in self.keywords:
+            self._occurrences[keyword] = {
+                posting.document_id: posting.term_frequency for posting in index.postings(keyword)
+            }
+
+    # ------------------------------------------------------------------
+    def idf(self, keyword: str) -> float:
+        return self._idf.get(keyword.lower(), 0.0)
+
+    def relevant_fragments(self) -> Tuple[FragmentId, ...]:
+        """All fragments containing at least one query keyword (search line 1)."""
+        seen: Dict[FragmentId, None] = {}
+        for keyword in self.keywords:
+            for identifier in self._occurrences[keyword]:
+                seen.setdefault(identifier, None)
+        return tuple(seen)
+
+    def occurrences(self, keyword: str, identifier: FragmentId) -> int:
+        return self._occurrences.get(keyword.lower(), {}).get(tuple(identifier), 0)
+
+    def page_size(self, fragments: Sequence[FragmentId]) -> int:
+        """Total keyword count of a page assembled from ``fragments``."""
+        return sum(self.index.fragment_size(identifier) for identifier in fragments)
+
+    def page_occurrences(self, fragments: Sequence[FragmentId]) -> Dict[str, int]:
+        """Per-query-keyword occurrence counts of the assembled page."""
+        totals: Dict[str, int] = {}
+        for keyword in self.keywords:
+            per_fragment = self._occurrences[keyword]
+            totals[keyword] = sum(per_fragment.get(tuple(identifier), 0) for identifier in fragments)
+        return totals
+
+    def score(self, fragments: Sequence[FragmentId]) -> float:
+        """TF/IDF relevance of the db-page assembled from ``fragments``."""
+        size = self.page_size(fragments)
+        if size <= 0:
+            return 0.0
+        total = 0.0
+        for keyword, occurrences in self.page_occurrences(fragments).items():
+            if occurrences:
+                total += (occurrences / size) * self._idf[keyword]
+        return total
+
+    def fragment_is_relevant(self, identifier: FragmentId) -> bool:
+        """Whether ``identifier`` contains any query keyword."""
+        identifier = tuple(identifier)
+        return any(identifier in self._occurrences[keyword] for keyword in self.keywords)

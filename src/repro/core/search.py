@@ -1,0 +1,188 @@
+"""Top-k db-page search (Algorithm 1 of the paper).
+
+Given queried keywords ``W``, a result count ``k`` and a size threshold ``s``,
+the search assembles db-page fragments into db-pages and returns the URLs of
+the ``k`` most relevant ones:
+
+1. look up the fragments relevant to ``W`` in the inverted fragment index;
+2. seed a priority queue with them, ordered by TF/IDF score;
+3. repeatedly dequeue the best pending db-page; if it cannot be expanded
+   (its size already reaches ``s``, or it has no combinable neighbour left in
+   the fragment graph) it becomes a result, otherwise it is expanded by the
+   most relevant combinable fragment and re-queued;
+4. stop when ``k`` results are collected or the queue empties, and formulate
+   the result URLs by reverse query-string parsing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.fragment_graph import FragmentGraph
+from repro.core.fragment_index import InvertedFragmentIndex
+from repro.core.fragments import FragmentId
+from repro.core.scoring import DashScorer
+from repro.core.urls import UrlFormulator
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One suggested db-page."""
+
+    url: str
+    score: float
+    fragments: Tuple[FragmentId, ...]
+    size: int
+    bindings: Mapping[str, Any]
+
+    def __contains__(self, identifier: FragmentId) -> bool:
+        return tuple(identifier) in self.fragments
+
+
+@dataclass
+class SearchStatistics:
+    """Instrumentation of one search call (used by the Figure 11 bench)."""
+
+    elapsed_seconds: float = 0.0
+    seed_fragments: int = 0
+    expansions: int = 0
+    dequeues: int = 0
+    results: int = 0
+
+
+class TopKSearcher:
+    """Executes Algorithm 1 over a fragment index and a fragment graph."""
+
+    def __init__(
+        self,
+        index: InvertedFragmentIndex,
+        graph: FragmentGraph,
+        url_formulator: UrlFormulator,
+    ) -> None:
+        self.index = index
+        self.graph = graph
+        self.url_formulator = url_formulator
+        self.last_statistics = SearchStatistics()
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        keywords: Iterable[str],
+        k: int = 10,
+        size_threshold: int = 100,
+    ) -> List[SearchResult]:
+        """Return the URLs of the (at most) ``k`` most relevant db-pages.
+
+        ``size_threshold`` is the paper's ``s``: pending db-pages smaller than
+        ``s`` keep being expanded while combinable fragments remain, so results
+        carry at least ``s`` keywords of content whenever that is achievable.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if size_threshold < 1:
+            raise ValueError("the size threshold s must be at least 1")
+        started = time.perf_counter()
+        statistics = SearchStatistics()
+
+        scorer = DashScorer(self.index, keywords)
+        seeds = scorer.relevant_fragments()
+        statistics.seed_fragments = len(seeds)
+
+        # Priority queue of pending db-pages, keyed by descending score.  The
+        # tie-breaking counter keeps heap ordering deterministic.
+        counter = itertools.count()
+        queue: List[Tuple[float, int, Tuple[FragmentId, ...]]] = []
+        for identifier in seeds:
+            entry = (tuple(identifier),)
+            heapq.heappush(queue, (-scorer.score(entry), next(counter), entry))
+
+        consumed: Set[FragmentId] = set()
+        results: List[SearchResult] = []
+        while queue and len(results) < k:
+            negative_score, _tie, fragments = heapq.heappop(queue)
+            statistics.dequeues += 1
+            if len(fragments) == 1 and fragments[0] in consumed:
+                # This seed was absorbed into an expanded db-page already
+                # (the paper removes such entries from the queue).
+                continue
+            expansion = self._expansion_candidate(fragments, scorer, size_threshold)
+            if expansion is None:
+                results.append(self._make_result(fragments, -negative_score, scorer))
+                continue
+            statistics.expansions += 1
+            consumed.add(expansion)
+            expanded = self._ordered(fragments + (expansion,))
+            heapq.heappush(queue, (-scorer.score(expanded), next(counter), expanded))
+
+        statistics.results = len(results)
+        statistics.elapsed_seconds = time.perf_counter() - started
+        self.last_statistics = statistics
+        return results
+
+    # ------------------------------------------------------------------
+    def _expansion_candidate(
+        self,
+        fragments: Tuple[FragmentId, ...],
+        scorer: DashScorer,
+        size_threshold: int,
+    ) -> Optional[FragmentId]:
+        """The fragment to expand with, or ``None`` when not expandable.
+
+        A pending db-page is not expandable when its size already reaches the
+        threshold ``s`` or no combinable fragment remains.  Among the
+        combinable candidates, relevant fragments (those containing query
+        keywords) are favoured, then higher resulting score, then the
+        deterministic identifier order.
+        """
+        if scorer.page_size(fragments) >= size_threshold:
+            return None
+        members = set(fragments)
+        candidates: List[FragmentId] = []
+        for identifier in fragments:
+            for neighbor in self.graph.neighbors(identifier):
+                if neighbor not in members:
+                    candidates.append(neighbor)
+        if not candidates:
+            return None
+        unique_candidates = list(dict.fromkeys(candidates))
+
+        def preference(candidate: FragmentId):
+            relevant = scorer.fragment_is_relevant(candidate)
+            resulting_score = scorer.score(self._ordered(fragments + (candidate,)))
+            return (0 if relevant else 1, -resulting_score, _identifier_order(candidate))
+
+        unique_candidates.sort(key=preference)
+        return unique_candidates[0]
+
+    def _make_result(
+        self,
+        fragments: Tuple[FragmentId, ...],
+        score: float,
+        scorer: DashScorer,
+    ) -> SearchResult:
+        bindings = self.url_formulator.bindings_for_fragments(fragments)
+        url = self.url_formulator.url_for_fragments(fragments)
+        return SearchResult(
+            url=url,
+            score=score,
+            fragments=fragments,
+            size=scorer.page_size(fragments),
+            bindings=bindings,
+        )
+
+    @staticmethod
+    def _ordered(fragments: Tuple[FragmentId, ...]) -> Tuple[FragmentId, ...]:
+        return tuple(sorted(set(fragments), key=_identifier_order))
+
+
+def _identifier_order(identifier: FragmentId):
+    return tuple(
+        (0, "") if component is None
+        else (1, float(component)) if isinstance(component, (int, float)) and not isinstance(component, bool)
+        else (2, str(component))
+        for component in identifier
+    )

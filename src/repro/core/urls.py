@@ -1,0 +1,90 @@
+"""Reverse query-string parsing: from fragments back to URLs (Section III).
+
+Given the db-page fragments a search result is assembled from, Dash must
+produce a query string that makes the web application generate exactly that
+page.  The rule follows from Definition 2:
+
+* an equality-constrained parameter takes the (common) identifier component of
+  the combined fragments, and
+* a BETWEEN-constrained parameter pair takes the minimum / maximum of the
+  corresponding identifier components across the combined fragments —
+  e.g. merging ``(American, 10)`` and ``(American, 12)`` yields
+  ``c=American&l=10&u=12`` (the paper's Example 7).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.fragments import FragmentId
+from repro.db.query import BetweenCondition, Comparison, ParameterizedPSJQuery
+from repro.webapp.request import QueryString, QueryStringSpec
+
+
+class UrlFormulationError(Exception):
+    """Raised when a fragment combination cannot be expressed as one query string."""
+
+
+class UrlFormulator:
+    """Formulates query strings and URLs for combinations of fragments."""
+
+    def __init__(
+        self,
+        query: ParameterizedPSJQuery,
+        query_string_spec: QueryStringSpec,
+        application_uri: str,
+    ) -> None:
+        self.query = query
+        self.query_string_spec = query_string_spec
+        self.application_uri = application_uri
+
+    # ------------------------------------------------------------------
+    def bindings_for_fragments(self, fragments: Sequence[FragmentId]) -> Dict[str, Any]:
+        """Parameter bindings whose db-page consists of exactly ``fragments``."""
+        if not fragments:
+            raise UrlFormulationError("cannot formulate a URL for an empty fragment set")
+        identifiers = [tuple(identifier) for identifier in fragments]
+        width = len(self.query.conditions)
+        for identifier in identifiers:
+            if len(identifier) != width:
+                raise UrlFormulationError(
+                    f"fragment identifier {identifier!r} does not match the query's "
+                    f"{width} selection conditions"
+                )
+        bindings: Dict[str, Any] = {}
+        for position, condition in enumerate(self.query.conditions):
+            components = [identifier[position] for identifier in identifiers]
+            if isinstance(condition, BetweenCondition):
+                low_name, high_name = self._between_parameter_names(condition)
+                bindings[low_name] = min(components)
+                bindings[high_name] = max(components)
+            elif isinstance(condition, Comparison):
+                distinct = set(components)
+                if len(distinct) != 1:
+                    raise UrlFormulationError(
+                        f"fragments disagree on equality attribute {condition.attribute!r}: "
+                        f"{sorted(map(str, distinct))}"
+                    )
+                if condition.is_parameterized:
+                    bindings[condition.operand.name] = components[0]
+            else:  # pragma: no cover - no other condition kinds exist
+                raise UrlFormulationError(f"unsupported condition {condition!r}")
+        return bindings
+
+    def query_string_for_fragments(self, fragments: Sequence[FragmentId]) -> QueryString:
+        """The query string whose db-page consists of exactly ``fragments``."""
+        return self.query_string_spec.format(self.bindings_for_fragments(fragments))
+
+    def url_for_fragments(self, fragments: Sequence[FragmentId]) -> str:
+        """The full db-page URL for ``fragments``."""
+        return f"{self.application_uri}?{self.query_string_for_fragments(fragments)}"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _between_parameter_names(condition: BetweenCondition) -> Tuple[str, str]:
+        names = condition.parameters()
+        if len(names) != 2:
+            raise UrlFormulationError(
+                f"BETWEEN condition on {condition.attribute!r} does not have two parameters"
+            )
+        return names[0], names[1]

@@ -1,0 +1,23 @@
+"""Datasets used by the reproduction.
+
+* :mod:`repro.datasets.fooddb` — the paper's running example database
+  (Figure 2) together with the ``Search`` web application's query.
+* :mod:`repro.datasets.tpch` — a deterministic TPC-H-like generator standing
+  in for the paper's small/medium/large dbgen datasets (Table II).
+* :mod:`repro.datasets.workloads` — keyword-workload selection (hot / warm /
+  cold terms by document frequency, Section VII-B).
+"""
+
+from repro.datasets.fooddb import build_fooddb, fooddb_search_query
+from repro.datasets.tpch import TpchScale, build_tpch, tpch_queries
+from repro.datasets.workloads import KeywordWorkload, select_keyword_workloads
+
+__all__ = [
+    "KeywordWorkload",
+    "TpchScale",
+    "build_fooddb",
+    "build_tpch",
+    "fooddb_search_query",
+    "select_keyword_workloads",
+    "tpch_queries",
+]

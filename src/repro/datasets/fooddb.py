@@ -1,0 +1,145 @@
+"""The paper's running example: the ``fooddb`` database (Figure 2).
+
+Three relations:
+
+* ``restaurant(rid, name, cuisine, budget, rate)``
+* ``comment(cid, rid, uid, comment, date)`` with foreign keys to restaurant
+  and customer
+* ``customer(uid, uname)``
+
+and the ``Search`` web application's query (Figure 3)::
+
+    SELECT name, budget, rate, comment, uname, date
+    FROM (restaurant LEFT JOIN comment) JOIN customer
+    WHERE cuisine = $cuisine AND budget BETWEEN $min AND $max
+
+Every example, most unit tests and the worked examples of Sections III–VI are
+checked against this data, so the records match the paper's figures exactly.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.db.query import ParameterizedPSJQuery
+from repro.db.schema import Attribute, ForeignKey, Schema
+from repro.db.sqlparse import parse_psj_query
+from repro.db.types import AttributeType
+
+
+FOODDB_SEARCH_SQL = (
+    "SELECT name, budget, rate, comment, uname, date "
+    "FROM (restaurant LEFT JOIN comment) JOIN customer "
+    "WHERE cuisine = $cuisine AND budget BETWEEN $min AND $max"
+)
+
+
+def restaurant_schema() -> Schema:
+    """Schema of the ``restaurant`` relation."""
+    return Schema(
+        "restaurant",
+        [
+            Attribute("rid", AttributeType.STRING),
+            Attribute("name", AttributeType.STRING),
+            Attribute("cuisine", AttributeType.STRING),
+            Attribute("budget", AttributeType.INT),
+            Attribute("rate", AttributeType.FLOAT),
+        ],
+        primary_key=["rid"],
+    )
+
+
+def comment_schema() -> Schema:
+    """Schema of the ``comment`` relation."""
+    return Schema(
+        "comment",
+        [
+            Attribute("cid", AttributeType.STRING),
+            Attribute("rid", AttributeType.STRING),
+            Attribute("uid", AttributeType.STRING),
+            Attribute("comment", AttributeType.STRING),
+            Attribute("date", AttributeType.STRING),
+        ],
+        primary_key=["cid"],
+        foreign_keys=[
+            ForeignKey("rid", "restaurant", "rid"),
+            ForeignKey("uid", "customer", "uid"),
+        ],
+    )
+
+
+def customer_schema() -> Schema:
+    """Schema of the ``customer`` relation."""
+    return Schema(
+        "customer",
+        [
+            Attribute("uid", AttributeType.STRING),
+            Attribute("uname", AttributeType.STRING),
+        ],
+        primary_key=["uid"],
+    )
+
+
+_RESTAURANTS = [
+    ("001", "Burger Queen", "American", 10, 4.3),
+    ("002", "McRonald's", "American", 18, 2.2),
+    ("003", "Wandy's", "American", 12, 4.1),
+    ("004", "Wandy's", "American", 12, 4.2),
+    ("005", "Thaifood", "Thai", 10, 4.8),
+    ("006", "Bangkok", "Thai", 10, 3.9),
+    ("007", "Bond's Cafe", "American", 9, 4.3),
+]
+
+_CUSTOMERS = [
+    ("109", "David"),
+    ("120", "Ben"),
+    ("132", "Bill"),
+    ("171", "James"),
+    ("180", "Alan"),
+]
+
+_COMMENTS = [
+    ("201", "001", "109", "Burger experts", "06/10"),
+    ("202", "004", "132", "Unique burger", "05/10"),
+    ("203", "004", "132", "Bad fries", "06/10"),
+    ("204", "002", "109", "Regret taking it", "06/10"),
+    ("205", "006", "180", "Thai burger", "08/11"),
+    ("206", "007", "171", "Nice coffee", "01/11"),
+]
+
+
+def build_fooddb(enforce_integrity: bool = True) -> Database:
+    """Construct the ``fooddb`` database with exactly the paper's records."""
+    database = Database("fooddb", enforce_integrity=enforce_integrity)
+    database.create_relation(restaurant_schema())
+    database.create_relation(customer_schema())
+    database.create_relation(comment_schema())
+    for row in _RESTAURANTS:
+        database.insert("restaurant", row)
+    for row in _CUSTOMERS:
+        database.insert("customer", row)
+    for row in _COMMENTS:
+        database.insert("comment", row)
+    return database
+
+
+def fooddb_search_query(database: Database) -> ParameterizedPSJQuery:
+    """The parameterized PSJ query issued by the ``Search`` application."""
+    return parse_psj_query(FOODDB_SEARCH_SQL, database, name="Search")
+
+
+FOODDB_SEARCH_SERVLET_SOURCE = """
+public class Search extends HttpServlet {
+  public void doGet(HttpServletRequest q, HttpServletResponse p) {
+    String cuisine = q.getParameter('c');
+    String min = q.getParameter('l');
+    String max = q.getParameter('u');
+    Connection cn = DriverManager.getConnection(fooddb);
+    Q = 'SELECT name, budget, rate, comment, uname, date' +
+        ' FROM (restaurant LEFT JOIN comment) JOIN customer' +
+        ' WHERE (cuisine = "' + cuisine + '")' +
+        ' AND (budget BETWEEN ' + min + ' AND ' + max + ')';
+    ResultSet r = cn.createStatement().executeQuery(Q);
+    output(p, r);
+  }
+}
+"""

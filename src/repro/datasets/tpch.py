@@ -1,0 +1,370 @@
+"""A deterministic TPC-H-like data generator.
+
+The paper evaluates Dash on three TPC-H dbgen datasets (Table II: small ≈ 1 GB,
+medium ≈ 5 GB, large ≈ 10 GB) and three application queries Q1–Q3 (Table III)
+over the relations region (R), nation (N), customer (C), orders (O),
+lineitem (L) and part (P).  dbgen itself and multi-gigabyte datasets are not
+available here, so this module generates laptop-scale datasets with
+
+* the same schema and foreign-key structure,
+* text-bearing comment/name attributes built from a fixed vocabulary (so that
+  keyword search has realistic hot/warm/cold term frequencies), and
+* the same ~1 : 5 : 10 relative sizing between the small, medium and large
+  tiers, which is what drives the scaling behaviour in Figure 10.
+
+Generation is fully deterministic for a given scale (seeded PRNG), so every
+test and benchmark sees identical data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.db.database import Database
+from repro.db.query import ParameterizedPSJQuery
+from repro.db.schema import Attribute, ForeignKey, Schema
+from repro.db.sqlparse import parse_psj_query
+from repro.db.types import AttributeType
+
+
+# ----------------------------------------------------------------------
+# scale tiers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TpchScale:
+    """Row counts of one dataset tier."""
+
+    name: str
+    customers: int
+    orders_per_customer: int
+    lineitems_per_order: int
+    parts: int
+    nations: int = 25
+    regions: int = 5
+    #: size of the L_QUANTITY domain (1..quantity_values).  Real TPC-H uses
+    #: 1..50; the laptop-scale tiers shrink the domain proportionally so the
+    #: joined-rows-per-fragment ratio matches the paper's datasets.
+    quantity_values: int = 10
+
+    @property
+    def orders(self) -> int:
+        return self.customers * self.orders_per_customer
+
+    @property
+    def lineitems(self) -> int:
+        return self.orders * self.lineitems_per_order
+
+    def scaled(self, factor: float) -> "TpchScale":
+        """A proportionally resized tier (used by tests to shrink datasets)."""
+        return TpchScale(
+            name=f"{self.name}-x{factor:g}",
+            customers=max(1, int(self.customers * factor)),
+            orders_per_customer=self.orders_per_customer,
+            lineitems_per_order=self.lineitems_per_order,
+            parts=max(1, int(self.parts * factor)),
+            nations=self.nations,
+            regions=self.regions,
+            quantity_values=self.quantity_values,
+        )
+
+
+#: The three dataset tiers of Table II, shrunk to laptop scale but keeping the
+#: paper's ~1 : 5 : 10 relative sizes between small, medium and large and
+#: TPC-H's ~10 orders per customer / ~4 lineitems per order fan-out.
+SCALES: Dict[str, TpchScale] = {
+    "small": TpchScale("small", customers=80, orders_per_customer=10, lineitems_per_order=5, parts=200),
+    "medium": TpchScale("medium", customers=400, orders_per_customer=10, lineitems_per_order=5, parts=1000),
+    "large": TpchScale("large", customers=800, orders_per_customer=10, lineitems_per_order=5, parts=2000),
+}
+
+#: A tiny tier for unit tests that need the schema but not the volume.
+TINY = TpchScale("tiny", customers=12, orders_per_customer=3, lineitems_per_order=2, parts=20)
+
+
+# ----------------------------------------------------------------------
+# vocabulary for text attributes
+# ----------------------------------------------------------------------
+_ADJECTIVES = [
+    "quick", "silent", "furious", "ironic", "pending", "final", "express", "special",
+    "regular", "bold", "careful", "blithe", "daring", "even", "fluffy", "unusual",
+]
+_NOUNS = [
+    "deposits", "packages", "requests", "accounts", "instructions", "theodolites",
+    "pinto", "beans", "foxes", "platelets", "ideas", "excuses", "asymptotes",
+    "dependencies", "warhorse", "courts",
+]
+_VERBS = [
+    "sleep", "haggle", "nag", "wake", "cajole", "boost", "detect", "integrate",
+    "engage", "doze", "affix", "unwind",
+]
+_RARE_WORDS = [
+    "ziggurat", "quixotic", "obsidian", "maelstrom", "palimpsest", "zephyr",
+    "labyrinth", "arbalest", "tessellate", "vermilion", "sibilant", "petrichor",
+]
+_REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_BRANDS = ["Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#55"]
+_TYPES = ["ECONOMY", "STANDARD", "PROMO", "LARGE", "SMALL", "MEDIUM"]
+_MATERIALS = ["BRASS", "COPPER", "NICKEL", "STEEL", "TIN"]
+
+
+def _comment(
+    rng: random.Random,
+    min_words: int = 4,
+    max_words: int = 8,
+    rare_probability: float = 0.02,
+) -> str:
+    """A dbgen-style comment; occasionally includes a rare (cold) word.
+
+    dbgen's text columns differ in length (customer comments are the longest,
+    lineitem comments the shortest); callers pass the word-count range so the
+    generated datasets show the same per-relation text-volume skew, which is
+    what the stepwise-vs-integrated comparison is sensitive to.
+    """
+    length = rng.randint(min_words, max_words)
+    words = []
+    for position in range(length):
+        bucket = position % 3
+        if bucket == 0:
+            words.append(rng.choice(_ADJECTIVES))
+        elif bucket == 1:
+            words.append(rng.choice(_NOUNS))
+        else:
+            words.append(rng.choice(_VERBS))
+    if rng.random() < rare_probability:
+        words.append(rng.choice(_RARE_WORDS))
+    return " ".join(words)
+
+
+# ----------------------------------------------------------------------
+# schemas
+# ----------------------------------------------------------------------
+def tpch_schemas() -> List[Schema]:
+    """All six TPC-H relation schemas used by Q1–Q3."""
+    return [
+        Schema(
+            "region",
+            [
+                Attribute("r_regionkey", AttributeType.INT),
+                Attribute("r_name", AttributeType.STRING),
+                Attribute("r_comment", AttributeType.STRING),
+            ],
+            primary_key=["r_regionkey"],
+        ),
+        Schema(
+            "nation",
+            [
+                Attribute("n_nationkey", AttributeType.INT),
+                Attribute("n_name", AttributeType.STRING),
+                Attribute("n_regionkey", AttributeType.INT),
+                Attribute("n_comment", AttributeType.STRING),
+            ],
+            primary_key=["n_nationkey"],
+            foreign_keys=[ForeignKey("n_regionkey", "region", "r_regionkey")],
+        ),
+        Schema(
+            "customer",
+            [
+                Attribute("c_custkey", AttributeType.INT),
+                Attribute("c_name", AttributeType.STRING),
+                Attribute("c_address", AttributeType.STRING),
+                Attribute("c_nationkey", AttributeType.INT),
+                Attribute("c_phone", AttributeType.STRING),
+                Attribute("c_acctbal", AttributeType.FLOAT),
+                Attribute("c_mktsegment", AttributeType.STRING),
+                Attribute("c_comment", AttributeType.STRING),
+            ],
+            primary_key=["c_custkey"],
+            foreign_keys=[ForeignKey("c_nationkey", "nation", "n_nationkey")],
+        ),
+        Schema(
+            "orders",
+            [
+                Attribute("o_orderkey", AttributeType.INT),
+                Attribute("o_custkey", AttributeType.INT),
+                Attribute("o_orderstatus", AttributeType.STRING),
+                Attribute("o_totalprice", AttributeType.FLOAT),
+                Attribute("o_orderdate", AttributeType.DATE),
+                Attribute("o_orderpriority", AttributeType.STRING),
+                Attribute("o_clerk", AttributeType.STRING),
+                Attribute("o_comment", AttributeType.STRING),
+            ],
+            primary_key=["o_orderkey"],
+            foreign_keys=[ForeignKey("o_custkey", "customer", "c_custkey")],
+        ),
+        Schema(
+            "lineitem",
+            [
+                Attribute("l_orderkey", AttributeType.INT),
+                Attribute("l_linenumber", AttributeType.INT),
+                Attribute("l_partkey", AttributeType.INT),
+                Attribute("l_quantity", AttributeType.INT),
+                Attribute("l_extendedprice", AttributeType.FLOAT),
+                Attribute("l_returnflag", AttributeType.STRING),
+                Attribute("l_shipdate", AttributeType.DATE),
+                Attribute("l_shipinstruct", AttributeType.STRING),
+                Attribute("l_shipmode", AttributeType.STRING),
+                Attribute("l_comment", AttributeType.STRING),
+            ],
+            primary_key=["l_orderkey", "l_linenumber"],
+            foreign_keys=[
+                ForeignKey("l_orderkey", "orders", "o_orderkey"),
+                ForeignKey("l_partkey", "part", "p_partkey"),
+            ],
+        ),
+        Schema(
+            "part",
+            [
+                Attribute("p_partkey", AttributeType.INT),
+                Attribute("p_name", AttributeType.STRING),
+                Attribute("p_mfgr", AttributeType.STRING),
+                Attribute("p_brand", AttributeType.STRING),
+                Attribute("p_type", AttributeType.STRING),
+                Attribute("p_container", AttributeType.STRING),
+                Attribute("p_retailprice", AttributeType.FLOAT),
+                Attribute("p_comment", AttributeType.STRING),
+            ],
+            primary_key=["p_partkey"],
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# data generation
+# ----------------------------------------------------------------------
+def build_tpch(scale="small", seed: int = 7) -> Database:
+    """Generate a TPC-H-like database at the requested scale.
+
+    ``scale`` is either a tier name (``"small"``, ``"medium"``, ``"large"``) or
+    a :class:`TpchScale` instance.
+    """
+    tier = SCALES[scale] if isinstance(scale, str) else scale
+    rng = random.Random(seed)
+    database = Database(f"tpch-{tier.name}", enforce_integrity=False)
+    for schema in tpch_schemas():
+        database.create_relation(schema)
+
+    for region_key in range(tier.regions):
+        database.insert(
+            "region",
+            (
+                region_key,
+                _REGION_NAMES[region_key % len(_REGION_NAMES)],
+                _comment(rng, min_words=6, max_words=12),
+            ),
+        )
+
+    for nation_key in range(tier.nations):
+        database.insert(
+            "nation",
+            (
+                nation_key,
+                _NATION_NAMES[nation_key % len(_NATION_NAMES)],
+                nation_key % tier.regions,
+                _comment(rng, min_words=6, max_words=14),
+            ),
+        )
+
+    for part_key in range(1, tier.parts + 1):
+        database.insert(
+            "part",
+            (
+                part_key,
+                f"{rng.choice(_ADJECTIVES)} {rng.choice(_MATERIALS).lower()} {rng.choice(_NOUNS)}",
+                f"Manufacturer#{rng.randrange(1, 6)}",
+                rng.choice(_BRANDS),
+                f"{rng.choice(_TYPES)} {rng.choice(_MATERIALS)}",
+                f"{rng.choice(['SM', 'MED', 'LG', 'JUMBO'])} {rng.choice(['BOX', 'BAG', 'CAN', 'DRUM'])}",
+                round(900.0 + part_key % 1000, 2),
+                _comment(rng, min_words=3, max_words=5),
+            ),
+        )
+
+    # dbgen text-volume skew: customer comments are the longest (~117 chars),
+    # orders comments medium (~78), lineitem comments the shortest (~43).
+    for customer_key in range(1, tier.customers + 1):
+        database.insert(
+            "customer",
+            (
+                customer_key,
+                f"Customer#{customer_key:09d}",
+                f"{rng.randrange(10, 9999)} {rng.choice(_NOUNS).title()} Street Apt {rng.randrange(1, 99)}",
+                rng.randrange(tier.nations),
+                f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(_SEGMENTS),
+                _comment(rng, min_words=10, max_words=17),
+            ),
+        )
+
+    order_key = 0
+    for customer_key in range(1, tier.customers + 1):
+        for _ in range(tier.orders_per_customer):
+            order_key += 1
+            database.insert(
+                "orders",
+                (
+                    order_key,
+                    customer_key,
+                    rng.choice(["O", "F", "P"]),
+                    round(rng.uniform(1000.0, 400000.0), 2),
+                    f"199{rng.randrange(2, 9)}-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}",
+                    rng.choice(["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]),
+                    f"Clerk#{rng.randrange(1, 1000):09d}",
+                    _comment(rng, min_words=7, max_words=12),
+                ),
+            )
+            for line_number in range(1, tier.lineitems_per_order + 1):
+                database.insert(
+                    "lineitem",
+                    (
+                        order_key,
+                        line_number,
+                        rng.randrange(1, tier.parts + 1),
+                        rng.randrange(1, tier.quantity_values + 1),
+                        round(rng.uniform(900.0, 100000.0), 2),
+                        rng.choice(["N", "R", "A"]),
+                        f"199{rng.randrange(2, 9)}-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}",
+                        rng.choice(["DELIVER IN PERSON", "COLLECT COD", "TAKE BACK RETURN", "NONE"]),
+                        rng.choice(["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]),
+                        _comment(rng, min_words=3, max_words=6),
+                    ),
+                )
+    return database
+
+
+# ----------------------------------------------------------------------
+# the three application queries of Table III
+# ----------------------------------------------------------------------
+TPCH_QUERY_SQL: Dict[str, str] = {
+    # Q1: select * from (R JOIN N) JOIN C where R.RID = $r and C.ACCBAL between $min and $max
+    "Q1": (
+        "SELECT * FROM (region JOIN nation) JOIN customer "
+        "WHERE r_regionkey = $r AND c_acctbal BETWEEN $min AND $max"
+    ),
+    # Q2: select * from (C JOIN O) JOIN L where C.CID = $r and L.QTY between $min and $max
+    "Q2": (
+        "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+        "WHERE c_custkey = $r AND l_quantity BETWEEN $min AND $max"
+    ),
+    # Q3: select * from (C JOIN O) JOIN (L JOIN P) where C.CID = $r and L.QTY between $min and $max
+    "Q3": (
+        "SELECT * FROM (customer JOIN orders) JOIN (lineitem JOIN part) "
+        "WHERE c_custkey = $r AND l_quantity BETWEEN $min AND $max"
+    ),
+}
+
+
+def tpch_queries(database: Database) -> Dict[str, ParameterizedPSJQuery]:
+    """Parse Q1, Q2 and Q3 against ``database`` and return them by name."""
+    return {
+        name: parse_psj_query(sql, database, name=name) for name, sql in TPCH_QUERY_SQL.items()
+    }

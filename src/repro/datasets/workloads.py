@@ -1,0 +1,68 @@
+"""Keyword-workload selection (Section VII-B of the paper).
+
+The top-k search experiments use three groups of 30 keywords each, chosen by
+document frequency (DF): *hot* keywords come from the top 10 % of the DF
+ranking, *warm* from the middle 10 % and *cold* from the bottom 10 %.  Hot
+keywords therefore appear in many db-page fragments, cold ones in few.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class KeywordWorkload:
+    """One temperature class of query keywords."""
+
+    temperature: str
+    keywords: Tuple[str, ...]
+
+    def __iter__(self):
+        return iter(self.keywords)
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+
+def select_keyword_workloads(
+    document_frequencies: Mapping[str, int],
+    group_size: int = 30,
+    band_fraction: float = 0.10,
+    seed: int = 11,
+) -> Dict[str, KeywordWorkload]:
+    """Pick hot / warm / cold keyword groups from a DF table.
+
+    Keywords are ranked by descending DF.  ``hot`` samples from the top
+    ``band_fraction`` of the ranking, ``warm`` from the middle band and
+    ``cold`` from the bottom band.  Sampling within each band is seeded so the
+    same workload is produced run to run.
+
+    Raises ``ValueError`` when the vocabulary is empty.
+    """
+    if not document_frequencies:
+        raise ValueError("cannot select keyword workloads from an empty vocabulary")
+    ranked = sorted(document_frequencies.items(), key=lambda item: (-item[1], item[0]))
+    vocabulary = [keyword for keyword, _frequency in ranked]
+    band_size = max(1, int(len(vocabulary) * band_fraction))
+
+    bands = {
+        "hot": vocabulary[:band_size],
+        "warm": _middle_slice(vocabulary, band_size),
+        "cold": vocabulary[-band_size:],
+    }
+    rng = random.Random(seed)
+    workloads: Dict[str, KeywordWorkload] = {}
+    for temperature, band in bands.items():
+        size = min(group_size, len(band))
+        sample = sorted(rng.sample(band, size)) if size < len(band) else sorted(band)
+        workloads[temperature] = KeywordWorkload(temperature, tuple(sample))
+    return workloads
+
+
+def _middle_slice(vocabulary: Sequence[str], band_size: int) -> List[str]:
+    middle = len(vocabulary) // 2
+    start = max(0, middle - band_size // 2)
+    return list(vocabulary[start:start + band_size])

@@ -1,0 +1,78 @@
+"""Relational database substrate used by the Dash reproduction.
+
+The package provides a small but complete in-memory relational engine:
+
+* :mod:`repro.db.types` — attribute domains and value coercion.
+* :mod:`repro.db.schema` — attributes, relation schemas, keys and foreign keys.
+* :mod:`repro.db.relation` — records and relations (bags of typed records).
+* :mod:`repro.db.algebra` — relational-algebra operators (select, project,
+  inner/left-outer join, grouping and aggregation).
+* :mod:`repro.db.query` — the parameterized project-select-join (PSJ) query
+  model of Definition 1 in the paper, with binding and evaluation.
+* :mod:`repro.db.sqlparse` — a parser for the paper's SQL dialect
+  (``SELECT ... FROM (R JOIN S) JOIN T WHERE c = $p AND a BETWEEN $l AND $u``).
+* :mod:`repro.db.database` — a named catalog of relations with referential
+  integrity checking.
+
+Everything in here is deterministic and dependency free so that the MapReduce
+crawler, the web-application model and the baselines can all share it.
+"""
+
+from repro.db.algebra import (
+    aggregate,
+    cross_join,
+    group_by,
+    inner_join,
+    left_outer_join,
+    project,
+    select,
+)
+from repro.db.database import Database
+from repro.db.errors import (
+    DatabaseError,
+    IntegrityError,
+    QueryError,
+    SchemaError,
+    SQLParseError,
+)
+from repro.db.query import (
+    BetweenCondition,
+    Comparison,
+    JoinClause,
+    Parameter,
+    ParameterizedPSJQuery,
+    QueryResult,
+)
+from repro.db.relation import Record, Relation
+from repro.db.schema import Attribute, ForeignKey, Schema
+from repro.db.sqlparse import parse_psj_query
+from repro.db.types import AttributeType
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "BetweenCondition",
+    "Comparison",
+    "Database",
+    "DatabaseError",
+    "ForeignKey",
+    "IntegrityError",
+    "JoinClause",
+    "Parameter",
+    "ParameterizedPSJQuery",
+    "QueryError",
+    "QueryResult",
+    "Record",
+    "Relation",
+    "SQLParseError",
+    "Schema",
+    "SchemaError",
+    "aggregate",
+    "cross_join",
+    "group_by",
+    "inner_join",
+    "left_outer_join",
+    "parse_psj_query",
+    "project",
+    "select",
+]

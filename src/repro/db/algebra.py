@@ -1,0 +1,184 @@
+"""Relational-algebra operators.
+
+Only the operators the paper's application queries need are provided:
+selection, projection, inner join, left outer join, cross join and grouping
+with simple aggregates.  Joins are hash joins on explicit equality key pairs;
+the output schema concatenates both input schemas, dropping the right-hand
+copy of every join key (so joining ``restaurant`` with ``comment`` on ``rid``
+yields one ``rid`` column, as in the paper's Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.errors import QueryError
+from repro.db.relation import Record, Relation
+from repro.db.schema import Attribute, Schema
+from repro.db.types import AttributeType
+
+
+JoinKeys = Sequence[Tuple[str, str]]
+
+
+def select(relation: Relation, predicate: Callable[[Record], bool], name: Optional[str] = None) -> Relation:
+    """``sigma_predicate(relation)``."""
+    return relation.filter(predicate, name=name)
+
+
+def project(relation: Relation, attributes: Sequence[str], name: Optional[str] = None) -> Relation:
+    """``pi_attributes(relation)`` (bag semantics: duplicates are kept)."""
+    for attribute in attributes:
+        if not relation.schema.has_attribute(attribute):
+            raise QueryError(
+                f"cannot project unknown attribute {attribute!r} from {relation.schema.name!r}"
+            )
+    schema = relation.schema.subset(attributes, new_name=name or relation.schema.name)
+    result = Relation(schema)
+    for record in relation:
+        result.insert(Record(schema, [record[a] for a in attributes], coerce=False))
+    return result
+
+
+def _joined_schema(left: Schema, right: Schema, right_drop: Sequence[str], name: Optional[str]) -> Tuple[Schema, List[str]]:
+    """Schema of a join output plus the kept right-hand attribute names."""
+    kept_right = [a for a in right.attribute_names if a not in set(right_drop)]
+    attributes: List[Attribute] = list(left.attributes)
+    taken = set(left.attribute_names)
+    output_right_names: List[str] = []
+    for attr_name in kept_right:
+        attribute = right.attribute(attr_name)
+        out_name = attr_name
+        if out_name in taken:
+            out_name = f"{right.name}.{attr_name}"
+        taken.add(out_name)
+        attributes.append(Attribute(out_name, attribute.type))
+        output_right_names.append(attr_name)
+    schema = Schema(name or f"{left.name}_{right.name}", attributes)
+    return schema, output_right_names
+
+
+def _validate_join_keys(left: Relation, right: Relation, on: JoinKeys) -> None:
+    if not on:
+        raise QueryError("join requires at least one key pair")
+    for left_key, right_key in on:
+        if not left.schema.has_attribute(left_key):
+            raise QueryError(f"join key {left_key!r} not in {left.schema.name!r}")
+        if not right.schema.has_attribute(right_key):
+            raise QueryError(f"join key {right_key!r} not in {right.schema.name!r}")
+
+
+def inner_join(left: Relation, right: Relation, on: JoinKeys, name: Optional[str] = None) -> Relation:
+    """Equi inner join of ``left`` and ``right`` on the given key pairs."""
+    return _hash_join(left, right, on, keep_unmatched_left=False, name=name)
+
+
+def left_outer_join(left: Relation, right: Relation, on: JoinKeys, name: Optional[str] = None) -> Relation:
+    """Left outer equi join: unmatched left records appear padded with NULLs.
+
+    The paper's example application query uses
+    ``(restaurant LEFT JOIN comment) JOIN customer`` so that restaurants
+    without comments still contribute rows to db-pages.
+    """
+    return _hash_join(left, right, on, keep_unmatched_left=True, name=name)
+
+
+def _hash_join(
+    left: Relation,
+    right: Relation,
+    on: JoinKeys,
+    keep_unmatched_left: bool,
+    name: Optional[str],
+) -> Relation:
+    _validate_join_keys(left, right, on)
+    left_keys = [pair[0] for pair in on]
+    right_keys = [pair[1] for pair in on]
+    schema, kept_right = _joined_schema(left.schema, right.schema, right_keys, name)
+
+    buckets: Dict[Tuple[Any, ...], List[Record]] = defaultdict(list)
+    for record in right:
+        key = record.key(right_keys)
+        if any(value is None for value in key):
+            continue
+        buckets[key].append(record)
+
+    result = Relation(schema)
+    null_pad = [None] * len(kept_right)
+    for record in left:
+        key = record.key(left_keys)
+        matches = buckets.get(key, []) if not any(v is None for v in key) else []
+        if matches:
+            for match in matches:
+                values = list(record.values) + [match[a] for a in kept_right]
+                result.insert(Record(schema, values, coerce=False))
+        elif keep_unmatched_left:
+            values = list(record.values) + null_pad
+            result.insert(Record(schema, values, coerce=False))
+    return result
+
+
+def cross_join(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Cartesian product (used only by tests and small examples)."""
+    schema, kept_right = _joined_schema(left.schema, right.schema, [], name)
+    result = Relation(schema)
+    for left_record in left:
+        for right_record in right:
+            values = list(left_record.values) + [right_record[a] for a in kept_right]
+            result.insert(Record(schema, values, coerce=False))
+    return result
+
+
+def group_by(relation: Relation, keys: Sequence[str]) -> Dict[Tuple[Any, ...], List[Record]]:
+    """Group records by the values of ``keys`` (insertion order preserved)."""
+    for key in keys:
+        if not relation.schema.has_attribute(key):
+            raise QueryError(f"cannot group by unknown attribute {key!r}")
+    groups: Dict[Tuple[Any, ...], List[Record]] = {}
+    for record in relation:
+        groups.setdefault(record.key(keys), []).append(record)
+    return groups
+
+
+def aggregate(
+    relation: Relation,
+    keys: Sequence[str],
+    aggregates: Dict[str, Tuple[str, Optional[str]]],
+    name: Optional[str] = None,
+) -> Relation:
+    """Grouped aggregation, e.g. the paper's ``c_i, j_i G count(*) as theta_i``.
+
+    ``aggregates`` maps output attribute name to ``(function, input_attribute)``
+    where function is one of ``count``, ``sum``, ``min``, ``max`` and the input
+    attribute may be ``None`` for ``count(*)``.
+    """
+    groups = group_by(relation, keys)
+    attributes = [relation.schema.attribute(key) for key in keys]
+    for out_name, (function, _input_attr) in aggregates.items():
+        attr_type = AttributeType.INT if function == "count" else AttributeType.FLOAT
+        attributes.append(Attribute(out_name, attr_type))
+    schema = Schema(name or f"{relation.schema.name}_agg", attributes)
+    result = Relation(schema)
+    for key, records in groups.items():
+        values: List[Any] = list(key)
+        for out_name, (function, input_attr) in aggregates.items():
+            values.append(_apply_aggregate(function, input_attr, records))
+        result.insert(Record(schema, values, coerce=False))
+    return result
+
+
+def _apply_aggregate(function: str, input_attr: Optional[str], records: List[Record]) -> Any:
+    if function == "count":
+        if input_attr is None:
+            return len(records)
+        return sum(1 for record in records if record[input_attr] is not None)
+    values = [record[input_attr] for record in records if record[input_attr] is not None]
+    if not values:
+        return None
+    if function == "sum":
+        return sum(values)
+    if function == "min":
+        return min(values)
+    if function == "max":
+        return max(values)
+    raise QueryError(f"unknown aggregate function {function!r}")

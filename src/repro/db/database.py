@@ -1,0 +1,157 @@
+"""A named catalog of relations with key and referential-integrity checks."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.db.errors import IntegrityError, SchemaError
+from repro.db.relation import Record, Relation
+from repro.db.schema import ForeignKey, Schema
+
+
+class Database:
+    """An in-memory relational database.
+
+    The catalog maps relation names to :class:`~repro.db.relation.Relation`
+    instances.  ``enforce_integrity`` turns on primary-key uniqueness and
+    foreign-key existence checks on insert — useful for the hand-written
+    ``fooddb`` example; the bulk TPC-H generator constructs data that is
+    consistent by construction and keeps checks off for speed.
+    """
+
+    def __init__(self, name: str, enforce_integrity: bool = False) -> None:
+        self.name = name
+        self.enforce_integrity = enforce_integrity
+        self._relations: Dict[str, Relation] = {}
+        self._primary_index: Dict[str, Dict[Tuple[Any, ...], Record]] = {}
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def create_relation(self, schema: Schema) -> Relation:
+        """Create an empty relation for ``schema`` and register it."""
+        if schema.name in self._relations:
+            raise SchemaError(f"relation {schema.name!r} already exists in database {self.name!r}")
+        relation = Relation(schema)
+        self._relations[schema.name] = relation
+        self._primary_index[schema.name] = {}
+        return relation
+
+    def add_relation(self, relation: Relation) -> Relation:
+        """Register an already-populated relation."""
+        if relation.schema.name in self._relations:
+            raise SchemaError(
+                f"relation {relation.schema.name!r} already exists in database {self.name!r}"
+            )
+        self._relations[relation.schema.name] = relation
+        self._primary_index[relation.schema.name] = {}
+        if self.enforce_integrity:
+            for record in relation:
+                self._check_integrity(relation.schema, record)
+                self._index_primary_key(relation.schema, record)
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """The relation named ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"database {self.name!r} has no relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def schemas(self) -> List[Schema]:
+        return [relation.schema for relation in self._relations.values()]
+
+    # ------------------------------------------------------------------
+    # data manipulation
+    # ------------------------------------------------------------------
+    def insert(self, relation_name: str, record: Any) -> Record:
+        """Insert ``record`` into ``relation_name`` honouring integrity checks."""
+        relation = self.relation(relation_name)
+        adapted = relation._adapt(record)
+        if self.enforce_integrity:
+            self._check_integrity(relation.schema, adapted)
+        relation.insert(adapted)
+        self._index_primary_key(relation.schema, adapted)
+        return adapted
+
+    def insert_many(self, relation_name: str, records: Iterable[Any]) -> int:
+        """Insert many records; returns how many were inserted."""
+        count = 0
+        for record in records:
+            self.insert(relation_name, record)
+            count += 1
+        return count
+
+    def delete(self, relation_name: str, predicate) -> int:
+        """Delete records of ``relation_name`` matching ``predicate``."""
+        relation = self.relation(relation_name)
+        removed = relation.delete(predicate)
+        self._primary_index[relation_name] = {}
+        if self.enforce_integrity:
+            for record in relation:
+                self._index_primary_key(relation.schema, record)
+        return removed
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def _check_integrity(self, schema: Schema, record: Record) -> None:
+        if schema.primary_key:
+            key = record.key(schema.primary_key)
+            if key in self._primary_index.get(schema.name, {}):
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in relation {schema.name!r}"
+                )
+        for foreign_key in schema.foreign_keys:
+            value = record[foreign_key.attribute]
+            if value is None:
+                continue
+            if not self._foreign_key_exists(foreign_key, value):
+                raise IntegrityError(
+                    f"foreign key violation: {schema.name}.{foreign_key.attribute}={value!r} "
+                    f"has no match in {foreign_key.referenced_relation}"
+                )
+
+    def _foreign_key_exists(self, foreign_key: ForeignKey, value: Any) -> bool:
+        if not self.has_relation(foreign_key.referenced_relation):
+            return False
+        referenced = self.relation(foreign_key.referenced_relation)
+        index = self._primary_index.get(foreign_key.referenced_relation)
+        if index and referenced.schema.primary_key == (foreign_key.referenced_attribute,):
+            return (value,) in index
+        return any(record[foreign_key.referenced_attribute] == value for record in referenced)
+
+    def _index_primary_key(self, schema: Schema, record: Record) -> None:
+        if schema.primary_key:
+            key = record.key(schema.primary_key)
+            self._primary_index.setdefault(schema.name, {})[key] = record
+
+    # ------------------------------------------------------------------
+    # statistics / introspection
+    # ------------------------------------------------------------------
+    def size_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-relation record counts and approximate byte sizes."""
+        report: Dict[str, Dict[str, int]] = {}
+        for name, relation in self._relations.items():
+            report[name] = {
+                "records": len(relation),
+                "approx_bytes": relation.approximate_bytes(),
+            }
+        return report
+
+    def total_records(self) -> int:
+        return sum(len(relation) for relation in self._relations.values())
+
+    def foreign_key_graph(self) -> Dict[str, List[ForeignKey]]:
+        """Foreign keys grouped by owning relation (used by the DISCOVER baseline)."""
+        return {name: list(relation.schema.foreign_keys) for name, relation in self._relations.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Database({self.name!r}, relations={list(self._relations)})"

@@ -1,0 +1,22 @@
+"""Exception hierarchy for the relational engine."""
+
+
+class DatabaseError(Exception):
+    """Base class for every error raised by :mod:`repro.db`."""
+
+
+class SchemaError(DatabaseError):
+    """Raised when a schema is malformed or an attribute is unknown."""
+
+
+class IntegrityError(DatabaseError):
+    """Raised when a key or referential-integrity constraint is violated."""
+
+
+class QueryError(DatabaseError):
+    """Raised when a query references unknown relations/attributes or is
+    evaluated with missing or ill-typed parameter bindings."""
+
+
+class SQLParseError(DatabaseError):
+    """Raised when the SQL text cannot be parsed into a PSJ query."""

@@ -1,0 +1,324 @@
+"""Parameterized project-select-join (PSJ) queries — Definition 1 of the paper.
+
+A PSJ query is
+
+    pi_{a1..al} sigma_{c1 op1 v1 and ... cm opm vm} (R1 join R2 join ... Rn)
+
+where each ``vi`` is a *query parameter*.  Web applications analysed by Dash
+issue exactly one such query; its selection attributes define the db-page
+fragment identifiers (Definition 2) and its parameters are what the reverse
+query-string parsing step maps back to URL fields.
+
+The model here stores the join tree as a left-deep sequence of
+:class:`JoinClause` objects (the paper's queries are all linear join chains —
+parenthesised groups such as ``(L JOIN P)`` in Q3 flatten to an equivalent
+left-deep plan because every join is a foreign-key equi join).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.errors import QueryError
+from repro.db.relation import Record, Relation
+from repro.db.schema import Schema
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named query parameter (``$r``, ``$min``, ``$max`` ... in the paper)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A single selection condition ``attribute <op> parameter-or-literal``.
+
+    ``operator`` is one of ``"="``, ``"<="`` or ``">="`` (the operators the
+    paper's Definition 1 admits).  ``operand`` is either a :class:`Parameter`
+    or a literal value.
+    """
+
+    attribute: str
+    operator: str
+    operand: Any
+    relation: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.operator not in ("=", "<=", ">="):
+            raise QueryError(f"unsupported comparison operator {self.operator!r}")
+
+    @property
+    def is_parameterized(self) -> bool:
+        return isinstance(self.operand, Parameter)
+
+    def parameters(self) -> List[str]:
+        """Names of parameters referenced by this condition."""
+        return [self.operand.name] if self.is_parameterized else []
+
+    def evaluate(self, value: Any, bindings: Mapping[str, Any]) -> bool:
+        """Whether an attribute ``value`` satisfies this condition under ``bindings``."""
+        operand = self._resolve(bindings)
+        if value is None or operand is None:
+            return False
+        if self.operator == "=":
+            return value == operand
+        if self.operator == "<=":
+            return value <= operand
+        return value >= operand
+
+    def _resolve(self, bindings: Mapping[str, Any]) -> Any:
+        if not self.is_parameterized:
+            return self.operand
+        name = self.operand.name
+        if name not in bindings:
+            raise QueryError(f"missing binding for parameter ${name}")
+        return bindings[name]
+
+
+@dataclass(frozen=True)
+class BetweenCondition:
+    """``attribute BETWEEN low AND high`` — the range shape used by every
+    application query in the paper (budget / ACCBAL / QTY ranges)."""
+
+    attribute: str
+    low: Any
+    high: Any
+    relation: Optional[str] = None
+
+    def parameters(self) -> List[str]:
+        names: List[str] = []
+        for operand in (self.low, self.high):
+            if isinstance(operand, Parameter):
+                names.append(operand.name)
+        return names
+
+    def evaluate(self, value: Any, bindings: Mapping[str, Any]) -> bool:
+        if value is None:
+            return False
+        low = self._resolve(self.low, bindings)
+        high = self._resolve(self.high, bindings)
+        if low is None or high is None:
+            return False
+        return low <= value <= high
+
+    @staticmethod
+    def _resolve(operand: Any, bindings: Mapping[str, Any]) -> Any:
+        if isinstance(operand, Parameter):
+            if operand.name not in bindings:
+                raise QueryError(f"missing binding for parameter ${operand.name}")
+            return bindings[operand.name]
+        return operand
+
+
+Condition = Any  # Comparison | BetweenCondition
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One step of the left-deep join chain.
+
+    ``relation`` joins into the accumulated left-hand result using the key
+    pairs ``on`` (``left_attribute`` refers to an attribute already present in
+    the accumulated result, ``right_attribute`` to one of ``relation``).
+    ``kind`` is ``"inner"`` or ``"left"``.
+    """
+
+    relation: str
+    on: Tuple[Tuple[str, str], ...]
+    kind: str = "inner"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("inner", "left"):
+            raise QueryError(f"unsupported join kind {self.kind!r}")
+        if not self.on:
+            raise QueryError(f"join with {self.relation!r} has no key pairs")
+
+
+class QueryResult:
+    """The result of evaluating a bound PSJ query: a relation plus lineage."""
+
+    def __init__(self, relation: Relation, query: "ParameterizedPSJQuery", bindings: Mapping[str, Any]):
+        self.relation = relation
+        self.query = query
+        self.bindings = dict(bindings)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __iter__(self):
+        return iter(self.relation)
+
+    @property
+    def schema(self) -> Schema:
+        return self.relation.schema
+
+    def keywords(self) -> List[str]:
+        """All keywords of the result's projected content (page text)."""
+        from repro.text.tokenizer import tokenize
+
+        words: List[str] = []
+        for record in self.relation:
+            for value in record.text_values():
+                words.extend(tokenize(value))
+        return words
+
+
+class ParameterizedPSJQuery:
+    """Definition 1: a parameterized project-select-join query."""
+
+    def __init__(
+        self,
+        name: str,
+        base_relation: str,
+        joins: Sequence[JoinClause],
+        conditions: Sequence[Condition],
+        projections: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.name = name
+        self.base_relation = base_relation
+        self.joins: Tuple[JoinClause, ...] = tuple(joins)
+        self.conditions: Tuple[Condition, ...] = tuple(conditions)
+        self.projections: Optional[Tuple[str, ...]] = (
+            tuple(projections) if projections is not None else None
+        )
+        if not self.conditions:
+            raise QueryError(f"PSJ query {name!r} has no selection conditions")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def operand_relations(self) -> Tuple[str, ...]:
+        """Names of all operand relations, base first."""
+        return (self.base_relation,) + tuple(join.relation for join in self.joins)
+
+    @property
+    def selection_attributes(self) -> Tuple[str, ...]:
+        """The attributes c1..cm whose values identify db-page fragments."""
+        return tuple(condition.attribute for condition in self.conditions)
+
+    def parameters(self) -> Tuple[str, ...]:
+        """All parameter names, in condition order (duplicates removed)."""
+        seen: List[str] = []
+        for condition in self.conditions:
+            for parameter in condition.parameters():
+                if parameter not in seen:
+                    seen.append(parameter)
+        return tuple(seen)
+
+    def condition_for_attribute(self, attribute: str) -> Condition:
+        """The condition constraining ``attribute``."""
+        for condition in self.conditions:
+            if condition.attribute == attribute:
+                return condition
+        raise QueryError(f"no condition on attribute {attribute!r} in query {self.name!r}")
+
+    def range_attributes(self) -> Tuple[str, ...]:
+        """Selection attributes constrained by a BETWEEN (range) condition."""
+        return tuple(
+            condition.attribute
+            for condition in self.conditions
+            if isinstance(condition, BetweenCondition)
+        )
+
+    def equality_attributes(self) -> Tuple[str, ...]:
+        """Selection attributes constrained by an equality condition."""
+        return tuple(
+            condition.attribute
+            for condition in self.conditions
+            if isinstance(condition, Comparison) and condition.operator == "="
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def join_operands(self, database: "Database") -> Relation:
+        """Evaluate only the join chain (no selection, no projection).
+
+        This is the relational core of the *crawling query* of Section V-A:
+        the stepwise crawler materialises exactly this relation through a
+        sequence of MapReduce jobs.
+        """
+        current = database.relation(self.base_relation)
+        for join in self.joins:
+            right = database.relation(join.relation)
+            if join.kind == "left":
+                current = algebra.left_outer_join(current, right, join.on)
+            else:
+                current = algebra.inner_join(current, right, join.on)
+        return current
+
+    def output_attributes(self, joined_schema: Schema) -> Tuple[str, ...]:
+        """The projection attribute list a1..al resolved against ``joined_schema``.
+
+        ``SELECT *`` (``projections is None``) projects every attribute of the
+        joined result.
+        """
+        if self.projections is None:
+            return joined_schema.attribute_names
+        resolved = []
+        for attribute in self.projections:
+            resolved.append(self.resolve_attribute(joined_schema, attribute))
+        return tuple(resolved)
+
+    def resolve_attribute(self, joined_schema: Schema, attribute: str) -> str:
+        """Resolve ``attribute`` (optionally ``relation.attr``) in the joined schema."""
+        if joined_schema.has_attribute(attribute):
+            return attribute
+        for candidate in joined_schema.attribute_names:
+            if candidate.endswith(f".{attribute}"):
+                return candidate
+        raise QueryError(
+            f"attribute {attribute!r} of query {self.name!r} not found in joined schema"
+        )
+
+    def crawling_attributes(self, joined_schema: Schema) -> Tuple[str, ...]:
+        """Projection attributes plus selection attributes (the crawling query)."""
+        output = list(self.output_attributes(joined_schema))
+        for attribute in self.selection_attributes:
+            resolved = self.resolve_attribute(joined_schema, attribute)
+            if resolved not in output:
+                output.append(resolved)
+        return tuple(output)
+
+    def record_satisfies(self, record: Record, bindings: Mapping[str, Any]) -> bool:
+        """Whether a joined record satisfies every (bound) selection condition."""
+        for condition in self.conditions:
+            attribute = self.resolve_attribute(record.schema, condition.attribute)
+            if not condition.evaluate(record[attribute], bindings):
+                return False
+        return True
+
+    def evaluate(self, database: "Database", bindings: Mapping[str, Any]) -> QueryResult:
+        """Evaluate the query under ``bindings`` and return its result.
+
+        This is what the web application does at page-generation time; Dash
+        itself never calls it during crawling (it derives fragments instead),
+        but the simulated web server and the correctness tests do.
+        """
+        missing = [name for name in self.parameters() if name not in bindings]
+        if missing:
+            raise QueryError(f"missing bindings for parameters {missing} of query {self.name!r}")
+        joined = self.join_operands(database)
+        selected = algebra.select(joined, lambda record: self.record_satisfies(record, bindings))
+        projected = algebra.project(
+            selected, list(self.output_attributes(joined.schema)), name=f"{self.name}_result"
+        )
+        return QueryResult(projected, self, bindings)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParameterizedPSJQuery({self.name!r}, relations={self.operand_relations}, "
+            f"conditions={len(self.conditions)})"
+        )
+
+
+# Imported late to avoid a cycle (Database needs Relation, not the query model).
+from repro.db.database import Database  # noqa: E402  (re-exported for typing)

@@ -1,0 +1,201 @@
+"""Records and relations.
+
+A :class:`Record` is an immutable tuple of scalar values interpreted through a
+:class:`~repro.db.schema.Schema`.  A :class:`Relation` is an ordered bag of
+records sharing one schema.  Relations are the unit of storage in the
+database catalog, the unit of input to the relational-algebra operators and —
+serialised record by record — the unit of input to the simulated MapReduce
+runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.errors import SchemaError
+from repro.db.schema import Schema
+
+
+class Record:
+    """One tuple of a relation, addressable by attribute name or position."""
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: Schema, values: Sequence[Any], coerce: bool = True) -> None:
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"record arity {len(values)} does not match schema "
+                f"{schema.name!r} arity {len(schema)}"
+            )
+        self.schema = schema
+        if coerce:
+            self.values: Tuple[Any, ...] = tuple(
+                attribute.coerce(value) for attribute, value in zip(schema.attributes, values)
+            )
+        else:
+            self.values = tuple(values)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: Any) -> Any:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.values[self.schema.position_of(key)]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Value of attribute ``name`` or ``default`` when absent."""
+        if not self.schema.has_attribute(name):
+            return default
+        return self.values[self.schema.position_of(name)]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The record as an ``{attribute: value}`` mapping."""
+        return dict(zip(self.schema.attribute_names, self.values))
+
+    def key(self, names: Sequence[str]) -> Tuple[Any, ...]:
+        """The tuple of values for ``names`` (grouping / join keys)."""
+        return tuple(self[name] for name in names)
+
+    def text_values(self) -> List[str]:
+        """Non-null values rendered as text, in schema order.
+
+        This is how db-page content is derived from records throughout the
+        reproduction: every projected attribute value contributes its textual
+        rendering to the page.
+        """
+        rendered: List[str] = []
+        for value in self.values:
+            if value is None:
+                continue
+            if isinstance(value, float) and value.is_integer():
+                rendered.append(str(int(value)))
+            else:
+                rendered.append(str(value))
+        return rendered
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self.values == other.values and self.schema.attribute_names == other.schema.attribute_names
+
+    def __hash__(self) -> int:
+        return hash((self.schema.attribute_names, self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{n}={v!r}" for n, v in zip(self.schema.attribute_names, self.values))
+        return f"Record({self.schema.name}: {pairs})"
+
+
+class Relation:
+    """An ordered bag of :class:`Record` objects sharing one schema."""
+
+    def __init__(self, schema: Schema, records: Optional[Iterable[Any]] = None) -> None:
+        self.schema = schema
+        self._records: List[Record] = []
+        if records is not None:
+            for record in records:
+                self.insert(record)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, record: Any) -> Record:
+        """Insert ``record`` (a :class:`Record`, mapping or sequence) and return it."""
+        self._records.append(self._adapt(record))
+        return self._records[-1]
+
+    def extend(self, records: Iterable[Any]) -> None:
+        """Insert many records."""
+        for record in records:
+            self.insert(record)
+
+    def delete(self, predicate: Callable[[Record], bool]) -> int:
+        """Delete records matching ``predicate``; return how many were removed."""
+        before = len(self._records)
+        self._records = [record for record in self._records if not predicate(record)]
+        return before - len(self._records)
+
+    def _adapt(self, record: Any) -> Record:
+        if isinstance(record, Record):
+            if record.schema.attribute_names != self.schema.attribute_names:
+                raise SchemaError(
+                    f"record schema {record.schema.name!r} incompatible with "
+                    f"relation {self.schema.name!r}"
+                )
+            return record
+        if isinstance(record, dict):
+            missing = [name for name in self.schema.attribute_names if name not in record]
+            if missing:
+                raise SchemaError(
+                    f"record for {self.schema.name!r} missing attributes {missing}"
+                )
+            values = [record[name] for name in self.schema.attribute_names]
+            return Record(self.schema, values)
+        return Record(self.schema, list(record))
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> Tuple[Record, ...]:
+        """All records, in insertion order."""
+        return tuple(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.schema.name!r}, {len(self)} records)"
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def distinct_values(self, attribute: str) -> List[Any]:
+        """Sorted distinct non-null values of ``attribute``."""
+        seen = {record[attribute] for record in self._records}
+        seen.discard(None)
+        try:
+            return sorted(seen)
+        except TypeError:
+            return sorted(seen, key=str)
+
+    def filter(self, predicate: Callable[[Record], bool], name: Optional[str] = None) -> "Relation":
+        """A new relation containing only records matching ``predicate``."""
+        result = Relation(self.schema.renamed(name) if name else self.schema)
+        for record in self._records:
+            if predicate(record):
+                result.insert(record)
+        return result
+
+    def approximate_bytes(self) -> int:
+        """A rough serialized size, used by the MapReduce cost model."""
+        total = 0
+        for record in self._records:
+            for value in record.values:
+                if value is None:
+                    total += 1
+                elif isinstance(value, str):
+                    total += len(value) + 1
+                else:
+                    total += 9
+        return total
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """Raw value tuples, in insertion order."""
+        return [record.values for record in self._records]

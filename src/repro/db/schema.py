@@ -1,0 +1,150 @@
+"""Schemas: attributes, relation schemas, keys and foreign keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.errors import SchemaError
+from repro.db.types import AttributeType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation."""
+
+    name: str
+    type: AttributeType = AttributeType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+
+    def coerce(self, value):
+        """Coerce ``value`` into this attribute's domain."""
+        return self.type.coerce(value)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A referential constraint ``attribute -> referenced_relation.referenced_attribute``."""
+
+    attribute: str
+    referenced_relation: str
+    referenced_attribute: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attribute} -> {self.referenced_relation}({self.referenced_attribute})"
+
+
+class Schema:
+    """An ordered collection of attributes describing one relation.
+
+    The schema knows its primary key and foreign keys so that
+    :class:`repro.db.database.Database` can enforce uniqueness and referential
+    integrity, and so that baselines such as the DISCOVER-style keyword search
+    can discover join paths automatically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Attribute],
+        primary_key: Optional[Sequence[str]] = None,
+        foreign_keys: Optional[Iterable[ForeignKey]] = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        self.name = name
+        self.attributes: Tuple[Attribute, ...] = tuple(attributes)
+        if not self.attributes:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        self._index: Dict[str, int] = {}
+        for position, attribute in enumerate(self.attributes):
+            if attribute.name in self._index:
+                raise SchemaError(f"duplicate attribute {attribute.name!r} in relation {name!r}")
+            self._index[attribute.name] = position
+        self.primary_key: Tuple[str, ...] = tuple(primary_key or ())
+        for key_attr in self.primary_key:
+            if key_attr not in self._index:
+                raise SchemaError(f"primary key attribute {key_attr!r} not in relation {name!r}")
+        self.foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys or ())
+        for foreign_key in self.foreign_keys:
+            if foreign_key.attribute not in self._index:
+                raise SchemaError(
+                    f"foreign key attribute {foreign_key.attribute!r} not in relation {name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Names of all attributes, in schema order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def has_attribute(self, name: str) -> bool:
+        """Whether ``name`` is an attribute of this schema."""
+        return name in self._index
+
+    def position_of(self, name: str) -> int:
+        """Position of attribute ``name`` within a record tuple."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"relation {self.name!r} has no attribute {name!r}") from None
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` named ``name``."""
+        return self.attributes[self.position_of(name)]
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.attributes == other.attributes
+            and self.primary_key == other.primary_key
+            and self.foreign_keys == other.foreign_keys
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes, self.primary_key, self.foreign_keys))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ", ".join(f"{a.name}:{a.type.value}" for a in self.attributes)
+        return f"Schema({self.name!r}, [{attrs}])"
+
+    # ------------------------------------------------------------------
+    # derivation helpers
+    # ------------------------------------------------------------------
+    def renamed(self, new_name: str) -> "Schema":
+        """A copy of this schema under a different relation name."""
+        return Schema(new_name, self.attributes, self.primary_key, self.foreign_keys)
+
+    def subset(self, names: Sequence[str], new_name: Optional[str] = None) -> "Schema":
+        """A schema keeping only ``names`` (used by projection)."""
+        attributes = [self.attribute(name) for name in names]
+        return Schema(new_name or self.name, attributes)
+
+    def concat(self, other: "Schema", new_name: Optional[str] = None) -> "Schema":
+        """Concatenate two schemas, disambiguating colliding attribute names.
+
+        When an attribute of ``other`` collides with one of ``self`` the right
+        hand copy is renamed to ``"<other.name>.<attr>"`` — the convention the
+        join operators rely on.
+        """
+        merged: List[Attribute] = list(self.attributes)
+        taken = set(self.attribute_names)
+        for attribute in other.attributes:
+            name = attribute.name
+            if name in taken:
+                name = f"{other.name}.{attribute.name}"
+            if name in taken:
+                raise SchemaError(f"cannot disambiguate attribute {attribute.name!r}")
+            taken.add(name)
+            merged.append(Attribute(name, attribute.type))
+        return Schema(new_name or f"{self.name}_{other.name}", merged)

@@ -1,0 +1,347 @@
+"""A parser for the paper's SQL dialect into :class:`ParameterizedPSJQuery`.
+
+The application queries Dash analyses (Figure 3 and Table III) all have the
+shape::
+
+    SELECT <* | a1, a2, ...>
+    FROM (R1 [LEFT] JOIN R2) [LEFT] JOIN R3 ...
+    WHERE c1 = $p1 AND c2 BETWEEN $lo AND $hi ...
+
+Join predicates are implicit foreign-key equi joins, exactly as in the paper's
+Table III, so the parser consults the :class:`~repro.db.database.Database`
+catalog to infer the join keys from declared foreign keys.  Conditions may
+compare against ``$parameters`` (producing a parameterized query) or literal
+values (producing a bound condition, used when the analyzer has not yet
+replaced concrete servlet inputs with symbols).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.db.database import Database
+from repro.db.errors import SQLParseError
+from repro.db.query import (
+    BetweenCondition,
+    Comparison,
+    JoinClause,
+    Parameter,
+    ParameterizedPSJQuery,
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(
+        \$[A-Za-z_][A-Za-z_0-9]*      # parameter
+      | [A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)?   # identifier / qualified identifier
+      | '(?:[^']*)'                   # single-quoted string literal
+      | "(?:[^"]*)"                   # double-quoted string literal
+      | -?\d+\.\d+                    # float literal
+      | -?\d+                         # int literal
+      | <=|>=|=|\(|\)|,|\*           # punctuation / operators
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "join", "left", "inner", "outer", "and", "between", "on"}
+
+
+def _tokenize(sql: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    text = sql.strip()
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if not match:
+            raise SQLParseError(f"cannot tokenize SQL near: {text[position:position + 30]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    """A tiny cursor over the token list with keyword-aware helpers."""
+
+    def __init__(self, tokens: Sequence[str]) -> None:
+        self._tokens = list(tokens)
+        self._position = 0
+
+    def peek(self) -> Optional[str]:
+        if self._position >= len(self._tokens):
+            return None
+        return self._tokens[self._position]
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SQLParseError("unexpected end of SQL text")
+        self._position += 1
+        return token
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.lower() == keyword:
+            self._position += 1
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise SQLParseError(f"expected {keyword.upper()!r}, found {self.peek()!r}")
+
+    def expect(self, literal: str) -> None:
+        token = self.next()
+        if token != literal:
+            raise SQLParseError(f"expected {literal!r}, found {token!r}")
+
+    def exhausted(self) -> bool:
+        return self._position >= len(self._tokens)
+
+
+# ----------------------------------------------------------------------
+# FROM clause: join-tree parsing and flattening
+# ----------------------------------------------------------------------
+_JoinTree = Union[str, Tuple["_JoinTree", "_JoinTree", str]]
+
+
+def _parse_from(stream: _TokenStream) -> _JoinTree:
+    tree = _parse_join_term(stream)
+    while True:
+        kind = _peek_join_kind(stream)
+        if kind is None:
+            break
+        right = _parse_join_term(stream)
+        tree = (tree, right, kind)
+    return tree
+
+
+def _parse_join_term(stream: _TokenStream) -> _JoinTree:
+    token = stream.peek()
+    if token == "(":
+        stream.next()
+        tree = _parse_from(stream)
+        stream.expect(")")
+        return tree
+    identifier = stream.next()
+    if identifier.lower() in _KEYWORDS or not re.match(r"^[A-Za-z_]", identifier):
+        raise SQLParseError(f"expected relation name, found {identifier!r}")
+    return identifier
+
+
+def _peek_join_kind(stream: _TokenStream) -> Optional[str]:
+    token = stream.peek()
+    if token is None:
+        return None
+    lowered = token.lower()
+    if lowered == "join":
+        stream.next()
+        return "inner"
+    if lowered == "inner":
+        stream.next()
+        stream.expect_keyword("join")
+        return "inner"
+    if lowered == "left":
+        stream.next()
+        stream.accept_keyword("outer")
+        stream.expect_keyword("join")
+        return "left"
+    return None
+
+
+def _flatten_join_tree(tree: _JoinTree) -> List[Tuple[str, Optional[str]]]:
+    """Flatten the join tree into [(relation, kind_connecting_it), ...]."""
+    if isinstance(tree, str):
+        return [(tree, None)]
+    left, right, kind = tree
+    flat_left = _flatten_join_tree(left)
+    flat_right = _flatten_join_tree(right)
+    head_relation, _ = flat_right[0]
+    return flat_left + [(head_relation, kind)] + flat_right[1:]
+
+
+# ----------------------------------------------------------------------
+# WHERE clause
+# ----------------------------------------------------------------------
+def _parse_operand(stream: _TokenStream) -> Any:
+    token = stream.next()
+    if token.startswith("$"):
+        return Parameter(token[1:])
+    if token.startswith("'") or token.startswith('"'):
+        return token[1:-1]
+    if re.match(r"^-?\d+\.\d+$", token):
+        return float(token)
+    if re.match(r"^-?\d+$", token):
+        return int(token)
+    raise SQLParseError(f"expected literal or $parameter, found {token!r}")
+
+
+def _split_qualified(identifier: str) -> Tuple[Optional[str], str]:
+    if "." in identifier:
+        relation, attribute = identifier.split(".", 1)
+        return relation, attribute
+    return None, identifier
+
+
+def _parse_condition(stream: _TokenStream) -> Any:
+    if stream.peek() == "(":
+        stream.next()
+        condition = _parse_condition(stream)
+        stream.expect(")")
+        return condition
+    identifier = stream.next()
+    relation, attribute = _split_qualified(identifier)
+    token = stream.peek()
+    if token is not None and token.lower() == "between":
+        stream.next()
+        low = _parse_operand(stream)
+        stream.expect_keyword("and")
+        high = _parse_operand(stream)
+        return BetweenCondition(attribute=attribute, low=low, high=high, relation=relation)
+    operator = stream.next()
+    if operator not in ("=", "<=", ">="):
+        raise SQLParseError(f"unsupported operator {operator!r} on attribute {attribute!r}")
+    operand = _parse_operand(stream)
+    return Comparison(attribute=attribute, operator=operator, operand=operand, relation=relation)
+
+
+def _parse_where(stream: _TokenStream) -> List[Any]:
+    conditions = [_parse_condition(stream)]
+    while stream.accept_keyword("and"):
+        conditions.append(_parse_condition(stream))
+    return conditions
+
+
+# ----------------------------------------------------------------------
+# join-key inference from foreign keys
+# ----------------------------------------------------------------------
+def _infer_join_keys(
+    database: Database, accumulated: Sequence[str], new_relation: str
+) -> Tuple[Tuple[str, str], ...]:
+    """Foreign-key join keys between ``new_relation`` and the relations joined so far."""
+    pairs: List[Tuple[str, str]] = []
+    new_schema = database.relation(new_relation).schema
+    accumulated_set = set(accumulated)
+    for foreign_key in new_schema.foreign_keys:
+        if foreign_key.referenced_relation in accumulated_set:
+            pairs.append((foreign_key.referenced_attribute, foreign_key.attribute))
+    for existing in accumulated:
+        existing_schema = database.relation(existing).schema
+        for foreign_key in existing_schema.foreign_keys:
+            if foreign_key.referenced_relation == new_relation:
+                pairs.append((foreign_key.attribute, foreign_key.referenced_attribute))
+    deduplicated = tuple(dict.fromkeys(pairs))
+    if not deduplicated:
+        raise SQLParseError(
+            f"cannot infer join keys between {new_relation!r} and {sorted(accumulated_set)} "
+            "(no foreign keys declared)"
+        )
+    return deduplicated
+
+
+def _owning_relation(database: Database, relations: Sequence[str], attribute: str) -> Optional[str]:
+    """The first relation among ``relations`` whose schema declares ``attribute``."""
+    for relation_name in relations:
+        if database.relation(relation_name).schema.has_attribute(attribute):
+            return relation_name
+    return None
+
+
+def _resolve_condition_attribute(database: Database, relations: Sequence[str], condition: Any) -> Any:
+    """Verify the condition attribute exists in one of the operand relations."""
+    candidates = []
+    for relation_name in relations:
+        schema = database.relation(relation_name).schema
+        if schema.has_attribute(condition.attribute):
+            candidates.append(relation_name)
+    if condition.relation is not None:
+        if condition.relation not in relations:
+            raise SQLParseError(
+                f"condition references relation {condition.relation!r} not in FROM clause"
+            )
+        schema = database.relation(condition.relation).schema
+        if not schema.has_attribute(condition.attribute):
+            raise SQLParseError(
+                f"relation {condition.relation!r} has no attribute {condition.attribute!r}"
+            )
+        return condition
+    if not candidates:
+        raise SQLParseError(
+            f"condition attribute {condition.attribute!r} not found in any operand relation"
+        )
+    return condition
+
+
+def parse_psj_query(sql: str, database: Database, name: str = "query") -> ParameterizedPSJQuery:
+    """Parse ``sql`` into a :class:`ParameterizedPSJQuery` against ``database``.
+
+    Raises :class:`~repro.db.errors.SQLParseError` when the text is not a
+    PSJ query of the supported shape, or when it references unknown relations
+    or attributes.
+    """
+    stream = _TokenStream(_tokenize(sql))
+    stream.expect_keyword("select")
+
+    projections: Optional[List[str]] = None
+    if stream.peek() == "*":
+        stream.next()
+    else:
+        projections = []
+        while True:
+            identifier = stream.next()
+            _, attribute = _split_qualified(identifier)
+            projections.append(attribute)
+            if stream.peek() == ",":
+                stream.next()
+                continue
+            break
+
+    stream.expect_keyword("from")
+    join_tree = _parse_from(stream)
+    stream.expect_keyword("where")
+    conditions = _parse_where(stream)
+    if not stream.exhausted():
+        raise SQLParseError(f"unexpected trailing tokens starting at {stream.peek()!r}")
+
+    flattened = _flatten_join_tree(join_tree)
+    relation_names = [relation for relation, _kind in flattened]
+    for relation_name in relation_names:
+        if not database.has_relation(relation_name):
+            raise SQLParseError(f"unknown relation {relation_name!r} in FROM clause")
+    if len(set(relation_names)) != len(relation_names):
+        raise SQLParseError("the same relation appears twice in the FROM clause")
+
+    joins: List[JoinClause] = []
+    accumulated = [relation_names[0]]
+    outer_introduced: set = set()
+    for relation_name, kind in flattened[1:]:
+        on = _infer_join_keys(database, accumulated, relation_name)
+        effective_kind = kind or "inner"
+        if effective_kind != "left":
+            # Null-preserving promotion: if this join's key comes from a
+            # relation that was itself introduced through a LEFT JOIN, its key
+            # can be NULL for padded rows.  The paper's db-pages (Figures 1
+            # and 5) keep such rows — e.g. restaurants without comments still
+            # appear even though ``customer`` is inner-joined via the
+            # comment's uid — so the join is promoted to a left outer join.
+            for left_attr, _right_attr in on:
+                owner = _owning_relation(database, accumulated, left_attr)
+                if owner in outer_introduced:
+                    effective_kind = "left"
+                    break
+        if effective_kind == "left":
+            outer_introduced.add(relation_name)
+        joins.append(JoinClause(relation=relation_name, on=on, kind=effective_kind))
+        accumulated.append(relation_name)
+
+    conditions = [
+        _resolve_condition_attribute(database, relation_names, condition) for condition in conditions
+    ]
+    return ParameterizedPSJQuery(
+        name=name,
+        base_relation=relation_names[0],
+        joins=joins,
+        conditions=conditions,
+        projections=projections,
+    )

@@ -1,0 +1,92 @@
+"""Attribute domains and value coercion.
+
+The engine supports a deliberately small set of scalar domains — the ones that
+appear in the paper's running example (``fooddb``) and in the TPC-H schema:
+integers, floats, strings and calendar dates.  Dates are stored as ISO strings
+(``YYYY-MM-DD``) so that records stay plain tuples of hashable scalars, which
+keeps them cheap to shuffle through the simulated MapReduce runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.db.errors import SchemaError
+
+
+class AttributeType(enum.Enum):
+    """Domain of an attribute value."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+
+    def coerce(self, value: Any) -> Optional[Any]:
+        """Coerce ``value`` into this domain.
+
+        ``None`` always passes through unchanged (it represents a SQL NULL,
+        which the left outer joins in the paper's application queries can
+        produce).  A :class:`~repro.db.errors.SchemaError` is raised when the
+        value cannot be represented in the domain.
+        """
+        if value is None:
+            return None
+        try:
+            if self is AttributeType.INT:
+                if isinstance(value, bool):
+                    raise SchemaError(f"boolean {value!r} is not an integer")
+                return int(value)
+            if self is AttributeType.FLOAT:
+                return float(value)
+            if self is AttributeType.STRING:
+                return str(value)
+            if self is AttributeType.DATE:
+                return _coerce_date(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"cannot coerce {value!r} to {self.value}") from exc
+        raise SchemaError(f"unknown attribute type {self!r}")
+
+    def is_numeric(self) -> bool:
+        """Whether values of this type support arithmetic comparison."""
+        return self in (AttributeType.INT, AttributeType.FLOAT)
+
+
+def _coerce_date(value: Any) -> str:
+    """Normalise a date-like value into an ISO ``YYYY-MM-DD`` string."""
+    if hasattr(value, "isoformat"):
+        return value.isoformat()[:10]
+    text = str(value).strip()
+    if not text:
+        raise ValueError("empty date")
+    return text
+
+
+def compare_values(left: Any, right: Any) -> int:
+    """Three-way comparison used by range predicates and sorting.
+
+    ``None`` (NULL) sorts before every non-NULL value, mirroring the behaviour
+    most SQL engines exhibit under ``ORDER BY ... NULLS FIRST``.  Mixed
+    numeric/string comparisons fall back to string comparison so that the
+    function is total (the fragment graph sorts fragment identifiers that can
+    mix domains).
+    """
+    if left is None and right is None:
+        return 0
+    if left is None:
+        return -1
+    if right is None:
+        return 1
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    left_s, right_s = str(left), str(right)
+    if left_s < right_s:
+        return -1
+    if left_s > right_s:
+        return 1
+    return 0

@@ -1,0 +1,51 @@
+"""Simulated MapReduce substrate (the paper's Hadoop cluster).
+
+The paper runs its database-crawling and fragment-indexing algorithms as
+MapReduce workflows on a 4-node Hadoop cluster.  This package provides a
+deterministic, single-process reproduction of that execution environment:
+
+* :mod:`repro.mapreduce.serialization` — byte-size estimation of keys/values
+  (the currency of the cost model).
+* :mod:`repro.mapreduce.cluster` — nodes with disk/network/CPU characteristics
+  and a cluster.
+* :mod:`repro.mapreduce.hdfs` — an HDFS-like block store with replication and
+  block-to-node placement.
+* :mod:`repro.mapreduce.job` — job specifications (mapper, combiner, reducer,
+  partitioner, number of reduce tasks).
+* :mod:`repro.mapreduce.cost` — a cost model translating per-phase byte and
+  record counts into simulated elapsed seconds.
+* :mod:`repro.mapreduce.runtime` — the execution engine (map -> shuffle ->
+  reduce) that produces output files plus :class:`JobMetrics`.
+* :mod:`repro.mapreduce.workflow` — multi-job workflows with aggregated
+  metrics, mirroring the job DAGs of Figures 7 and 8.
+* :mod:`repro.mapreduce.joins` — repartition-join job builders used by both
+  crawling algorithms.
+
+Every map/shuffle/reduce decision (block placement, partitioning, ordering) is
+deterministic, so crawling results are reproducible run to run.
+"""
+
+from repro.mapreduce.cluster import Cluster, Node
+from repro.mapreduce.cost import CostModel
+from repro.mapreduce.hdfs import DistributedFileSystem, HdfsFile
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.joins import repartition_join_job
+from repro.mapreduce.runtime import JobMetrics, MapReduceRuntime, PhaseMetrics
+from repro.mapreduce.serialization import estimate_size
+from repro.mapreduce.workflow import Workflow, WorkflowMetrics
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "DistributedFileSystem",
+    "HdfsFile",
+    "JobMetrics",
+    "MapReduceJob",
+    "MapReduceRuntime",
+    "Node",
+    "PhaseMetrics",
+    "Workflow",
+    "WorkflowMetrics",
+    "estimate_size",
+    "repartition_join_job",
+]

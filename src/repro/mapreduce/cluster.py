@@ -1,0 +1,114 @@
+"""Simulated cluster nodes.
+
+The paper's testbed is four Intel Xeon 2.8 GHz machines with 4 GB RAM on a
+gigabit Ethernet.  A :class:`Node` carries the per-machine characteristics the
+cost model needs (sequential disk bandwidth, record-processing rate) and a
+:class:`Cluster` groups nodes behind a shared network bandwidth, matching that
+setup by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from repro.mapreduce.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class Node:
+    """One worker machine of the simulated cluster.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identifier (``node0`` ... ).
+    disk_bandwidth_mb_s:
+        Sequential read/write bandwidth of the local disk in MB/s.
+    cpu_records_per_s:
+        How many input records a map or reduce function application can chew
+        through per second (a coarse stand-in for per-record CPU cost).
+    map_slots / reduce_slots:
+        How many map / reduce tasks the node runs concurrently — Hadoop's
+        classic slot model.
+    """
+
+    node_id: str
+    disk_bandwidth_mb_s: float = 80.0
+    cpu_records_per_s: float = 1_000_000.0
+    map_slots: int = 2
+    reduce_slots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.disk_bandwidth_mb_s <= 0 or self.cpu_records_per_s <= 0:
+            raise ClusterError(f"node {self.node_id!r} has non-positive hardware parameters")
+        if self.map_slots < 1 or self.reduce_slots < 1:
+            raise ClusterError(f"node {self.node_id!r} must have at least one slot of each kind")
+
+
+class Cluster:
+    """A named set of nodes sharing a network.
+
+    ``network_bandwidth_mb_s`` is the per-link bandwidth (gigabit Ethernet
+    ~ 110 MB/s effective by default).  The shuffle cost model charges the
+    all-to-all transfer against this figure.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        network_bandwidth_mb_s: float = 110.0,
+        name: str = "cluster",
+    ) -> None:
+        if not nodes:
+            raise ClusterError("a cluster needs at least one node")
+        identifiers = [node.node_id for node in nodes]
+        if len(set(identifiers)) != len(identifiers):
+            raise ClusterError("node identifiers must be unique")
+        if network_bandwidth_mb_s <= 0:
+            raise ClusterError("network bandwidth must be positive")
+        self.name = name
+        self.nodes: List[Node] = list(nodes)
+        self.network_bandwidth_mb_s = network_bandwidth_mb_s
+        self._by_id: Dict[str, Node] = {node.node_id: node for node in self.nodes}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls, num_nodes: int = 4, name: str = "paper-cluster") -> "Cluster":
+        """A cluster shaped like the paper's testbed (4 Xeon nodes, GbE)."""
+        nodes = [Node(node_id=f"node{i}") for i in range(num_nodes)]
+        return cls(nodes, network_bandwidth_mb_s=110.0, name=name)
+
+    @classmethod
+    def single_node(cls, name: str = "local") -> "Cluster":
+        """A one-node cluster (used by the fragment-graph experiments, which
+        the paper runs on a single computer)."""
+        return cls([Node(node_id="node0")], name=name)
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise ClusterError(f"cluster {self.name!r} has no node {node_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    @property
+    def total_map_slots(self) -> int:
+        return sum(node.map_slots for node in self.nodes)
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return sum(node.reduce_slots for node in self.nodes)
+
+    def node_for_block(self, block_index: int) -> Node:
+        """Deterministic round-robin placement of block replicas' primary copy."""
+        return self.nodes[block_index % len(self.nodes)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cluster({self.name!r}, nodes={len(self.nodes)})"

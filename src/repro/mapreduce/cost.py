@@ -1,0 +1,112 @@
+"""Cost model: per-phase byte/record counts -> simulated elapsed seconds.
+
+The paper's Figure 10 measures wall-clock elapsed time of MapReduce workflows
+on a real 4-node cluster and observes that (i) time grows steeply with dataset
+size, (ii) most jobs are I/O bound so adding reduce nodes changes little, and
+(iii) the integrated algorithm wins because it moves fewer bytes through the
+join pipeline.  The cost model below reproduces exactly those mechanics:
+
+* map time  = read input from local disk + per-record CPU + write spill,
+  divided over the map slots of the nodes holding the blocks;
+* shuffle time = all-to-all transfer of the partitioned map output over the
+  shared network (minus the fraction that stays node-local);
+* reduce time = merge/read + per-record CPU + write output to HDFS,
+  divided over the configured reduce slots;
+* a fixed per-job and per-task scheduling overhead (Hadoop job/task startup).
+
+Absolute constants are calibrated so that the laptop-scale datasets land in a
+seconds-to-minutes range; the claims we reproduce are the *relative* shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the simulated-time model.
+
+    ``data_time_scale`` multiplies every *data-dependent* phase duration (map,
+    shuffle, reduce) but not the fixed per-job startup.  The reproduction's
+    datasets are roughly three orders of magnitude smaller than the paper's
+    multi-GB TPC-H dumps; scaling the data-dependent time back up by a
+    calibration factor puts the simulated elapsed times in the paper's regime
+    (minutes to hours), where per-job startup overhead is negligible — exactly
+    the regime Figure 10 was measured in.  The default of 1.0 reports
+    uncalibrated times.
+    """
+
+    job_startup_s: float = 3.0
+    task_startup_s: float = 0.1
+    spill_factor: float = 2.0           # map output is written and re-read once
+    reduce_merge_factor: float = 2.0    # reduce input is merged from sorted runs
+    local_shuffle_fraction: float = None  # type: ignore[assignment]
+    data_time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.local_shuffle_fraction is not None and not 0.0 <= self.local_shuffle_fraction <= 1.0:
+            raise ValueError("local_shuffle_fraction must be within [0, 1]")
+        if self.data_time_scale <= 0:
+            raise ValueError("data_time_scale must be positive")
+
+    # ------------------------------------------------------------------
+    def map_phase_seconds(
+        self,
+        input_bytes: int,
+        input_records: int,
+        output_bytes: int,
+        num_map_tasks: int,
+        disk_bandwidth_mb_s: float,
+        cpu_records_per_s: float,
+        parallel_map_slots: int,
+    ) -> float:
+        """Simulated duration of the map phase."""
+        read_s = _bytes_to_seconds(input_bytes, disk_bandwidth_mb_s)
+        cpu_s = input_records / cpu_records_per_s
+        spill_s = _bytes_to_seconds(output_bytes * self.spill_factor, disk_bandwidth_mb_s)
+        total_work = (read_s + cpu_s + spill_s) * self.data_time_scale
+        total_work += num_map_tasks * self.task_startup_s
+        return total_work / max(parallel_map_slots, 1)
+
+    def shuffle_phase_seconds(
+        self,
+        shuffle_bytes: int,
+        network_bandwidth_mb_s: float,
+        num_nodes: int,
+    ) -> float:
+        """Simulated duration of the shuffle (all-to-all copy) phase."""
+        local_fraction = self.local_shuffle_fraction
+        if local_fraction is None:
+            local_fraction = 1.0 / max(num_nodes, 1)
+        remote_bytes = shuffle_bytes * (1.0 - local_fraction)
+        seconds = _bytes_to_seconds(remote_bytes, network_bandwidth_mb_s * max(num_nodes, 1))
+        return seconds * self.data_time_scale
+
+    def reduce_phase_seconds(
+        self,
+        shuffle_bytes: int,
+        reduce_input_records: int,
+        output_bytes: int,
+        num_reduce_tasks: int,
+        disk_bandwidth_mb_s: float,
+        cpu_records_per_s: float,
+        parallel_reduce_slots: int,
+    ) -> float:
+        """Simulated duration of the reduce phase."""
+        merge_s = _bytes_to_seconds(shuffle_bytes * self.reduce_merge_factor, disk_bandwidth_mb_s)
+        cpu_s = reduce_input_records / cpu_records_per_s
+        write_s = _bytes_to_seconds(output_bytes, disk_bandwidth_mb_s)
+        total_work = (merge_s + cpu_s + write_s) * self.data_time_scale
+        total_work += num_reduce_tasks * self.task_startup_s
+        return total_work / max(parallel_reduce_slots, 1)
+
+    def job_overhead_seconds(self) -> float:
+        """Fixed per-job scheduling/startup time."""
+        return self.job_startup_s
+
+
+def _bytes_to_seconds(num_bytes: float, bandwidth_mb_s: float) -> float:
+    if bandwidth_mb_s <= 0:
+        return 0.0
+    return num_bytes / (bandwidth_mb_s * 1024.0 * 1024.0)

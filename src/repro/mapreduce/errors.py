@@ -1,0 +1,17 @@
+"""Exception hierarchy for the simulated MapReduce substrate."""
+
+
+class MapReduceError(Exception):
+    """Base class for all MapReduce simulation errors."""
+
+
+class ClusterError(MapReduceError):
+    """Raised for malformed cluster or node configurations."""
+
+
+class HdfsError(MapReduceError):
+    """Raised for missing files or invalid block-store operations."""
+
+
+class JobError(MapReduceError):
+    """Raised for invalid job specifications or failures during execution."""

@@ -1,0 +1,192 @@
+"""An HDFS-like block store.
+
+Files are ordered sequences of ``(key, value)`` records split into fixed-size
+blocks.  Each block has a primary replica placed round-robin across the
+cluster's nodes (plus optional additional replicas), because the number of
+blocks determines the number of map tasks and their placement determines which
+node pays the read cost — the paper explicitly notes that "Hadoop assigns
+nodes for map tasks according to the number of file blocks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.errors import HdfsError
+from repro.mapreduce.serialization import estimate_pair_size
+
+KeyValue = Tuple[Any, Any]
+
+DEFAULT_BLOCK_SIZE_BYTES = 64 * 1024  # a laptop-scale stand-in for HDFS's 64 MB
+
+
+@dataclass
+class Block:
+    """One block of a file: a slice of records plus placement metadata."""
+
+    index: int
+    records: List[KeyValue]
+    size_bytes: int
+    primary_node: str
+    replica_nodes: Tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class HdfsFile:
+    """An immutable, block-structured file of key/value records."""
+
+    def __init__(self, path: str, blocks: Sequence[Block]) -> None:
+        self.path = path
+        self.blocks: Tuple[Block, ...] = tuple(blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(block.size_bytes for block in self.blocks)
+
+    def records(self) -> Iterator[KeyValue]:
+        """Iterate every record of the file in order."""
+        for block in self.blocks:
+            yield from block.records
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HdfsFile({self.path!r}, blocks={self.num_blocks}, records={self.num_records})"
+
+
+class DistributedFileSystem:
+    """The namespace of :class:`HdfsFile` objects for one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        block_size_bytes: int = DEFAULT_BLOCK_SIZE_BYTES,
+        replication: int = 1,
+    ) -> None:
+        if block_size_bytes <= 0:
+            raise HdfsError("block size must be positive")
+        if replication < 1:
+            raise HdfsError("replication factor must be at least 1")
+        self.cluster = cluster
+        self.block_size_bytes = block_size_bytes
+        self.replication = min(replication, len(cluster))
+        self._files: Dict[str, HdfsFile] = {}
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def open(self, path: str) -> HdfsFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise HdfsError(f"no such file: {path!r}") from None
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def list_files(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._files))
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(self, path: str, records: Iterable[KeyValue], overwrite: bool = False) -> HdfsFile:
+        """Write ``records`` to ``path``, splitting them into placed blocks."""
+        if self.exists(path) and not overwrite:
+            raise HdfsError(f"file already exists: {path!r}")
+        blocks: List[Block] = []
+        current: List[KeyValue] = []
+        current_bytes = 0
+        block_index = 0
+
+        def flush() -> None:
+            nonlocal current, current_bytes, block_index
+            if not current:
+                return
+            primary = self.cluster.node_for_block(block_index)
+            replicas = self._replica_nodes(block_index)
+            blocks.append(
+                Block(
+                    index=block_index,
+                    records=current,
+                    size_bytes=current_bytes,
+                    primary_node=primary.node_id,
+                    replica_nodes=replicas,
+                )
+            )
+            block_index += 1
+            current = []
+            current_bytes = 0
+
+        for key, value in records:
+            pair_size = estimate_pair_size(key, value)
+            if current and current_bytes + pair_size > self.block_size_bytes:
+                flush()
+            current.append((key, value))
+            current_bytes += pair_size
+        flush()
+
+        if not blocks:
+            primary = self.cluster.node_for_block(0)
+            blocks.append(
+                Block(index=0, records=[], size_bytes=0, primary_node=primary.node_id,
+                      replica_nodes=self._replica_nodes(0))
+            )
+        hdfs_file = HdfsFile(path, blocks)
+        self._files[path] = hdfs_file
+        return hdfs_file
+
+    def write_relation(self, path: str, relation, key_attribute: Optional[str] = None,
+                       overwrite: bool = False) -> HdfsFile:
+        """Export a :class:`repro.db.relation.Relation` as a file of records.
+
+        Each record becomes ``(key, {attribute: value, ...})`` where the key is
+        the value of ``key_attribute`` (or the record position when omitted) —
+        exactly how the crawler ships operand relations into the cluster.
+        """
+        def pairs() -> Iterator[KeyValue]:
+            for position, record in enumerate(relation):
+                key = record[key_attribute] if key_attribute else position
+                yield key, record.as_dict()
+
+        return self.write(path, pairs(), overwrite=overwrite)
+
+    def _replica_nodes(self, block_index: int) -> Tuple[str, ...]:
+        if self.replication <= 1:
+            return ()
+        nodes = self.cluster.nodes
+        extras = []
+        for offset in range(1, self.replication):
+            extras.append(nodes[(block_index + offset) % len(nodes)].node_id)
+        return tuple(extras)
+
+    # ------------------------------------------------------------------
+    # convenience reads
+    # ------------------------------------------------------------------
+    def read_all(self, path: str) -> List[KeyValue]:
+        """All records of ``path`` as a list."""
+        return list(self.open(path).records())
+
+    def read_values(self, path: str) -> List[Any]:
+        """Only the values of ``path``'s records."""
+        return [value for _key, value in self.open(path).records()]
+
+    def total_bytes(self) -> int:
+        """Total stored bytes across all files (primary replicas only)."""
+        return sum(hdfs_file.size_bytes for hdfs_file in self._files.values())

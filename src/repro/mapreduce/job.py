@@ -1,0 +1,101 @@
+"""MapReduce job specifications.
+
+A job is described by a mapper, an optional combiner, a reducer, an optional
+partitioner and the number of reduce tasks — the same vocabulary as Hadoop's
+classic (pre-YARN) API the paper's implementation used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
+
+from repro.mapreduce.errors import JobError
+
+KeyValue = Tuple[Any, Any]
+Mapper = Callable[[Any, Any], Iterable[KeyValue]]
+Reducer = Callable[[Any, list], Iterable[KeyValue]]
+Combiner = Callable[[Any, list], Iterable[KeyValue]]
+Partitioner = Callable[[Any, int], int]
+
+
+def identity_mapper(key: Any, value: Any) -> Iterator[KeyValue]:
+    """A mapper that forwards its input pair unchanged."""
+    yield key, value
+
+
+def identity_reducer(key: Any, values: list) -> Iterator[KeyValue]:
+    """A reducer that emits one pair per gathered value."""
+    for value in values:
+        yield key, value
+
+
+def default_partitioner(key: Any, num_partitions: int) -> int:
+    """Deterministic hash partitioning (stable across runs and processes)."""
+    return _stable_hash(key) % num_partitions
+
+
+def _stable_hash(key: Any) -> int:
+    """A process-independent hash (Python's builtin ``hash`` is salted for strings)."""
+    if isinstance(key, tuple):
+        value = 1469598103934665603
+        for element in key:
+            value = (value ^ _stable_hash(element)) * 1099511628211
+            value &= 0xFFFFFFFFFFFFFFFF
+        return value
+    text = repr(key) if not isinstance(key, str) else key
+    value = 1469598103934665603
+    for character in text.encode("utf-8", errors="replace"):
+        value = (value ^ character) * 1099511628211
+        value &= 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+@dataclass
+class MapReduceJob:
+    """A single MapReduce job.
+
+    Parameters
+    ----------
+    name:
+        Human-readable job name (appears in metrics and workflow reports).
+    mapper:
+        ``mapper(key, value) -> iterable[(key, value)]``.
+    reducer:
+        ``reducer(key, [values...]) -> iterable[(key, value)]``.  When ``None``
+        the job is map-only (no shuffle, no reduce phase) — Hadoop's
+        ``numReduceTasks=0`` mode.
+    combiner:
+        Optional map-side pre-aggregation with reducer semantics.
+    partitioner:
+        Maps a key and the number of reduce tasks to a partition index.
+    num_reduce_tasks:
+        How many reduce partitions to create.
+    sort_keys:
+        Whether reduce input keys are processed in sorted order (Hadoop always
+        sorts; disabling is only useful for tests).
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Optional[Reducer] = None
+    combiner: Optional[Combiner] = None
+    partitioner: Partitioner = default_partitioner
+    num_reduce_tasks: int = 4
+    sort_keys: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise JobError("job name must be non-empty")
+        if not callable(self.mapper):
+            raise JobError(f"job {self.name!r}: mapper must be callable")
+        if self.reducer is not None and not callable(self.reducer):
+            raise JobError(f"job {self.name!r}: reducer must be callable")
+        if self.combiner is not None and not callable(self.combiner):
+            raise JobError(f"job {self.name!r}: combiner must be callable")
+        if self.num_reduce_tasks < 1:
+            raise JobError(f"job {self.name!r}: num_reduce_tasks must be >= 1")
+
+    @property
+    def is_map_only(self) -> bool:
+        return self.reducer is None

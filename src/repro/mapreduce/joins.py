@@ -1,0 +1,157 @@
+"""MapReduce join builders.
+
+Both crawling algorithms join operand relations inside the cluster.  The
+standard technique (and the one the paper's Figures 7 and 8 imply, keying map
+output on the join attribute) is the reduce-side *repartition join*: mappers
+tag each record with the relation it came from and emit it keyed by the join
+key; reducers receive all records sharing a key and emit their combinations.
+
+The builders below produce :class:`~repro.mapreduce.job.MapReduceJob`
+instances that operate on files whose record values are ``{attribute: value}``
+dictionaries (the format :meth:`DistributedFileSystem.write_relation`
+produces and every crawler job preserves).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.mapreduce.job import KeyValue, MapReduceJob
+
+RecordDict = Dict[str, Any]
+
+
+def tag_mapper(tag: str, key_attributes: Sequence[str]):
+    """A mapper factory that keys records by ``key_attributes`` and tags them."""
+
+    attributes = tuple(key_attributes)
+    null_counter = [0]
+
+    def mapper(_key: Any, record: RecordDict) -> Iterator[KeyValue]:
+        join_key = tuple(record.get(attribute) for attribute in attributes)
+        if any(component is None for component in join_key):
+            # NULL join keys never match any other record (SQL semantics), so
+            # give each such record its own reduce group; a left-outer reducer
+            # will still emit the lone left record, an inner join drops it.
+            null_counter[0] += 1
+            yield ("__null__", tag, null_counter[0]), (tag, record)
+            return
+        yield join_key, (tag, record)
+
+    return mapper
+
+
+def join_reducer(
+    left_tag: str,
+    right_tag: str,
+    kind: str = "inner",
+    drop_right_attributes: Sequence[str] = (),
+):
+    """A reducer factory that joins the two tagged record streams.
+
+    ``kind`` is ``"inner"`` or ``"left"``.  ``drop_right_attributes`` lists the
+    right-hand attributes to drop from the merged record (normally the join
+    keys, so they appear only once — as the relational operators do).
+    """
+
+    dropped = set(drop_right_attributes)
+
+    def reducer(key: Any, values: List[Tuple[str, RecordDict]]) -> Iterator[KeyValue]:
+        left_records = [record for tag, record in values if tag == left_tag]
+        right_records = [record for tag, record in values if tag == right_tag]
+        if right_records:
+            for left_record in left_records:
+                for right_record in right_records:
+                    merged = dict(left_record)
+                    for attribute, value in right_record.items():
+                        if attribute in dropped:
+                            continue
+                        if attribute in merged:
+                            merged[f"{right_tag}.{attribute}"] = value
+                        else:
+                            merged[attribute] = value
+                    yield key, merged
+        elif kind == "left":
+            for left_record in left_records:
+                yield key, dict(left_record)
+
+    return reducer
+
+
+def repartition_join_job(
+    name: str,
+    left_tag: str,
+    right_tag: str,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    kind: str = "inner",
+    num_reduce_tasks: int = 4,
+) -> Tuple[MapReduceJob, MapReduceJob, MapReduceJob]:
+    """Jobs for a repartition join of two already-loaded relation files.
+
+    Returns ``(left_prepare, right_prepare, join)`` where the two prepare jobs
+    are map-only retagging/rekeying passes (one per input relation) and the
+    third is the actual shuffle join.  The crawler composes them in a
+    :class:`~repro.mapreduce.workflow.Workflow`; keeping the prepare passes as
+    separate map-only jobs mirrors how multi-input joins are staged in Hadoop
+    and lets the cost model account their I/O separately.
+    """
+
+    left_prepare = MapReduceJob(
+        name=f"{name}-prepare-{left_tag}",
+        mapper=tag_mapper(left_tag, left_keys),
+        reducer=None,
+    )
+    right_prepare = MapReduceJob(
+        name=f"{name}-prepare-{right_tag}",
+        mapper=tag_mapper(right_tag, right_keys),
+        reducer=None,
+    )
+
+    def forward_mapper(key: Any, value: Any) -> Iterator[KeyValue]:
+        yield key, value
+
+    join = MapReduceJob(
+        name=f"{name}-join",
+        mapper=forward_mapper,
+        reducer=join_reducer(left_tag, right_tag, kind=kind, drop_right_attributes=right_keys),
+        num_reduce_tasks=num_reduce_tasks,
+    )
+    return left_prepare, right_prepare, join
+
+
+def single_pass_join_job(
+    name: str,
+    left_tag: str,
+    right_tag: str,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    kind: str = "inner",
+    num_reduce_tasks: int = 4,
+) -> MapReduceJob:
+    """A one-job repartition join for inputs that are still raw relation files.
+
+    The mapper inspects each record dictionary to decide which relation it
+    belongs to (records of the left input carry a ``"__tag__"`` marker added by
+    the caller); used by tests and by the integrated crawler's compact join.
+    """
+
+    left_mapper = tag_mapper(left_tag, left_keys)
+    right_mapper = tag_mapper(right_tag, right_keys)
+
+    def mapper(key: Any, record: RecordDict) -> Iterator[KeyValue]:
+        tag = record.get("__tag__")
+        payload = {k: v for k, v in record.items() if k != "__tag__"}
+        if tag == left_tag:
+            yield from left_mapper(key, payload)
+        elif tag == right_tag:
+            yield from right_mapper(key, payload)
+        else:
+            raise ValueError(f"record without a recognised __tag__: {record!r}")
+
+    return MapReduceJob(
+        name=name,
+        mapper=mapper,
+        reducer=join_reducer(left_tag, right_tag, kind=kind, drop_right_attributes=right_keys),
+        num_reduce_tasks=num_reduce_tasks,
+    )

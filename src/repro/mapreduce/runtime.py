@@ -1,0 +1,325 @@
+"""The MapReduce execution engine.
+
+Runs a :class:`~repro.mapreduce.job.MapReduceJob` against an HDFS input file:
+one map task per input block (executed on the node holding the block's primary
+replica), optional combining, deterministic hash partitioning into reduce
+tasks, key-sorted reduce, and an output file written back to HDFS.  While it
+executes, the runtime accounts bytes and records per phase and asks the
+:class:`~repro.mapreduce.cost.CostModel` for the simulated elapsed time — the
+quantity the Figure 10 reproduction reports alongside real wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.cost import CostModel
+from repro.mapreduce.errors import JobError
+from repro.mapreduce.hdfs import DistributedFileSystem, HdfsFile
+from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.mapreduce.serialization import estimate_pair_size
+
+
+@dataclass
+class PhaseMetrics:
+    """Byte/record counters and simulated time of one phase of one job."""
+
+    name: str
+    records_in: int = 0
+    bytes_in: int = 0
+    records_out: int = 0
+    bytes_out: int = 0
+    tasks: int = 0
+    simulated_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "records_in": self.records_in,
+            "bytes_in": self.bytes_in,
+            "records_out": self.records_out,
+            "bytes_out": self.bytes_out,
+            "tasks": self.tasks,
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+
+@dataclass
+class JobMetrics:
+    """Metrics of one complete MapReduce job."""
+
+    job_name: str
+    map: PhaseMetrics = field(default_factory=lambda: PhaseMetrics("map"))
+    shuffle: PhaseMetrics = field(default_factory=lambda: PhaseMetrics("shuffle"))
+    reduce: PhaseMetrics = field(default_factory=lambda: PhaseMetrics("reduce"))
+    simulated_seconds: float = 0.0
+    wall_clock_seconds: float = 0.0
+    output_path: Optional[str] = None
+    output_records: int = 0
+    output_bytes: int = 0
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return self.shuffle.bytes_in
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "job_name": self.job_name,
+            "map": self.map.as_dict(),
+            "shuffle": self.shuffle.as_dict(),
+            "reduce": self.reduce.as_dict(),
+            "simulated_seconds": self.simulated_seconds,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "output_path": self.output_path,
+            "output_records": self.output_records,
+            "output_bytes": self.output_bytes,
+        }
+
+
+class MapReduceRuntime:
+    """Executes jobs on a simulated cluster backed by a block store."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        filesystem: Optional[DistributedFileSystem] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.cluster = cluster or Cluster.default()
+        self.filesystem = filesystem or DistributedFileSystem(self.cluster)
+        if self.filesystem.cluster is not self.cluster:
+            raise JobError("filesystem and runtime must share the same cluster")
+        self.cost_model = cost_model or CostModel()
+        self.history: List[JobMetrics] = []
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job: MapReduceJob,
+        input_paths: Any,
+        output_path: str,
+        overwrite: bool = True,
+    ) -> JobMetrics:
+        """Run ``job`` over one or more input files and write ``output_path``.
+
+        ``input_paths`` is a path, a list of paths, or a list of
+        ``(path, mapper)`` pairs — the latter mirrors Hadoop's
+        ``MultipleInputs`` and lets a single job (e.g. a repartition join)
+        apply a different map function to each input file; plain paths fall
+        back to ``job.mapper``.
+
+        Returns the :class:`JobMetrics` of the execution; the output file is
+        available through the runtime's filesystem afterwards.
+        """
+        if isinstance(input_paths, str):
+            input_paths = [input_paths]
+        input_files = []
+        for entry in input_paths:
+            if isinstance(entry, tuple):
+                path, mapper = entry
+            else:
+                path, mapper = entry, job.mapper
+            input_files.append((self.filesystem.open(path), mapper))
+        metrics = JobMetrics(job_name=job.name)
+        started = time.perf_counter()
+
+        map_output_per_partition = self._run_map_phase(job, input_files, metrics)
+        if job.is_map_only:
+            output_records: List[KeyValue] = []
+            for partition in sorted(map_output_per_partition):
+                output_records.extend(map_output_per_partition[partition])
+        else:
+            self._account_shuffle(job, map_output_per_partition, metrics)
+            output_records = self._run_reduce_phase(job, map_output_per_partition, metrics)
+
+        output_file = self.filesystem.write(output_path, output_records, overwrite=overwrite)
+        metrics.output_path = output_path
+        metrics.output_records = output_file.num_records
+        metrics.output_bytes = output_file.size_bytes
+        metrics.wall_clock_seconds = time.perf_counter() - started
+        metrics.simulated_seconds = (
+            self.cost_model.job_overhead_seconds()
+            + metrics.map.simulated_seconds
+            + metrics.shuffle.simulated_seconds
+            + metrics.reduce.simulated_seconds
+        )
+        self.history.append(metrics)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def _run_map_phase(
+        self,
+        job: MapReduceJob,
+        input_files: List[Tuple[HdfsFile, Any]],
+        metrics: JobMetrics,
+    ) -> Dict[int, List[KeyValue]]:
+        partitions: Dict[int, List[KeyValue]] = defaultdict(list)
+        num_partitions = job.num_reduce_tasks if not job.is_map_only else 1
+        node_input_bytes: Dict[str, int] = defaultdict(int)
+        node_input_records: Dict[str, int] = defaultdict(int)
+        node_output_bytes: Dict[str, int] = defaultdict(int)
+        num_map_tasks = 0
+
+        for input_file, mapper in input_files:
+            for block in input_file.blocks:
+                num_map_tasks += 1
+                node_id = block.primary_node
+                node_input_bytes[node_id] += block.size_bytes
+                node_input_records[node_id] += len(block.records)
+                task_output: List[KeyValue] = []
+                for key, value in block.records:
+                    for out_key, out_value in mapper(key, value):
+                        task_output.append((out_key, out_value))
+                if job.combiner is not None and not job.is_map_only:
+                    task_output = _apply_combiner(job, task_output)
+                for out_key, out_value in task_output:
+                    pair_bytes = estimate_pair_size(out_key, out_value)
+                    node_output_bytes[node_id] += pair_bytes
+                    metrics.map.records_out += 1
+                    metrics.map.bytes_out += pair_bytes
+                    partition = job.partitioner(out_key, num_partitions) if not job.is_map_only else 0
+                    partitions[partition].append((out_key, out_value))
+
+        metrics.map.tasks = num_map_tasks
+        metrics.map.records_in = sum(node_input_records.values())
+        metrics.map.bytes_in = sum(node_input_bytes.values())
+        # Charge per-record CPU for records consumed and records emitted; a
+        # map task that fans one input record out into many intermediate pairs
+        # pays for each of them.
+        node_cpu_records: Dict[str, int] = defaultdict(int)
+        total_in = max(1, metrics.map.records_in)
+        for node_id, records in node_input_records.items():
+            share = records / total_in
+            node_cpu_records[node_id] = records + int(metrics.map.records_out * share)
+        metrics.map.simulated_seconds = self._simulate_map_time(
+            node_input_bytes, node_cpu_records, node_output_bytes, num_map_tasks
+        )
+        return partitions
+
+    def _simulate_map_time(
+        self,
+        node_input_bytes: Dict[str, int],
+        node_input_records: Dict[str, int],
+        node_output_bytes: Dict[str, int],
+        num_map_tasks: int,
+    ) -> float:
+        if num_map_tasks == 0:
+            return 0.0
+        slowest = 0.0
+        involved_nodes = set(node_input_bytes) | set(node_output_bytes)
+        for node_id in involved_nodes:
+            node = self.cluster.node(node_id)
+            node_tasks = max(1, round(num_map_tasks * node_input_bytes.get(node_id, 0) /
+                                      max(1, sum(node_input_bytes.values()))))
+            seconds = self.cost_model.map_phase_seconds(
+                input_bytes=node_input_bytes.get(node_id, 0),
+                input_records=node_input_records.get(node_id, 0),
+                output_bytes=node_output_bytes.get(node_id, 0),
+                num_map_tasks=node_tasks,
+                disk_bandwidth_mb_s=node.disk_bandwidth_mb_s,
+                cpu_records_per_s=node.cpu_records_per_s,
+                parallel_map_slots=node.map_slots,
+            )
+            slowest = max(slowest, seconds)
+        return slowest
+
+    def _account_shuffle(
+        self,
+        job: MapReduceJob,
+        partitions: Dict[int, List[KeyValue]],
+        metrics: JobMetrics,
+    ) -> None:
+        shuffle_bytes = 0
+        shuffle_records = 0
+        for records in partitions.values():
+            for key, value in records:
+                shuffle_bytes += estimate_pair_size(key, value)
+                shuffle_records += 1
+        metrics.shuffle.records_in = shuffle_records
+        metrics.shuffle.bytes_in = shuffle_bytes
+        metrics.shuffle.records_out = shuffle_records
+        metrics.shuffle.bytes_out = shuffle_bytes
+        metrics.shuffle.tasks = len(partitions)
+        metrics.shuffle.simulated_seconds = self.cost_model.shuffle_phase_seconds(
+            shuffle_bytes=shuffle_bytes,
+            network_bandwidth_mb_s=self.cluster.network_bandwidth_mb_s,
+            num_nodes=len(self.cluster),
+        )
+
+    def _run_reduce_phase(
+        self,
+        job: MapReduceJob,
+        partitions: Dict[int, List[KeyValue]],
+        metrics: JobMetrics,
+    ) -> List[KeyValue]:
+        output: List[KeyValue] = []
+        reduce_input_records = 0
+        reduce_output_bytes = 0
+        active_partitions = max(len([p for p in partitions.values() if p]), 1)
+
+        for partition_index in range(job.num_reduce_tasks):
+            records = partitions.get(partition_index, [])
+            if not records:
+                continue
+            grouped: Dict[Any, List[Any]] = defaultdict(list)
+            key_order: List[Any] = []
+            for key, value in records:
+                if key not in grouped:
+                    key_order.append(key)
+                grouped[key].append(value)
+                reduce_input_records += 1
+            keys = sorted(grouped, key=_sort_token) if job.sort_keys else key_order
+            for key in keys:
+                for out_key, out_value in job.reducer(key, grouped[key]):
+                    output.append((out_key, out_value))
+                    pair_bytes = estimate_pair_size(out_key, out_value)
+                    reduce_output_bytes += pair_bytes
+                    metrics.reduce.records_out += 1
+                    metrics.reduce.bytes_out += pair_bytes
+
+        metrics.reduce.tasks = min(job.num_reduce_tasks, active_partitions)
+        metrics.reduce.records_in = reduce_input_records
+        metrics.reduce.bytes_in = metrics.shuffle.bytes_in
+        parallel_reduce_slots = min(self.cluster.total_reduce_slots, metrics.reduce.tasks)
+        metrics.reduce.simulated_seconds = self.cost_model.reduce_phase_seconds(
+            shuffle_bytes=metrics.shuffle.bytes_in,
+            reduce_input_records=reduce_input_records + metrics.reduce.records_out,
+            output_bytes=reduce_output_bytes,
+            num_reduce_tasks=metrics.reduce.tasks,
+            disk_bandwidth_mb_s=min(node.disk_bandwidth_mb_s for node in self.cluster),
+            cpu_records_per_s=min(node.cpu_records_per_s for node in self.cluster),
+            parallel_reduce_slots=max(parallel_reduce_slots, 1),
+        )
+        return output
+
+
+def _apply_combiner(job: MapReduceJob, task_output: List[KeyValue]) -> List[KeyValue]:
+    grouped: Dict[Any, List[Any]] = defaultdict(list)
+    order: List[Any] = []
+    for key, value in task_output:
+        if key not in grouped:
+            order.append(key)
+        grouped[key].append(value)
+    combined: List[KeyValue] = []
+    for key in order:
+        combined.extend(job.combiner(key, grouped[key]))
+    return combined
+
+
+def _sort_token(key: Any) -> Tuple:
+    """A total ordering over heterogeneous reduce keys."""
+    if isinstance(key, tuple):
+        return tuple(_sort_token(element) for element in key)
+    if key is None:
+        return (0, "")
+    if isinstance(key, bool):
+        return (1, str(int(key)))
+    if isinstance(key, (int, float)):
+        return (1, float(key))
+    return (2, str(key))

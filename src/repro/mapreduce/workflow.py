@@ -1,0 +1,118 @@
+"""Multi-job MapReduce workflows.
+
+The stepwise and integrated crawling algorithms are both *workflows* of
+several MapReduce jobs (Figures 7 and 8 of the paper).  A :class:`Workflow`
+runs a list of job steps in order, wiring each step's output file into later
+steps, and aggregates per-step metrics so the benchmarks can show the phase
+breakdown (SW-Jn / SW-Grp / SW-Idx vs. INT-Jn / INT-Ext / INT-Cnsd) that
+Figure 10 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mapreduce.errors import JobError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import JobMetrics, MapReduceRuntime
+
+
+@dataclass
+class WorkflowStep:
+    """One step of a workflow: a job, its inputs and its output path.
+
+    ``stage`` is a coarse label grouping several jobs into one logical phase
+    for reporting (for example the two join jobs of the stepwise algorithm are
+    both stage ``"join"``).
+    """
+
+    job: MapReduceJob
+    inputs: Tuple[str, ...]
+    output: str
+    stage: str = "default"
+
+
+@dataclass
+class WorkflowMetrics:
+    """Aggregated metrics of a completed workflow run."""
+
+    name: str
+    job_metrics: List[JobMetrics] = field(default_factory=list)
+    stage_of_job: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return sum(metrics.simulated_seconds for metrics in self.job_metrics)
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        return sum(metrics.wall_clock_seconds for metrics in self.job_metrics)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(metrics.shuffle.bytes_in for metrics in self.job_metrics)
+
+    @property
+    def total_map_output_bytes(self) -> int:
+        return sum(metrics.map.bytes_out for metrics in self.job_metrics)
+
+    def stage_simulated_seconds(self) -> Dict[str, float]:
+        """Simulated seconds per reporting stage (SW-Jn, SW-Grp, ...)."""
+        totals: Dict[str, float] = {}
+        for metrics in self.job_metrics:
+            stage = self.stage_of_job.get(metrics.job_name, "default")
+            totals[stage] = totals.get(stage, 0.0) + metrics.simulated_seconds
+        return totals
+
+    def stage_shuffle_bytes(self) -> Dict[str, int]:
+        """Shuffled bytes per reporting stage."""
+        totals: Dict[str, int] = {}
+        for metrics in self.job_metrics:
+            stage = self.stage_of_job.get(metrics.job_name, "default")
+            totals[stage] = totals.get(stage, 0) + metrics.shuffle.bytes_in
+        return totals
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "total_shuffle_bytes": self.total_shuffle_bytes,
+            "stages": self.stage_simulated_seconds(),
+            "jobs": [metrics.as_dict() for metrics in self.job_metrics],
+        }
+
+
+class Workflow:
+    """An ordered list of MapReduce steps executed on one runtime."""
+
+    def __init__(self, name: str, runtime: MapReduceRuntime) -> None:
+        self.name = name
+        self.runtime = runtime
+        self.steps: List[WorkflowStep] = []
+
+    def add_step(
+        self,
+        job: MapReduceJob,
+        inputs: Sequence[str],
+        output: str,
+        stage: str = "default",
+    ) -> WorkflowStep:
+        """Append a step.  Inputs must exist by the time the step runs."""
+        if not inputs:
+            raise JobError(f"workflow step {job.name!r} needs at least one input path")
+        step = WorkflowStep(job=job, inputs=tuple(inputs), output=output, stage=stage)
+        self.steps.append(step)
+        return step
+
+    def run(self) -> WorkflowMetrics:
+        """Run every step in order and return aggregated metrics."""
+        if not self.steps:
+            raise JobError(f"workflow {self.name!r} has no steps")
+        metrics = WorkflowMetrics(name=self.name)
+        for step in self.steps:
+            job_metrics = self.runtime.run(step.job, list(step.inputs), step.output)
+            metrics.job_metrics.append(job_metrics)
+            metrics.stage_of_job[step.job.name] = step.stage
+        return metrics

@@ -1,0 +1,20 @@
+"""Text-retrieval substrate: tokenization, inverted files and TF/IDF.
+
+This package implements the conventional machinery reviewed in Section II of
+the paper.  It is used directly by the baselines (which index whole db-pages
+or joined records as documents) and reused by the Dash core, whose inverted
+*fragment* index shares the same posting-list structure but indexes db-page
+fragment identifiers instead of page URLs.
+"""
+
+from repro.text.inverted_index import InvertedIndex, Posting
+from repro.text.tfidf import TfIdfScorer, term_frequencies
+from repro.text.tokenizer import tokenize
+
+__all__ = [
+    "InvertedIndex",
+    "Posting",
+    "TfIdfScorer",
+    "term_frequencies",
+    "tokenize",
+]

@@ -1,0 +1,187 @@
+"""A conventional inverted file (Section II of the paper).
+
+The index maps each keyword ``w`` to an inverted list ``L_w`` of postings
+``(document_id, TF_w)`` sorted in descending term-frequency order, so that
+
+* ``IDF_w`` can be computed as the inverse of ``len(L_w)``, and
+* documents with high TF on ``w`` are found in the initial part of ``L_w``.
+
+The same structure backs both the baseline page/document indexes and (via
+:mod:`repro.core.fragment_index`) Dash's inverted fragment index, where the
+"documents" are db-page fragment identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.text.tfidf import TfIdfScorer, term_frequencies
+from repro.text.tokenizer import count_keywords, tokenize
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One entry of an inverted list: a document and its term frequency."""
+
+    document_id: Hashable
+    term_frequency: int
+
+    def __iter__(self):
+        return iter((self.document_id, self.term_frequency))
+
+
+class InvertedIndex:
+    """An inverted file over arbitrary hashable document identifiers."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[Posting]] = {}
+        self._document_lengths: Dict[Hashable, int] = {}
+        self._sorted = True
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_document(self, document_id: Hashable, text: str) -> None:
+        """Index raw ``text`` under ``document_id``."""
+        self.add_term_frequencies(document_id, term_frequencies(text))
+
+    def add_keywords(self, document_id: Hashable, keywords: Iterable[str]) -> None:
+        """Index an already-tokenized keyword sequence."""
+        self.add_term_frequencies(document_id, count_keywords(keywords))
+
+    def add_term_frequencies(self, document_id: Hashable, frequencies: Mapping[str, int]) -> None:
+        """Index a precomputed term-frequency map (idempotent per document id)."""
+        if document_id in self._document_lengths:
+            raise ValueError(f"document {document_id!r} already indexed")
+        length = 0
+        for keyword, frequency in frequencies.items():
+            if frequency <= 0:
+                continue
+            self._postings.setdefault(keyword, []).append(Posting(document_id, frequency))
+            length += frequency
+        self._document_lengths[document_id] = length
+        self._sorted = False
+
+    def merge_term_frequencies(self, document_id: Hashable, frequencies: Mapping[str, int]) -> None:
+        """Add occurrences to an existing (or new) document, merging counts.
+
+        Used by the incremental-maintenance extension, where a database update
+        changes the keyword counts of an existing fragment.
+        """
+        existing = self.term_frequencies(document_id)
+        merged = dict(existing)
+        for keyword, frequency in frequencies.items():
+            merged[keyword] = merged.get(keyword, 0) + frequency
+        self.remove_document(document_id)
+        self.add_term_frequencies(document_id, {k: v for k, v in merged.items() if v > 0})
+
+    def remove_document(self, document_id: Hashable) -> None:
+        """Remove every posting of ``document_id`` (no-op when absent)."""
+        if document_id not in self._document_lengths:
+            return
+        del self._document_lengths[document_id]
+        empty_keywords = []
+        for keyword, postings in self._postings.items():
+            kept = [posting for posting in postings if posting.document_id != document_id]
+            if len(kept) != len(postings):
+                self._postings[keyword] = kept
+            if not kept:
+                empty_keywords.append(keyword)
+        for keyword in empty_keywords:
+            del self._postings[keyword]
+
+    def finalize(self) -> None:
+        """Sort every inverted list by descending term frequency."""
+        if self._sorted:
+            return
+        for postings in self._postings.values():
+            postings.sort(key=lambda posting: (-posting.term_frequency, str(posting.document_id)))
+        self._sorted = True
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def postings(self, keyword: str) -> Tuple[Posting, ...]:
+        """The inverted list of ``keyword`` (empty when unseen)."""
+        self.finalize()
+        return tuple(self._postings.get(keyword.lower(), ()))
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of documents containing ``keyword``."""
+        return len(self._postings.get(keyword.lower(), ()))
+
+    def document_frequencies(self) -> Dict[str, int]:
+        """Document frequency of every indexed keyword."""
+        return {keyword: len(postings) for keyword, postings in self._postings.items()}
+
+    def term_frequencies(self, document_id: Hashable) -> Dict[str, int]:
+        """Term-frequency map of one document (linear scan; test/maintenance use)."""
+        frequencies: Dict[str, int] = {}
+        for keyword, postings in self._postings.items():
+            for posting in postings:
+                if posting.document_id == document_id:
+                    frequencies[keyword] = posting.term_frequency
+                    break
+        return frequencies
+
+    def document_length(self, document_id: Hashable) -> int:
+        """Total number of keyword occurrences indexed for ``document_id``."""
+        return self._document_lengths.get(document_id, 0)
+
+    @property
+    def document_count(self) -> int:
+        return len(self._document_lengths)
+
+    @property
+    def vocabulary(self) -> Tuple[str, ...]:
+        return tuple(self._postings)
+
+    def document_ids(self) -> Tuple[Hashable, ...]:
+        return tuple(self._document_lengths)
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword.lower() in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def approximate_bytes(self) -> int:
+        """Rough size of the index, for the ablation benchmarks."""
+        total = 0
+        for keyword, postings in self._postings.items():
+            total += len(keyword) + 1
+            total += 12 * len(postings)
+        return total
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def scorer(self, smoothed: bool = False) -> TfIdfScorer:
+        """A TF/IDF scorer whose document frequencies come from this index."""
+        return TfIdfScorer(self.document_frequencies(), self.document_count, smoothed=smoothed)
+
+    def search(self, keywords: Iterable[str], k: Optional[int] = None) -> List[Tuple[Hashable, float]]:
+        """Top-``k`` documents by TF/IDF for ``keywords`` (all documents when ``k`` is None)."""
+        self.finalize()
+        query_terms = [keyword.lower() for keyword in keywords]
+        scorer = self.scorer()
+        scores: Dict[Hashable, float] = {}
+        for keyword in set(query_terms):
+            idf = scorer.idf(keyword)
+            if idf == 0.0:
+                continue
+            for posting in self._postings.get(keyword, ()):
+                scores[posting.document_id] = (
+                    scores.get(posting.document_id, 0.0) + posting.term_frequency * idf
+                )
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], str(item[0])))
+        if k is not None:
+            ranked = ranked[:k]
+        return ranked
+
+    def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
+        """Iterate ``(keyword, postings)`` pairs in keyword order."""
+        self.finalize()
+        for keyword in sorted(self._postings):
+            yield keyword, tuple(self._postings[keyword])

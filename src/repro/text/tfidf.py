@@ -1,0 +1,80 @@
+"""TF/IDF relevance scoring (Section II of the paper).
+
+The relevance of a document ``p`` to a keyword set ``W`` is::
+
+    TF-IDF_W(p) = sum_{w in W} TF_w(p) * IDF_w
+
+where ``TF_w(p)`` is the number of occurrences of ``w`` in ``p`` and ``IDF_w``
+is the inverse of the number of documents containing ``w``.  Dash reuses this
+scorer with "document" meaning either a db-page fragment or an assembled
+db-page; its IDF approximation (inverse of the number of *fragments*
+containing ``w``) is handled by the caller simply by choosing what counts as
+a document.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+from repro.text.tokenizer import count_keywords, tokenize
+
+
+def term_frequencies(text: str) -> Dict[str, int]:
+    """Term-frequency map of ``text``."""
+    return count_keywords(tokenize(text))
+
+
+class TfIdfScorer:
+    """Scores documents given per-keyword document frequencies.
+
+    Parameters
+    ----------
+    document_frequencies:
+        Mapping from keyword to the number of documents containing it.
+    total_documents:
+        Size of the collection (only used by the optional smoothed IDF).
+    smoothed:
+        When true, use ``log(1 + N / df)`` instead of the paper's plain
+        ``1 / df``.  The paper uses the plain inverse; the smoothed variant is
+        provided for the ablation benchmarks.
+    """
+
+    def __init__(
+        self,
+        document_frequencies: Mapping[str, int],
+        total_documents: int = 0,
+        smoothed: bool = False,
+    ) -> None:
+        self._document_frequencies = dict(document_frequencies)
+        self._total_documents = max(total_documents, 1)
+        self._smoothed = smoothed
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of documents containing ``keyword`` (0 when unseen)."""
+        return self._document_frequencies.get(keyword, 0)
+
+    def idf(self, keyword: str) -> float:
+        """Inverse document frequency of ``keyword``.
+
+        Unseen keywords get an IDF of 0 so they simply do not contribute.
+        """
+        frequency = self.document_frequency(keyword)
+        if frequency <= 0:
+            return 0.0
+        if self._smoothed:
+            return math.log(1.0 + self._total_documents / frequency)
+        return 1.0 / frequency
+
+    def score(self, term_frequency: Mapping[str, int], keywords: Iterable[str]) -> float:
+        """TF-IDF score of a document (given as a TF map) for ``keywords``."""
+        total = 0.0
+        for keyword in set(keywords):
+            frequency = term_frequency.get(keyword, 0)
+            if frequency:
+                total += frequency * self.idf(keyword)
+        return total
+
+    def score_text(self, text: str, keywords: Iterable[str]) -> float:
+        """Convenience wrapper scoring raw ``text``."""
+        return self.score(term_frequencies(text), keywords)

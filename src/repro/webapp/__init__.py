@@ -1,0 +1,25 @@
+"""Web-application substrate.
+
+Models the execution environment that produces db-pages (Section III): a web
+application receives a query string, parses it into query parameters,
+evaluates its application query against the backend database and renders the
+result as an HTML page.  The package also provides a simulated
+:class:`~repro.webapp.server.WebServer` so that URLs suggested by Dash (and
+trial query strings submitted by the surfacing baseline) can actually be
+dereferenced into pages.
+"""
+
+from repro.webapp.application import WebApplication, coerce_bindings
+from repro.webapp.rendering import DbPage, render_page
+from repro.webapp.request import QueryString, QueryStringSpec
+from repro.webapp.server import WebServer
+
+__all__ = [
+    "DbPage",
+    "QueryString",
+    "QueryStringSpec",
+    "WebApplication",
+    "WebServer",
+    "coerce_bindings",
+    "render_page",
+]

@@ -1,0 +1,172 @@
+"""The web-application execution model (Section III, Figure 3).
+
+A :class:`WebApplication` wraps one parameterized PSJ query behind a
+query-string interface: given a query string it (a) parses the string into
+parameter values, (b) evaluates the application query on the backend database
+and (c) renders the result as an HTML db-page.
+
+Applications can be constructed directly from a query plus a
+:class:`~repro.webapp.request.QueryStringSpec`, or recovered from servlet-like
+source text by :mod:`repro.analysis` — the route Dash itself takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.db.errors import QueryError
+from repro.db.query import BetweenCondition, Comparison, Parameter, ParameterizedPSJQuery
+from repro.db.types import AttributeType
+from repro.webapp.rendering import DbPage, render_page
+from repro.webapp.request import QueryString, QueryStringSpec
+
+
+def parameter_types(query: ParameterizedPSJQuery, database: Database) -> Dict[str, AttributeType]:
+    """The attribute domain each query parameter is compared against.
+
+    Used to coerce the string values arriving in query strings into the types
+    the selection conditions expect (a query string always carries text).
+    """
+    types: Dict[str, AttributeType] = {}
+    for condition in query.conditions:
+        attribute_type = _attribute_type(database, query, condition.attribute)
+        if isinstance(condition, Comparison):
+            for name in condition.parameters():
+                types[name] = attribute_type
+        elif isinstance(condition, BetweenCondition):
+            for name in condition.parameters():
+                types[name] = attribute_type
+    return types
+
+
+def _attribute_type(database: Database, query: ParameterizedPSJQuery, attribute: str) -> AttributeType:
+    for relation_name in query.operand_relations:
+        schema = database.relation(relation_name).schema
+        if schema.has_attribute(attribute):
+            return schema.attribute(attribute).type
+    raise QueryError(f"attribute {attribute!r} not found in operand relations of {query.name!r}")
+
+
+def coerce_bindings(
+    query: ParameterizedPSJQuery,
+    database: Database,
+    raw_bindings: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Coerce string-valued bindings into the attribute domains they compare against."""
+    types = parameter_types(query, database)
+    coerced: Dict[str, Any] = {}
+    for name, value in raw_bindings.items():
+        attribute_type = types.get(name)
+        coerced[name] = attribute_type.coerce(value) if attribute_type is not None else value
+    return coerced
+
+
+@dataclass
+class WebApplication:
+    """A database-backed web application.
+
+    Parameters
+    ----------
+    name:
+        Application name (``Search`` in the running example).
+    uri:
+        Base URI the application is served at
+        (``www.example.com/Search``); db-page URLs are ``uri?query-string``.
+    query:
+        The application's parameterized PSJ query.
+    query_string_spec:
+        How query-string fields map to query parameters.
+    source:
+        Optional servlet-like source text (what the analyzer consumes).
+    """
+
+    name: str
+    uri: str
+    query: ParameterizedPSJQuery
+    query_string_spec: QueryStringSpec
+    source: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # execution model
+    # ------------------------------------------------------------------
+    def parse_query_string(self, query_string: Any, database: Database) -> Dict[str, Any]:
+        """Step (a): query string → typed parameter bindings."""
+        raw = self.query_string_spec.parse(query_string)
+        return coerce_bindings(self.query, database, raw)
+
+    def generate_page(self, database: Database, query_string: Any) -> DbPage:
+        """Steps (a)–(c): produce the db-page for ``query_string``."""
+        if isinstance(query_string, QueryString):
+            query_string_text = str(query_string)
+        else:
+            query_string_text = str(query_string).lstrip("?")
+        bindings = self.parse_query_string(query_string_text, database)
+        result = self.query.evaluate(database, bindings)
+        url = self.url_for_query_string(query_string_text)
+        return render_page(url, f"{self.name} results", result)
+
+    # ------------------------------------------------------------------
+    # URL helpers (reverse query-string parsing lives in repro.core.urls,
+    # which calls format_url with derived bindings)
+    # ------------------------------------------------------------------
+    def url_for_query_string(self, query_string: Any) -> str:
+        return f"{self.uri}?{query_string}"
+
+    def url_for_bindings(self, bindings: Mapping[str, Any]) -> str:
+        """URL generating the db-page for ``bindings`` (reverse parsing)."""
+        return self.url_for_query_string(self.query_string_spec.format(bindings))
+
+    def query_string_for_bindings(self, bindings: Mapping[str, Any]) -> QueryString:
+        return self.query_string_spec.format(bindings)
+
+    # ------------------------------------------------------------------
+    def enumerate_query_strings(self, database: Database) -> List[QueryString]:
+        """Every query string deducible from the database contents.
+
+        This is the exhaustive enumeration Section IV argues is infeasible at
+        scale; it backs the materialize-all baseline and small-data tests.
+        Equality parameters range over the distinct values of their selection
+        attribute; BETWEEN parameter pairs range over ordered pairs of distinct
+        values of theirs.
+        """
+        per_parameter: List[Tuple[str, List[Any]]] = []
+        joined = self.query.join_operands(database)
+        for condition in self.query.conditions:
+            attribute = self.query.resolve_attribute(joined.schema, condition.attribute)
+            values = joined.distinct_values(attribute)
+            if isinstance(condition, BetweenCondition):
+                low_name, high_name = condition.parameters()
+                per_parameter.append((low_name, values))
+                per_parameter.append((high_name, values))
+            else:
+                for name in condition.parameters():
+                    per_parameter.append((name, values))
+
+        query_strings: List[QueryString] = []
+        for bindings in _enumerate_bindings(per_parameter):
+            if self._valid_range_bindings(bindings):
+                query_strings.append(self.query_string_spec.format(bindings))
+        return query_strings
+
+    def _valid_range_bindings(self, bindings: Mapping[str, Any]) -> bool:
+        for condition in self.query.conditions:
+            if isinstance(condition, BetweenCondition):
+                names = condition.parameters()
+                if len(names) == 2 and bindings[names[0]] > bindings[names[1]]:
+                    return False
+        return True
+
+
+def _enumerate_bindings(per_parameter: Sequence[Tuple[str, List[Any]]]) -> List[Dict[str, Any]]:
+    bindings_list: List[Dict[str, Any]] = [{}]
+    for name, values in per_parameter:
+        expanded: List[Dict[str, Any]] = []
+        for partial in bindings_list:
+            for value in values:
+                candidate = dict(partial)
+                candidate[name] = value
+                expanded.append(candidate)
+        bindings_list = expanded
+    return bindings_list

@@ -1,0 +1,91 @@
+"""Db-page rendering: turning a query result into an HTML page.
+
+Step (c) of the generalized execution model (Section III): the application
+query result is formatted as an HTML table and returned to the browser.  The
+textual content of the page — the thing search engines index — is exactly the
+projected attribute values of the result records, which is also what Dash's
+db-page fragments carry.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.query import QueryResult
+from repro.text.tokenizer import count_keywords, tokenize
+
+
+@dataclass(frozen=True)
+class DbPage:
+    """A database-generated dynamic web page.
+
+    ``url`` is the application URI with its query string appended; ``text`` is
+    the page's plain-text content (projected attribute values); ``html`` is
+    the rendered table the simulated web server returns.
+    """
+
+    url: str
+    title: str
+    text: str
+    html: str
+    record_count: int
+
+    def keywords(self) -> List[str]:
+        """All keywords of the page content."""
+        return tokenize(self.text)
+
+    def term_frequencies(self) -> Dict[str, int]:
+        """Keyword occurrence counts of the page content."""
+        return count_keywords(self.keywords())
+
+    def size_in_words(self) -> int:
+        """Number of keyword occurrences (the paper's db-page size measure)."""
+        return len(self.keywords())
+
+    def contains_keyword(self, keyword: str) -> bool:
+        return keyword.lower() in self.term_frequencies()
+
+    def __len__(self) -> int:
+        return self.record_count
+
+
+def render_page(url: str, title: str, result: QueryResult) -> DbPage:
+    """Render ``result`` into a :class:`DbPage` served at ``url``."""
+    column_names = result.schema.attribute_names
+    text_lines: List[str] = []
+    html_rows: List[str] = []
+    for record in result:
+        values = record.text_values()
+        text_lines.append(" ".join(values))
+        cells = "".join(f"<td>{html.escape(str(value))}</td>"
+                        for value in (record[name] if record[name] is not None else ""
+                                      for name in column_names))
+        html_rows.append(f"<tr>{cells}</tr>")
+
+    header = "".join(f"<th>{html.escape(name)}</th>" for name in column_names)
+    body = "\n".join(html_rows)
+    page_html = (
+        f"<html><head><title>{html.escape(title)}</title></head><body>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        f"<table>\n<tr>{header}</tr>\n{body}\n</table>\n"
+        f"</body></html>"
+    )
+    return DbPage(
+        url=url,
+        title=title,
+        text="\n".join(text_lines),
+        html=page_html,
+        record_count=len(result),
+    )
+
+
+def page_signature(page: DbPage) -> Tuple[str, ...]:
+    """A content signature used to detect duplicate/overlapping pages.
+
+    Two db-pages generated from the same records have identical signatures
+    regardless of their URLs — the surfacing baseline uses this to discard
+    pages with identical contents.
+    """
+    return tuple(sorted(line for line in page.text.splitlines() if line.strip()))

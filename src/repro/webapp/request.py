@@ -1,0 +1,136 @@
+"""Query strings and the query-string ⇄ parameter mapping.
+
+A *query string* is the ``c=American&l=10&u=15`` part of a db-page URL.  A
+:class:`QueryStringSpec` records how an application's query-string fields map
+to the parameters of its PSJ query (the output of the web-application
+analysis), in both directions:
+
+* ``parse``: query string → parameter bindings (what the application does at
+  request time, step (a) of the execution model), and
+* ``format``: parameter bindings → query string (the *reverse query-string
+  parsing* Dash uses to suggest URLs, Section III).
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class QueryStringError(Exception):
+    """Raised for malformed query strings or incomplete bindings."""
+
+
+@dataclass(frozen=True)
+class QueryString:
+    """An ordered multiset of ``field=value`` pairs."""
+
+    pairs: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "QueryString":
+        """Parse ``"c=American&l=10&u=15"`` (percent-encoding is honoured)."""
+        if text is None:
+            raise QueryStringError("query string must not be None")
+        text = text.lstrip("?")
+        pairs: List[Tuple[str, str]] = []
+        if text:
+            for chunk in text.split("&"):
+                if not chunk:
+                    continue
+                if "=" not in chunk:
+                    raise QueryStringError(f"malformed query-string component {chunk!r}")
+                field, value = chunk.split("=", 1)
+                pairs.append((urllib.parse.unquote_plus(field), urllib.parse.unquote_plus(value)))
+        return cls(tuple(pairs))
+
+    def get(self, field: str) -> Optional[str]:
+        """The first value of ``field`` or ``None``."""
+        for name, value in self.pairs:
+            if name == field:
+                return value
+        return None
+
+    def as_dict(self) -> Dict[str, str]:
+        return {field: value for field, value in self.pairs}
+
+    def __str__(self) -> str:
+        return "&".join(
+            f"{urllib.parse.quote_plus(field)}={urllib.parse.quote_plus(str(value))}"
+            for field, value in self.pairs
+        )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class QueryStringSpec:
+    """Mapping between query-string fields and query parameters.
+
+    ``fields`` is an ordered sequence of ``(field, parameter)`` pairs, e.g.
+    ``(("c", "cuisine"), ("l", "min"), ("u", "max"))`` for the paper's
+    ``Search`` application.
+    """
+
+    fields: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        field_names = [field for field, _parameter in self.fields]
+        parameter_names = [parameter for _field, parameter in self.fields]
+        if len(set(field_names)) != len(field_names):
+            raise QueryStringError("duplicate query-string field in spec")
+        if len(set(parameter_names)) != len(parameter_names):
+            raise QueryStringError("duplicate parameter in query-string spec")
+
+    # ------------------------------------------------------------------
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(field for field, _parameter in self.fields)
+
+    @property
+    def parameter_names(self) -> Tuple[str, ...]:
+        return tuple(parameter for _field, parameter in self.fields)
+
+    def field_for(self, parameter: str) -> str:
+        """The query-string field carrying ``parameter``."""
+        for field, name in self.fields:
+            if name == parameter:
+                return field
+        raise QueryStringError(f"no query-string field maps to parameter {parameter!r}")
+
+    def parameter_for(self, field: str) -> str:
+        """The parameter carried by ``field``."""
+        for name, parameter in self.fields:
+            if name == field:
+                return parameter
+        raise QueryStringError(f"unknown query-string field {field!r}")
+
+    # ------------------------------------------------------------------
+    def parse(self, query_string: Any) -> Dict[str, str]:
+        """Query string → raw (string-valued) parameter bindings."""
+        if isinstance(query_string, str):
+            query_string = QueryString.parse(query_string)
+        bindings: Dict[str, str] = {}
+        for field, parameter in self.fields:
+            value = query_string.get(field)
+            if value is None:
+                raise QueryStringError(f"query string is missing required field {field!r}")
+            bindings[parameter] = value
+        return bindings
+
+    def format(self, bindings: Mapping[str, Any]) -> QueryString:
+        """Parameter bindings → query string (reverse query-string parsing)."""
+        pairs: List[Tuple[str, str]] = []
+        for field, parameter in self.fields:
+            if parameter not in bindings:
+                raise QueryStringError(f"missing binding for parameter {parameter!r}")
+            pairs.append((field, _render_value(bindings[parameter])))
+        return QueryString(tuple(pairs))
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,105 @@
+"""A simulated web server hosting database-backed applications.
+
+The server resolves a full db-page URL (``www.example.com/Search?c=...``) to
+the hosted application and lets it generate the page against the backend
+database.  Dash never needs the server while crawling (it works directly from
+the application code and the database), but the server is essential for
+
+* validating that URLs suggested by the top-k search really generate db-pages
+  containing the queried keywords, and
+* the trial-query-string *surfacing* baseline of Section I, which can only
+  discover pages by invoking the applications.
+
+The server counts every invocation so experiments can report how many
+application executions each approach causes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.webapp.application import WebApplication
+from repro.webapp.rendering import DbPage
+
+
+class WebServerError(Exception):
+    """Raised for unknown applications or malformed URLs."""
+
+
+class WebServer:
+    """Hosts :class:`WebApplication` instances over one backend database."""
+
+    def __init__(self, database: Database, host: str = "www.example.com") -> None:
+        self.database = database
+        self.host = host
+        self._applications: Dict[str, WebApplication] = {}
+        self.invocation_count = 0
+        self.pages_served = 0
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def deploy(self, application: WebApplication) -> WebApplication:
+        """Deploy ``application``; its URI must live under this server's host."""
+        if not application.uri.startswith(self.host):
+            raise WebServerError(
+                f"application URI {application.uri!r} does not belong to host {self.host!r}"
+            )
+        path = self._path_of(application.uri)
+        if path in self._applications:
+            raise WebServerError(f"an application is already deployed at {path!r}")
+        self._applications[path] = application
+        return application
+
+    def applications(self) -> Tuple[WebApplication, ...]:
+        return tuple(self._applications.values())
+
+    def application_at(self, uri: str) -> WebApplication:
+        path = self._path_of(uri)
+        try:
+            return self._applications[path]
+        except KeyError:
+            raise WebServerError(f"no application deployed at {path!r}") from None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def get(self, url: str) -> DbPage:
+        """Dereference a db-page URL (GET semantics)."""
+        uri, query_string = self._split_url(url)
+        application = self.application_at(uri)
+        self.invocation_count += 1
+        page = application.generate_page(self.database, query_string)
+        self.pages_served += 1
+        return page
+
+    def post(self, uri: str, form_fields: Dict[str, str]) -> DbPage:
+        """Submit ``form_fields`` to the application at ``uri`` (POST semantics).
+
+        The paper notes Dash supports both GET and POST; a POST submission is
+        simply a query string carried in the request body.
+        """
+        query_string = "&".join(f"{field}={value}" for field, value in form_fields.items())
+        application = self.application_at(uri)
+        self.invocation_count += 1
+        page = application.generate_page(self.database, query_string)
+        self.pages_served += 1
+        return page
+
+    # ------------------------------------------------------------------
+    def _split_url(self, url: str) -> Tuple[str, str]:
+        if "?" not in url:
+            raise WebServerError(f"db-page URL {url!r} carries no query string")
+        uri, query_string = url.split("?", 1)
+        return uri, query_string
+
+    def _path_of(self, uri: str) -> str:
+        if uri.startswith(self.host):
+            return uri[len(self.host):] or "/"
+        return uri
+
+    def reset_counters(self) -> None:
+        """Zero the invocation counters (between experiment runs)."""
+        self.invocation_count = 0
+        self.pages_served = 0

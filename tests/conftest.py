@@ -1,0 +1,86 @@
+"""Shared fixtures: the fooddb running example and small TPC-H datasets.
+
+Session-scoped fixtures keep the expensive pieces (TPC-H generation, crawls)
+to one construction per test run; tests must treat them as read-only (tests
+that mutate data build their own databases).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.analyzer import ApplicationAnalyzer
+from repro.core.engine import DashEngine
+from repro.datasets.fooddb import (
+    FOODDB_SEARCH_SERVLET_SOURCE,
+    build_fooddb,
+    fooddb_search_query,
+)
+from repro.datasets.tpch import TINY, build_tpch, tpch_queries
+from repro.webapp.application import WebApplication
+from repro.webapp.request import QueryStringSpec
+from repro.webapp.server import WebServer
+
+FOODDB_URI = "www.example.com/Search"
+
+
+@pytest.fixture(scope="session")
+def fooddb():
+    """The paper's running-example database (read-only)."""
+    return build_fooddb()
+
+
+@pytest.fixture(scope="session")
+def search_query(fooddb):
+    """The Search application's parameterized PSJ query."""
+    return fooddb_search_query(fooddb)
+
+
+@pytest.fixture(scope="session")
+def search_spec():
+    """The Search application's query-string field mapping (Figure 3)."""
+    return QueryStringSpec((("c", "cuisine"), ("l", "min"), ("u", "max")))
+
+
+@pytest.fixture(scope="session")
+def search_application(fooddb, search_query, search_spec):
+    """The Search web application, with its servlet source attached."""
+    return WebApplication(
+        name="Search",
+        uri=FOODDB_URI,
+        query=search_query,
+        query_string_spec=search_spec,
+        source=FOODDB_SEARCH_SERVLET_SOURCE,
+    )
+
+
+@pytest.fixture(scope="session")
+def analyzed_search(fooddb):
+    """The Search application as recovered by the static analyzer."""
+    return ApplicationAnalyzer(fooddb).analyze(FOODDB_SEARCH_SERVLET_SOURCE, name="Search")
+
+
+@pytest.fixture(scope="session")
+def fooddb_server(fooddb, search_application):
+    """A simulated web server hosting the Search application over fooddb."""
+    server = WebServer(fooddb, host="www.example.com")
+    server.deploy(search_application)
+    return server
+
+
+@pytest.fixture(scope="session")
+def fooddb_engine(fooddb, search_application):
+    """A Dash engine built over fooddb with the integrated crawler."""
+    return DashEngine.build(search_application, fooddb, algorithm="integrated")
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch():
+    """A very small TPC-H-like database (schema-faithful, minutes of rows)."""
+    return build_tpch(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch_queries(tiny_tpch):
+    """Q1/Q2/Q3 parsed against the tiny TPC-H database."""
+    return tpch_queries(tiny_tpch)

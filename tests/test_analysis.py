@@ -1,0 +1,154 @@
+"""Tests for the web-application analyzer (data flow + symbolic execution)."""
+
+import pytest
+
+from repro.analysis import (
+    ApplicationAnalyzer,
+    DataFlowAnalysis,
+    ServletSource,
+    make_servlet_source,
+    symbolic_sql,
+)
+from repro.analysis.analyzer import AnalysisError
+from repro.analysis.symbolic import SymbolicExecutionError, evaluate_concatenation
+from repro.datasets.fooddb import FOODDB_SEARCH_SERVLET_SOURCE
+from repro.datasets.tpch import TPCH_QUERY_SQL
+
+
+class TestServletSource:
+    def test_class_name(self):
+        source = ServletSource(FOODDB_SEARCH_SERVLET_SOURCE)
+        assert source.class_name == "Search"
+
+    def test_statement_splitting_respects_string_literals(self):
+        source = ServletSource("String q = 'a; b'; int x = 1;")
+        assert len(source) == 2
+
+    def test_comments_are_stripped(self):
+        source = ServletSource("// comment; with; semicolons\nint x = 1;")
+        assert len(source) == 1
+
+    def test_make_servlet_source_roundtrip_structure(self):
+        text = make_servlet_source(
+            "Probe", [("a", "alpha"), ("b", "beta")],
+            "SELECT * FROM t WHERE x = $alpha AND y BETWEEN $beta AND $beta",
+        )
+        assert "public class Probe" in text
+        assert "q.getParameter('a')" in text
+        assert "executeQuery(Q)" in text
+
+    def test_make_servlet_source_rejects_unknown_variable(self):
+        with pytest.raises(ValueError):
+            make_servlet_source("Probe", [("a", "alpha")], "SELECT * FROM t WHERE x = $ghost")
+
+
+class TestDataFlow:
+    def test_get_parameter_bindings(self):
+        source = ServletSource(FOODDB_SEARCH_SERVLET_SOURCE)
+        flow = DataFlowAnalysis.analyze(source)
+        assert flow.field_variable_pairs() == (("c", "cuisine"), ("l", "min"), ("u", "max"))
+
+    def test_copy_propagation(self):
+        source = ServletSource(
+            "String raw = q.getParameter('x'); String alias = raw; Q = 'SELECT';"
+        )
+        flow = DataFlowAnalysis.analyze(source)
+        assert flow.field_of("alias") == "x"
+
+    def test_untracked_variable(self):
+        source = ServletSource(FOODDB_SEARCH_SERVLET_SOURCE)
+        flow = DataFlowAnalysis.analyze(source)
+        assert flow.field_of("cn") is None
+
+
+class TestSymbolicExecution:
+    def test_concatenation_with_symbols(self):
+        result = evaluate_concatenation("'SELECT x WHERE a = ' + p", {"p"})
+        assert result.text == "SELECT x WHERE a = $p"
+        assert result.parameters == ("p",)
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(SymbolicExecutionError):
+            evaluate_concatenation("'SELECT ' + mystery", {"p"})
+
+    def test_quoted_symbol_normalisation(self):
+        source = ServletSource(FOODDB_SEARCH_SERVLET_SOURCE)
+        flow = DataFlowAnalysis.analyze(source)
+        symbolic = symbolic_sql(source, flow.variables())
+        normalized = symbolic.normalized_sql()
+        assert "$cuisine" in normalized and '"$cuisine"' not in normalized
+
+    def test_incremental_query_building(self):
+        source = ServletSource(
+            "String a = q.getParameter('a');"
+            "Q = 'SELECT * FROM t WHERE ';"
+            "Q = Q + 'x = ' + a;"
+            "ResultSet r = s.executeQuery(Q);"
+        )
+        flow = DataFlowAnalysis.analyze(source)
+        assert symbolic_sql(source, flow.variables()).text == "SELECT * FROM t WHERE x = $a"
+
+    def test_missing_execute_query(self):
+        source = ServletSource("String a = q.getParameter('a'); Q = 'SELECT';")
+        with pytest.raises(SymbolicExecutionError):
+            symbolic_sql(source, ["a"])
+
+
+class TestApplicationAnalyzer:
+    def test_analyze_search_servlet(self, analyzed_search, search_query):
+        assert analyzed_search.name == "Search"
+        assert analyzed_search.query.selection_attributes == search_query.selection_attributes
+        assert analyzed_search.query_string_spec.fields == (
+            ("c", "cuisine"), ("l", "min"), ("u", "max"),
+        )
+
+    def test_analyzed_query_evaluates_like_reference(self, fooddb, analyzed_search, search_query):
+        bindings = {"cuisine": "American", "min": 10, "max": 15}
+        recovered = analyzed_search.query.evaluate(fooddb, bindings)
+        reference = search_query.evaluate(fooddb, bindings)
+        assert len(recovered) == len(reference)
+
+    def test_parameter_fields(self, analyzed_search):
+        assert analyzed_search.parameter_fields() == {"cuisine": "c", "min": "l", "max": "u"}
+
+    def test_to_web_application(self, fooddb, analyzed_search):
+        app = analyzed_search.to_web_application("www.example.com/Search")
+        page = app.generate_page(fooddb, "c=Thai&l=10&u=10")
+        assert page.record_count == 2
+
+    def test_analyzer_on_generated_tpch_servlets(self, tiny_tpch):
+        analyzer = ApplicationAnalyzer(tiny_tpch)
+        for name, sql in TPCH_QUERY_SQL.items():
+            template = sql.replace("$r", "$r").replace("$min", "$min").replace("$max", "$max")
+            source = make_servlet_source(
+                name, [("r", "r"), ("lo", "min"), ("hi", "max")], template
+            )
+            analyzed = analyzer.analyze(source, name=name)
+            assert analyzed.query.parameters() == ("r", "min", "max")
+            assert analyzed.query_string_spec.field_names == ("r", "lo", "hi")
+
+    def test_source_without_get_parameter(self, fooddb):
+        with pytest.raises(AnalysisError):
+            ApplicationAnalyzer(fooddb).analyze("public class X { Q = 'SELECT'; }")
+
+    def test_source_with_unparseable_sql(self, fooddb):
+        source = (
+            "public class X { String a = q.getParameter('a');"
+            " Q = 'DELETE FROM restaurant WHERE cuisine = ' + a;"
+            " ResultSet r = s.executeQuery(Q); }"
+        )
+        with pytest.raises(AnalysisError):
+            ApplicationAnalyzer(fooddb).analyze(source)
+
+    def test_application_without_source(self, fooddb, search_application):
+        from repro.webapp import WebApplication
+
+        bare = WebApplication(
+            name="Bare",
+            uri="www.example.com/Bare",
+            query=search_application.query,
+            query_string_spec=search_application.query_string_spec,
+            source=None,
+        )
+        with pytest.raises(AnalysisError):
+            ApplicationAnalyzer(fooddb).analyze_application(bare)

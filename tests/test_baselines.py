@@ -1,0 +1,159 @@
+"""Tests for the baseline approaches the paper positions Dash against."""
+
+import pytest
+
+from repro.baselines import (
+    MaterializedPageSearch,
+    RelationalKeywordSearch,
+    SingleRelationSearch,
+    SurfacingCrawler,
+)
+from repro.webapp.rendering import page_signature
+from repro.webapp.server import WebServer
+
+
+class TestMaterializedPageSearch:
+    @pytest.fixture(scope="class")
+    def built(self, fooddb, search_application):
+        baseline = MaterializedPageSearch(search_application, fooddb)
+        baseline.build()
+        return baseline
+
+    def test_generates_non_empty_pages_only(self, built):
+        assert built.report.pages_generated > 0
+        assert all(page.record_count > 0 for page in built.pages.values())
+
+    def test_search_returns_overlapping_pages(self, built):
+        """Section I: P1 and P2 overlap and both get returned for "burger"."""
+        results = built.search(["burger"], k=10)
+        assert len(results) >= 2
+        assert built.redundancy_of_results(results) > 0.0
+
+    def test_search_before_build_rejected(self, fooddb, search_application):
+        with pytest.raises(RuntimeError):
+            MaterializedPageSearch(search_application, fooddb).search(["x"])
+
+    def test_max_pages_cap(self, fooddb, search_application):
+        capped = MaterializedPageSearch(search_application, fooddb)
+        report = capped.build(max_pages=3)
+        assert report.pages_generated <= 3
+
+    def test_index_larger_than_fragment_index(self, built, fooddb_engine):
+        """The motivation for fragments: indexing every overlapping db-page
+        costs far more postings than indexing disjoint fragments."""
+        assert built.report.total_page_keywords > sum(
+            fooddb_engine.index.fragment_sizes.values()
+        )
+        assert built.index.approximate_bytes() > fooddb_engine.index.approximate_bytes()
+
+
+class TestRelationalKeywordSearch:
+    def test_matching_records(self, fooddb):
+        baseline = RelationalKeywordSearch(fooddb)
+        matches = baseline.matching_records("comment", ["burger"])
+        assert {record["cid"] for record in matches} == {"201", "202", "205"}
+
+    def test_search_returns_joined_records(self, fooddb):
+        baseline = RelationalKeywordSearch(fooddb)
+        results = baseline.search(["burger"])
+        assert len(results) == 4  # records 001, 201, 202, 205 (paper Section II)
+        texts = [result.text() for result in results]
+        assert any("Burger Queen" in text for text in texts)
+
+    def test_results_expose_surrogate_keys(self, fooddb):
+        """The defect the paper points out: raw keys show up in results."""
+        baseline = RelationalKeywordSearch(fooddb)
+        result = baseline.search(["burger"])[0]
+        assert any(name.endswith(".rid") or name.endswith(".uid") for name, _v in result.values)
+
+    def test_results_ranked_by_score(self, fooddb):
+        baseline = RelationalKeywordSearch(fooddb)
+        results = baseline.search(["burger", "fries"])
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_truncates(self, fooddb):
+        baseline = RelationalKeywordSearch(fooddb)
+        assert len(baseline.search(["burger"], k=2)) == 2
+
+
+class TestSingleRelationSearch:
+    @pytest.fixture(scope="class")
+    def built(self, fooddb, search_query):
+        baseline = SingleRelationSearch(search_query, fooddb)
+        baseline.build()
+        return baseline
+
+    def test_derived_relation_size(self, built):
+        assert built.record_count() == 8  # the joined result of Figure 5
+
+    def test_search_returns_individual_records_not_pages(self, built):
+        results = built.search(["burger"], k=10)
+        assert results
+        # each result is one derived record; Wandy's two comments stay separate
+        wandys = [record for record, _score in results if record["name"] == "Wandy's"]
+        assert len(wandys) >= 1
+        assert all(record.schema.has_attribute("uname") for record, _score in results)
+
+    def test_search_before_build_rejected(self, fooddb, search_query):
+        with pytest.raises(RuntimeError):
+            SingleRelationSearch(search_query, fooddb).search(["x"])
+
+
+class TestSurfacingCrawler:
+    def _fresh_server(self, fooddb, search_application):
+        server = WebServer(fooddb, host="www.example.com")
+        server.deploy(search_application)
+        return server
+
+    def test_crawl_with_true_domains_discovers_pages(self, fooddb, search_application):
+        server = self._fresh_server(fooddb, search_application)
+        crawler = SurfacingCrawler(server, search_application)
+        report = crawler.crawl_with_values(
+            {"c": ["American", "Thai"], "l": [9, 10, 12, 18], "u": [9, 10, 12, 18]}
+        )
+        assert report.trial_query_strings == 2 * 4 * 4
+        assert report.application_invocations == report.trial_query_strings
+        assert report.indexed_pages > 0
+        assert report.empty_pages > 0        # l > u trials generate empty pages
+        assert report.duplicate_pages > 0    # different ranges, identical contents
+
+    def test_crawl_with_bad_guesses_finds_little(self, fooddb, search_application):
+        server = self._fresh_server(fooddb, search_application)
+        crawler = SurfacingCrawler(server, search_application)
+        report = crawler.crawl_with_values({"c": ["French"], "l": [1], "u": [2]})
+        assert report.indexed_pages == 0
+        assert report.empty_pages == 1
+
+    def test_coverage_metric(self, fooddb, search_application):
+        server = self._fresh_server(fooddb, search_application)
+        crawler = SurfacingCrawler(server, search_application)
+        crawler.crawl_with_values({"c": ["Thai"], "l": [10], "u": [10]})
+        universe = [
+            page_signature(search_application.generate_page(fooddb, qs))
+            for qs in search_application.enumerate_query_strings(fooddb)
+        ]
+        coverage = crawler.coverage_of(universe)
+        assert 0.0 < coverage < 1.0
+
+    def test_max_trials_caps_invocations(self, fooddb, search_application):
+        server = self._fresh_server(fooddb, search_application)
+        crawler = SurfacingCrawler(server, search_application)
+        report = crawler.crawl_with_values(
+            {"c": ["American", "Thai"], "l": [9, 10, 12], "u": [9, 10, 12]}, max_trials=5
+        )
+        assert report.trial_query_strings == 5
+
+    def test_missing_field_values_rejected(self, fooddb, search_application):
+        server = self._fresh_server(fooddb, search_application)
+        crawler = SurfacingCrawler(server, search_application)
+        with pytest.raises(ValueError):
+            crawler.crawl_with_values({"c": ["Thai"]})
+
+    def test_search_over_discovered_pages(self, fooddb, search_application):
+        server = self._fresh_server(fooddb, search_application)
+        crawler = SurfacingCrawler(server, search_application)
+        crawler.crawl_with_values({"c": ["American"], "l": [9, 10, 12, 18], "u": [9, 10, 12, 18]})
+        results = crawler.search(["burger"], k=3)
+        assert results
+        assert all("c=American" in url for url, _score in results)

@@ -1,0 +1,77 @@
+"""Tests for the benchmark-support package (settings, reporting, harness)."""
+
+import pytest
+
+from repro.bench.harness import calibrated_runtime, run_crawl
+from repro.bench.reporting import format_table, print_table
+from repro.bench.settings import (
+    DATASET_NAMES,
+    K_VALUES,
+    KEYWORD_TEMPERATURES,
+    QUERY_NAMES,
+    SIZE_THRESHOLDS,
+    default_settings,
+    quick_settings,
+)
+from repro.datasets.tpch import TINY, build_tpch, tpch_queries
+
+
+class TestSettings:
+    def test_table1_parameter_space(self):
+        """Table I: the experiment parameter space is reproduced verbatim."""
+        assert DATASET_NAMES == ("small", "medium", "large")
+        assert QUERY_NAMES == ("Q1", "Q2", "Q3")
+        assert K_VALUES == (1, 5, 10, 20)
+        assert SIZE_THRESHOLDS == (100, 200, 500, 1000)
+        assert KEYWORD_TEMPERATURES == ("cold", "warm", "hot")
+
+    def test_default_settings_honour_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert default_settings().dataset_scale == 0.5
+
+    def test_quick_settings_are_smaller(self):
+        quick = quick_settings()
+        assert quick.dataset_scale < 1.0
+        assert len(quick.datasets) < len(default_settings().datasets)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["name", "value"], [("a", 1), ("long-name", 12345)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # all data rows align on the separator width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_format_table_number_rendering(self):
+        text = format_table(["x"], [(1234567,), (0.00042,), (3.14159,)])
+        assert "1,234,567" in text
+        assert "0.00042" in text
+        assert "3.14" in text
+
+    def test_print_table_goes_to_stdout(self, capsys):
+        print_table(["a"], [(1,)], title="demo")
+        captured = capsys.readouterr()
+        assert "demo" in captured.out
+
+
+class TestHarness:
+    def test_calibrated_runtime_shape(self):
+        runtime = calibrated_runtime(num_nodes=2, data_time_scale=10.0)
+        assert len(runtime.cluster) == 2
+        assert runtime.cost_model.data_time_scale == 10.0
+
+    def test_run_crawl_uses_the_cache(self):
+        database = build_tpch(TINY)
+        databases = {"tiny": database}
+        query_sets = {"tiny": tpch_queries(database)}
+        cache = {}
+        first = run_crawl(cache, databases, query_sets, "tiny", "Q1", "integrated")
+        second = run_crawl(cache, databases, query_sets, "tiny", "Q1", "integrated")
+        assert first is second
+        assert len(cache) == 1
+        other = run_crawl(cache, databases, query_sets, "tiny", "Q1", "stepwise")
+        assert other is not first
+        assert dict(other.index.iter_items()) == dict(first.index.iter_items())

@@ -1,0 +1,119 @@
+"""Tests for the MapReduce crawling/indexing algorithms (stepwise vs integrated)."""
+
+import pytest
+
+from repro.core.crawler import IntegratedCrawler, QueryLayout, StepwiseCrawler
+from repro.core.fragments import derive_fragments
+from repro.core.fragment_index import InvertedFragmentIndex
+from repro.datasets.tpch import TINY, build_tpch, tpch_queries
+from repro.mapreduce import Cluster, CostModel, DistributedFileSystem, MapReduceRuntime
+
+
+def _index_as_dict(index: InvertedFragmentIndex):
+    return {
+        keyword: tuple((tuple(p.document_id), p.term_frequency) for p in postings)
+        for keyword, postings in index.iter_items()
+    }
+
+
+class TestQueryLayout:
+    def test_contributed_and_projected_attributes(self, fooddb, search_query):
+        layout = QueryLayout(search_query, fooddb)
+        assert layout.projected["restaurant"] == ("name", "budget", "rate")
+        assert layout.projected["comment"] == ("comment", "date")
+        assert layout.projected["customer"] == ("uname",)
+        # right-hand join keys are dropped from the joined output
+        assert "rid" not in layout.contributed["comment"]
+        assert "uid" not in layout.contributed["customer"]
+
+    def test_selection_owners(self, fooddb, search_query):
+        layout = QueryLayout(search_query, fooddb)
+        assert layout.selection_owner == {"cuisine": "restaurant", "budget": "restaurant"}
+
+    def test_join_attributes(self, fooddb, search_query):
+        layout = QueryLayout(search_query, fooddb)
+        assert layout.join_attributes["restaurant"] == ("rid",)
+        assert set(layout.join_attributes["comment"]) == {"rid", "uid"}
+        assert layout.join_attributes["customer"] == ("uid",)
+
+    def test_fragment_identifier_extraction(self, fooddb, search_query):
+        layout = QueryLayout(search_query, fooddb)
+        assert layout.fragment_identifier({"cuisine": "Thai", "budget": 10}) == ("Thai", 10)
+        assert layout.fragment_identifier({"cuisine": None, "budget": 10}) is None
+
+    def test_tpch_q2_layout(self, tiny_tpch, tiny_tpch_queries):
+        layout = QueryLayout(tiny_tpch_queries["Q2"], tiny_tpch)
+        assert layout.selection_owner["c_custkey"] == "customer"
+        assert layout.selection_owner["l_quantity"] == "lineitem"
+        assert layout.compact_key_attributes("lineitem") == ("l_quantity", "l_orderkey")
+        # the surviving name of lineitem's dropped join key is orders' key
+        assert layout.surviving_name("l_orderkey") == "o_orderkey"
+
+
+class TestCrawlersOnFooddb:
+    @pytest.fixture(scope="class")
+    def reference(self, fooddb, search_query):
+        return InvertedFragmentIndex.from_fragments(derive_fragments(search_query, fooddb))
+
+    @pytest.fixture(scope="class")
+    def stepwise_result(self, fooddb, search_query):
+        return StepwiseCrawler(search_query, fooddb).crawl()
+
+    @pytest.fixture(scope="class")
+    def integrated_result(self, fooddb, search_query):
+        return IntegratedCrawler(search_query, fooddb).crawl()
+
+    def test_stepwise_matches_reference(self, stepwise_result, reference):
+        assert _index_as_dict(stepwise_result.index) == _index_as_dict(reference)
+
+    def test_integrated_matches_reference(self, integrated_result, reference):
+        assert _index_as_dict(integrated_result.index) == _index_as_dict(reference)
+
+    def test_fragment_sizes_preserved(self, integrated_result, reference):
+        assert integrated_result.index.fragment_sizes == reference.fragment_sizes
+
+    def test_stage_labels(self, stepwise_result, integrated_result):
+        assert set(stepwise_result.stage_seconds()) == {"join", "group", "index"}
+        assert set(integrated_result.stage_seconds()) == {"join", "extract", "consolidate"}
+
+    def test_metrics_are_populated(self, stepwise_result):
+        assert stepwise_result.simulated_seconds() > 0
+        assert stepwise_result.metrics.total_shuffle_bytes > 0
+        assert stepwise_result.export_bytes > 0
+
+    def test_integrated_join_stage_moves_less_data(self, stepwise_result, integrated_result):
+        """The integrated algorithm's core claim: projection attributes do not
+        travel through the join pipeline, so its join stage shuffles less."""
+        sw_join = stepwise_result.metrics.stage_shuffle_bytes()["join"]
+        int_join = integrated_result.metrics.stage_shuffle_bytes()["join"]
+        assert int_join < sw_join
+
+
+class TestCrawlersOnTpch:
+    @pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3"])
+    def test_equivalence_on_tiny_tpch(self, tiny_tpch, tiny_tpch_queries, query_name):
+        query = tiny_tpch_queries[query_name]
+        reference = InvertedFragmentIndex.from_fragments(derive_fragments(query, tiny_tpch))
+        stepwise = StepwiseCrawler(query, tiny_tpch).crawl()
+        integrated = IntegratedCrawler(query, tiny_tpch).crawl()
+        assert _index_as_dict(stepwise.index) == _index_as_dict(reference)
+        assert _index_as_dict(integrated.index) == _index_as_dict(reference)
+        assert stepwise.fragment_count == integrated.fragment_count == len(
+            derive_fragments(query, tiny_tpch)
+        )
+
+    def test_custom_runtime_and_reducer_count(self, tiny_tpch, tiny_tpch_queries):
+        cluster = Cluster.default(num_nodes=2)
+        runtime = MapReduceRuntime(cluster, DistributedFileSystem(cluster), CostModel(data_time_scale=10))
+        result = IntegratedCrawler(
+            tiny_tpch_queries["Q1"], tiny_tpch, runtime=runtime, num_reduce_tasks=2
+        ).crawl()
+        reference = InvertedFragmentIndex.from_fragments(
+            derive_fragments(tiny_tpch_queries["Q1"], tiny_tpch)
+        )
+        assert _index_as_dict(result.index) == _index_as_dict(reference)
+
+    def test_reduce_task_count_does_not_change_results(self, tiny_tpch, tiny_tpch_queries):
+        one = StepwiseCrawler(tiny_tpch_queries["Q2"], tiny_tpch, num_reduce_tasks=1).crawl()
+        eight = StepwiseCrawler(tiny_tpch_queries["Q2"], tiny_tpch, num_reduce_tasks=8).crawl()
+        assert _index_as_dict(one.index) == _index_as_dict(eight.index)

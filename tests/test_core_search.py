@@ -1,0 +1,203 @@
+"""Tests for relevance scoring, URL formulation and the top-k search (Algorithm 1)."""
+
+import pytest
+
+from repro.core.engine import DashEngine
+from repro.core.fragments import derive_fragments, fragment_sizes
+from repro.core.fragment_graph import FragmentGraph
+from repro.core.fragment_index import InvertedFragmentIndex
+from repro.core.scoring import DashScorer
+from repro.core.search import TopKSearcher
+from repro.core.urls import UrlFormulationError, UrlFormulator
+
+
+@pytest.fixture(scope="module")
+def built(fooddb, search_query, search_spec):
+    fragments = derive_fragments(search_query, fooddb)
+    index = InvertedFragmentIndex.from_fragments(fragments)
+    graph = FragmentGraph.build(search_query, fragment_sizes(fragments))
+    formulator = UrlFormulator(search_query, search_spec, "www.example.com/Search")
+    searcher = TopKSearcher(index, graph, formulator)
+    return index, graph, formulator, searcher
+
+
+class TestDashScorer:
+    def test_relevant_fragments_for_burger(self, built):
+        index, _graph, _formulator, _searcher = built
+        scorer = DashScorer(index, ["burger"])
+        assert set(scorer.relevant_fragments()) == {
+            ("American", 10), ("American", 12), ("Thai", 10),
+        }
+
+    def test_single_fragment_score_matches_example7(self, built):
+        """Example 7: TF of (American, 10) for "burger" is 2/8."""
+        index, _graph, _formulator, _searcher = built
+        scorer = DashScorer(index, ["burger"])
+        idf = index.idf("burger")
+        assert scorer.score([("American", 10)]) == pytest.approx((2 / 8) * idf)
+        assert scorer.score([("Thai", 10)]) == pytest.approx((1 / 10) * idf)
+
+    def test_merged_page_score_matches_example7(self, built):
+        """The merged (American, (10, 12)) page has TF 3/25."""
+        index, _graph, _formulator, _searcher = built
+        scorer = DashScorer(index, ["burger"])
+        merged = [("American", 10), ("American", 12)]
+        assert scorer.score(merged) == pytest.approx((3 / 25) * index.idf("burger"))
+
+    def test_expansion_never_raises_score_for_single_keyword(self, built):
+        index, graph, _formulator, _searcher = built
+        scorer = DashScorer(index, ["burger"])
+        single = scorer.score([("American", 10)])
+        expanded = scorer.score([("American", 10), ("American", 12)])
+        assert expanded <= single
+
+    def test_multi_keyword_score(self, built):
+        index, _graph, _formulator, _searcher = built
+        scorer = DashScorer(index, ["burger", "fries"])
+        assert scorer.score([("American", 12)]) > scorer.score([("American", 10)]) * 0  # defined
+        assert scorer.page_occurrences([("American", 12)]) == {"burger": 1, "fries": 1}
+
+    def test_unknown_keywords_score_zero(self, built):
+        index, _graph, _formulator, _searcher = built
+        scorer = DashScorer(index, ["zzz"])
+        assert scorer.relevant_fragments() == ()
+        assert scorer.score([("American", 10)]) == 0.0
+
+
+class TestUrlFormulator:
+    def test_single_fragment(self, built):
+        _index, _graph, formulator, _searcher = built
+        assert formulator.url_for_fragments([("Thai", 10)]) == (
+            "www.example.com/Search?c=Thai&l=10&u=10"
+        )
+
+    def test_merged_fragments_use_min_max(self, built):
+        _index, _graph, formulator, _searcher = built
+        url = formulator.url_for_fragments([("American", 10), ("American", 12)])
+        assert url == "www.example.com/Search?c=American&l=10&u=12"
+
+    def test_bindings_for_fragments(self, built):
+        _index, _graph, formulator, _searcher = built
+        bindings = formulator.bindings_for_fragments([("American", 12), ("American", 9)])
+        assert bindings == {"cuisine": "American", "min": 9, "max": 12}
+
+    def test_conflicting_equality_values_rejected(self, built):
+        _index, _graph, formulator, _searcher = built
+        with pytest.raises(UrlFormulationError):
+            formulator.bindings_for_fragments([("American", 10), ("Thai", 10)])
+
+    def test_empty_fragment_set_rejected(self, built):
+        _index, _graph, formulator, _searcher = built
+        with pytest.raises(UrlFormulationError):
+            formulator.bindings_for_fragments([])
+
+    def test_arity_mismatch_rejected(self, built):
+        _index, _graph, formulator, _searcher = built
+        with pytest.raises(UrlFormulationError):
+            formulator.bindings_for_fragments([("American",)])
+
+    def test_url_regenerates_exactly_the_fragments(self, fooddb, search_query, built, search_application):
+        """Round trip: the URL formulated for a fragment set generates a page
+        whose record count equals the fragments' total record count."""
+        _index, _graph, formulator, _searcher = built
+        fragments = derive_fragments(search_query, fooddb)
+        chosen = [("American", 10), ("American", 12)]
+        url = formulator.url_for_fragments(chosen)
+        page = search_application.generate_page(fooddb, url.split("?", 1)[1])
+        assert page.record_count == sum(fragments[f].record_count for f in chosen)
+
+
+class TestTopKSearch:
+    def test_example7_burger_search(self, built):
+        """k=2, s=20, keyword "burger" returns the two URLs of Example 7."""
+        _index, _graph, _formulator, searcher = built
+        results = searcher.search(["burger"], k=2, size_threshold=20)
+        urls = {result.url for result in results}
+        assert urls == {
+            "www.example.com/Search?c=American&l=10&u=12",
+            "www.example.com/Search?c=Thai&l=10&u=10",
+        }
+
+    def test_results_sorted_by_score(self, built):
+        _index, _graph, _formulator, searcher = built
+        results = searcher.search(["burger"], k=5, size_threshold=20)
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_results(self, built):
+        _index, _graph, _formulator, searcher = built
+        assert len(searcher.search(["burger"], k=1, size_threshold=20)) == 1
+
+    def test_small_threshold_returns_single_fragments(self, built):
+        _index, _graph, _formulator, searcher = built
+        results = searcher.search(["burger"], k=3, size_threshold=1)
+        assert all(len(result.fragments) == 1 for result in results)
+
+    def test_large_threshold_expands_to_whole_component(self, built):
+        _index, _graph, _formulator, searcher = built
+        results = searcher.search(["burger"], k=2, size_threshold=1000)
+        # With s larger than any reachable page, pending pages keep expanding
+        # until no combinable fragment remains; the American seed therefore
+        # ends up covering its whole chain before it becomes a result.
+        american = next(r for r in results if r.bindings["cuisine"] == "American")
+        assert len(american.fragments) == 4
+        assert american.size == 8 + 8 + 17 + 8
+        assert american.url == "www.example.com/Search?c=American&l=9&u=18"
+
+    def test_unknown_keyword_returns_empty(self, built):
+        _index, _graph, _formulator, searcher = built
+        assert searcher.search(["nonexistent"], k=5, size_threshold=100) == []
+
+    def test_multi_keyword_search(self, built):
+        _index, _graph, _formulator, searcher = built
+        results = searcher.search(["coffee", "fries"], k=4, size_threshold=10)
+        found = {fragment for result in results for fragment in result.fragments}
+        assert ("American", 9) in found and ("American", 12) in found
+
+    def test_invalid_parameters(self, built):
+        _index, _graph, _formulator, searcher = built
+        with pytest.raises(ValueError):
+            searcher.search(["burger"], k=0)
+        with pytest.raises(ValueError):
+            searcher.search(["burger"], size_threshold=0)
+
+    def test_statistics_populated(self, built):
+        _index, _graph, _formulator, searcher = built
+        searcher.search(["burger"], k=2, size_threshold=20)
+        stats = searcher.last_statistics
+        assert stats.seed_fragments == 3
+        assert stats.results == 2
+        assert stats.elapsed_seconds >= 0
+
+    def test_results_never_repeat_fragment_combinations(self, built):
+        _index, _graph, _formulator, searcher = built
+        results = searcher.search(["burger"], k=10, size_threshold=5)
+        combos = [result.fragments for result in results]
+        assert len(combos) == len(set(combos))
+
+
+class TestEngineEndToEnd:
+    def test_engine_search_urls_generate_relevant_pages(self, fooddb, fooddb_engine, fooddb_server):
+        """The URLs Dash suggests really produce db-pages containing the keyword."""
+        results = fooddb_engine.search(["burger"], k=2, size_threshold=20)
+        assert results
+        for result in results:
+            page = fooddb_server.get(result.url)
+            assert page.contains_keyword("burger")
+
+    def test_engine_statistics(self, fooddb_engine):
+        stats = fooddb_engine.statistics()
+        assert stats["fragments"] == 5
+        assert stats["algorithm"] == "integrated"
+        assert stats["graph_edges"] == 3
+
+    def test_engine_rejects_unknown_algorithm(self, fooddb, search_application):
+        from repro.core.engine import DashEngineError
+
+        with pytest.raises(DashEngineError):
+            DashEngine.build(search_application, fooddb, algorithm="magic")
+
+    def test_engine_analysis_path_matches_declared_query(self, fooddb, search_application):
+        engine = DashEngine.build(search_application, fooddb, analyze_source=True)
+        assert engine.application.query.selection_attributes == ("cuisine", "budget")
+        assert engine.build_report.analyzed is not None

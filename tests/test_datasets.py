@@ -1,0 +1,116 @@
+"""Tests for the datasets: fooddb, the TPC-H-like generator and keyword workloads."""
+
+import pytest
+
+from repro.datasets.fooddb import build_fooddb
+from repro.datasets.tpch import SCALES, TINY, TpchScale, build_tpch, tpch_queries, tpch_schemas
+from repro.datasets.workloads import select_keyword_workloads
+
+
+class TestFooddb:
+    def test_paper_records_present(self, fooddb):
+        restaurant = fooddb.relation("restaurant")
+        assert {record["name"] for record in restaurant} >= {
+            "Burger Queen", "McRonald's", "Wandy's", "Thaifood", "Bangkok", "Bond's Cafe",
+        }
+        comment = fooddb.relation("comment")
+        assert any(record["comment"] == "Thai burger" for record in comment)
+
+    def test_integrity_is_enforced(self):
+        database = build_fooddb(enforce_integrity=True)
+        from repro.db.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            database.insert("comment", ("999", "xxx", "109", "dangling", "01/01"))
+
+
+class TestTpchGenerator:
+    def test_schemas_have_foreign_keys(self):
+        by_name = {schema.name: schema for schema in tpch_schemas()}
+        assert by_name["lineitem"].foreign_keys[0].referenced_relation == "orders"
+        assert by_name["customer"].foreign_keys[0].referenced_relation == "nation"
+
+    def test_row_counts_follow_scale(self, tiny_tpch):
+        assert len(tiny_tpch.relation("customer")) == TINY.customers
+        assert len(tiny_tpch.relation("orders")) == TINY.orders
+        assert len(tiny_tpch.relation("lineitem")) == TINY.lineitems
+        assert len(tiny_tpch.relation("region")) == TINY.regions
+
+    def test_generation_is_deterministic(self):
+        first = build_tpch(TINY, seed=7)
+        second = build_tpch(TINY, seed=7)
+        assert first.relation("customer").to_rows() == second.relation("customer").to_rows()
+
+    def test_different_seeds_differ(self):
+        first = build_tpch(TINY, seed=1)
+        second = build_tpch(TINY, seed=2)
+        assert first.relation("customer").to_rows() != second.relation("customer").to_rows()
+
+    def test_table2_relative_sizes(self):
+        """Table II: the three tiers keep a ~1 : 5 : 10 size relationship."""
+        small, medium, large = SCALES["small"], SCALES["medium"], SCALES["large"]
+        assert medium.lineitems == 5 * small.lineitems
+        assert large.lineitems == 10 * small.lineitems
+        assert large.parts == 10 * small.parts
+
+    def test_scaled_tier(self):
+        half = SCALES["small"].scaled(0.5)
+        assert half.customers == SCALES["small"].customers // 2
+        assert half.quantity_values == SCALES["small"].quantity_values
+
+    def test_referential_integrity_by_construction(self, tiny_tpch):
+        order_keys = {record["o_orderkey"] for record in tiny_tpch.relation("orders")}
+        assert all(record["l_orderkey"] in order_keys for record in tiny_tpch.relation("lineitem"))
+        customer_keys = {record["c_custkey"] for record in tiny_tpch.relation("customer")}
+        assert all(record["o_custkey"] in customer_keys for record in tiny_tpch.relation("orders"))
+
+    def test_quantity_domain_bounded(self, tiny_tpch):
+        quantities = {record["l_quantity"] for record in tiny_tpch.relation("lineitem")}
+        assert min(quantities) >= 1
+        assert max(quantities) <= TINY.quantity_values
+
+    def test_queries_evaluate(self, tiny_tpch, tiny_tpch_queries):
+        q2 = tiny_tpch_queries["Q2"]
+        result = q2.evaluate(tiny_tpch, {"r": 1, "min": 1, "max": TINY.quantity_values})
+        assert len(result) == TINY.orders_per_customer * TINY.lineitems_per_order
+
+    def test_custom_scale_instance(self):
+        tier = TpchScale("custom", customers=5, orders_per_customer=2, lineitems_per_order=2, parts=10)
+        database = build_tpch(tier)
+        assert len(database.relation("lineitem")) == 20
+
+
+class TestKeywordWorkloads:
+    def test_selection_by_document_frequency(self):
+        frequencies = {f"word{i}": i + 1 for i in range(100)}
+        workloads = select_keyword_workloads(frequencies, group_size=5)
+        assert set(workloads) == {"hot", "warm", "cold"}
+        hot_df = min(frequencies[w] for w in workloads["hot"])
+        cold_df = max(frequencies[w] for w in workloads["cold"])
+        assert hot_df > cold_df
+
+    def test_group_size_respected(self):
+        frequencies = {f"w{i}": i for i in range(1, 400)}
+        workloads = select_keyword_workloads(frequencies, group_size=30)
+        assert all(len(workload) == 30 for workload in workloads.values())
+
+    def test_small_vocabulary_clamps_group_size(self):
+        workloads = select_keyword_workloads({"a": 3, "b": 2, "c": 1}, group_size=30)
+        assert all(1 <= len(workload) <= 3 for workload in workloads.values())
+
+    def test_deterministic_given_seed(self):
+        frequencies = {f"w{i}": i % 17 + 1 for i in range(500)}
+        first = select_keyword_workloads(frequencies, seed=5)
+        second = select_keyword_workloads(frequencies, seed=5)
+        assert first == second
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            select_keyword_workloads({})
+
+    def test_workloads_from_fragment_index(self, fooddb_engine):
+        workloads = select_keyword_workloads(
+            fooddb_engine.index.document_frequencies(), group_size=3
+        )
+        hot = list(workloads["hot"])
+        assert all(fooddb_engine.index.fragment_frequency(word) >= 1 for word in hot)

@@ -1,0 +1,122 @@
+"""Unit tests for the relational-algebra operators."""
+
+import pytest
+
+from repro.db import (
+    Attribute,
+    AttributeType,
+    QueryError,
+    Relation,
+    Schema,
+    aggregate,
+    cross_join,
+    group_by,
+    inner_join,
+    left_outer_join,
+    project,
+    select,
+)
+
+
+def _restaurants(fooddb):
+    return fooddb.relation("restaurant")
+
+
+class TestSelectProject:
+    def test_select_filters_records(self, fooddb):
+        american = select(_restaurants(fooddb), lambda r: r["cuisine"] == "American")
+        assert len(american) == 5
+
+    def test_project_keeps_order_and_duplicates(self, fooddb):
+        names = project(_restaurants(fooddb), ["name"])
+        values = [record["name"] for record in names]
+        assert values.count("Wandy's") == 2
+        assert names.schema.attribute_names == ("name",)
+
+    def test_project_unknown_attribute_raises(self, fooddb):
+        with pytest.raises(QueryError):
+            project(_restaurants(fooddb), ["nope"])
+
+
+class TestJoins:
+    def test_inner_join_drops_unmatched(self, fooddb):
+        joined = inner_join(
+            fooddb.relation("restaurant"), fooddb.relation("comment"), on=[("rid", "rid")]
+        )
+        # 6 comments, each matching exactly one restaurant.
+        assert len(joined) == 6
+        # the right-hand join key is dropped from the output schema
+        assert joined.schema.attribute_names.count("rid") == 1
+
+    def test_left_outer_join_pads_unmatched(self, fooddb):
+        joined = left_outer_join(
+            fooddb.relation("restaurant"), fooddb.relation("comment"), on=[("rid", "rid")]
+        )
+        # restaurants without comments (003, 005) still appear once each
+        assert len(joined) == 8
+        unmatched = [record for record in joined if record["comment"] is None]
+        assert {record["name"] for record in unmatched} == {"Wandy's", "Thaifood"}
+
+    def test_join_requires_keys(self, fooddb):
+        with pytest.raises(QueryError):
+            inner_join(fooddb.relation("restaurant"), fooddb.relation("comment"), on=[])
+
+    def test_join_unknown_key_raises(self, fooddb):
+        with pytest.raises(QueryError):
+            inner_join(fooddb.relation("restaurant"), fooddb.relation("comment"), on=[("zzz", "rid")])
+
+    def test_null_join_keys_never_match(self):
+        schema_a = Schema("a", [Attribute("k", AttributeType.INT), Attribute("x")])
+        schema_b = Schema("b", [Attribute("k", AttributeType.INT), Attribute("y")])
+        left = Relation(schema_a, [[None, "left"], [1, "one"]])
+        right = Relation(schema_b, [[None, "right"], [1, "uno"]])
+        joined = inner_join(left, right, on=[("k", "k")])
+        assert len(joined) == 1
+        assert joined.records[0]["y"] == "uno"
+
+    def test_cross_join_cardinality(self, fooddb):
+        product = cross_join(fooddb.relation("customer"), fooddb.relation("region" if fooddb.has_relation("region") else "customer"))
+        assert len(product) == len(fooddb.relation("customer")) ** 1 * len(fooddb.relation("customer"))
+
+    def test_paper_example_three_way_join(self, fooddb):
+        """(restaurant LEFT JOIN comment) LEFT JOIN customer reproduces Figure 5's rows."""
+        joined = left_outer_join(
+            left_outer_join(
+                fooddb.relation("restaurant"), fooddb.relation("comment"), on=[("rid", "rid")]
+            ),
+            fooddb.relation("customer"),
+            on=[("uid", "uid")],
+        )
+        assert len(joined) == 8
+        wandys = [r for r in joined if r["rid"] == "004"]
+        assert {r["uname"] for r in wandys} == {"Bill"}
+
+
+class TestGroupingAndAggregation:
+    def test_group_by(self, fooddb):
+        groups = group_by(_restaurants(fooddb), ["cuisine"])
+        assert set(groups) == {("American",), ("Thai",)}
+        assert len(groups[("American",)]) == 5
+
+    def test_group_by_unknown_attribute(self, fooddb):
+        with pytest.raises(QueryError):
+            group_by(_restaurants(fooddb), ["nope"])
+
+    def test_aggregate_count(self, fooddb):
+        counted = aggregate(_restaurants(fooddb), ["cuisine"], {"n": ("count", None)})
+        by_cuisine = {record["cuisine"]: record["n"] for record in counted}
+        assert by_cuisine == {"American": 5, "Thai": 2}
+
+    def test_aggregate_min_max_sum(self, fooddb):
+        stats = aggregate(
+            _restaurants(fooddb),
+            ["cuisine"],
+            {"lo": ("min", "budget"), "hi": ("max", "budget"), "total": ("sum", "budget")},
+        )
+        american = next(record for record in stats if record["cuisine"] == "American")
+        assert (american["lo"], american["hi"]) == (9, 18)
+        assert american["total"] == 9 + 10 + 12 + 12 + 18
+
+    def test_aggregate_unknown_function(self, fooddb):
+        with pytest.raises(QueryError):
+            aggregate(_restaurants(fooddb), ["cuisine"], {"x": ("median", "budget")})

@@ -1,0 +1,175 @@
+"""Tests for the PSJ query model and the SQL parser."""
+
+import pytest
+
+from repro.db import (
+    BetweenCondition,
+    Comparison,
+    Parameter,
+    ParameterizedPSJQuery,
+    QueryError,
+    SQLParseError,
+    parse_psj_query,
+)
+from repro.datasets.tpch import TPCH_QUERY_SQL
+
+
+class TestConditions:
+    def test_comparison_evaluation(self):
+        condition = Comparison("budget", "<=", Parameter("max"))
+        assert condition.evaluate(10, {"max": 12})
+        assert not condition.evaluate(15, {"max": 12})
+
+    def test_comparison_missing_binding(self):
+        condition = Comparison("budget", "=", Parameter("b"))
+        with pytest.raises(QueryError):
+            condition.evaluate(10, {})
+
+    def test_comparison_rejects_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Comparison("a", "!=", 3)
+
+    def test_between_evaluation(self):
+        condition = BetweenCondition("budget", Parameter("lo"), Parameter("hi"))
+        assert condition.evaluate(12, {"lo": 10, "hi": 15})
+        assert not condition.evaluate(9, {"lo": 10, "hi": 15})
+        assert not condition.evaluate(None, {"lo": 10, "hi": 15})
+
+    def test_between_literal_bounds(self):
+        condition = BetweenCondition("budget", 10, 15)
+        assert condition.evaluate(15, {})
+        assert condition.parameters() == []
+
+
+class TestSearchQueryStructure:
+    def test_operand_relations(self, search_query):
+        assert search_query.operand_relations == ("restaurant", "comment", "customer")
+
+    def test_selection_attributes_in_condition_order(self, search_query):
+        assert search_query.selection_attributes == ("cuisine", "budget")
+
+    def test_parameters(self, search_query):
+        assert search_query.parameters() == ("cuisine", "min", "max")
+
+    def test_equality_and_range_attributes(self, search_query):
+        assert search_query.equality_attributes() == ("cuisine",)
+        assert search_query.range_attributes() == ("budget",)
+
+    def test_customer_join_promoted_to_left_outer(self, search_query):
+        """The customer join key (uid) comes from the LEFT-joined comment
+        relation, so the join is null-preserving — restaurants without
+        comments stay in the db-pages (paper Figures 1 and 5)."""
+        kinds = {join.relation: join.kind for join in search_query.joins}
+        assert kinds == {"comment": "left", "customer": "left"}
+
+    def test_evaluation_matches_paper_page_p1(self, fooddb, search_query):
+        result = search_query.evaluate(fooddb, {"cuisine": "American", "min": 10, "max": 15})
+        names = sorted({record["name"] for record in result})
+        assert names == ["Burger Queen", "Wandy's"]
+        # P1 of Figure 1 has 4 rows: Burger Queen, Wandy's (no comment),
+        # Wandy's with two comments.
+        assert len(result) == 4
+
+    def test_evaluation_p2_superset_of_p1(self, fooddb, search_query):
+        p1 = search_query.evaluate(fooddb, {"cuisine": "American", "min": 10, "max": 15})
+        p2 = search_query.evaluate(fooddb, {"cuisine": "American", "min": 10, "max": 20})
+        assert len(p2) == len(p1) + 1  # McRonald's row joins in
+
+    def test_missing_binding_raises(self, fooddb, search_query):
+        with pytest.raises(QueryError):
+            search_query.evaluate(fooddb, {"cuisine": "American"})
+
+    def test_projection_resolution(self, fooddb, search_query):
+        joined = search_query.join_operands(fooddb)
+        assert search_query.output_attributes(joined.schema) == (
+            "name",
+            "budget",
+            "rate",
+            "comment",
+            "uname",
+            "date",
+        )
+
+    def test_crawling_attributes_include_selection(self, fooddb, search_query):
+        joined = search_query.join_operands(fooddb)
+        crawling = search_query.crawling_attributes(joined.schema)
+        assert "cuisine" in crawling and "budget" in crawling
+
+
+class TestSqlParser:
+    def test_parse_star_projection(self, fooddb):
+        query = parse_psj_query(
+            "SELECT * FROM restaurant JOIN comment WHERE cuisine = $c AND budget BETWEEN $l AND $u",
+            fooddb,
+        )
+        assert query.projections is None
+        assert query.operand_relations == ("restaurant", "comment")
+
+    def test_parse_infers_foreign_key_join(self, fooddb):
+        query = parse_psj_query(
+            "SELECT name FROM restaurant JOIN comment WHERE cuisine = $c",
+            fooddb,
+        )
+        assert query.joins[0].on == (("rid", "rid"),)
+
+    def test_parse_literal_condition(self, fooddb):
+        query = parse_psj_query(
+            "SELECT name FROM restaurant JOIN comment WHERE cuisine = 'American'",
+            fooddb,
+        )
+        condition = query.conditions[0]
+        assert condition.operand == "American"
+        assert not condition.is_parameterized
+
+    def test_parse_unknown_relation(self, fooddb):
+        with pytest.raises(SQLParseError):
+            parse_psj_query("SELECT * FROM nowhere WHERE x = $p", fooddb)
+
+    def test_parse_unknown_attribute(self, fooddb):
+        with pytest.raises(SQLParseError):
+            parse_psj_query(
+                "SELECT * FROM restaurant JOIN comment WHERE nonexistent = $p", fooddb
+            )
+
+    def test_parse_without_joinable_fk(self, fooddb):
+        with pytest.raises(SQLParseError):
+            parse_psj_query(
+                "SELECT * FROM restaurant JOIN customer WHERE cuisine = $c", fooddb
+            )
+
+    def test_parse_rejects_trailing_garbage(self, fooddb):
+        with pytest.raises(SQLParseError):
+            parse_psj_query(
+                "SELECT * FROM restaurant JOIN comment WHERE cuisine = $c ORDER BY name",
+                fooddb,
+            )
+
+    def test_parse_rejects_unsupported_operator(self, fooddb):
+        with pytest.raises(SQLParseError):
+            parse_psj_query(
+                "SELECT * FROM restaurant JOIN comment WHERE budget < $x", fooddb
+            )
+
+    def test_qualified_attribute(self, fooddb):
+        query = parse_psj_query(
+            "SELECT name FROM restaurant JOIN comment WHERE restaurant.budget BETWEEN $l AND $u",
+            fooddb,
+        )
+        assert query.conditions[0].attribute == "budget"
+
+    def test_table3_queries_parse(self, tiny_tpch):
+        for name, sql in TPCH_QUERY_SQL.items():
+            query = parse_psj_query(sql, tiny_tpch, name=name)
+            assert isinstance(query, ParameterizedPSJQuery)
+            assert query.parameters() == ("r", "min", "max")
+
+    def test_q3_flattens_parenthesised_group(self, tiny_tpch_queries):
+        q3 = tiny_tpch_queries["Q3"]
+        assert q3.operand_relations == ("customer", "orders", "lineitem", "part")
+        part_join = q3.joins[-1]
+        assert part_join.on == (("l_partkey", "p_partkey"),)
+
+    def test_q1_q2_q3_selection_attributes(self, tiny_tpch_queries):
+        assert tiny_tpch_queries["Q1"].selection_attributes == ("r_regionkey", "c_acctbal")
+        assert tiny_tpch_queries["Q2"].selection_attributes == ("c_custkey", "l_quantity")
+        assert tiny_tpch_queries["Q3"].selection_attributes == ("c_custkey", "l_quantity")

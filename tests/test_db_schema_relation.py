@@ -1,0 +1,249 @@
+"""Unit tests for schemas, records, relations and the database catalog."""
+
+import pytest
+
+from repro.db import (
+    Attribute,
+    AttributeType,
+    Database,
+    ForeignKey,
+    IntegrityError,
+    Record,
+    Relation,
+    Schema,
+    SchemaError,
+)
+
+
+def make_schema():
+    return Schema(
+        "people",
+        [
+            Attribute("pid", AttributeType.INT),
+            Attribute("name", AttributeType.STRING),
+            Attribute("height", AttributeType.FLOAT),
+            Attribute("born", AttributeType.DATE),
+        ],
+        primary_key=["pid"],
+    )
+
+
+# ----------------------------------------------------------------------
+# attribute types
+# ----------------------------------------------------------------------
+class TestAttributeType:
+    def test_int_coercion(self):
+        assert AttributeType.INT.coerce("42") == 42
+
+    def test_float_coercion(self):
+        assert AttributeType.FLOAT.coerce("4.5") == 4.5
+
+    def test_string_coercion(self):
+        assert AttributeType.STRING.coerce(10) == "10"
+
+    def test_date_coercion_from_string(self):
+        assert AttributeType.DATE.coerce("1995-03-14") == "1995-03-14"
+
+    def test_none_passes_through(self):
+        assert AttributeType.INT.coerce(None) is None
+
+    def test_bad_int_raises(self):
+        with pytest.raises(SchemaError):
+            AttributeType.INT.coerce("not-a-number")
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(SchemaError):
+            AttributeType.INT.coerce(True)
+
+    def test_is_numeric(self):
+        assert AttributeType.INT.is_numeric()
+        assert AttributeType.FLOAT.is_numeric()
+        assert not AttributeType.STRING.is_numeric()
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+class TestSchema:
+    def test_attribute_lookup(self):
+        schema = make_schema()
+        assert schema.position_of("name") == 1
+        assert schema.attribute("height").type is AttributeType.FLOAT
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().position_of("age")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("dup", [Attribute("a"), Attribute("a")])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Attribute("a")], primary_key=["b"])
+
+    def test_foreign_key_attribute_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Attribute("a")], foreign_keys=[ForeignKey("b", "other", "x")])
+
+    def test_subset(self):
+        schema = make_schema().subset(["name", "pid"])
+        assert schema.attribute_names == ("name", "pid")
+
+    def test_concat_disambiguates_collisions(self):
+        left = Schema("l", [Attribute("id"), Attribute("x")])
+        right = Schema("r", [Attribute("id"), Attribute("y")])
+        merged = left.concat(right)
+        assert merged.attribute_names == ("id", "x", "r.id", "y")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("empty", [])
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+class TestRecord:
+    def test_access_by_name_and_position(self):
+        record = Record(make_schema(), [1, "Ada", 1.7, "1815-12-10"])
+        assert record["name"] == "Ada"
+        assert record[0] == 1
+
+    def test_values_are_coerced(self):
+        record = Record(make_schema(), ["7", "Alan", "1.8", "1912-06-23"])
+        assert record["pid"] == 7
+        assert record["height"] == 1.8
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Record(make_schema(), [1, "x"])
+
+    def test_as_dict(self):
+        record = Record(make_schema(), [1, "Ada", 1.7, "1815-12-10"])
+        assert record.as_dict()["born"] == "1815-12-10"
+
+    def test_text_values_skip_nulls_and_render_floats(self):
+        schema = Schema("t", [Attribute("a", AttributeType.FLOAT), Attribute("b")])
+        record = Record(schema, [4.0, None])
+        assert record.text_values() == ["4"]
+
+    def test_key(self):
+        record = Record(make_schema(), [1, "Ada", 1.7, "1815-12-10"])
+        assert record.key(["name", "pid"]) == ("Ada", 1)
+
+    def test_get_with_default(self):
+        record = Record(make_schema(), [1, "Ada", 1.7, "1815-12-10"])
+        assert record.get("missing", "fallback") == "fallback"
+
+
+# ----------------------------------------------------------------------
+# relations
+# ----------------------------------------------------------------------
+class TestRelation:
+    def test_insert_sequence_and_dict(self):
+        relation = Relation(make_schema())
+        relation.insert([1, "Ada", 1.7, "1815-12-10"])
+        relation.insert({"pid": 2, "name": "Alan", "height": 1.8, "born": "1912-06-23"})
+        assert len(relation) == 2
+
+    def test_dict_missing_attribute_raises(self):
+        relation = Relation(make_schema())
+        with pytest.raises(SchemaError):
+            relation.insert({"pid": 1})
+
+    def test_distinct_values_sorted(self):
+        relation = Relation(make_schema())
+        relation.insert([2, "B", 1.0, "2000-01-01"])
+        relation.insert([1, "A", 1.0, "2000-01-01"])
+        relation.insert([1, "A2", 1.0, "2000-01-01"])
+        assert relation.distinct_values("pid") == [1, 2]
+
+    def test_filter_returns_new_relation(self):
+        relation = Relation(make_schema())
+        relation.insert([1, "Ada", 1.7, "1815-12-10"])
+        relation.insert([2, "Alan", 1.8, "1912-06-23"])
+        tall = relation.filter(lambda record: record["height"] > 1.75)
+        assert len(tall) == 1
+        assert len(relation) == 2
+
+    def test_delete(self):
+        relation = Relation(make_schema())
+        relation.insert([1, "Ada", 1.7, "1815-12-10"])
+        relation.insert([2, "Alan", 1.8, "1912-06-23"])
+        removed = relation.delete(lambda record: record["pid"] == 1)
+        assert removed == 1
+        assert len(relation) == 1
+
+    def test_approximate_bytes_positive(self):
+        relation = Relation(make_schema())
+        relation.insert([1, "Ada", 1.7, "1815-12-10"])
+        assert relation.approximate_bytes() > 0
+
+
+# ----------------------------------------------------------------------
+# database catalog and integrity
+# ----------------------------------------------------------------------
+class TestDatabase:
+    def _make_db(self):
+        database = Database("testdb", enforce_integrity=True)
+        database.create_relation(make_schema())
+        database.create_relation(
+            Schema(
+                "pets",
+                [Attribute("petid", AttributeType.INT), Attribute("owner", AttributeType.INT)],
+                primary_key=["petid"],
+                foreign_keys=[ForeignKey("owner", "people", "pid")],
+            )
+        )
+        return database
+
+    def test_insert_and_lookup(self):
+        database = self._make_db()
+        database.insert("people", [1, "Ada", 1.7, "1815-12-10"])
+        assert len(database.relation("people")) == 1
+
+    def test_duplicate_primary_key_rejected(self):
+        database = self._make_db()
+        database.insert("people", [1, "Ada", 1.7, "1815-12-10"])
+        with pytest.raises(IntegrityError):
+            database.insert("people", [1, "Dup", 1.6, "1900-01-01"])
+
+    def test_foreign_key_enforced(self):
+        database = self._make_db()
+        with pytest.raises(IntegrityError):
+            database.insert("pets", [1, 99])
+
+    def test_foreign_key_satisfied(self):
+        database = self._make_db()
+        database.insert("people", [1, "Ada", 1.7, "1815-12-10"])
+        database.insert("pets", [1, 1])
+        assert len(database.relation("pets")) == 1
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            self._make_db().relation("nope")
+
+    def test_duplicate_relation_rejected(self):
+        database = self._make_db()
+        with pytest.raises(SchemaError):
+            database.create_relation(make_schema())
+
+    def test_size_report_and_total_records(self):
+        database = self._make_db()
+        database.insert("people", [1, "Ada", 1.7, "1815-12-10"])
+        report = database.size_report()
+        assert report["people"]["records"] == 1
+        assert database.total_records() == 1
+
+    def test_delete_reindexes_primary_keys(self):
+        database = self._make_db()
+        database.insert("people", [1, "Ada", 1.7, "1815-12-10"])
+        database.delete("people", lambda record: record["pid"] == 1)
+        database.insert("people", [1, "Again", 1.7, "1815-12-10"])
+        assert len(database.relation("people")) == 1
+
+    def test_fooddb_matches_paper_row_counts(self, fooddb):
+        assert len(fooddb.relation("restaurant")) == 7
+        assert len(fooddb.relation("comment")) == 6
+        assert len(fooddb.relation("customer")) == 5

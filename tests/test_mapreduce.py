@@ -1,0 +1,264 @@
+"""Tests for the simulated MapReduce substrate."""
+
+import pytest
+
+from repro.mapreduce import (
+    Cluster,
+    CostModel,
+    DistributedFileSystem,
+    MapReduceJob,
+    MapReduceRuntime,
+    Node,
+    Workflow,
+    estimate_size,
+    repartition_join_job,
+)
+from repro.mapreduce.errors import ClusterError, HdfsError, JobError
+from repro.mapreduce.job import default_partitioner, identity_mapper, identity_reducer
+
+
+# ----------------------------------------------------------------------
+# serialization / cluster / hdfs
+# ----------------------------------------------------------------------
+class TestSerialization:
+    def test_scalar_sizes(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(12345) == 5
+        assert estimate_size("abc") == 4
+
+    def test_container_sizes_add_up(self):
+        assert estimate_size(("a", 1)) > estimate_size("a") + estimate_size(1)
+
+    def test_dict_counts_keys_and_values(self):
+        assert estimate_size({"key": "value"}) >= len("key") + len("value")
+
+
+class TestCluster:
+    def test_default_matches_paper_testbed(self):
+        cluster = Cluster.default()
+        assert len(cluster) == 4
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([Node("n"), Node("n")])
+
+    def test_bad_hardware_rejected(self):
+        with pytest.raises(ClusterError):
+            Node("n", disk_bandwidth_mb_s=0)
+
+    def test_block_placement_round_robin(self):
+        cluster = Cluster.default(num_nodes=3)
+        assert cluster.node_for_block(0).node_id == "node0"
+        assert cluster.node_for_block(4).node_id == "node1"
+
+    def test_unknown_node(self):
+        with pytest.raises(ClusterError):
+            Cluster.default().node("ghost")
+
+
+class TestHdfs:
+    def test_write_and_read_roundtrip(self):
+        fs = DistributedFileSystem(Cluster.default(), block_size_bytes=64)
+        records = [(i, f"value-{i}") for i in range(20)]
+        fs.write("f", records)
+        assert fs.read_all("f") == records
+
+    def test_blocks_are_split_by_size(self):
+        fs = DistributedFileSystem(Cluster.default(), block_size_bytes=32)
+        fs.write("f", [(i, "x" * 20) for i in range(10)])
+        assert fs.open("f").num_blocks > 1
+
+    def test_overwrite_requires_flag(self):
+        fs = DistributedFileSystem(Cluster.default())
+        fs.write("f", [(1, "a")])
+        with pytest.raises(HdfsError):
+            fs.write("f", [(2, "b")])
+        fs.write("f", [(2, "b")], overwrite=True)
+        assert fs.read_values("f") == ["b"]
+
+    def test_missing_file(self):
+        with pytest.raises(HdfsError):
+            DistributedFileSystem(Cluster.default()).open("missing")
+
+    def test_write_relation_exports_dict_records(self, fooddb):
+        fs = DistributedFileSystem(Cluster.default())
+        fs.write_relation("restaurants", fooddb.relation("restaurant"), key_attribute="rid")
+        records = fs.read_all("restaurants")
+        assert len(records) == 7
+        key, value = records[0]
+        assert key == "001" and value["name"] == "Burger Queen"
+
+    def test_replication_bounded_by_cluster(self):
+        fs = DistributedFileSystem(Cluster.default(num_nodes=2), replication=5)
+        assert fs.replication == 2
+
+
+# ----------------------------------------------------------------------
+# job validation, partitioner
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_requires_callable_mapper(self):
+        with pytest.raises(JobError):
+            MapReduceJob(name="bad", mapper="not-callable")
+
+    def test_requires_positive_reduce_tasks(self):
+        with pytest.raises(JobError):
+            MapReduceJob(name="bad", mapper=identity_mapper, num_reduce_tasks=0)
+
+    def test_default_partitioner_is_stable_and_bounded(self):
+        first = default_partitioner(("a", 1), 7)
+        second = default_partitioner(("a", 1), 7)
+        assert first == second
+        assert 0 <= first < 7
+
+
+# ----------------------------------------------------------------------
+# runtime execution
+# ----------------------------------------------------------------------
+def word_count_mapper(_key, text):
+    for word in text.split():
+        yield word, 1
+
+
+def sum_reducer(key, values):
+    yield key, sum(values)
+
+
+class TestRuntime:
+    def _runtime(self):
+        cluster = Cluster.default()
+        return MapReduceRuntime(cluster, DistributedFileSystem(cluster, block_size_bytes=128))
+
+    def test_word_count(self):
+        runtime = self._runtime()
+        runtime.filesystem.write("docs", [(i, text) for i, text in enumerate(
+            ["the quick fox", "the lazy dog", "the fox"])])
+        job = MapReduceJob(name="wc", mapper=word_count_mapper, reducer=sum_reducer)
+        metrics = runtime.run(job, "docs", "counts")
+        counts = dict(runtime.filesystem.read_all("counts"))
+        assert counts == {"the": 3, "quick": 1, "fox": 2, "lazy": 1, "dog": 1}
+        assert metrics.map.records_in == 3
+        assert metrics.simulated_seconds > 0
+
+    def test_combiner_reduces_shuffle(self):
+        runtime_plain = self._runtime()
+        runtime_combined = self._runtime()
+        data = [(i, "a a a b") for i in range(50)]
+        for runtime in (runtime_plain, runtime_combined):
+            runtime.filesystem.write("in", data)
+        no_combiner = MapReduceJob(name="wc", mapper=word_count_mapper, reducer=sum_reducer)
+        with_combiner = MapReduceJob(
+            name="wc-c", mapper=word_count_mapper, reducer=sum_reducer, combiner=sum_reducer
+        )
+        plain = runtime_plain.run(no_combiner, "in", "out")
+        combined = runtime_combined.run(with_combiner, "in", "out")
+        assert dict(runtime_plain.filesystem.read_all("out")) == dict(
+            runtime_combined.filesystem.read_all("out")
+        )
+        assert combined.shuffle.bytes_in < plain.shuffle.bytes_in
+
+    def test_map_only_job(self):
+        runtime = self._runtime()
+        runtime.filesystem.write("in", [(1, "x"), (2, "y")])
+        job = MapReduceJob(name="identity", mapper=identity_mapper, reducer=None)
+        metrics = runtime.run(job, "in", "out")
+        assert metrics.shuffle.bytes_in == 0
+        assert sorted(runtime.filesystem.read_all("out")) == [(1, "x"), (2, "y")]
+
+    def test_per_input_mappers(self):
+        runtime = self._runtime()
+        runtime.filesystem.write("a", [(1, 10)])
+        runtime.filesystem.write("b", [(1, 100)])
+        job = MapReduceJob(name="multi", mapper=identity_mapper, reducer=identity_reducer)
+        runtime.run(
+            job,
+            [("a", lambda k, v: [(k, ("A", v))]), ("b", lambda k, v: [(k, ("B", v))])],
+            "out",
+        )
+        values = sorted(runtime.filesystem.read_values("out"))
+        assert values == [("A", 10), ("B", 100)]
+
+    def test_reduce_keys_processed_in_sorted_order(self):
+        runtime = self._runtime()
+        runtime.filesystem.write("in", [(k, k) for k in ["b", "a", "c"]])
+        seen = []
+
+        def recording_reducer(key, values):
+            seen.append(key)
+            yield key, values[0]
+
+        job = MapReduceJob(
+            name="sorted", mapper=identity_mapper, reducer=recording_reducer, num_reduce_tasks=1
+        )
+        runtime.run(job, "in", "out")
+        assert seen == sorted(seen)
+
+    def test_deterministic_across_runs(self):
+        results = []
+        for _ in range(2):
+            runtime = self._runtime()
+            runtime.filesystem.write("docs", [(i, "w%d" % (i % 3)) for i in range(30)])
+            job = MapReduceJob(name="wc", mapper=word_count_mapper, reducer=sum_reducer)
+            metrics = runtime.run(job, "docs", "out")
+            results.append((tuple(sorted(runtime.filesystem.read_all("out"))), metrics.shuffle.bytes_in))
+        assert results[0] == results[1]
+
+    def test_cost_model_scale_multiplies_data_time(self):
+        cluster = Cluster.default()
+        base = CostModel()
+        scaled = CostModel(data_time_scale=100.0)
+        args = dict(input_bytes=10_000_000, input_records=10_000, output_bytes=10_000_000,
+                    num_map_tasks=4, disk_bandwidth_mb_s=80.0, cpu_records_per_s=1e6,
+                    parallel_map_slots=4)
+        # the fixed per-task startup does not scale, so the ratio is a bit
+        # below the nominal 100x factor
+        assert scaled.map_phase_seconds(**args) > 40 * base.map_phase_seconds(**args)
+        assert base.job_overhead_seconds() == scaled.job_overhead_seconds()
+
+
+# ----------------------------------------------------------------------
+# workflows and join helpers
+# ----------------------------------------------------------------------
+class TestWorkflowAndJoins:
+    def test_workflow_chains_outputs_and_aggregates_stages(self):
+        cluster = Cluster.default()
+        runtime = MapReduceRuntime(cluster, DistributedFileSystem(cluster))
+        runtime.filesystem.write("docs", [(1, "a b"), (2, "b c")])
+        workflow = Workflow("two-step", runtime)
+        workflow.add_step(
+            MapReduceJob(name="count", mapper=word_count_mapper, reducer=sum_reducer),
+            inputs=["docs"], output="counts", stage="first",
+        )
+        workflow.add_step(
+            MapReduceJob(name="invert", mapper=lambda k, v: [(v, k)], reducer=identity_reducer),
+            inputs=["counts"], output="inverted", stage="second",
+        )
+        metrics = workflow.run()
+        assert set(metrics.stage_simulated_seconds()) == {"first", "second"}
+        assert metrics.simulated_seconds > 0
+        assert runtime.filesystem.exists("inverted")
+
+    def test_empty_workflow_rejected(self):
+        cluster = Cluster.default()
+        runtime = MapReduceRuntime(cluster, DistributedFileSystem(cluster))
+        with pytest.raises(JobError):
+            Workflow("empty", runtime).run()
+
+    def test_repartition_join_matches_relational_join(self, fooddb):
+        from repro.db.algebra import inner_join
+
+        cluster = Cluster.default()
+        runtime = MapReduceRuntime(cluster, DistributedFileSystem(cluster))
+        runtime.filesystem.write_relation("restaurant", fooddb.relation("restaurant"))
+        runtime.filesystem.write_relation("comment", fooddb.relation("comment"))
+        left_prep, right_prep, join = repartition_join_job(
+            "test", "restaurant", "comment", ["rid"], ["rid"], kind="inner"
+        )
+        runtime.run(left_prep, "restaurant", "left-prepared")
+        runtime.run(right_prep, "comment", "right-prepared")
+        runtime.run(join, ["left-prepared", "right-prepared"], "joined")
+        joined_mr = runtime.filesystem.read_values("joined")
+        expected = inner_join(fooddb.relation("restaurant"), fooddb.relation("comment"), [("rid", "rid")])
+        assert len(joined_mr) == len(expected)
+        names = sorted(record["name"] for record in joined_mr)
+        assert names == sorted(record["name"] for record in expected)

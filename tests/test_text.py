@@ -1,0 +1,118 @@
+"""Tests for the text substrate: tokenizer, TF/IDF and the inverted file."""
+
+import pytest
+
+from repro.text import InvertedIndex, TfIdfScorer, term_frequencies, tokenize
+from repro.text.tokenizer import count_keywords, tokenize_values
+
+
+class TestTokenizer:
+    def test_basic_tokenization(self):
+        assert tokenize("Burger experts by David on 06/10") == [
+            "burger", "experts", "by", "david", "on", "06/10",
+        ]
+
+    def test_keeps_decimals_and_possessives(self):
+        assert tokenize("Bond's Cafe 4.3") == ["bond's", "cafe", "4.3"]
+
+    def test_lowercases(self):
+        assert tokenize("American THAI") == ["american", "thai"]
+
+    def test_empty_and_punctuation_only(self):
+        assert tokenize("") == []
+        assert tokenize("!!! --- ???") == []
+
+    def test_paper_fragment_keyword_count(self):
+        """Example 6: the (American, 9) fragment contains eight keywords."""
+        values = ["Bond's Cafe", "9", "4.3", "Nice coffee", "James", "01/11"]
+        assert len(tokenize_values(values)) == 8
+
+    def test_count_keywords(self):
+        counts = count_keywords(["a", "b", "a"])
+        assert counts == {"a": 2, "b": 1}
+
+
+class TestTfIdf:
+    def test_term_frequencies(self):
+        assert term_frequencies("burger burger fries")["burger"] == 2
+
+    def test_plain_idf_is_inverse_document_frequency(self):
+        scorer = TfIdfScorer({"burger": 4, "coffee": 1}, total_documents=10)
+        assert scorer.idf("burger") == 0.25
+        assert scorer.idf("coffee") == 1.0
+
+    def test_unknown_keyword_has_zero_idf(self):
+        scorer = TfIdfScorer({"a": 1})
+        assert scorer.idf("zzz") == 0.0
+
+    def test_score_sums_tf_times_idf(self):
+        scorer = TfIdfScorer({"burger": 2, "fries": 1})
+        score = scorer.score({"burger": 3, "fries": 1}, ["burger", "fries"])
+        assert score == pytest.approx(3 * 0.5 + 1 * 1.0)
+
+    def test_smoothed_idf_is_monotone_in_rarity(self):
+        scorer = TfIdfScorer({"common": 100, "rare": 1}, total_documents=100, smoothed=True)
+        assert scorer.idf("rare") > scorer.idf("common") > 0
+
+
+class TestInvertedIndex:
+    def _index(self):
+        index = InvertedIndex()
+        index.add_document("p1", "burger experts burger")
+        index.add_document("p2", "unique burger and bad fries")
+        index.add_document("p3", "nice coffee")
+        index.finalize()
+        return index
+
+    def test_postings_sorted_by_descending_tf(self):
+        postings = self._index().postings("burger")
+        assert [posting.document_id for posting in postings] == ["p1", "p2"]
+        assert postings[0].term_frequency == 2
+
+    def test_document_frequency(self):
+        index = self._index()
+        assert index.document_frequency("burger") == 2
+        assert index.document_frequency("zzz") == 0
+
+    def test_document_length(self):
+        assert self._index().document_length("p1") == 3
+
+    def test_duplicate_document_rejected(self):
+        index = self._index()
+        with pytest.raises(ValueError):
+            index.add_document("p1", "again")
+
+    def test_remove_document(self):
+        index = self._index()
+        index.remove_document("p1")
+        assert index.document_frequency("burger") == 1
+        assert "experts" not in index
+
+    def test_merge_term_frequencies(self):
+        index = self._index()
+        index.merge_term_frequencies("p3", {"coffee": 2})
+        assert index.term_frequencies("p3")["coffee"] == 3
+
+    def test_search_ranks_by_tfidf(self):
+        results = self._index().search(["burger"], k=2)
+        assert [doc for doc, _score in results] == ["p1", "p2"]
+        assert results[0][1] > results[1][1]
+
+    def test_search_unknown_keyword_empty(self):
+        assert self._index().search(["zzz"]) == []
+
+    def test_search_multiple_keywords(self):
+        results = dict(self._index().search(["burger", "coffee"]))
+        assert "p3" in results and "p1" in results
+
+    def test_vocabulary_and_len(self):
+        index = self._index()
+        assert "coffee" in index.vocabulary
+        assert len(index) == len(index.vocabulary)
+
+    def test_iter_items_sorted(self):
+        keywords = [keyword for keyword, _postings in self._index().iter_items()]
+        assert keywords == sorted(keywords)
+
+    def test_approximate_bytes_positive(self):
+        assert self._index().approximate_bytes() > 0

@@ -1,0 +1,138 @@
+"""Tests for query strings, the web-application model and the web server."""
+
+import pytest
+
+from repro.webapp import DbPage, QueryString, QueryStringSpec, WebServer, coerce_bindings
+from repro.webapp.application import parameter_types
+from repro.webapp.rendering import page_signature
+from repro.webapp.request import QueryStringError
+from repro.webapp.server import WebServerError
+
+
+class TestQueryString:
+    def test_parse_and_get(self):
+        qs = QueryString.parse("c=American&l=10&u=15")
+        assert qs.get("c") == "American"
+        assert qs.get("u") == "15"
+        assert qs.get("missing") is None
+
+    def test_roundtrip_str(self):
+        qs = QueryString.parse("c=American&l=10&u=15")
+        assert str(qs) == "c=American&l=10&u=15"
+
+    def test_percent_encoding(self):
+        qs = QueryString.parse("c=Middle%20East&l=1")
+        assert qs.get("c") == "Middle East"
+
+    def test_malformed_component(self):
+        with pytest.raises(QueryStringError):
+            QueryString.parse("novalue")
+
+    def test_leading_question_mark_ignored(self):
+        assert QueryString.parse("?c=Thai").get("c") == "Thai"
+
+
+class TestQueryStringSpec:
+    def test_parse_to_bindings(self, search_spec):
+        assert search_spec.parse("c=American&l=10&u=15") == {
+            "cuisine": "American", "min": "10", "max": "15",
+        }
+
+    def test_missing_field_raises(self, search_spec):
+        with pytest.raises(QueryStringError):
+            search_spec.parse("c=American&l=10")
+
+    def test_format_is_reverse_of_parse(self, search_spec):
+        qs = search_spec.format({"cuisine": "Thai", "min": 10, "max": 10})
+        assert str(qs) == "c=Thai&l=10&u=10"
+
+    def test_format_missing_binding(self, search_spec):
+        with pytest.raises(QueryStringError):
+            search_spec.format({"cuisine": "Thai"})
+
+    def test_field_parameter_lookups(self, search_spec):
+        assert search_spec.field_for("min") == "l"
+        assert search_spec.parameter_for("u") == "max"
+        with pytest.raises(QueryStringError):
+            search_spec.field_for("nope")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(QueryStringError):
+            QueryStringSpec((("c", "a"), ("c", "b")))
+
+
+class TestWebApplication:
+    def test_parameter_types_follow_attribute_domains(self, fooddb, search_query):
+        types = parameter_types(search_query, fooddb)
+        assert types["min"].value == "int"
+        assert types["cuisine"].value == "string"
+
+    def test_coerce_bindings(self, fooddb, search_query):
+        coerced = coerce_bindings(search_query, fooddb, {"cuisine": "Thai", "min": "10", "max": "15"})
+        assert coerced == {"cuisine": "Thai", "min": 10, "max": 15}
+
+    def test_generate_page_p1(self, fooddb, search_application):
+        page = search_application.generate_page(fooddb, "c=American&l=10&u=15")
+        assert page.record_count == 4
+        assert page.contains_keyword("burger")
+        assert "Wandy's" in page.text
+        assert page.url == "www.example.com/Search?c=American&l=10&u=15"
+
+    def test_generate_empty_page(self, fooddb, search_application):
+        page = search_application.generate_page(fooddb, "c=French&l=10&u=15")
+        assert page.record_count == 0
+
+    def test_page_html_contains_table(self, fooddb, search_application):
+        page = search_application.generate_page(fooddb, "c=Thai&l=10&u=10")
+        assert page.html.startswith("<html>")
+        assert "<table>" in page.html
+
+    def test_url_for_bindings(self, fooddb, search_application):
+        url = search_application.url_for_bindings({"cuisine": "Thai", "min": 10, "max": 10})
+        assert url == "www.example.com/Search?c=Thai&l=10&u=10"
+
+    def test_enumerate_query_strings_covers_all_valid_ranges(self, fooddb, search_application):
+        query_strings = search_application.enumerate_query_strings(fooddb)
+        # 2 cuisines x ordered pairs of 4 budget values (l <= u): 2 * 10 = 20
+        assert len(query_strings) == 20
+        assert all(qs.get("l") <= qs.get("u") or int(qs.get("l")) <= int(qs.get("u"))
+                   for qs in query_strings)
+
+    def test_page_signature_detects_duplicates(self, fooddb, search_application):
+        page_a = search_application.generate_page(fooddb, "c=Thai&l=9&u=11")
+        page_b = search_application.generate_page(fooddb, "c=Thai&l=10&u=10")
+        assert page_signature(page_a) == page_signature(page_b)
+
+
+class TestWebServer:
+    def test_get_resolves_application(self, fooddb_server):
+        page = fooddb_server.get("www.example.com/Search?c=American&l=10&u=20")
+        assert page.record_count == 5  # the paper's P2
+
+    def test_post_equivalent_to_get(self, fooddb_server):
+        get_page = fooddb_server.get("www.example.com/Search?c=Thai&l=10&u=10")
+        post_page = fooddb_server.post("www.example.com/Search", {"c": "Thai", "l": "10", "u": "10"})
+        assert page_signature(get_page) == page_signature(post_page)
+
+    def test_counts_invocations(self, fooddb, search_application):
+        server = WebServer(fooddb, host="www.example.com")
+        server.deploy(search_application)
+        server.get("www.example.com/Search?c=Thai&l=10&u=10")
+        server.get("www.example.com/Search?c=Thai&l=10&u=10")
+        assert server.invocation_count == 2
+        server.reset_counters()
+        assert server.invocation_count == 0
+
+    def test_unknown_application(self, fooddb_server):
+        with pytest.raises(WebServerError):
+            fooddb_server.get("www.example.com/Unknown?x=1")
+
+    def test_url_without_query_string(self, fooddb_server):
+        with pytest.raises(WebServerError):
+            fooddb_server.get("www.example.com/Search")
+
+    def test_duplicate_deploy_rejected(self, fooddb, search_application):
+        server = WebServer(fooddb, host="www.example.com")
+        server.deploy(search_application)
+        with pytest.raises(WebServerError):
+            server.deploy(search_application)
