@@ -1,0 +1,260 @@
+"""Store-backend comparison: top-k search latency across storage backends.
+
+Builds synthetic fragment sets of increasing size (fooddb-shaped: cuisine
+equality chains over a budget range, Zipf-ish keyword mix with a few hot
+keywords), loads them into every backend —
+
+* ``seed``       — the seed implementation's search loop (eager global
+                   seeding, full per-candidate rescoring) over the in-memory
+                   store: the baseline the refactor is measured against,
+* ``memory``     — :class:`InMemoryStore` behind the current searcher
+                   (one-pass seed scoring + incremental page statistics),
+* ``sharded-N``  — :class:`ShardedStore` with N hash partitions and the
+                   per-shard seeding fan-out,
+
+— measures average search latency over cold/warm/hot keywords, verifies that
+every backend returns exactly the seed path's ranked URLs, and emits
+``BENCH_store_backends.json`` for tooling.
+
+Run under pytest (``PYTHONPATH=src python -m pytest benchmarks/bench_store_backends.py``)
+or standalone (``PYTHONPATH=src python benchmarks/bench_store_backends.py``).
+
+Environment knobs: ``REPRO_BENCH_STORE_FRAGMENTS`` (comma-separated fragment
+counts, default ``2000,12000``), ``REPRO_BENCH_STORE_REPEATS`` (timing
+repetitions, default 5).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import random
+import time
+from typing import Dict, List, Tuple
+
+from repro.bench.reporting import print_table, write_json
+from repro.core.fragment_graph import FragmentGraph
+from repro.core.fragment_index import InvertedFragmentIndex
+from repro.core.scoring import DashScorer
+from repro.core.search import TopKSearcher
+from repro.core.urls import UrlFormulator
+from repro.datasets.fooddb import build_fooddb, fooddb_search_query
+from repro.store import InMemoryStore, ShardedStore
+from repro.webapp.request import QueryStringSpec
+
+FRAGMENT_COUNTS = tuple(
+    int(value) for value in os.environ.get("REPRO_BENCH_STORE_FRAGMENTS", "2000,12000").split(",")
+)
+SHARD_COUNTS = (2, 4, 8)
+REPEATS = int(os.environ.get("REPRO_BENCH_STORE_REPEATS", "5"))
+K = 10
+SIZE_THRESHOLDS = (200, 1000)
+
+QUERY = fooddb_search_query(build_fooddb())
+SPEC = QueryStringSpec((("c", "cuisine"), ("l", "min"), ("u", "max")))
+URI = "www.example.com/Search"
+
+#: Hot keywords planted into a large share of the fragments.
+HOT_KEYWORDS = ("burger", "noodle", "coffee")
+
+
+# ----------------------------------------------------------------------
+# the seed implementation's search loop (the measured baseline)
+# ----------------------------------------------------------------------
+def _seed_identifier_order(identifier):
+    """The seed's identifier ordering, uncached (the current one memoises)."""
+    return tuple(
+        (0, "") if component is None
+        else (1, float(component)) if isinstance(component, (int, float)) and not isinstance(component, bool)
+        else (2, str(component))
+        for component in identifier
+    )
+
+
+class SeedTopKSearcher:
+    """Replica of the pre-store search path: every seed is scored and pushed
+    individually, and each expansion candidate re-scores the whole page."""
+
+    def __init__(self, index: InvertedFragmentIndex, graph: FragmentGraph,
+                 url_formulator: UrlFormulator) -> None:
+        self.index = index
+        self.graph = graph
+        self.url_formulator = url_formulator
+
+    def search(self, keywords, k=10, size_threshold=100):
+        scorer = DashScorer(self.index, keywords)
+        counter = itertools.count()
+        queue = []
+        for identifier in scorer.relevant_fragments():
+            entry = (tuple(identifier),)
+            heapq.heappush(queue, (-scorer.score(entry), next(counter), entry))
+        consumed, results = set(), []
+        while queue and len(results) < k:
+            negative_score, _tie, fragments = heapq.heappop(queue)
+            if len(fragments) == 1 and fragments[0] in consumed:
+                continue
+            expansion = self._expansion_candidate(fragments, scorer, size_threshold)
+            if expansion is None:
+                results.append(self._make_result(fragments, -negative_score, scorer))
+                continue
+            consumed.add(expansion)
+            expanded = self._ordered(fragments + (expansion,))
+            heapq.heappush(queue, (-scorer.score(expanded), next(counter), expanded))
+        results.sort(key=lambda result: -result[1])
+        return results
+
+    def _expansion_candidate(self, fragments, scorer, size_threshold):
+        if scorer.page_size(fragments) >= size_threshold:
+            return None
+        members = set(fragments)
+        candidates = []
+        for identifier in fragments:
+            for neighbor in self.graph.neighbors(identifier):
+                if neighbor not in members:
+                    candidates.append(neighbor)
+        if not candidates:
+            return None
+        unique_candidates = list(dict.fromkeys(candidates))
+
+        def preference(candidate):
+            relevant = scorer.fragment_is_relevant(candidate)
+            resulting_score = scorer.score(self._ordered(fragments + (candidate,)))
+            return (0 if relevant else 1, -resulting_score, _seed_identifier_order(candidate))
+
+        unique_candidates.sort(key=preference)
+        return unique_candidates[0]
+
+    def _make_result(self, fragments, score, scorer):
+        return (self.url_formulator.url_for_fragments(fragments), score, fragments)
+
+    @staticmethod
+    def _ordered(fragments):
+        return tuple(sorted(set(fragments), key=_seed_identifier_order))
+
+
+# ----------------------------------------------------------------------
+# synthetic workload
+# ----------------------------------------------------------------------
+def synthetic_fragments(count: int, seed: int = 7) -> Dict[Tuple[str, int], Dict[str, int]]:
+    """``count`` fragments in ~40-node cuisine chains with a mixed vocabulary."""
+    rng = random.Random(seed)
+    vocabulary = [f"kw{index:04d}" for index in range(1500)]
+    fragments: Dict[Tuple[str, int], Dict[str, int]] = {}
+    groups = max(1, count // 40)
+    for index in range(count):
+        identifier = (f"Cuisine{index % groups:04d}", 5 + index // groups)
+        term_frequencies = {
+            rng.choice(vocabulary): rng.randint(1, 4) for _ in range(rng.randint(8, 25))
+        }
+        if rng.random() < 0.5:
+            term_frequencies[rng.choice(HOT_KEYWORDS)] = rng.randint(1, 3)
+        fragments[identifier] = term_frequencies
+    return fragments
+
+
+def keyword_workload(index: InvertedFragmentIndex) -> Dict[str, str]:
+    """One representative cold / warm / hot keyword (by document frequency)."""
+    frequencies = index.document_frequencies()
+    ranked = sorted(frequencies, key=lambda keyword: (frequencies[keyword], keyword))
+    return {"cold": ranked[0], "warm": ranked[len(ranked) // 2], "hot": ranked[-1]}
+
+
+def build_backend(fragments, store):
+    index = InvertedFragmentIndex(store=store)
+    for identifier, term_frequencies in fragments.items():
+        index.add_fragment(identifier, term_frequencies)
+    index.finalize()
+    sizes = {identifier: index.fragment_size(identifier) for identifier in fragments}
+    graph = FragmentGraph.build(QUERY, sizes, store=store)
+    return index, graph
+
+
+def searcher_for(name: str, fragments):
+    if name == "seed":
+        index, graph = build_backend(fragments, InMemoryStore())
+        return SeedTopKSearcher(index, graph, UrlFormulator(QUERY, SPEC, URI))
+    if name == "memory":
+        store = InMemoryStore()
+    else:
+        store = ShardedStore(shards=int(name.split("-")[1]))
+    index, graph = build_backend(fragments, store)
+    return TopKSearcher(index, graph, UrlFormulator(QUERY, SPEC, URI))
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def _urls(results) -> List[str]:
+    return [result[0] if isinstance(result, tuple) else result.url for result in results]
+
+
+def run_comparison() -> Dict:
+    backends = ["seed", "memory"] + [f"sharded-{count}" for count in SHARD_COUNTS]
+    payload = {"k": K, "size_thresholds": list(SIZE_THRESHOLDS), "repeats": REPEATS,
+               "fragment_counts": list(FRAGMENT_COUNTS), "measurements": []}
+    rows = []
+    for count in FRAGMENT_COUNTS:
+        fragments = synthetic_fragments(count)
+        searchers = {name: searcher_for(name, fragments) for name in backends}
+        workload = keyword_workload(searchers["memory"].index)
+        reference_urls = {}
+        for name in backends:
+            searcher = searchers[name]
+            per_backend_ms = []
+            for temperature, keyword in workload.items():
+                for size_threshold in SIZE_THRESHOLDS:
+                    searcher.search([keyword], k=K, size_threshold=size_threshold)  # warm-up
+                    samples = []
+                    for _ in range(REPEATS):
+                        started = time.perf_counter()
+                        results = searcher.search([keyword], k=K, size_threshold=size_threshold)
+                        samples.append(time.perf_counter() - started)
+                    # best-of-N: robust against scheduler noise on shared boxes
+                    elapsed_ms = min(samples) * 1000.0
+                    per_backend_ms.append(elapsed_ms)
+                    key = (temperature, size_threshold)
+                    # every backend must rank exactly like the seed path
+                    if name == "seed":
+                        reference_urls[key] = _urls(results)
+                    else:
+                        assert _urls(results) == reference_urls[key], (name, count, key)
+            average_ms = sum(per_backend_ms) / len(per_backend_ms)
+            payload["measurements"].append(
+                {"fragments": count, "backend": name, "avg_search_ms": round(average_ms, 4)}
+            )
+        seed_ms = next(m["avg_search_ms"] for m in payload["measurements"]
+                       if m["fragments"] == count and m["backend"] == "seed")
+        for name in backends:
+            average_ms = next(m["avg_search_ms"] for m in payload["measurements"]
+                              if m["fragments"] == count and m["backend"] == name)
+            speedup = seed_ms / average_ms if average_ms else float("inf")
+            rows.append((count, name, round(average_ms, 4), round(speedup, 2)))
+            for measurement in payload["measurements"]:
+                if measurement["fragments"] == count and measurement["backend"] == name:
+                    measurement["speedup_vs_seed"] = round(speedup, 2)
+    print_table(
+        ["fragments", "backend", "avg search (ms)", "speedup vs seed"],
+        rows,
+        title="Store backends: average top-k search latency (identical ranked URLs verified)",
+    )
+    path = write_json("BENCH_store_backends.json", payload)
+    print(f"\nwrote {path}")
+    return payload
+
+
+def test_store_backend_comparison(benchmark):
+    payload = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    largest = max(FRAGMENT_COUNTS)
+    speedups = {
+        measurement["backend"]: measurement["speedup_vs_seed"]
+        for measurement in payload["measurements"]
+        if measurement["fragments"] == largest
+    }
+    # The refactored search path must beat the seed path clearly on the
+    # largest synthetic fragment set (acceptance: >= 2x).
+    assert max(speedups.values()) >= 2.0, speedups
+
+
+if __name__ == "__main__":
+    run_comparison()

@@ -59,6 +59,19 @@ def main() -> None:
         marker = "contains 'burger'" if page.contains_keyword("burger") else "MISSING KEYWORD"
         print(f"  {result.url} -> {page.record_count} result rows, {marker}")
 
+    # 6. The serving store is pluggable: the same engine over a sharded
+    #    backend (hash-partitioned, parallel lookup fan-out) returns exactly
+    #    the same ranked URLs — `store=` is the only change.
+    sharded_engine = DashEngine.build(
+        application, database, algorithm="integrated", store="sharded", shards=4
+    )
+    sharded_results = sharded_engine.search(["burger"], k=2, size_threshold=20)
+    stats = sharded_engine.statistics()
+    print(f"\nSame search on {stats['store_backend']} ({stats['store_shards']} shards):")
+    for rank, result in enumerate(sharded_results, start=1):
+        print(f"  {rank}. {result.url}  score={result.score:.4f}")
+    assert [r.url for r in sharded_results] == [r.url for r in results]
+
 
 if __name__ == "__main__":
     main()

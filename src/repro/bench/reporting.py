@@ -1,13 +1,16 @@
-"""Plain-text tables for benchmark output.
+"""Plain-text tables and machine-readable JSON for benchmark output.
 
 Every benchmark prints the rows/series of the paper table or figure it
 reproduces; these helpers keep that output aligned and consistent so
-``EXPERIMENTS.md`` can quote it directly.
+``EXPERIMENTS.md`` can quote it directly.  :func:`write_json` emits the same
+measurements as a ``BENCH_*.json`` artifact for tooling and CI.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence
+import json
+import os
+from typing import Any, Iterable, List, Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
@@ -38,6 +41,23 @@ def print_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: st
     """Print a formatted table (with a leading blank line for readability)."""
     print()
     print(format_table(headers, rows, title=title))
+
+
+def write_json(path: str, payload: Mapping[str, Any]) -> str:
+    """Write a benchmark's measurements as pretty-printed JSON; returns the path.
+
+    ``REPRO_BENCH_OUTPUT_DIR`` redirects relative paths (defaults to the
+    current working directory, i.e. the repo root under pytest).
+    """
+    if not os.path.isabs(path):
+        path = os.path.join(os.environ.get("REPRO_BENCH_OUTPUT_DIR", "."), path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def _render(cell: Any) -> str:

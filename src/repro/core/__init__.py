@@ -14,6 +14,12 @@
   database updates (the paper's future-work direction, built as an extension).
 * :mod:`repro.core.engine` — the :class:`DashEngine` facade wiring analysis,
   crawling, indexing and search together (Figure 4).
+
+Serving-side storage (postings, fragment sizes, graph adjacency) is pluggable
+through :mod:`repro.store`: the index and graph facades program against the
+:class:`~repro.store.FragmentStore` interface, with
+:class:`~repro.store.InMemoryStore` and the hash-partitioned
+:class:`~repro.store.ShardedStore` as backends.
 """
 
 from repro.core.crawler import CrawlResult, IntegratedCrawler, StepwiseCrawler
@@ -22,9 +28,10 @@ from repro.core.fragment_graph import FragmentGraph
 from repro.core.fragment_index import InvertedFragmentIndex
 from repro.core.fragments import Fragment, FragmentId, derive_fragments
 from repro.core.incremental import IncrementalMaintainer
-from repro.core.scoring import DashScorer
+from repro.core.scoring import DashScorer, PageStats
 from repro.core.search import SearchResult, TopKSearcher
 from repro.core.urls import UrlFormulator
+from repro.store import FragmentStore, InMemoryStore, ShardedStore, resolve_store
 
 __all__ = [
     "CrawlResult",
@@ -33,12 +40,17 @@ __all__ = [
     "Fragment",
     "FragmentGraph",
     "FragmentId",
+    "FragmentStore",
+    "InMemoryStore",
     "IncrementalMaintainer",
     "IntegratedCrawler",
     "InvertedFragmentIndex",
+    "PageStats",
     "SearchResult",
+    "ShardedStore",
     "StepwiseCrawler",
     "TopKSearcher",
     "UrlFormulator",
     "derive_fragments",
+    "resolve_store",
 ]

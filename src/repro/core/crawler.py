@@ -40,6 +40,7 @@ from repro.mapreduce.job import KeyValue, MapReduceJob
 from repro.mapreduce.joins import join_reducer, tag_mapper
 from repro.mapreduce.runtime import MapReduceRuntime
 from repro.mapreduce.workflow import Workflow, WorkflowMetrics
+from repro.store.base import FragmentStore
 from repro.text.tokenizer import count_keywords, tokenize
 
 RecordDict = Dict[str, Any]
@@ -244,11 +245,16 @@ def _consolidate_reducer(keyword: str, values: List[List[Tuple[FragmentId, int]]
     yield keyword, ranked
 
 
-def _load_index(runtime: MapReduceRuntime, path: str) -> InvertedFragmentIndex:
+def _load_index(
+    runtime: MapReduceRuntime,
+    path: str,
+    store: Optional["FragmentStore"] = None,
+) -> InvertedFragmentIndex:
+    """Load a workflow's consolidated posting lists into the serving store."""
     posting_lists: Dict[str, List[Tuple[FragmentId, int]]] = {}
     for keyword, postings in runtime.filesystem.read_all(path):
         posting_lists[keyword] = [(tuple(identifier), occurrences) for identifier, occurrences in postings]
-    return InvertedFragmentIndex.from_posting_lists(posting_lists)
+    return InvertedFragmentIndex.from_posting_lists(posting_lists, store=store)
 
 
 def _forward_mapper(key: Any, value: Any) -> Iterator[KeyValue]:
@@ -266,11 +272,13 @@ class _CrawlerBase:
         database: Database,
         runtime: Optional[MapReduceRuntime] = None,
         num_reduce_tasks: int = 4,
+        store: Optional["FragmentStore"] = None,
     ) -> None:
         self.query = query
         self.database = database
         self.runtime = runtime or MapReduceRuntime()
         self.num_reduce_tasks = num_reduce_tasks
+        self.store = store
         self.layout = QueryLayout(query, database)
 
     # ------------------------------------------------------------------
@@ -315,7 +323,7 @@ class StepwiseCrawler(_CrawlerBase):
         )
 
         metrics = workflow.run()
-        index = _load_index(self.runtime, index_path)
+        index = _load_index(self.runtime, index_path, store=self.store)
         return CrawlResult(
             algorithm=self.algorithm,
             query_name=self.query.name,
@@ -422,7 +430,7 @@ class IntegratedCrawler(_CrawlerBase):
         )
 
         metrics = workflow.run()
-        index = _load_index(self.runtime, index_path)
+        index = _load_index(self.runtime, index_path, store=self.store)
         return CrawlResult(
             algorithm=self.algorithm,
             query_name=self.query.name,

@@ -6,15 +6,19 @@ Wires the whole pipeline together for one web application over one database:
    reverse query-string parsing logic from the application source (skipped
    when the caller already has a fully-specified :class:`WebApplication`).
 2. **Database crawling + fragment indexing** — run the stepwise or the
-   integrated MapReduce workflow to build the inverted fragment index.
-3. **Fragment graph construction** — build the combinability graph.
-4. **Top-k search** — answer keyword queries with db-page URLs.
+   integrated MapReduce workflow to build the inverted fragment index,
+   loading the consolidated posting lists straight into the configured
+   :class:`~repro.store.FragmentStore` backend.
+3. **Fragment graph construction** — build the combinability graph, into the
+   same store.
+4. **Top-k search** — answer keyword queries with db-page URLs (fanning
+   lookups out over the store's shards when it is partitioned).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.analysis.analyzer import AnalyzedApplication, ApplicationAnalyzer
 from repro.core.crawler import CrawlResult, IntegratedCrawler, StepwiseCrawler
@@ -24,6 +28,7 @@ from repro.core.search import SearchResult, TopKSearcher
 from repro.core.urls import UrlFormulator
 from repro.db.database import Database
 from repro.mapreduce.runtime import MapReduceRuntime
+from repro.store import FragmentStore, StoreSpec, resolve_store
 from repro.webapp.application import WebApplication
 
 
@@ -85,6 +90,8 @@ class DashEngine:
         analyze_source: bool = True,
         presorted_graph: bool = True,
         num_reduce_tasks: int = 4,
+        store: StoreSpec = None,
+        shards: Optional[int] = None,
     ) -> "DashEngine":
         """Analyse, crawl, index and wire up a searchable engine.
 
@@ -94,10 +101,27 @@ class DashEngine:
         query and query-string mapping are recovered from the source through
         :class:`~repro.analysis.analyzer.ApplicationAnalyzer` (the path Dash
         itself takes); otherwise the application's declared query is trusted.
+
+        ``store`` selects the serving backend (see
+        :func:`repro.store.resolve_store`): ``"memory"`` (default), or
+        ``"sharded"`` together with ``shards=N`` for a hash-partitioned store
+        whose lookups fan out in parallel.  The crawl output, the fragment
+        graph and the searcher all share the resolved store.
         """
         if algorithm not in _CRAWLERS:
             raise DashEngineError(
                 f"unknown crawling algorithm {algorithm!r}; expected one of {sorted(_CRAWLERS)}"
+            )
+        try:
+            fragment_store = resolve_store(store, shards=shards)
+        except Exception as error:
+            raise DashEngineError(str(error)) from error
+        if fragment_store.fragment_count() or fragment_store.node_count():
+            # Loading a second crawl into a populated store would duplicate
+            # postings and corrupt every TF denominator before anything fails.
+            raise DashEngineError(
+                "the configured store already holds fragments; build each engine "
+                "over a fresh FragmentStore"
             )
 
         analyzed: Optional[AnalyzedApplication] = None
@@ -119,6 +143,7 @@ class DashEngine:
             database=database,
             runtime=runtime,
             num_reduce_tasks=num_reduce_tasks,
+            store=fragment_store,
         )
         crawl_result = crawler.crawl()
 
@@ -126,6 +151,7 @@ class DashEngine:
             effective_application.query,
             crawl_result.index.fragment_sizes,
             presorted=presorted_graph,
+            store=fragment_store,
         )
         report = DashBuildReport(crawl=crawl_result, graph=graph_report, analyzed=analyzed)
         return cls(
@@ -152,6 +178,11 @@ class DashEngine:
     def searcher(self) -> TopKSearcher:
         return self._searcher
 
+    @property
+    def store(self) -> FragmentStore:
+        """The serving backend shared by the index, the graph and the searcher."""
+        return self.index.store
+
     # ------------------------------------------------------------------
     # inspection helpers
     # ------------------------------------------------------------------
@@ -160,6 +191,8 @@ class DashEngine:
         return {
             "application": self.application.name,
             "algorithm": self.build_report.crawl.algorithm,
+            "store_backend": type(self.store).__name__,
+            "store_shards": self.store.shard_count,
             "fragments": self.index.fragment_count,
             "vocabulary": len(self.index),
             "average_keywords_per_fragment": self.index.average_keywords_per_fragment(),

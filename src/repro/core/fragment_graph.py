@@ -20,17 +20,24 @@ The class supports both the paper's incremental insertion (add one fragment at
 a time, splitting an existing edge when the new fragment falls between its two
 endpoints) and the pre-sorted bulk construction the paper recommends as an
 optimisation.
+
+Node and adjacency storage is delegated to a pluggable
+:class:`~repro.store.FragmentStore` backend; pass the same store the inverted
+fragment index uses and the whole serving state (postings, sizes, adjacency)
+lives in one place, shard-partitioned consistently by fragment identifier.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.fragments import FragmentId
 from repro.db.query import BetweenCondition, ParameterizedPSJQuery
 from repro.db.types import compare_values
+from repro.store.base import FragmentStore
+from repro.store.memory import InMemoryStore
 
 
 class FragmentGraphError(Exception):
@@ -51,12 +58,16 @@ class GraphBuildReport:
 class FragmentGraph:
     """Fragment adjacency plus per-fragment keyword counts."""
 
-    def __init__(self, query: ParameterizedPSJQuery) -> None:
+    def __init__(self, query: ParameterizedPSJQuery, store: Optional[FragmentStore] = None) -> None:
         self.query = query
+        self._store = store if store is not None else InMemoryStore()
         self._equality_positions, self._range_positions = _condition_positions(query)
-        self._keyword_counts: Dict[FragmentId, int] = {}
-        self._adjacency: Dict[FragmentId, Set[FragmentId]] = {}
         self.comparisons = 0
+
+    @property
+    def store(self) -> FragmentStore:
+        """The storage backend (shared with the fragment index by the engine)."""
+        return self._store
 
     # ------------------------------------------------------------------
     # construction
@@ -67,6 +78,7 @@ class FragmentGraph:
         query: ParameterizedPSJQuery,
         fragment_sizes: Mapping[FragmentId, int],
         presorted: bool = True,
+        store: Optional[FragmentStore] = None,
     ) -> "FragmentGraph":
         """Build the graph for all fragments in ``fragment_sizes``.
 
@@ -75,7 +87,7 @@ class FragmentGraph:
         simply extends the end of its equality group's chain — a single
         comparison per fragment instead of a scan over all existing nodes.
         """
-        graph = cls(query)
+        graph = cls(query, store=store)
         if not presorted:
             for identifier in fragment_sizes:
                 graph.add_fragment(identifier, fragment_sizes[identifier])
@@ -90,16 +102,15 @@ class FragmentGraph:
         identifiers = sorted((tuple(identifier) for identifier in fragment_sizes), key=group_then_range)
         previous: Optional[FragmentId] = None
         for identifier in identifiers:
-            if identifier in graph._keyword_counts:
+            if graph._store.has_node(identifier):
                 raise FragmentGraphError(f"fragment {identifier!r} already in the graph")
-            graph._keyword_counts[identifier] = fragment_sizes[identifier]
-            graph._adjacency[identifier] = set()
+            graph._store.add_node(identifier, fragment_sizes[identifier])
             if (
                 graph._range_positions
                 and previous is not None
                 and graph._equality_key(previous) == graph._equality_key(identifier)
             ):
-                graph._add_edge(previous, identifier)
+                graph._store.add_edge(previous, identifier)
             graph.comparisons += 1
             previous = identifier
         return graph
@@ -110,10 +121,11 @@ class FragmentGraph:
         query: ParameterizedPSJQuery,
         fragment_sizes: Mapping[FragmentId, int],
         presorted: bool = True,
+        store: Optional[FragmentStore] = None,
     ) -> Tuple["FragmentGraph", GraphBuildReport]:
         """Build the graph and report construction statistics (Table IV)."""
         started = time.perf_counter()
-        graph = cls.build(query, fragment_sizes, presorted=presorted)
+        graph = cls.build(query, fragment_sizes, presorted=presorted, store=store)
         elapsed = time.perf_counter() - started
         sizes = list(fragment_sizes.values())
         average = sum(sizes) / len(sizes) if sizes else 0.0
@@ -134,10 +146,9 @@ class FragmentGraph:
         edge is removed and replaced by two edges through the new node.
         """
         identifier = tuple(identifier)
-        if identifier in self._keyword_counts:
+        if self._store.has_node(identifier):
             raise FragmentGraphError(f"fragment {identifier!r} already in the graph")
-        self._keyword_counts[identifier] = keyword_count
-        self._adjacency[identifier] = set()
+        self._store.add_node(identifier, keyword_count)
 
         if not self._range_positions:
             # No range parameter: every fragment is its own maximal db-page.
@@ -146,7 +157,7 @@ class FragmentGraph:
         group = self._equality_key(identifier)
         below: Optional[FragmentId] = None
         above: Optional[FragmentId] = None
-        for other in self._keyword_counts:
+        for other in self._store.node_ids():
             if other == identifier:
                 continue
             self.comparisons += 1
@@ -163,20 +174,12 @@ class FragmentGraph:
                 raise FragmentGraphError(
                     f"two fragments share the identifier components {identifier!r}"
                 )
-        if below is not None and above is not None and above in self._adjacency[below]:
-            self._remove_edge(below, above)
+        if below is not None and above is not None and self.are_connected(below, above):
+            self._store.remove_edge(below, above)
         if below is not None:
-            self._add_edge(below, identifier)
+            self._store.add_edge(below, identifier)
         if above is not None:
-            self._add_edge(identifier, above)
-
-    def _add_edge(self, left: FragmentId, right: FragmentId) -> None:
-        self._adjacency[left].add(right)
-        self._adjacency[right].add(left)
-
-    def _remove_edge(self, left: FragmentId, right: FragmentId) -> None:
-        self._adjacency[left].discard(right)
-        self._adjacency[right].discard(left)
+            self._store.add_edge(identifier, above)
 
     # ------------------------------------------------------------------
     # ordering helpers
@@ -201,45 +204,50 @@ class FragmentGraph:
     # queries
     # ------------------------------------------------------------------
     def has_fragment(self, identifier: FragmentId) -> bool:
-        return tuple(identifier) in self._keyword_counts
+        return self._store.has_node(tuple(identifier))
 
     def keyword_count(self, identifier: FragmentId) -> int:
         try:
-            return self._keyword_counts[tuple(identifier)]
+            return self._store.node_keyword_count(tuple(identifier))
         except KeyError:
             raise FragmentGraphError(f"unknown fragment {identifier!r}") from None
 
     def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
         """Fragments directly combinable with ``identifier``."""
         identifier = tuple(identifier)
-        if identifier not in self._adjacency:
-            raise FragmentGraphError(f"unknown fragment {identifier!r}")
-        return tuple(sorted(self._adjacency[identifier], key=self._sort_key))
+        try:
+            neighbors = self._store.neighbors(identifier)
+        except KeyError:
+            raise FragmentGraphError(f"unknown fragment {identifier!r}") from None
+        return tuple(sorted(neighbors, key=self._sort_key))
 
     def are_connected(self, left: FragmentId, right: FragmentId) -> bool:
-        return tuple(right) in self._adjacency.get(tuple(left), set())
+        left = tuple(left)
+        if not self._store.has_node(left):
+            return False
+        return tuple(right) in self._store.neighbors(left)
 
     def fragment_ids(self) -> Tuple[FragmentId, ...]:
-        return tuple(self._keyword_counts)
+        return self._store.node_ids()
 
     @property
     def fragment_count(self) -> int:
-        return len(self._keyword_counts)
+        return self._store.node_count()
 
     @property
     def edge_count(self) -> int:
-        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+        return self._store.edge_count()
 
     def connected_component(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
         """All fragments reachable from ``identifier`` (one application chain)."""
         identifier = tuple(identifier)
-        if identifier not in self._adjacency:
+        if not self._store.has_node(identifier):
             raise FragmentGraphError(f"unknown fragment {identifier!r}")
         seen: Set[FragmentId] = {identifier}
         frontier: List[FragmentId] = [identifier]
         while frontier:
             current = frontier.pop()
-            for neighbor in self._adjacency[current]:
+            for neighbor in self._store.neighbors(current):
                 if neighbor not in seen:
                     seen.add(neighbor)
                     frontier.append(neighbor)
@@ -248,23 +256,23 @@ class FragmentGraph:
     def remove_fragment(self, identifier: FragmentId) -> None:
         """Remove a fragment, reconnecting its neighbours (incremental deletes)."""
         identifier = tuple(identifier)
-        if identifier not in self._keyword_counts:
+        if not self._store.has_node(identifier):
             return
-        neighbors = sorted(self._adjacency[identifier], key=self._sort_key)
+        neighbors = sorted(self._store.neighbors(identifier), key=self._sort_key)
         for neighbor in neighbors:
-            self._adjacency[neighbor].discard(identifier)
+            self._store.discard_neighbor(neighbor, identifier)
         # Reconnect the two range-order neighbours so the chain stays intact.
         if len(neighbors) == 2:
-            self._add_edge(neighbors[0], neighbors[1])
-        del self._adjacency[identifier]
-        del self._keyword_counts[identifier]
+            self._store.add_edge(neighbors[0], neighbors[1])
+        self._store.remove_node(identifier)
 
     def update_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
         """Change a node's keyword count (incremental maintenance)."""
         identifier = tuple(identifier)
-        if identifier not in self._keyword_counts:
-            raise FragmentGraphError(f"unknown fragment {identifier!r}")
-        self._keyword_counts[identifier] = keyword_count
+        try:
+            self._store.set_node_keyword_count(identifier, keyword_count)
+        except KeyError:
+            raise FragmentGraphError(f"unknown fragment {identifier!r}") from None
 
 
 def _condition_positions(query: ParameterizedPSJQuery) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:

@@ -6,31 +6,50 @@ index keeps the list of ``(fragment identifier, occurrences)`` pairs sorted by
 descending occurrence count.  The index additionally records every fragment's
 total keyword count (its *size*), which the fragment graph displays on its
 nodes and the top-k search uses against the size threshold ``s``.
+
+Storage is delegated to a pluggable :class:`~repro.store.FragmentStore`
+backend: the index canonicalises its inputs (keywords lower-cased, fragment
+identifiers coerced to tuples) and programs against the store interface, so
+the same code serves the single-partition :class:`~repro.store.InMemoryStore`
+and the hash-partitioned :class:`~repro.store.ShardedStore`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.fragments import Fragment, FragmentId
+from repro.store.base import FragmentStore
+from repro.store.memory import InMemoryStore
 from repro.text.inverted_index import Posting
 
 
 class InvertedFragmentIndex:
     """Keyword → sorted list of (fragment identifier, occurrence count)."""
 
-    def __init__(self) -> None:
-        self._postings: Dict[str, List[Posting]] = {}
-        self._fragment_sizes: Dict[FragmentId, int] = {}
-        self._sorted = True
+    def __init__(self, store: Optional[FragmentStore] = None) -> None:
+        self._store = store if store is not None else InMemoryStore()
+
+    @property
+    def store(self) -> FragmentStore:
+        """The storage backend (shared with the fragment graph by the engine)."""
+        return self._store
+
+    @property
+    def shard_count(self) -> int:
+        return self._store.shard_count
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_fragments(cls, fragments: Mapping[FragmentId, Fragment]) -> "InvertedFragmentIndex":
+    def from_fragments(
+        cls,
+        fragments: Mapping[FragmentId, Fragment],
+        store: Optional[FragmentStore] = None,
+    ) -> "InvertedFragmentIndex":
         """Build the index from fully-derived fragments (reference path)."""
-        index = cls()
+        index = cls(store=store)
         for identifier, fragment in fragments.items():
             index.add_fragment(identifier, fragment.term_frequencies)
         index.finalize()
@@ -40,13 +59,16 @@ class InvertedFragmentIndex:
     def from_posting_lists(
         cls,
         posting_lists: Mapping[str, Sequence[Tuple[FragmentId, int]]],
+        store: Optional[FragmentStore] = None,
     ) -> "InvertedFragmentIndex":
         """Build the index from consolidated ``keyword -> [(fragment, count)]`` lists.
 
         This is the format both MapReduce crawling workflows leave behind in
-        their final output file.
+        their final output file, which makes this classmethod the crawl→store
+        loading path: pass ``store=`` to land the crawl output directly in the
+        serving backend.
         """
-        index = cls()
+        index = cls(store=store)
         for keyword, postings in posting_lists.items():
             for identifier, occurrences in postings:
                 index._add_occurrences(keyword, tuple(identifier), int(occurrences))
@@ -56,64 +78,56 @@ class InvertedFragmentIndex:
     def add_fragment(self, identifier: FragmentId, term_frequencies: Mapping[str, int]) -> None:
         """Index one fragment's keyword counts."""
         identifier = tuple(identifier)
-        if identifier in self._fragment_sizes:
+        if self._store.has_fragment(identifier):
             raise ValueError(f"fragment {identifier!r} already indexed")
-        self._fragment_sizes[identifier] = 0
+        self._store.touch_fragment(identifier)
         for keyword, occurrences in term_frequencies.items():
             if occurrences > 0:
                 self._add_occurrences(keyword, identifier, occurrences)
 
     def _add_occurrences(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
-        keyword = keyword.lower()
-        self._postings.setdefault(keyword, []).append(Posting(identifier, occurrences))
-        self._fragment_sizes[identifier] = self._fragment_sizes.get(identifier, 0) + occurrences
-        self._sorted = False
+        self._store.add_posting(keyword.lower(), identifier, occurrences)
 
     def remove_fragment(self, identifier: FragmentId) -> None:
         """Remove every posting of ``identifier`` (no-op when absent)."""
-        identifier = tuple(identifier)
-        if identifier not in self._fragment_sizes:
-            return
-        del self._fragment_sizes[identifier]
-        empty = []
-        for keyword, postings in self._postings.items():
-            kept = [posting for posting in postings if posting.document_id != identifier]
-            if len(kept) != len(postings):
-                self._postings[keyword] = kept
-            if not kept:
-                empty.append(keyword)
-        for keyword in empty:
-            del self._postings[keyword]
+        self._store.remove_fragment(tuple(identifier))
 
     def replace_fragment(self, identifier: FragmentId, term_frequencies: Mapping[str, int]) -> None:
-        """Replace a fragment's postings (incremental maintenance)."""
-        self.remove_fragment(identifier)
+        """Replace a fragment's postings (incremental maintenance).
+
+        A single store operation, so on partitioned backends the swap happens
+        atomically inside the fragment's owning shard.
+        """
+        identifier = tuple(identifier)
+        # Pairs, not a dict: distinct keys that lower-case to the same keyword
+        # must accumulate exactly as repeated add_fragment postings would.
+        canonical = [
+            (keyword.lower(), occurrences)
+            for keyword, occurrences in term_frequencies.items()
+            if occurrences > 0
+        ]
+        self._store.replace_fragment(identifier, canonical)
         if term_frequencies:
-            self.add_fragment(identifier, term_frequencies)
+            self._store.touch_fragment(identifier)
 
     def finalize(self) -> None:
         """Sort every inverted list by descending occurrence count."""
-        if self._sorted:
-            return
-        for postings in self._postings.values():
-            postings.sort(key=lambda posting: (-posting.term_frequency, str(posting.document_id)))
-        self._sorted = True
+        self._store.finalize()
 
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def postings(self, keyword: str) -> Tuple[Posting, ...]:
         """The inverted list of ``keyword`` (sorted, possibly empty)."""
-        self.finalize()
-        return tuple(self._postings.get(keyword.lower(), ()))
+        return self._store.postings(keyword.lower())
 
     def fragment_frequency(self, keyword: str) -> int:
         """Number of fragments containing ``keyword`` (the DF Dash uses for IDF)."""
-        return len(self._postings.get(keyword.lower(), ()))
+        return self._store.fragment_frequency(keyword.lower())
 
     def document_frequencies(self) -> Dict[str, int]:
         """DF of every keyword in the vocabulary."""
-        return {keyword: len(postings) for keyword, postings in self._postings.items()}
+        return self._store.document_frequencies()
 
     def idf(self, keyword: str) -> float:
         """Dash's IDF approximation: the inverse of the fragment frequency."""
@@ -122,67 +136,48 @@ class InvertedFragmentIndex:
 
     def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
         """Occurrences of ``keyword`` in fragment ``identifier``."""
-        identifier = tuple(identifier)
-        for posting in self._postings.get(keyword.lower(), ()):
-            if posting.document_id == identifier:
-                return posting.term_frequency
-        return 0
+        return self._store.term_frequency(keyword.lower(), tuple(identifier))
 
     def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
-        """All keyword counts of one fragment (linear scan; maintenance/tests)."""
-        identifier = tuple(identifier)
-        frequencies: Dict[str, int] = {}
-        for keyword, postings in self._postings.items():
-            for posting in postings:
-                if posting.document_id == identifier:
-                    frequencies[keyword] = posting.term_frequency
-                    break
-        return frequencies
+        """All keyword counts of one fragment (maintenance/tests)."""
+        return self._store.fragment_term_frequencies(tuple(identifier))
 
     def fragment_size(self, identifier: FragmentId) -> int:
         """Total keyword occurrences of ``identifier`` (0 when unknown)."""
-        return self._fragment_sizes.get(tuple(identifier), 0)
+        return self._store.fragment_size(tuple(identifier))
 
     @property
     def fragment_sizes(self) -> Dict[FragmentId, int]:
-        return dict(self._fragment_sizes)
+        return self._store.fragment_sizes()
 
     def fragment_ids(self) -> Tuple[FragmentId, ...]:
-        return tuple(self._fragment_sizes)
+        return self._store.fragment_ids()
 
     @property
     def fragment_count(self) -> int:
-        return len(self._fragment_sizes)
+        return self._store.fragment_count()
 
     @property
     def vocabulary(self) -> Tuple[str, ...]:
-        return tuple(self._postings)
+        return self._store.vocabulary()
 
     def __contains__(self, keyword: str) -> bool:
-        return keyword.lower() in self._postings
+        return self._store.fragment_frequency(keyword.lower()) > 0
 
     def __len__(self) -> int:
-        return len(self._postings)
+        return self._store.vocabulary_size()
 
     def average_keywords_per_fragment(self) -> float:
         """The Table IV statistic, computed from the index itself."""
-        if not self._fragment_sizes:
+        sizes = self._store.fragment_sizes()
+        if not sizes:
             return 0.0
-        return sum(self._fragment_sizes.values()) / len(self._fragment_sizes)
+        return sum(sizes.values()) / len(sizes)
 
     def approximate_bytes(self) -> int:
         """Rough serialized size of the index (ablation benchmarks)."""
-        total = 0
-        for keyword, postings in self._postings.items():
-            total += len(keyword) + 1
-            for posting in postings:
-                total += 8
-                for component in posting.document_id:
-                    total += len(str(component)) + 1
-        return total
+        return self._store.approximate_bytes()
 
     def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
         """Iterate ``(keyword, postings)`` in keyword order."""
-        self.finalize()
-        for keyword in sorted(self._postings):
-            yield keyword, tuple(self._postings[keyword])
+        return self._store.iter_items()

@@ -18,6 +18,13 @@ joined rows that involve the changed record.  The maintainer therefore
 2. re-derives exactly those fragments from the (already updated) database, and
 3. replaces their postings in the inverted fragment index and their nodes in
    the fragment graph.
+
+The maintainer only ever talks to the index/graph facades, which route every
+per-fragment mutation to the underlying
+:class:`~repro.store.FragmentStore`.  Each posting swap is a single
+``replace_fragment`` store operation, and because a fragment's postings,
+size and graph node all live on the identifier's owning shard, incremental
+maintenance stays a one-shard affair on partitioned backends.
 """
 
 from __future__ import annotations
@@ -53,6 +60,11 @@ class IncrementalMaintainer:
         self.graph = graph
         self.updates_applied = 0
         self.fragments_touched = 0
+
+    @property
+    def store(self):
+        """The index's storage backend (shared with the graph in engine wiring)."""
+        return self.index.store
 
     # ------------------------------------------------------------------
     # public API

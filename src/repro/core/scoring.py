@@ -13,14 +13,36 @@ Dash modifies the classic TF/IDF scheme in two ways:
   ``3/25``).  Dividing by the page size is what makes expansion with less
   relevant text lower the score, giving the best-first search its
   monotonicity.
+
+Besides the reference :meth:`DashScorer.score`, the scorer exposes an
+incremental path for the top-k search hot loop: a pending db-page is carried
+as a :class:`PageStats` (per-query-keyword occurrence totals plus page size,
+all integers), extending a page by one candidate fragment costs ``O(|W|)``
+instead of ``O(|W| * |page|)``, and :meth:`seed_scores` scores every relevant
+fragment in one pass over the inverted lists.  Occurrence totals and sizes
+are exact integers and the keyword accumulation order matches
+:meth:`score`, so the incremental path produces bit-identical floats.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 from repro.core.fragment_index import InvertedFragmentIndex
 from repro.core.fragments import FragmentId
+
+
+@dataclass(frozen=True)
+class PageStats:
+    """Integer statistics of a (pending) db-page.
+
+    ``occurrences`` holds one total per query keyword, in the scorer's keyword
+    order; ``size`` is the page's total keyword count.
+    """
+
+    occurrences: Tuple[int, ...]
+    size: int
 
 
 class DashScorer:
@@ -37,6 +59,21 @@ class DashScorer:
             self._occurrences[keyword] = {
                 posting.document_id: posting.term_frequency for posting in index.postings(keyword)
             }
+        # Sizes of every relevant fragment, fetched in one batch (a single
+        # per-shard fan-out on partitioned stores); neighbours encountered
+        # during expansion fill in lazily.
+        relevant: Dict[FragmentId, None] = {}
+        for keyword in self.keywords:
+            for identifier in self._occurrences[keyword]:
+                relevant.setdefault(identifier, None)
+        self._sizes: Dict[FragmentId, int] = index.store.fragment_sizes_for(tuple(relevant))
+
+    def _size_of(self, identifier: FragmentId) -> int:
+        size = self._sizes.get(identifier)
+        if size is None:
+            size = self.index.fragment_size(identifier)
+            self._sizes[identifier] = size
+        return size
 
     # ------------------------------------------------------------------
     def idf(self, keyword: str) -> float:
@@ -55,7 +92,7 @@ class DashScorer:
 
     def page_size(self, fragments: Sequence[FragmentId]) -> int:
         """Total keyword count of a page assembled from ``fragments``."""
-        return sum(self.index.fragment_size(identifier) for identifier in fragments)
+        return sum(self._size_of(tuple(identifier)) for identifier in fragments)
 
     def page_occurrences(self, fragments: Sequence[FragmentId]) -> Dict[str, int]:
         """Per-query-keyword occurrence counts of the assembled page."""
@@ -80,3 +117,75 @@ class DashScorer:
         """Whether ``identifier`` contains any query keyword."""
         identifier = tuple(identifier)
         return any(identifier in self._occurrences[keyword] for keyword in self.keywords)
+
+    # ------------------------------------------------------------------
+    # incremental page statistics (the top-k search hot path)
+    # ------------------------------------------------------------------
+    def seed_scores(self) -> Dict[FragmentId, float]:
+        """Single-fragment scores of every relevant fragment, in one pass.
+
+        Equivalent to ``{f: score([f]) for f in relevant_fragments()}`` but
+        computed directly from the gathered inverted lists, without building a
+        per-fragment occurrence dict for each seed.
+        """
+        scores: Dict[FragmentId, float] = {}
+        for keyword in self.keywords:
+            idf = self._idf[keyword]
+            for identifier, occurrences in self._occurrences[keyword].items():
+                size = self._size_of(identifier)
+                if size > 0:
+                    scores[identifier] = scores.get(identifier, 0.0) + (occurrences / size) * idf
+                else:
+                    scores.setdefault(identifier, 0.0)
+        return scores
+
+    def seed_scores_for(self, identifiers: Sequence[FragmentId]) -> Dict[FragmentId, float]:
+        """Single-fragment scores of just ``identifiers``.
+
+        The per-identifier accumulation runs in keyword order, skipping zero
+        totals, exactly like :meth:`score` — so a sharded searcher can score
+        each shard's seeds in its own task and still merge bit-identical
+        floats.
+        """
+        scores: Dict[FragmentId, float] = {}
+        for identifier in identifiers:
+            size = self._size_of(identifier)
+            total = 0.0
+            if size > 0:
+                for keyword in self.keywords:
+                    occurrences = self._occurrences[keyword].get(identifier)
+                    if occurrences:
+                        total += (occurrences / size) * self._idf[keyword]
+            scores[identifier] = total
+        return scores
+
+    def page_stats(self, fragments: Sequence[FragmentId]) -> PageStats:
+        """The integer statistics of the page assembled from ``fragments``."""
+        occurrences = tuple(
+            sum(self._occurrences[keyword].get(identifier, 0) for identifier in fragments)
+            for keyword in self.keywords
+        )
+        return PageStats(occurrences=occurrences, size=self.page_size(fragments))
+
+    def extended_stats(self, stats: PageStats, candidate: FragmentId) -> PageStats:
+        """Statistics of ``stats``'s page extended by ``candidate`` — O(|W|)."""
+        occurrences = tuple(
+            total + self._occurrences[keyword].get(candidate, 0)
+            for keyword, total in zip(self.keywords, stats.occurrences)
+        )
+        return PageStats(occurrences=occurrences, size=stats.size + self._size_of(candidate))
+
+    def score_from_stats(self, stats: PageStats) -> float:
+        """The page's TF/IDF relevance, from precomputed statistics.
+
+        Accumulates in the same keyword order as :meth:`score`, over the same
+        exact integer totals, so the result is bit-identical.
+        """
+        if stats.size <= 0:
+            return 0.0
+        total = 0.0
+        size = stats.size
+        for keyword, occurrences in zip(self.keywords, stats.occurrences):
+            if occurrences:
+                total += (occurrences / size) * self._idf[keyword]
+        return total

@@ -12,6 +12,20 @@ the ``k`` most relevant ones:
    most relevant combinable fragment and re-queued;
 4. stop when ``k`` results are collected or the queue empties, and formulate
    the result URLs by reverse query-string parsing.
+
+Two implementation notes beyond the paper's pseudo-code:
+
+* **Sharded seeding** — when the index sits on a partitioned
+  :class:`~repro.store.FragmentStore`, the relevant fragments are grouped by
+  owning shard, each shard's seeds are scored and heapified in a parallel
+  fan-out, and the per-shard heaps are merged into the global priority
+  queue.  Heap order depends only on the ``(score, seed position)`` keys, so
+  any shard count dequeues in exactly the single-shard order.
+* **Incremental page statistics** — every pending db-page carries its exact
+  integer occurrence totals and size (:class:`~repro.core.scoring.PageStats`),
+  so evaluating an expansion candidate costs ``O(|W|)`` instead of
+  re-scoring the whole page.  Scores come out bit-identical to the
+  reference :meth:`~repro.core.scoring.DashScorer.score`.
 """
 
 from __future__ import annotations
@@ -25,8 +39,11 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, 
 from repro.core.fragment_graph import FragmentGraph
 from repro.core.fragment_index import InvertedFragmentIndex
 from repro.core.fragments import FragmentId
-from repro.core.scoring import DashScorer
+from repro.core.scoring import DashScorer, PageStats
 from repro.core.urls import UrlFormulator
+
+#: One priority-queue entry: (negated score, tie-break, fragments).
+QueueEntry = Tuple[float, int, Tuple[FragmentId, ...]]
 
 
 @dataclass(frozen=True)
@@ -39,8 +56,14 @@ class SearchResult:
     size: int
     bindings: Mapping[str, Any]
 
-    def __contains__(self, identifier: FragmentId) -> bool:
-        return tuple(identifier) in self.fragments
+    def __contains__(self, identifier: object) -> bool:
+        try:
+            candidate = tuple(identifier)  # type: ignore[arg-type]
+        except TypeError:
+            # Scalar lookups (e.g. a bare budget value) can never match a
+            # fragment identifier tuple; answer False instead of raising.
+            return False
+        return candidate in self.fragments
 
 
 @dataclass
@@ -67,6 +90,18 @@ class TopKSearcher:
         self.graph = graph
         self.url_formulator = url_formulator
         self.last_statistics = SearchStatistics()
+        # Identifier -> deterministic sort key.  Scoped to this searcher on
+        # purpose: Python equates 1 and True as dict keys, so a process-wide
+        # cache could hand one engine's key to another engine's identifier;
+        # within a single index/graph such identifiers are the same fragment.
+        self._order_cache: Dict[FragmentId, Tuple] = {}
+
+    def _order(self, identifier: FragmentId) -> Tuple:
+        key = self._order_cache.get(identifier)
+        if key is None:
+            key = _identifier_order(identifier)
+            self._order_cache[identifier] = key
+        return key
 
     # ------------------------------------------------------------------
     def search(
@@ -93,13 +128,19 @@ class TopKSearcher:
         statistics.seed_fragments = len(seeds)
 
         # Priority queue of pending db-pages, keyed by descending score.  The
-        # tie-breaking counter keeps heap ordering deterministic.
-        counter = itertools.count()
-        queue: List[Tuple[float, int, Tuple[FragmentId, ...]]] = []
-        for identifier in seeds:
-            entry = (tuple(identifier),)
-            heapq.heappush(queue, (-scorer.score(entry), next(counter), entry))
+        # tie-breaking counter keeps heap ordering deterministic: seeds take
+        # counters 0..len(seeds)-1 in relevant-fragment order, expansions
+        # continue from there.
+        queue = self._seed_queue(seeds, scorer)
+        counter = itertools.count(len(seeds))
 
+        # Pending pages carry their integer occurrence/size statistics so each
+        # expansion evaluation is O(|W|); seeds compute theirs on first pop.
+        stats_cache: Dict[Tuple[FragmentId, ...], PageStats] = {}
+        # Sorted neighbour lists, fetched once per fragment per search: the
+        # expansion loop re-visits every member of a growing page, and on
+        # partitioned stores each graph lookup is a shard round-trip.
+        neighbor_cache: Dict[FragmentId, Tuple[FragmentId, ...]] = {}
         consumed: Set[FragmentId] = set()
         results: List[SearchResult] = []
         while queue and len(results) < k:
@@ -109,28 +150,81 @@ class TopKSearcher:
                 # This seed was absorbed into an expanded db-page already
                 # (the paper removes such entries from the queue).
                 continue
-            expansion = self._expansion_candidate(fragments, scorer, size_threshold)
+            stats = stats_cache.pop(fragments, None)
+            if stats is None:
+                stats = scorer.page_stats(fragments)
+            expansion = self._expansion_candidate(
+                fragments, scorer, size_threshold, stats, neighbor_cache
+            )
             if expansion is None:
-                results.append(self._make_result(fragments, -negative_score, scorer))
+                results.append(self._make_result(fragments, -negative_score, stats))
                 continue
+            candidate, expanded_stats = expansion
             statistics.expansions += 1
-            consumed.add(expansion)
-            expanded = self._ordered(fragments + (expansion,))
-            heapq.heappush(queue, (-scorer.score(expanded), next(counter), expanded))
+            consumed.add(candidate)
+            expanded = self._ordered(fragments + (candidate,))
+            stats_cache[expanded] = expanded_stats
+            heapq.heappush(
+                queue,
+                (-scorer.score_from_stats(expanded_stats), next(counter), expanded),
+            )
 
+        # Best-first emission is not strictly score-ordered when an expansion
+        # raises a pending page's score above an already-emitted result (the
+        # keyword-dense-neighbour case); a final stable sort restores the
+        # ranking without changing the result set.
+        results.sort(key=lambda result: -result.score)
         statistics.results = len(results)
         statistics.elapsed_seconds = time.perf_counter() - started
         self.last_statistics = statistics
         return results
 
     # ------------------------------------------------------------------
+    def _seed_queue(self, seeds: Tuple[FragmentId, ...], scorer: DashScorer) -> List[QueueEntry]:
+        """Build the initial priority queue of single-fragment pending pages.
+
+        On a partitioned store the seeds are grouped by owning shard and each
+        shard's task *scores its own seeds* before emitting queue entries; the
+        per-shard entry lists are then merged into the global priority queue
+        with one heapify.  Heap pops are ordered purely by the
+        ``(-score, position)`` keys — identical for any shard count.
+        """
+        store = self.index.store
+        if store.shard_count > 1 and len(seeds) > 1:
+            by_shard: Dict[int, List[Tuple[int, FragmentId]]] = {}
+            for position, identifier in enumerate(seeds):
+                by_shard.setdefault(store.shard_of(identifier), []).append((position, identifier))
+
+            def shard_entries(items: List[Tuple[int, FragmentId]]) -> List[QueueEntry]:
+                scores = scorer.seed_scores_for([identifier for _position, identifier in items])
+                return [
+                    (-scores[identifier], position, (identifier,))
+                    for position, identifier in items
+                ]
+
+            parts = store.run_parallel(
+                [lambda items=items: shard_entries(items) for items in by_shard.values()]
+            )
+            queue = list(itertools.chain.from_iterable(parts))
+        else:
+            seed_scores = scorer.seed_scores()
+            queue = [
+                (-seed_scores[identifier], position, (identifier,))
+                for position, identifier in enumerate(seeds)
+            ]
+        heapq.heapify(queue)
+        return queue
+
     def _expansion_candidate(
         self,
         fragments: Tuple[FragmentId, ...],
         scorer: DashScorer,
         size_threshold: int,
-    ) -> Optional[FragmentId]:
-        """The fragment to expand with, or ``None`` when not expandable.
+        stats: PageStats,
+        neighbor_cache: Dict[FragmentId, Tuple[FragmentId, ...]],
+    ) -> Optional[Tuple[FragmentId, PageStats]]:
+        """The fragment to expand with (and the expanded page's statistics),
+        or ``None`` when not expandable.
 
         A pending db-page is not expandable when its size already reaches the
         threshold ``s`` or no combinable fragment remains.  Among the
@@ -138,31 +232,40 @@ class TopKSearcher:
         keywords) are favoured, then higher resulting score, then the
         deterministic identifier order.
         """
-        if scorer.page_size(fragments) >= size_threshold:
+        if stats.size >= size_threshold:
             return None
         members = set(fragments)
         candidates: List[FragmentId] = []
         for identifier in fragments:
-            for neighbor in self.graph.neighbors(identifier):
+            neighbors = neighbor_cache.get(identifier)
+            if neighbors is None:
+                neighbors = self.graph.neighbors(identifier)
+                neighbor_cache[identifier] = neighbors
+            for neighbor in neighbors:
                 if neighbor not in members:
                     candidates.append(neighbor)
         if not candidates:
             return None
-        unique_candidates = list(dict.fromkeys(candidates))
 
-        def preference(candidate: FragmentId):
-            relevant = scorer.fragment_is_relevant(candidate)
-            resulting_score = scorer.score(self._ordered(fragments + (candidate,)))
-            return (0 if relevant else 1, -resulting_score, _identifier_order(candidate))
-
-        unique_candidates.sort(key=preference)
-        return unique_candidates[0]
+        best_key = None
+        best: Optional[Tuple[FragmentId, PageStats]] = None
+        for candidate in dict.fromkeys(candidates):
+            extended = scorer.extended_stats(stats, candidate)
+            preference = (
+                0 if scorer.fragment_is_relevant(candidate) else 1,
+                -scorer.score_from_stats(extended),
+                self._order(candidate),
+            )
+            if best_key is None or preference < best_key:
+                best_key = preference
+                best = (candidate, extended)
+        return best
 
     def _make_result(
         self,
         fragments: Tuple[FragmentId, ...],
         score: float,
-        scorer: DashScorer,
+        stats: PageStats,
     ) -> SearchResult:
         bindings = self.url_formulator.bindings_for_fragments(fragments)
         url = self.url_formulator.url_for_fragments(fragments)
@@ -170,13 +273,12 @@ class TopKSearcher:
             url=url,
             score=score,
             fragments=fragments,
-            size=scorer.page_size(fragments),
+            size=stats.size,
             bindings=bindings,
         )
 
-    @staticmethod
-    def _ordered(fragments: Tuple[FragmentId, ...]) -> Tuple[FragmentId, ...]:
-        return tuple(sorted(set(fragments), key=_identifier_order))
+    def _ordered(self, fragments: Tuple[FragmentId, ...]) -> Tuple[FragmentId, ...]:
+        return tuple(sorted(set(fragments), key=self._order))
 
 
 def _identifier_order(identifier: FragmentId):

@@ -1,0 +1,93 @@
+"""Pluggable fragment storage (the serving-side scale-out layer).
+
+* :mod:`repro.store.base` — the :class:`FragmentStore` interface every
+  serving structure programs against.
+* :mod:`repro.store.memory` — :class:`InMemoryStore`, the single-partition
+  backend (the seed implementation's dictionaries, extracted).
+* :mod:`repro.store.sharded` — :class:`ShardedStore`, hash-partitioned over
+  N in-memory shards with a ``concurrent.futures`` read fan-out.
+
+:func:`resolve_store` turns the ``store=`` configuration accepted by
+:class:`~repro.core.engine.DashEngine` (a name, a shard count, an instance or
+a factory) into a concrete backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.store.base import FragmentStore, StoreError
+from repro.store.memory import InMemoryStore
+from repro.store.sharded import ShardedStore
+
+#: What ``DashEngine.build(store=...)`` accepts.
+StoreSpec = Union[None, str, int, FragmentStore, Callable[[], FragmentStore]]
+
+_DEFAULT_SHARDS = 4
+
+
+def resolve_store(spec: StoreSpec = None, shards: Optional[int] = None) -> FragmentStore:
+    """Resolve a store configuration into a :class:`FragmentStore` backend.
+
+    * ``None`` — a fresh :class:`InMemoryStore`, or a :class:`ShardedStore`
+      when ``shards`` of 2+ is given;
+    * ``"memory"`` — a fresh :class:`InMemoryStore` (combining it with
+      ``shards`` of 2+ is a conflicting spec and raises);
+    * ``"sharded"`` — a :class:`ShardedStore` with ``shards`` partitions
+      (default 4);
+    * an ``int`` — a :class:`ShardedStore` with that many partitions (a
+      different ``shards=`` alongside it is a conflicting spec and raises);
+    * a :class:`FragmentStore` instance — used as-is;
+    * a zero-argument callable — called to produce the backend.
+    """
+    if shards is not None and shards < 1:
+        raise StoreError(f"shard count must be at least 1, got {shards}")
+    if isinstance(spec, FragmentStore):
+        return _checked_shards(spec, shards)
+    if callable(spec):
+        store = spec()
+        if not isinstance(store, FragmentStore):
+            raise StoreError(f"store factory returned {type(store).__name__}, not a FragmentStore")
+        return _checked_shards(store, shards)
+    if isinstance(spec, bool):
+        raise StoreError(f"invalid store spec {spec!r}")
+    if isinstance(spec, int):
+        if shards is not None and shards != spec:
+            raise StoreError(f"conflicting store spec: store={spec} with shards={shards}")
+        return ShardedStore(shards=spec)
+    if spec is None:
+        if shards is not None and shards > 1:
+            return ShardedStore(shards=shards)
+        return InMemoryStore()
+    if spec == "memory":
+        if shards is not None and shards > 1:
+            raise StoreError(
+                f"conflicting store spec: store='memory' with shards={shards}; "
+                "use store='sharded' (or drop store=) to partition"
+            )
+        return InMemoryStore()
+    if spec == "sharded":
+        return ShardedStore(shards=_DEFAULT_SHARDS if shards is None else shards)
+    raise StoreError(
+        f"unknown store spec {spec!r}; expected 'memory', 'sharded', a shard count, "
+        "a FragmentStore or a factory"
+    )
+
+
+def _checked_shards(store: FragmentStore, shards: Optional[int]) -> FragmentStore:
+    if shards is not None and shards != store.shard_count:
+        raise StoreError(
+            f"conflicting store spec: a {type(store).__name__} with "
+            f"{store.shard_count} shard(s) was given alongside shards={shards}"
+        )
+    return store
+
+
+__all__ = [
+    "FragmentStore",
+    "InMemoryStore",
+    "ShardedStore",
+    "StoreError",
+    "StoreSpec",
+    "resolve_store",
+]

@@ -1,0 +1,234 @@
+"""The pluggable fragment-storage interface.
+
+Every serving-side structure of the reproduction — the inverted fragment
+index, the fragment graph, the top-k searcher and the incremental
+maintainer — programs against :class:`FragmentStore` instead of private
+dictionaries, so the storage backend can be swapped (single in-memory blob,
+hash-sharded partitions, ...) without touching the algorithms.
+
+The store keeps two sections that the paper's serving pipeline needs:
+
+* the **postings section** — keyword -> inverted list of
+  ``(fragment identifier, occurrences)`` postings plus every fragment's total
+  keyword count (its *size*), and
+* the **graph section** — one node per fragment (annotated with the keyword
+  count shown in Figure 9) and the combinability adjacency between them.
+
+Contract notes shared by all backends:
+
+* callers pass *canonical* keys — keywords already lower-cased and fragment
+  identifiers already coerced to tuples (the :class:`InvertedFragmentIndex`
+  and :class:`FragmentGraph` facades take care of that);
+* :meth:`postings` and :meth:`iter_items` return lists sorted by descending
+  occurrence count with ``str(identifier)`` as the tie-break, exactly like the
+  conventional inverted file of Section II;
+* :meth:`replace_fragment` removes and re-adds one fragment's postings as a
+  single store operation, which is what makes incremental maintenance
+  (Section VIII) safe on partitioned backends: the fragment's postings never
+  straddle two partitions, so the swap happens entirely inside one shard.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, TypeVar
+
+from repro.core.fragments import FragmentId
+from repro.text.inverted_index import Posting
+
+T = TypeVar("T")
+
+
+class StoreError(Exception):
+    """Raised for invalid store configuration or inconsistent operations."""
+
+
+class FragmentStore(ABC):
+    """Abstract storage for fragment postings, sizes and graph adjacency."""
+
+    # ------------------------------------------------------------------
+    # postings section — writes
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def touch_fragment(self, identifier: FragmentId) -> None:
+        """Register ``identifier`` with size 0 if it is not stored yet."""
+
+    @abstractmethod
+    def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
+        """Append one posting and add ``occurrences`` to the fragment's size."""
+
+    @abstractmethod
+    def remove_fragment(self, identifier: FragmentId) -> None:
+        """Drop the fragment's size entry and every posting of it (no-op when absent)."""
+
+    def replace_fragment(self, identifier: FragmentId, term_frequencies) -> None:
+        """Atomically swap one fragment's postings for ``term_frequencies``.
+
+        Accepts a mapping or an iterable of ``(keyword, occurrences)`` pairs;
+        duplicate keywords in the pair form accumulate (matching repeated
+        :meth:`add_posting` calls) rather than last-wins.
+        """
+        self.remove_fragment(identifier)
+        items = term_frequencies.items() if hasattr(term_frequencies, "items") else term_frequencies
+        for keyword, occurrences in items:
+            if occurrences > 0:
+                self.add_posting(keyword, identifier, occurrences)
+
+    @abstractmethod
+    def finalize(self) -> None:
+        """Sort every inverted list by descending occurrence count."""
+
+    # ------------------------------------------------------------------
+    # postings section — reads
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def postings(self, keyword: str) -> Tuple[Posting, ...]:
+        """The sorted (possibly empty) inverted list of ``keyword``."""
+
+    @abstractmethod
+    def fragment_frequency(self, keyword: str) -> int:
+        """Number of postings of ``keyword`` (the DF Dash inverts for IDF)."""
+
+    @abstractmethod
+    def document_frequencies(self) -> Dict[str, int]:
+        """DF of every keyword in the vocabulary."""
+
+    @abstractmethod
+    def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
+        """Occurrences of ``keyword`` in fragment ``identifier`` (0 when absent)."""
+
+    @abstractmethod
+    def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
+        """All keyword counts of one fragment."""
+
+    @abstractmethod
+    def fragment_size(self, identifier: FragmentId) -> int:
+        """Total keyword occurrences of ``identifier`` (0 when unknown)."""
+
+    @abstractmethod
+    def fragment_sizes(self) -> Dict[FragmentId, int]:
+        """Identifier -> size of every stored fragment."""
+
+    def fragment_sizes_for(self, identifiers: Sequence[FragmentId]) -> Dict[FragmentId, int]:
+        """Sizes of just ``identifiers`` (partitioned backends batch per shard)."""
+        return {identifier: self.fragment_size(identifier) for identifier in identifiers}
+
+    @abstractmethod
+    def fragment_ids(self) -> Tuple[FragmentId, ...]:
+        """Every stored fragment identifier."""
+
+    @abstractmethod
+    def has_fragment(self, identifier: FragmentId) -> bool:
+        """Whether the postings section knows ``identifier``."""
+
+    @abstractmethod
+    def fragment_count(self) -> int:
+        """Number of stored fragments."""
+
+    @abstractmethod
+    def vocabulary(self) -> Tuple[str, ...]:
+        """Every indexed keyword."""
+
+    @abstractmethod
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed keywords."""
+
+    def approximate_bytes(self) -> int:
+        """Rough serialized size of the postings section (ablation benchmarks).
+
+        Counts each keyword header once globally, regardless of how many
+        partitions its postings are spread over.
+        """
+        total = 0
+        for keyword, postings in self.iter_items():
+            total += len(keyword) + 1
+            for posting in postings:
+                total += 8
+                for component in posting.document_id:
+                    total += len(str(component)) + 1
+        return total
+
+    @abstractmethod
+    def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
+        """Iterate ``(keyword, postings)`` in keyword order."""
+
+    # ------------------------------------------------------------------
+    # graph section — nodes
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def add_node(self, identifier: FragmentId, keyword_count: int) -> None:
+        """Create a graph node (with an empty neighbour set)."""
+
+    @abstractmethod
+    def remove_node(self, identifier: FragmentId) -> None:
+        """Drop a node and its neighbour set (callers detach edges first)."""
+
+    @abstractmethod
+    def has_node(self, identifier: FragmentId) -> bool:
+        """Whether the graph section knows ``identifier``."""
+
+    @abstractmethod
+    def node_keyword_count(self, identifier: FragmentId) -> int:
+        """The node's keyword-count annotation (raises KeyError when unknown)."""
+
+    @abstractmethod
+    def set_node_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
+        """Change a node's keyword-count annotation."""
+
+    @abstractmethod
+    def node_ids(self) -> Tuple[FragmentId, ...]:
+        """Every graph node identifier."""
+
+    @abstractmethod
+    def node_count(self) -> int:
+        """Number of graph nodes."""
+
+    # ------------------------------------------------------------------
+    # graph section — adjacency
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def add_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        """Record ``neighbor`` in ``identifier``'s neighbour set (one direction)."""
+
+    @abstractmethod
+    def discard_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        """Remove ``neighbor`` from ``identifier``'s neighbour set (one direction)."""
+
+    def add_edge(self, left: FragmentId, right: FragmentId) -> None:
+        """Connect two fragments (both directions)."""
+        self.add_neighbor(left, right)
+        self.add_neighbor(right, left)
+
+    def remove_edge(self, left: FragmentId, right: FragmentId) -> None:
+        """Disconnect two fragments (both directions)."""
+        self.discard_neighbor(left, right)
+        self.discard_neighbor(right, left)
+
+    @abstractmethod
+    def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
+        """The node's neighbour set, in storage order (raises KeyError when unknown)."""
+
+    @abstractmethod
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of partitions (1 for unpartitioned backends)."""
+        return 1
+
+    def shard_of(self, identifier: FragmentId) -> int:
+        """The partition owning ``identifier``."""
+        return 0
+
+    def run_parallel(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Run independent read tasks, fanning out when the backend supports it.
+
+        The base implementation runs them serially; :class:`ShardedStore`
+        dispatches them to its thread pool.  Results keep task order either
+        way, so callers stay deterministic.
+        """
+        return [task() for task in tasks]

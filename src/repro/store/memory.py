@@ -1,0 +1,183 @@
+"""The single-partition in-memory backend.
+
+Holds exactly the dictionaries that used to live inside
+:class:`~repro.core.fragment_index.InvertedFragmentIndex` and
+:class:`~repro.core.fragment_graph.FragmentGraph`, plus a fragment -> keywords
+reverse map so that removing a fragment only touches the inverted lists it
+actually appears in (the seed implementation re-scanned every posting list on
+each removal, O(keywords x postings) per incremental delete).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.core.fragments import FragmentId
+from repro.store.base import FragmentStore
+from repro.text.inverted_index import Posting
+
+
+def posting_sort_key(posting: Posting):
+    """Descending occurrence count, ``str(identifier)`` tie-break (Figure 6)."""
+    return (-posting.term_frequency, str(posting.document_id))
+
+
+class InMemoryStore(FragmentStore):
+    """All postings, sizes and adjacency in plain dictionaries."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[Posting]] = {}
+        self._fragment_sizes: Dict[FragmentId, int] = {}
+        # Reverse map: fragment -> the keywords whose inverted lists mention it
+        # (a dict used as an insertion-ordered set, keeping removals and
+        # per-fragment scans deterministic).
+        self._fragment_keywords: Dict[FragmentId, Dict[str, None]] = {}
+        self._sorted = True
+        self._nodes: Dict[FragmentId, int] = {}
+        self._adjacency: Dict[FragmentId, Set[FragmentId]] = {}
+
+    # ------------------------------------------------------------------
+    # postings section — writes
+    # ------------------------------------------------------------------
+    def touch_fragment(self, identifier: FragmentId) -> None:
+        self._fragment_sizes.setdefault(identifier, 0)
+        self._fragment_keywords.setdefault(identifier, {})
+
+    def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
+        self._postings.setdefault(keyword, []).append(Posting(identifier, occurrences))
+        self._fragment_sizes[identifier] = self._fragment_sizes.get(identifier, 0) + occurrences
+        self._fragment_keywords.setdefault(identifier, {})[keyword] = None
+        self._sorted = False
+
+    def remove_fragment(self, identifier: FragmentId) -> None:
+        if identifier not in self._fragment_sizes:
+            return
+        del self._fragment_sizes[identifier]
+        for keyword in self._fragment_keywords.pop(identifier, ()):
+            postings = self._postings.get(keyword)
+            if postings is None:
+                continue
+            kept = [posting for posting in postings if posting.document_id != identifier]
+            if kept:
+                self._postings[keyword] = kept
+            else:
+                del self._postings[keyword]
+
+    def finalize(self) -> None:
+        if self._sorted:
+            return
+        for postings in self._postings.values():
+            postings.sort(key=posting_sort_key)
+        self._sorted = True
+
+    # ------------------------------------------------------------------
+    # postings section — reads
+    # ------------------------------------------------------------------
+    def postings(self, keyword: str) -> Tuple[Posting, ...]:
+        self.finalize()
+        return tuple(self._postings.get(keyword, ()))
+
+    def raw_postings(self, keyword: str) -> List[Posting]:
+        """The keyword's posting list without sorting (shard-merge internal)."""
+        return self._postings.get(keyword, [])
+
+    def fragment_frequency(self, keyword: str) -> int:
+        return len(self._postings.get(keyword, ()))
+
+    def document_frequencies(self) -> Dict[str, int]:
+        return {keyword: len(postings) for keyword, postings in self._postings.items()}
+
+    def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
+        for posting in self._postings.get(keyword, ()):
+            if posting.document_id == identifier:
+                return posting.term_frequency
+        return 0
+
+    def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
+        frequencies: Dict[str, int] = {}
+        for keyword in self._fragment_keywords.get(identifier, ()):
+            for posting in self._postings.get(keyword, ()):
+                if posting.document_id == identifier:
+                    frequencies[keyword] = posting.term_frequency
+                    break
+        return frequencies
+
+    def fragment_size(self, identifier: FragmentId) -> int:
+        return self._fragment_sizes.get(identifier, 0)
+
+    def fragment_sizes(self) -> Dict[FragmentId, int]:
+        return dict(self._fragment_sizes)
+
+    def fragment_ids(self) -> Tuple[FragmentId, ...]:
+        return tuple(self._fragment_sizes)
+
+    def has_fragment(self, identifier: FragmentId) -> bool:
+        return identifier in self._fragment_sizes
+
+    def fragment_count(self) -> int:
+        return len(self._fragment_sizes)
+
+    def vocabulary(self) -> Tuple[str, ...]:
+        return tuple(self._postings)
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def approximate_bytes(self) -> int:
+        total = 0
+        for keyword, postings in self._postings.items():
+            total += len(keyword) + 1
+            for posting in postings:
+                total += 8
+                for component in posting.document_id:
+                    total += len(str(component)) + 1
+        return total
+
+    def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
+        self.finalize()
+        for keyword in sorted(self._postings):
+            yield keyword, tuple(self._postings[keyword])
+
+    # ------------------------------------------------------------------
+    # graph section
+    # ------------------------------------------------------------------
+    def add_node(self, identifier: FragmentId, keyword_count: int) -> None:
+        self._nodes[identifier] = keyword_count
+        self._adjacency[identifier] = set()
+
+    def remove_node(self, identifier: FragmentId) -> None:
+        del self._adjacency[identifier]
+        del self._nodes[identifier]
+
+    def has_node(self, identifier: FragmentId) -> bool:
+        return identifier in self._nodes
+
+    def node_keyword_count(self, identifier: FragmentId) -> int:
+        return self._nodes[identifier]
+
+    def set_node_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
+        if identifier not in self._nodes:
+            raise KeyError(identifier)
+        self._nodes[identifier] = keyword_count
+
+    def node_ids(self) -> Tuple[FragmentId, ...]:
+        return tuple(self._nodes)
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def add_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        self._adjacency[identifier].add(neighbor)
+
+    def discard_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        self._adjacency[identifier].discard(neighbor)
+
+    def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
+        return tuple(self._adjacency[identifier])
+
+    def half_edge_count(self) -> int:
+        """Directed neighbour entries (a sharded store halves the global sum)."""
+        return sum(len(neighbors) for neighbors in self._adjacency.values())
+
+    def edge_count(self) -> int:
+        return self.half_edge_count() // 2

@@ -1,0 +1,254 @@
+"""The hash-partitioned backend.
+
+Fragments are partitioned over N :class:`InMemoryStore` shards by a stable
+hash of their identifier (the same process-independent hash the MapReduce
+runtime uses for reduce-task partitioning, so a fragment always lands on the
+same shard across runs and processes).  Every per-fragment operation —
+posting inserts, size lookups, the atomic replace of incremental
+maintenance, graph-node bookkeeping — routes to the single owning shard;
+whole-index reads (keyword postings, document frequencies, fragment sizes)
+fan out over the shards through a ``concurrent.futures`` thread pool and
+merge deterministically, so any shard count returns exactly the results of
+the single-shard store.
+
+The fan-out only engages once the store holds ``parallel_threshold``
+fragments; below that the thread-pool hand-off costs more than the lookups
+it parallelises.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.fragments import FragmentId
+from repro.mapreduce.job import default_partitioner
+from repro.store.base import FragmentStore, StoreError
+from repro.store.memory import InMemoryStore, posting_sort_key
+from repro.text.inverted_index import Posting
+
+T = TypeVar("T")
+
+#: Fragment count below which fan-out runs serially.  Thread hand-off is not
+#: worth it for small stores, and for pure in-memory shards the GIL caps the
+#: gain of CPU-bound fan-out — the pool pays off for very large shards and
+#: for backends whose reads block (disk, network).  Results are identical
+#: either way; pass ``parallel_threshold=`` to tune.
+DEFAULT_PARALLEL_THRESHOLD = 65536
+
+
+class ShardedStore(FragmentStore):
+    """N in-memory shards, hash-partitioned by fragment identifier."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise StoreError(f"shard count must be at least 1, got {shards}")
+        self._shards: List[InMemoryStore] = [InMemoryStore() for _ in range(shards)]
+        self._parallel_threshold = parallel_threshold
+        self._max_workers = max_workers or min(shards, os.cpu_count() or 2)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # Merged keyword -> sorted postings, rebuilt lazily after writes.
+        self._merged_postings: Dict[str, Tuple[Posting, ...]] = {}
+        # Identifier -> owning shard.  The stable hash walks the identifier's
+        # text in pure Python, so memoising the route matters on hot paths;
+        # routes never change for a fixed shard count.
+        self._routes: Dict[FragmentId, int] = {}
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, identifier: FragmentId) -> int:
+        route = self._routes.get(identifier)
+        if route is None:
+            route = default_partitioner(identifier, len(self._shards))
+            self._routes[identifier] = route
+        return route
+
+    def shard(self, index: int) -> InMemoryStore:
+        """Direct access to one shard (benchmarks and diagnostics)."""
+        return self._shards[index]
+
+    def _owner(self, identifier: FragmentId) -> InMemoryStore:
+        return self._shards[self.shard_of(identifier)]
+
+    def run_parallel(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        if len(tasks) <= 1 or not self._fan_out():
+            return [task() for task in tasks]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="fragment-store",
+            )
+        return list(self._executor.map(lambda task: task(), tasks))
+
+    def map_shards(self, fn: Callable[[InMemoryStore], T]) -> List[T]:
+        """Apply ``fn`` to every shard (fanning out), preserving shard order."""
+        return self.run_parallel([lambda shard=shard: fn(shard) for shard in self._shards])
+
+    def _fan_out(self) -> bool:
+        return len(self._shards) > 1 and self.fragment_count() >= self._parallel_threshold
+
+    def _invalidate(self) -> None:
+        if self._merged_postings:
+            self._merged_postings.clear()
+
+    # ------------------------------------------------------------------
+    # postings section — writes (routed to the owning shard)
+    # ------------------------------------------------------------------
+    def touch_fragment(self, identifier: FragmentId) -> None:
+        self._owner(identifier).touch_fragment(identifier)
+
+    def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
+        self._invalidate()
+        self._owner(identifier).add_posting(keyword, identifier, occurrences)
+
+    def remove_fragment(self, identifier: FragmentId) -> None:
+        self._invalidate()
+        self._owner(identifier).remove_fragment(identifier)
+
+    def replace_fragment(self, identifier: FragmentId, term_frequencies) -> None:
+        # One fragment's postings all live on its owning shard, so the swap is
+        # a single-shard operation regardless of the shard count.
+        self._invalidate()
+        self._owner(identifier).replace_fragment(identifier, term_frequencies)
+
+    def finalize(self) -> None:
+        self.map_shards(lambda shard: shard.finalize())
+
+    # ------------------------------------------------------------------
+    # postings section — reads (fan-out + deterministic merge)
+    # ------------------------------------------------------------------
+    def postings(self, keyword: str) -> Tuple[Posting, ...]:
+        cached = self._merged_postings.get(keyword)
+        if cached is not None:
+            return cached
+        parts = self.map_shards(lambda shard: shard.raw_postings(keyword))
+        merged: List[Posting] = []
+        for part in parts:
+            merged.extend(part)
+        merged.sort(key=posting_sort_key)
+        result = tuple(merged)
+        if result:
+            # Never cache misses: arbitrary unknown keywords (typos, hostile
+            # input) would grow the cache without bound on a read-only store.
+            self._merged_postings[keyword] = result
+        return result
+
+    def fragment_frequency(self, keyword: str) -> int:
+        return sum(self.map_shards(lambda shard: shard.fragment_frequency(keyword)))
+
+    def document_frequencies(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for frequencies in self.map_shards(lambda shard: shard.document_frequencies()):
+            for keyword, frequency in frequencies.items():
+                merged[keyword] = merged.get(keyword, 0) + frequency
+        return merged
+
+    def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
+        return self._owner(identifier).term_frequency(keyword, identifier)
+
+    def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
+        return self._owner(identifier).fragment_term_frequencies(identifier)
+
+    def fragment_size(self, identifier: FragmentId) -> int:
+        return self._owner(identifier).fragment_size(identifier)
+
+    def fragment_sizes(self) -> Dict[FragmentId, int]:
+        merged: Dict[FragmentId, int] = {}
+        for sizes in self.map_shards(lambda shard: shard.fragment_sizes()):
+            merged.update(sizes)
+        return merged
+
+    def fragment_sizes_for(self, identifiers) -> Dict[FragmentId, int]:
+        by_shard: Dict[int, List[FragmentId]] = {}
+        for identifier in identifiers:
+            by_shard.setdefault(self.shard_of(identifier), []).append(identifier)
+        parts = self.run_parallel(
+            [
+                lambda shard=self._shards[index], wanted=wanted: {
+                    identifier: shard.fragment_size(identifier) for identifier in wanted
+                }
+                for index, wanted in by_shard.items()
+            ]
+        )
+        merged: Dict[FragmentId, int] = {}
+        for part in parts:
+            merged.update(part)
+        return merged
+
+    def fragment_ids(self) -> Tuple[FragmentId, ...]:
+        identifiers: List[FragmentId] = []
+        for shard_ids in self.map_shards(lambda shard: shard.fragment_ids()):
+            identifiers.extend(shard_ids)
+        return tuple(identifiers)
+
+    def has_fragment(self, identifier: FragmentId) -> bool:
+        return self._owner(identifier).has_fragment(identifier)
+
+    def fragment_count(self) -> int:
+        return sum(shard.fragment_count() for shard in self._shards)
+
+    def vocabulary(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for vocabulary in self.map_shards(lambda shard: shard.vocabulary()):
+            for keyword in vocabulary:
+                seen.setdefault(keyword, None)
+        return tuple(seen)
+
+    def vocabulary_size(self) -> int:
+        return len(self.vocabulary())
+
+    def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
+        for keyword in sorted(self.vocabulary()):
+            yield keyword, self.postings(keyword)
+
+    # ------------------------------------------------------------------
+    # graph section (nodes and each node's neighbour set live on its shard)
+    # ------------------------------------------------------------------
+    def add_node(self, identifier: FragmentId, keyword_count: int) -> None:
+        self._owner(identifier).add_node(identifier, keyword_count)
+
+    def remove_node(self, identifier: FragmentId) -> None:
+        self._owner(identifier).remove_node(identifier)
+
+    def has_node(self, identifier: FragmentId) -> bool:
+        return self._owner(identifier).has_node(identifier)
+
+    def node_keyword_count(self, identifier: FragmentId) -> int:
+        return self._owner(identifier).node_keyword_count(identifier)
+
+    def set_node_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
+        self._owner(identifier).set_node_keyword_count(identifier, keyword_count)
+
+    def node_ids(self) -> Tuple[FragmentId, ...]:
+        identifiers: List[FragmentId] = []
+        for shard_ids in self.map_shards(lambda shard: shard.node_ids()):
+            identifiers.extend(shard_ids)
+        return tuple(identifiers)
+
+    def node_count(self) -> int:
+        return sum(shard.node_count() for shard in self._shards)
+
+    def add_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        self._owner(identifier).add_neighbor(identifier, neighbor)
+
+    def discard_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        self._owner(identifier).discard_neighbor(identifier, neighbor)
+
+    def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
+        return self._owner(identifier).neighbors(identifier)
+
+    def edge_count(self) -> int:
+        # Cross-shard edges contribute one directed entry to each endpoint's
+        # shard, so the undirected count is the directed total halved.
+        return sum(self.map_shards(lambda shard: shard.half_edge_count())) // 2

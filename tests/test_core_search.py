@@ -169,6 +169,14 @@ class TestTopKSearch:
         assert stats.results == 2
         assert stats.elapsed_seconds >= 0
 
+    def test_result_contains_scalar_identifier_regression(self, built):
+        """``x in result`` with a non-iterable x must answer False, not raise."""
+        _index, _graph, _formulator, searcher = built
+        result = searcher.search(["burger"], k=1, size_threshold=20)[0]
+        assert 10 not in result
+        assert None not in result
+        assert ("American", 10) in result or ("Thai", 10) in result
+
     def test_results_never_repeat_fragment_combinations(self, built):
         _index, _graph, _formulator, searcher = built
         results = searcher.search(["burger"], k=10, size_threshold=5)
