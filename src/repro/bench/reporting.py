@@ -4,13 +4,18 @@ Every benchmark prints the rows/series of the paper table or figure it
 reproduces; these helpers keep that output aligned and consistent so
 ``EXPERIMENTS.md`` can quote it directly.  :func:`write_json` emits the same
 measurements as a ``BENCH_*.json`` artifact for tooling and CI.
+
+For serving-style benchmarks (many individual request latencies rather than
+one figure), :func:`summarize_latencies` condenses a latency sample into the
+distribution numbers a serving deployment is judged by — p50/p95/p99 tail
+latency plus throughput.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
@@ -58,6 +63,53 @@ def write_json(path: str, payload: Mapping[str, Any]) -> str:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile of ``samples`` (linear interpolation).
+
+    ``fraction`` is in ``[0, 1]`` — ``percentile(s, 0.95)`` is p95.  Raises
+    ``ValueError`` on an empty sample or an out-of-range fraction.
+    """
+    if not samples:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def summarize_latencies(
+    samples_seconds: Sequence[float],
+    elapsed_seconds: Optional[float] = None,
+) -> Dict[str, float]:
+    """Latency-distribution summary of one benchmark run.
+
+    ``samples_seconds`` holds one per-request latency each; the returned
+    mapping reports milliseconds (``mean_ms``, ``p50_ms``, ``p95_ms``,
+    ``p99_ms``, ``max_ms``) plus ``requests`` and ``throughput_qps``.
+    Throughput divides by ``elapsed_seconds`` — the wall-clock time of the
+    whole run, which differs from the latency sum whenever requests ran
+    concurrently — falling back to the sum for sequential runs.
+    """
+    if not samples_seconds:
+        raise ValueError("cannot summarize an empty latency sample")
+    total = elapsed_seconds if elapsed_seconds is not None else sum(samples_seconds)
+    return {
+        "requests": len(samples_seconds),
+        "mean_ms": sum(samples_seconds) / len(samples_seconds) * 1000.0,
+        "p50_ms": percentile(samples_seconds, 0.50) * 1000.0,
+        "p95_ms": percentile(samples_seconds, 0.95) * 1000.0,
+        "p99_ms": percentile(samples_seconds, 0.99) * 1000.0,
+        "max_ms": max(samples_seconds) * 1000.0,
+        "throughput_qps": (len(samples_seconds) / total) if total > 0 else float("inf"),
+    }
 
 
 def _render(cell: Any) -> str:

@@ -29,7 +29,7 @@ from repro.core.fragment_index import InvertedFragmentIndex
 from repro.core.fragments import Fragment, FragmentId, derive_fragments
 from repro.core.incremental import IncrementalMaintainer
 from repro.core.scoring import DashScorer, PageStats
-from repro.core.search import SearchResult, TopKSearcher
+from repro.core.search import DetailedSearch, SearchResult, SearchSession, TopKSearcher
 from repro.core.urls import UrlFormulator
 from repro.store import FragmentStore, InMemoryStore, ShardedStore, resolve_store
 
@@ -37,6 +37,7 @@ __all__ = [
     "CrawlResult",
     "DashEngine",
     "DashScorer",
+    "DetailedSearch",
     "Fragment",
     "FragmentGraph",
     "FragmentId",
@@ -47,6 +48,7 @@ __all__ = [
     "InvertedFragmentIndex",
     "PageStats",
     "SearchResult",
+    "SearchSession",
     "ShardedStore",
     "StepwiseCrawler",
     "TopKSearcher",

@@ -18,18 +18,21 @@ Wires the whole pipeline together for one web application over one database:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 from repro.analysis.analyzer import AnalyzedApplication, ApplicationAnalyzer
 from repro.core.crawler import CrawlResult, IntegratedCrawler, StepwiseCrawler
 from repro.core.fragment_graph import FragmentGraph, GraphBuildReport
 from repro.core.fragment_index import InvertedFragmentIndex
-from repro.core.search import SearchResult, TopKSearcher
+from repro.core.search import SearchResult, SearchSession, TopKSearcher
 from repro.core.urls import UrlFormulator
 from repro.db.database import Database
 from repro.mapreduce.runtime import MapReduceRuntime
 from repro.store import FragmentStore, StoreSpec, resolve_store
 from repro.webapp.application import WebApplication
+
+if TYPE_CHECKING:  # runtime import would be circular through repro.core
+    from repro.serving.service import SearchService
 
 
 class DashEngineError(Exception):
@@ -76,6 +79,9 @@ class DashEngine:
                 application_uri=application.uri,
             ),
         )
+        # One long-lived session per engine: scorers and neighbour lists are
+        # reused across searches and invalidated by the store's mutation epoch.
+        self._session = self._searcher.session()
 
     # ------------------------------------------------------------------
     # construction
@@ -172,11 +178,46 @@ class DashEngine:
         size_threshold: int = 100,
     ) -> List[SearchResult]:
         """Top-``k`` db-page URLs for ``keywords`` (Algorithm 1)."""
-        return self._searcher.search(keywords, k=k, size_threshold=size_threshold)
+        return self._searcher.search(
+            keywords, k=k, size_threshold=size_threshold, session=self._session
+        )
+
+    def serving(
+        self,
+        cache_size: int = 1024,
+        workers: int = 4,
+        default_k: int = 10,
+        default_size_threshold: int = 100,
+        max_dependencies: int = 4096,
+    ) -> "SearchService":
+        """The blessed serving entry point: a cached, concurrent SearchService.
+
+        Wraps this engine's searcher (sharing its epoch-invalidated session)
+        in a :class:`~repro.serving.SearchService`: query admission, a
+        versioned LRU result cache, and a thread pool for ``search_many``.
+        """
+        # Imported here: repro.serving programs against repro.core, so a
+        # module-level import would be circular through repro.core.__init__.
+        from repro.serving.service import SearchService
+
+        return SearchService(
+            self._searcher,
+            session=self._session,
+            cache_size=cache_size,
+            workers=workers,
+            default_k=default_k,
+            default_size_threshold=default_size_threshold,
+            max_dependencies=max_dependencies,
+        )
 
     @property
     def searcher(self) -> TopKSearcher:
         return self._searcher
+
+    @property
+    def session(self) -> SearchSession:
+        """The engine's reusable search session (shared with serving())."""
+        return self._session
 
     @property
     def store(self) -> FragmentStore:

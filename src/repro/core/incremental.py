@@ -60,11 +60,26 @@ class IncrementalMaintainer:
         self.graph = graph
         self.updates_applied = 0
         self.fragments_touched = 0
+        #: Store epoch after the last applied update (serving caches compare
+        #: their entry stamps against it; see repro.store.epochs).
+        self.last_epoch = self.store.epoch
 
     @property
     def store(self):
         """The index's storage backend (shared with the graph in engine wiring)."""
         return self.index.store
+
+    @property
+    def epoch(self) -> int:
+        """The store's current mutation epoch.
+
+        Every ``insert``/``delete`` this maintainer applies bumps it (postings
+        swaps, graph-node and adjacency updates each tick the store's
+        :class:`~repro.store.EpochClock`), which is what lets a
+        :class:`~repro.serving.SearchService` drop exactly the cached results
+        the update could have changed.
+        """
+        return self.store.epoch
 
     # ------------------------------------------------------------------
     # public API
@@ -76,6 +91,7 @@ class IncrementalMaintainer:
         affected = self._affected_identifiers(relation_name, inserted)
         self._refresh(affected)
         self.updates_applied += 1
+        self.last_epoch = self.store.epoch
         return affected
 
     def delete(self, relation_name: str, predicate) -> Tuple[FragmentId, ...]:
@@ -90,6 +106,7 @@ class IncrementalMaintainer:
         ordered = tuple(sorted(affected, key=str))
         self._refresh(ordered)
         self.updates_applied += 1
+        self.last_epoch = self.store.epoch
         return ordered
 
     # ------------------------------------------------------------------

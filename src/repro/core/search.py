@@ -32,9 +32,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.fragment_graph import FragmentGraph
 from repro.core.fragment_index import InvertedFragmentIndex
@@ -77,6 +79,116 @@ class SearchStatistics:
     results: int = 0
 
 
+@dataclass(frozen=True)
+class DetailedSearch:
+    """One search call's results plus its provenance.
+
+    ``dependencies`` is every fragment the search *consulted* — seeds, page
+    members and every expansion candidate whose size or adjacency was read.
+    Together with ``keywords`` (canonicalised) and ``epoch`` (the store epoch
+    observed before the first read) it is exactly what a serving cache needs
+    to decide later whether the entry is still fresh: the result can only
+    change through a mutation that either touches some query keyword's
+    postings or touches a consulted fragment, and both bump the corresponding
+    store epochs past ``epoch``.
+    """
+
+    results: Tuple[SearchResult, ...]
+    keywords: Tuple[str, ...]
+    dependencies: FrozenSet[FragmentId]
+    epoch: int
+    statistics: SearchStatistics
+
+
+class SearchSession:
+    """Reusable cross-search state for one searcher, epoch-invalidated.
+
+    Without a session every :meth:`TopKSearcher.search` call rebuilds its
+    per-search caches from scratch: a :class:`DashScorer` (IDF table, gathered
+    inverted lists, fragment sizes) and a fragment→neighbours map.  A session
+    keeps both across calls — scorers in a small LRU keyed by the canonical
+    keyword tuple, neighbour lists in a shared map — and drops everything the
+    moment the store's mutation epoch moves, so reuse never outlives the data
+    it was computed from.
+
+    Safe for concurrent searches: the caches are guarded by a lock for
+    compound operations, and a search that raced a store mutation stamps its
+    output with the pre-mutation epoch, which the serving cache then refuses
+    to keep.
+    """
+
+    def __init__(
+        self,
+        searcher: "TopKSearcher",
+        scorer_capacity: int = 64,
+        neighbor_capacity: int = 65536,
+    ) -> None:
+        self._searcher = searcher
+        self._capacity = max(1, scorer_capacity)
+        self._neighbor_capacity = max(1, neighbor_capacity)
+        self._lock = threading.Lock()
+        self._epoch = searcher.index.store.epoch
+        self._scorers: "OrderedDict[Tuple[str, ...], DashScorer]" = OrderedDict()
+        self._neighbors: Dict[FragmentId, Tuple[FragmentId, ...]] = {}
+        self.scorer_reuses = 0
+        self.scorer_builds = 0
+
+    @property
+    def epoch(self) -> int:
+        """The store epoch the cached state was computed at."""
+        return self._epoch
+
+    def begin(self) -> Tuple[int, Dict[FragmentId, Tuple[FragmentId, ...]]]:
+        """Start one search: revalidate against the store epoch.
+
+        Returns the observed epoch and the neighbour cache to use.  When the
+        store moved, the caches are replaced (not mutated), so searches still
+        in flight keep their consistent-but-stale dicts and only their own
+        results are marked stale.
+        """
+        epoch = self._searcher.index.store.epoch
+        with self._lock:
+            if epoch != self._epoch:
+                self._scorers = OrderedDict()
+                self._neighbors = {}
+                self._epoch = epoch
+            elif len(self._neighbors) > self._neighbor_capacity:
+                # Long-lived read-only sessions would otherwise accumulate a
+                # full second copy of the store's adjacency; a periodic reset
+                # bounds memory at the cost of re-fetching hot lists.
+                self._neighbors = {}
+            return self._epoch, self._neighbors
+
+    def scorer_for(self, keywords: Tuple[str, ...], epoch: int) -> DashScorer:
+        """A scorer for ``keywords``, reused when one exists for this epoch."""
+        with self._lock:
+            if epoch == self._epoch:
+                scorer = self._scorers.get(keywords)
+                if scorer is not None:
+                    self._scorers.move_to_end(keywords)
+                    self.scorer_reuses += 1
+                    return scorer
+        scorer = DashScorer(self._searcher.index, keywords)
+        with self._lock:
+            self.scorer_builds += 1
+            if epoch == self._epoch:
+                self._scorers[keywords] = scorer
+                while len(self._scorers) > self._capacity:
+                    self._scorers.popitem(last=False)
+        return scorer
+
+    def statistics(self) -> Dict[str, int]:
+        """Reuse counters (surfaced by ``SearchService.statistics``)."""
+        with self._lock:
+            return {
+                "epoch": self._epoch,
+                "cached_scorers": len(self._scorers),
+                "cached_neighbor_lists": len(self._neighbors),
+                "scorer_reuses": self.scorer_reuses,
+                "scorer_builds": self.scorer_builds,
+            }
+
+
 class TopKSearcher:
     """Executes Algorithm 1 over a fragment index and a fragment graph."""
 
@@ -104,17 +216,38 @@ class TopKSearcher:
         return key
 
     # ------------------------------------------------------------------
+    def session(self, scorer_capacity: int = 64) -> SearchSession:
+        """A reusable search session over this searcher (see SearchSession)."""
+        return SearchSession(self, scorer_capacity=scorer_capacity)
+
     def search(
         self,
         keywords: Iterable[str],
         k: int = 10,
         size_threshold: int = 100,
+        session: Optional[SearchSession] = None,
     ) -> List[SearchResult]:
         """Return the URLs of the (at most) ``k`` most relevant db-pages.
 
         ``size_threshold`` is the paper's ``s``: pending db-pages smaller than
         ``s`` keep being expanded while combinable fragments remain, so results
         carry at least ``s`` keywords of content whenever that is achievable.
+        """
+        return list(self.search_detailed(keywords, k, size_threshold, session=session).results)
+
+    def search_detailed(
+        self,
+        keywords: Iterable[str],
+        k: int = 10,
+        size_threshold: int = 100,
+        session: Optional[SearchSession] = None,
+    ) -> DetailedSearch:
+        """Run Algorithm 1 and report results, dependencies and the epoch.
+
+        ``session`` supplies reusable cross-search caches (scorers, neighbour
+        lists); without one, per-search caches are built from scratch exactly
+        as before.  The returned :class:`DetailedSearch` carries everything a
+        serving cache needs to stamp and later revalidate the entry.
         """
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -123,9 +256,19 @@ class TopKSearcher:
         started = time.perf_counter()
         statistics = SearchStatistics()
 
-        scorer = DashScorer(self.index, keywords)
+        canonical = tuple(dict.fromkeys(str(keyword).lower() for keyword in keywords))
+        if session is not None:
+            epoch, neighbor_cache = session.begin()
+            scorer = session.scorer_for(canonical, epoch)
+        else:
+            epoch = self.index.store.epoch
+            neighbor_cache = {}
+            scorer = DashScorer(self.index, canonical)
         seeds = scorer.relevant_fragments()
         statistics.seed_fragments = len(seeds)
+        # Every fragment the search consults: seeds now, expansion candidates
+        # as they are evaluated.  Page members are always one or the other.
+        consulted: Set[FragmentId] = set(seeds)
 
         # Priority queue of pending db-pages, keyed by descending score.  The
         # tie-breaking counter keeps heap ordering deterministic: seeds take
@@ -136,11 +279,11 @@ class TopKSearcher:
 
         # Pending pages carry their integer occurrence/size statistics so each
         # expansion evaluation is O(|W|); seeds compute theirs on first pop.
+        # The neighbour cache (session-shared when available) keeps each
+        # fragment's sorted neighbour list: the expansion loop re-visits every
+        # member of a growing page, and on partitioned stores each graph
+        # lookup is a shard round-trip.
         stats_cache: Dict[Tuple[FragmentId, ...], PageStats] = {}
-        # Sorted neighbour lists, fetched once per fragment per search: the
-        # expansion loop re-visits every member of a growing page, and on
-        # partitioned stores each graph lookup is a shard round-trip.
-        neighbor_cache: Dict[FragmentId, Tuple[FragmentId, ...]] = {}
         consumed: Set[FragmentId] = set()
         results: List[SearchResult] = []
         while queue and len(results) < k:
@@ -154,7 +297,7 @@ class TopKSearcher:
             if stats is None:
                 stats = scorer.page_stats(fragments)
             expansion = self._expansion_candidate(
-                fragments, scorer, size_threshold, stats, neighbor_cache
+                fragments, scorer, size_threshold, stats, neighbor_cache, consulted
             )
             if expansion is None:
                 results.append(self._make_result(fragments, -negative_score, stats))
@@ -177,7 +320,13 @@ class TopKSearcher:
         statistics.results = len(results)
         statistics.elapsed_seconds = time.perf_counter() - started
         self.last_statistics = statistics
-        return results
+        return DetailedSearch(
+            results=tuple(results),
+            keywords=canonical,
+            dependencies=frozenset(consulted),
+            epoch=epoch,
+            statistics=statistics,
+        )
 
     # ------------------------------------------------------------------
     def _seed_queue(self, seeds: Tuple[FragmentId, ...], scorer: DashScorer) -> List[QueueEntry]:
@@ -222,6 +371,7 @@ class TopKSearcher:
         size_threshold: int,
         stats: PageStats,
         neighbor_cache: Dict[FragmentId, Tuple[FragmentId, ...]],
+        consulted: Set[FragmentId],
     ) -> Optional[Tuple[FragmentId, PageStats]]:
         """The fragment to expand with (and the expanded page's statistics),
         or ``None`` when not expandable.
@@ -250,6 +400,7 @@ class TopKSearcher:
         best_key = None
         best: Optional[Tuple[FragmentId, PageStats]] = None
         for candidate in dict.fromkeys(candidates):
+            consulted.add(candidate)
             extended = scorer.extended_stats(stats, candidate)
             preference = (
                 0 if scorer.fragment_is_relevant(candidate) else 1,

@@ -1,16 +1,24 @@
-"""Keyword-workload selection (Section VII-B of the paper).
+"""Keyword-workload selection (Section VII-B of the paper) and query streams.
 
 The top-k search experiments use three groups of 30 keywords each, chosen by
 document frequency (DF): *hot* keywords come from the top 10 % of the DF
 ranking, *warm* from the middle 10 % and *cold* from the bottom 10 %.  Hot
 keywords therefore appear in many db-page fragments, cold ones in few.
+
+For the serving-layer experiments, :func:`zipf_keyword_queries` additionally
+generates a *query stream*: a seeded sequence of keyword queries whose
+popularity follows a Zipf distribution over the DF ranking, the standard
+model of web-search traffic (a few queries dominate, with a long tail).  The
+serving benchmarks and cache tests drive :class:`~repro.serving.SearchService`
+with it.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -66,3 +74,88 @@ def _middle_slice(vocabulary: Sequence[str], band_size: int) -> List[str]:
     middle = len(vocabulary) // 2
     start = max(0, middle - band_size // 2)
     return list(vocabulary[start:start + band_size])
+
+
+# ----------------------------------------------------------------------
+# Zipf-distributed keyword-query streams (serving workloads)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A generated stream of keyword queries (each query a keyword tuple)."""
+
+    skew: float
+    queries: Tuple[Tuple[str, ...], ...]
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def unique_queries(self) -> Tuple[Tuple[str, ...], ...]:
+        """The distinct queries, in first-appearance order."""
+        return tuple(dict.fromkeys(self.queries))
+
+
+def zipf_keyword_queries(
+    document_frequencies: Mapping[str, int],
+    count: int,
+    skew: float = 1.1,
+    keywords_per_query: Union[int, Tuple[int, int]] = (1, 2),
+    seed: int = 17,
+) -> QueryWorkload:
+    """Generate ``count`` keyword queries with Zipf-distributed popularity.
+
+    Keywords are ranked by descending DF (the ranking
+    :func:`select_keyword_workloads` also uses); the probability of drawing
+    the rank-``i`` keyword is proportional to ``1 / i**skew``, so higher
+    ``skew`` concentrates the stream on fewer hot keywords (``skew`` around
+    1 matches classic web-query traces).  ``keywords_per_query`` is either a
+    fixed query length or an inclusive ``(minimum, maximum)`` range sampled
+    uniformly; the keywords within one query are distinct.
+
+    Fully seeded: the same arguments always produce the same stream.
+    """
+    if count < 0:
+        raise ValueError(f"query count must be non-negative, got {count}")
+    if skew <= 0:
+        raise ValueError(f"the Zipf skew must be positive, got {skew}")
+    if not document_frequencies:
+        raise ValueError("cannot generate queries from an empty vocabulary")
+    if isinstance(keywords_per_query, int):
+        minimum = maximum = keywords_per_query
+    else:
+        minimum, maximum = keywords_per_query
+    if not 1 <= minimum <= maximum:
+        raise ValueError(
+            f"keywords_per_query must satisfy 1 <= minimum <= maximum, got {keywords_per_query!r}"
+        )
+
+    ranked = sorted(document_frequencies.items(), key=lambda item: (-item[1], item[0]))
+    vocabulary = [keyword for keyword, _frequency in ranked]
+    maximum = min(maximum, len(vocabulary))
+    minimum = min(minimum, maximum)
+    cumulative_weights = list(
+        itertools.accumulate(1.0 / (rank ** skew) for rank in range(1, len(vocabulary) + 1))
+    )
+
+    rng = random.Random(seed)
+    queries: List[Tuple[str, ...]] = []
+    for _ in range(count):
+        length = rng.randint(minimum, maximum)
+        chosen: Dict[str, None] = {}
+        # Rejection sampling for distinct keywords, with a bounded number of
+        # draws: at extreme skew the non-head mass collapses and rejection
+        # alone could spin nearly forever, so the remainder fills
+        # deterministically from the hottest not-yet-chosen ranks.
+        for _attempt in range(64 * length):
+            if len(chosen) == length:
+                break
+            keyword = rng.choices(vocabulary, cum_weights=cumulative_weights, k=1)[0]
+            chosen.setdefault(keyword, None)
+        for keyword in vocabulary:
+            if len(chosen) == length:
+                break
+            chosen.setdefault(keyword, None)
+        queries.append(tuple(chosen))
+    return QueryWorkload(skew=skew, queries=tuple(queries))

@@ -1,0 +1,42 @@
+"""The serving layer: everything between HTTP and the fragment index.
+
+* :mod:`repro.serving.service` — :class:`SearchService`: query admission,
+  a versioned LRU result cache, thread-pooled ``search_many`` with
+  single-flight coalescing, warm-up.
+* :mod:`repro.serving.cache` — :class:`ResultCache`: LRU entries stamped with
+  the store epoch and revalidated against per-keyword / per-fragment mutation
+  epochs (see :mod:`repro.store.epochs`).
+* :mod:`repro.serving.gateway` — :class:`SearchGateway`: the search endpoint
+  deployable on the simulated :class:`~repro.webapp.server.WebServer`.
+* :mod:`repro.serving.errors` — the typed :class:`ServingError` hierarchy.
+
+The blessed construction path is
+:meth:`repro.core.engine.DashEngine.serving`, which shares the engine's
+epoch-invalidated search session with the service.
+"""
+
+from repro.serving.cache import CachedResult, CacheStatistics, ResultCache
+from repro.serving.errors import (
+    InvalidParameterError,
+    InvalidQueryError,
+    ServiceClosedError,
+    ServiceConfigurationError,
+    ServingError,
+)
+from repro.serving.gateway import SearchGateway
+from repro.serving.service import AdmittedQuery, SearchService, ServingResult
+
+__all__ = [
+    "AdmittedQuery",
+    "CachedResult",
+    "CacheStatistics",
+    "InvalidParameterError",
+    "InvalidQueryError",
+    "ResultCache",
+    "SearchGateway",
+    "SearchService",
+    "ServiceClosedError",
+    "ServiceConfigurationError",
+    "ServingError",
+    "ServingResult",
+]

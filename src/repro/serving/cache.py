@@ -1,0 +1,173 @@
+"""The versioned LRU result cache.
+
+Entries are stamped with the store epoch observed when their search ran and
+carry the search's *dependency set* — the query keywords plus every fragment
+the search consulted (see :class:`~repro.core.search.DetailedSearch`).  A hit
+is served only after revalidation against the store's
+:class:`~repro.store.EpochClock`:
+
+* fast path — the store epoch equals the entry's stamp: nothing anywhere has
+  changed, serve immediately;
+* slow path — the store moved: the entry is still fresh iff none of its query
+  keywords' postings and none of its consulted fragments were touched after
+  the stamp.  A fresh entry is re-stamped to the current epoch (the check just
+  proved nothing relevant happened in between) so later hits take the fast
+  path again; a stale entry is dropped and the caller recomputes.
+
+This is what makes maintenance surgical: an
+:class:`~repro.core.incremental.IncrementalMaintainer` run bumps exactly the
+keywords and fragments it rewrote, so the queries it could have changed stop
+hitting while every untouched hot entry keeps being served from cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.core.fragments import FragmentId
+from repro.core.search import SearchResult
+from repro.serving.errors import ServiceConfigurationError
+from repro.store.base import FragmentStore
+
+
+class CachedResult:
+    """One cached search outcome (mutable stamp for revalidation)."""
+
+    __slots__ = ("results", "keywords", "dependencies", "epoch")
+
+    def __init__(
+        self,
+        results: Tuple[SearchResult, ...],
+        keywords: Tuple[str, ...],
+        dependencies: Optional[FrozenSet[FragmentId]],
+        epoch: int,
+    ) -> None:
+        self.results = results
+        self.keywords = keywords
+        #: ``None`` means the dependency set was too large to track — the
+        #: entry then goes stale on *any* store mutation.
+        self.dependencies = dependencies
+        self.epoch = epoch
+
+
+@dataclass
+class CacheStatistics:
+    """Counters of one :class:`ResultCache` (all monotonically increasing)."""
+
+    hits: int = 0
+    misses: int = 0
+    stale_drops: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale_drops": self.stale_drops,
+            "evictions": self.evictions,
+        }
+
+
+class ResultCache:
+    """A thread-safe LRU of :class:`CachedResult`, revalidated per lookup.
+
+    ``capacity`` of 0 disables caching entirely (every ``get`` misses and
+    ``put`` is a no-op) — useful as the uncached baseline in benchmarks.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ServiceConfigurationError(
+                f"cache capacity must be non-negative, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, CachedResult]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.statistics = CacheStatistics()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, store: FragmentStore) -> Optional[CachedResult]:
+        """The fresh entry under ``key``, or ``None`` (stale entries drop)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.statistics.misses += 1
+                return None
+        # Revalidation happens outside the lock: a slow-path check can touch
+        # thousands of store epochs (round-trips on remote backends), and
+        # holding the lock through it would serialize every concurrent
+        # lookup.  Concurrent revalidation of the same entry is benign (both
+        # re-stamp to a verified epoch), and a racing put is respected by
+        # re-checking identity before the LRU move / stale delete.
+        if self._fresh(entry, store):
+            with self._lock:
+                if self._entries.get(key) is entry:
+                    self._entries.move_to_end(key)
+                self.statistics.hits += 1
+            return entry
+        with self._lock:
+            if self._entries.get(key) is entry:
+                del self._entries[key]
+                self.statistics.stale_drops += 1
+            self.statistics.misses += 1
+        return None
+
+    def put(self, key: Hashable, entry: CachedResult) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def is_fresh(cls, entry: CachedResult, store: FragmentStore) -> bool:
+        """Revalidate ``entry`` against ``store`` (re-stamps when fresh).
+
+        Public for callers holding an entry outside the cache — e.g. the
+        single-flight path of :class:`~repro.serving.service.SearchService`,
+        where a follower receives the leader's entry directly and must apply
+        the same freshness rule a cache lookup would.
+        """
+        return cls._fresh(entry, store)
+
+    @staticmethod
+    def _fresh(entry: CachedResult, store: FragmentStore) -> bool:
+        current = store.epoch
+        if current == entry.epoch:
+            return True
+        if entry.dependencies is None:
+            return False
+        stamp = entry.epoch
+        for keyword in entry.keywords:
+            if store.keyword_epoch(keyword) > stamp:
+                return False
+        for identifier in entry.dependencies:
+            if store.fragment_epoch(identifier) > stamp:
+                return False
+        # Nothing the entry depends on moved between the stamp and ``current``
+        # (epochs only grow), so the entry is also valid *at* ``current``:
+        # re-stamp to keep subsequent lookups on the fast path.
+        entry.epoch = current
+        return True

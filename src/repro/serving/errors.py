@@ -1,0 +1,28 @@
+"""Typed serving-layer errors.
+
+Everything the query frontend can reject is a :class:`ServingError` subclass,
+so callers (the web gateway, benchmark drivers, tests) can tell admission
+failures apart from engine bugs and map each to the right response.
+"""
+
+from __future__ import annotations
+
+
+class ServingError(Exception):
+    """Base class of every serving-layer failure."""
+
+
+class InvalidQueryError(ServingError):
+    """The query admitted no keywords (empty, or nothing tokenizable)."""
+
+
+class InvalidParameterError(ServingError):
+    """A per-query parameter (``k``, the size threshold ``s``) is invalid."""
+
+
+class ServiceConfigurationError(ServingError):
+    """The service itself was configured with invalid settings."""
+
+
+class ServiceClosedError(ServingError):
+    """The service was asked to search after :meth:`SearchService.close`."""

@@ -1,0 +1,97 @@
+"""The web search endpoint: a SearchService deployable on the WebServer.
+
+:class:`SearchGateway` quacks like a :class:`~repro.webapp.WebApplication`
+(it has a ``uri`` and a ``generate_page``), so the simulated
+:class:`~repro.webapp.server.WebServer` can host it next to the db-page
+applications it indexes.  One host then serves the whole story end to end:
+
+    GET www.example.com/dbsearch?q=thai+burger&k=5   → ranked db-page URLs
+    GET www.example.com/Search?c=Thai&l=10&u=10      → the suggested db-page
+
+Query-string fields: ``q`` — the keyword query (percent-encoded, ``+`` for
+spaces, required); ``k`` — result count; ``s`` — the size threshold.  Invalid
+input raises the service's typed
+:class:`~repro.serving.errors.ServingError`\\ s, exactly like a malformed
+query string raises on a regular application.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Optional
+
+from repro.serving.errors import InvalidParameterError
+from repro.serving.service import SearchService, ServingResult
+from repro.webapp.rendering import DbPage
+from repro.webapp.request import QueryString
+
+
+class SearchGateway:
+    """Serves keyword search over a :class:`SearchService` as db-pages."""
+
+    def __init__(
+        self,
+        service: SearchService,
+        uri: str = "www.example.com/dbsearch",
+        name: str = "DbSearch",
+    ) -> None:
+        self.service = service
+        self.uri = uri
+        self.name = name
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # the WebApplication execution contract
+    # ------------------------------------------------------------------
+    def generate_page(self, database: Any, query_string: Any) -> DbPage:
+        """Answer ``?q=...&k=...&s=...`` with a page of ranked db-page URLs.
+
+        ``database`` is part of the hosting contract but unused: the gateway
+        answers from the fragment index, never by running the application
+        queries — that is the entire point of the paper's architecture.
+        """
+        del database
+        text = str(query_string).lstrip("?")
+        fields = QueryString.parse(text)
+        served = self.service.search(
+            fields.get("q") or "",
+            k=self._int_field(fields.get("k"), "k"),
+            size_threshold=self._int_field(fields.get("s"), "s"),
+        )
+        self.requests_served += 1
+        return self._render(text, served)
+
+    @staticmethod
+    def _int_field(value: Optional[str], name: str) -> Optional[int]:
+        if value is None:
+            return None
+        try:
+            return int(value)
+        except ValueError:
+            raise InvalidParameterError(f"field {name!r} must be an integer, got {value!r}") from None
+
+    # ------------------------------------------------------------------
+    def _render(self, query_string: str, served: ServingResult) -> DbPage:
+        """Render one result page (rank, URL, score per suggested db-page)."""
+        title = f"{self.name}: {' '.join(served.keywords)}"
+        text_lines = []
+        html_rows = []
+        for rank, result in enumerate(served.results, start=1):
+            text_lines.append(f"{rank} {result.url} {result.score:.6f}")
+            html_rows.append(
+                f'<li><a href="{html.escape(result.url)}">{html.escape(result.url)}</a>'
+                f" <small>score={result.score:.6f} size={result.size}</small></li>"
+            )
+        page_html = (
+            f"<html><head><title>{html.escape(title)}</title></head><body>\n"
+            f"<h1>{html.escape(title)}</h1>\n"
+            f"<ol>\n" + "\n".join(html_rows) + "\n</ol>\n"
+            f"</body></html>"
+        )
+        return DbPage(
+            url=f"{self.uri}?{query_string}",
+            title=title,
+            text="\n".join(text_lines),
+            html=page_html,
+            record_count=len(served.results),
+        )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Union
 
 from repro.store.base import FragmentStore, StoreError
+from repro.store.epochs import EpochClock
 from repro.store.memory import InMemoryStore
 from repro.store.sharded import ShardedStore
 
@@ -84,6 +85,7 @@ def _checked_shards(store: FragmentStore, shards: Optional[int]) -> FragmentStor
 
 
 __all__ = [
+    "EpochClock",
     "FragmentStore",
     "InMemoryStore",
     "ShardedStore",

@@ -31,9 +31,10 @@ Contract notes shared by all backends:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.fragments import FragmentId
+from repro.store.epochs import EpochClock
 from repro.text.inverted_index import Posting
 
 T = TypeVar("T")
@@ -44,7 +45,38 @@ class StoreError(Exception):
 
 
 class FragmentStore(ABC):
-    """Abstract storage for fragment postings, sizes and graph adjacency."""
+    """Abstract storage for fragment postings, sizes and graph adjacency.
+
+    Every store owns an :class:`~repro.store.EpochClock` (created here, or
+    injected so an embedding store can share one with its partitions).
+    Ticking it **after every completed write** is part of the write-method
+    contract: the serving layer's caches revalidate against it, and a
+    backend whose writes do not tick would be read as permanently fresh.
+    """
+
+    def __init__(self, clock: Optional["EpochClock"] = None) -> None:
+        self._epoch_clock = clock if clock is not None else EpochClock()
+
+    # ------------------------------------------------------------------
+    # mutation epochs (serving-layer invalidation)
+    # ------------------------------------------------------------------
+    @property
+    def epochs(self) -> EpochClock:
+        """The store's mutation clock (see :mod:`repro.store.epochs`)."""
+        return self._epoch_clock
+
+    @property
+    def epoch(self) -> int:
+        """Store-wide mutation epoch (bumped by every write)."""
+        return self._epoch_clock.epoch
+
+    def keyword_epoch(self, keyword: str) -> int:
+        """Epoch of ``keyword``'s last postings change (0 if never touched)."""
+        return self._epoch_clock.keyword_epoch(keyword)
+
+    def fragment_epoch(self, identifier: FragmentId) -> int:
+        """Epoch of ``identifier``'s last change — postings, node or adjacency."""
+        return self._epoch_clock.fragment_epoch(identifier)
 
     # ------------------------------------------------------------------
     # postings section — writes

@@ -1,0 +1,109 @@
+"""Store mutation epochs (the serving layer's invalidation substrate).
+
+Every :class:`~repro.store.FragmentStore` backend owns one :class:`EpochClock`
+and ticks it on every mutation.  The clock keeps three views of the same
+monotonic counter:
+
+* the **store epoch** — bumped by every mutation, the coarse "has anything
+  changed at all" signal a serving cache checks on its fast path;
+* **keyword epochs** — the epoch at which each keyword's inverted list last
+  changed (a posting added or removed).  A cached search result for keywords
+  ``W`` can only gain or lose *seed* fragments through a mutation of some
+  ``w in W``'s postings, so comparing the entry's stamp against
+  ``max(keyword_epoch(w))`` detects seed-set and IDF staleness exactly;
+* **fragment epochs** — the epoch at which each fragment last changed in any
+  way: its postings (and therefore its size), its graph node or its adjacency.
+  A cached result also depends on every fragment the search *consulted*
+  (members of result pages, rejected expansion candidates, neighbour sets);
+  the searcher reports that dependency set and the cache compares each
+  member's fragment epoch against the entry's stamp.
+
+Together the two fine views make invalidation precise: a maintenance run
+bumps only the keywords and fragments it actually rewrote, so cached entries
+for untouched queries keep validating (and re-stamp to the current epoch to
+stay on the fast path) while any entry whose seeds, pages or neighbourhoods
+were touched is dropped.
+
+Epoch reads and ticks are plain int/dict operations — atomic under the GIL.
+The intended regime is many concurrent readers with maintenance applied from
+one writer at a time (matching :class:`IncrementalMaintainer`).  Every
+mutator ticks the clock *after* its data writes complete — the tick is the
+mutation's commit point.  A search captures its stamp before its first data
+read, so a search that raced a writer necessarily carries a stamp older than
+the completed mutation's tick and its cached entry fails revalidation; the
+ordering can only over-invalidate (a search that read post-mutation data but
+stamped pre-tick), never validate stale data as fresh.  The one permitted
+race is a lookup revalidating inside a writer's write window: it may serve
+the pre-update entry once — equivalent to the read arriving just before the
+not-yet-committed update — and the tick retires the entry immediately after.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.core.fragments import FragmentId
+
+
+class EpochClock:
+    """Monotonic mutation counter with per-keyword and per-fragment views."""
+
+    __slots__ = ("_epoch", "_keywords", "_fragments")
+
+    def __init__(self) -> None:
+        self._epoch = 0
+        self._keywords: Dict[str, int] = {}
+        self._fragments: Dict[FragmentId, int] = {}
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The store-wide epoch (0 for a store never mutated)."""
+        return self._epoch
+
+    def keyword_epoch(self, keyword: str) -> int:
+        """Epoch of the keyword's last postings change (0 if never touched)."""
+        return self._keywords.get(keyword, 0)
+
+    def fragment_epoch(self, identifier: FragmentId) -> int:
+        """Epoch of the fragment's last change of any kind (0 if never touched).
+
+        Removed fragments keep their final epoch: cached entries that depended
+        on them must keep failing the freshness check, not see a reset to 0.
+        The deliberate cost is O(fragments ever seen) resident entries — a
+        tombstone only becomes prunable once no cache entry stamped before
+        the removal survives, which the clock cannot observe by itself (a
+        generation sweep driven by the serving layer is the ROADMAP item).
+        """
+        return self._fragments.get(identifier, 0)
+
+    # ------------------------------------------------------------------
+    # ticks (one per store mutation)
+    # ------------------------------------------------------------------
+    def tick_posting(self, keyword: str, identifier: FragmentId) -> int:
+        """One posting of ``keyword`` in ``identifier`` added or removed."""
+        self._epoch += 1
+        self._keywords[keyword] = self._epoch
+        self._fragments[identifier] = self._epoch
+        return self._epoch
+
+    def tick_fragment(self, identifier: FragmentId) -> int:
+        """The fragment changed without touching postings (node, adjacency)."""
+        self._epoch += 1
+        self._fragments[identifier] = self._epoch
+        return self._epoch
+
+    def tick_removal(self, identifier: FragmentId, keywords: Iterable[str]) -> int:
+        """The fragment's postings were dropped from ``keywords``' lists."""
+        self._epoch += 1
+        for keyword in keywords:
+            self._keywords[keyword] = self._epoch
+        self._fragments[identifier] = self._epoch
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[int, int, int]:
+        """(epoch, tracked keywords, tracked fragments) — diagnostics."""
+        return (self._epoch, len(self._keywords), len(self._fragments))

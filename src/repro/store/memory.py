@@ -10,10 +10,12 @@ each removal, O(keywords x postings) per incremental delete).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+import threading
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.fragments import FragmentId
 from repro.store.base import FragmentStore
+from repro.store.epochs import EpochClock
 from repro.text.inverted_index import Posting
 
 
@@ -25,7 +27,15 @@ def posting_sort_key(posting: Posting):
 class InMemoryStore(FragmentStore):
     """All postings, sizes and adjacency in plain dictionaries."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[EpochClock] = None) -> None:
+        # ``clock`` lets an embedding store (ShardedStore) share one
+        # authoritative clock with all of its shards.
+        super().__init__(clock)
+        # Serializes postings-section mutators against finalize's sort-swap.
+        # Reads stay lock-free: every mutation replaces whole lists (or
+        # appends), so a racing reader sees a complete list, never a torn
+        # one, and the epoch stamp retires anything it computed mid-write.
+        self._postings_lock = threading.Lock()
         self._postings: Dict[str, List[Posting]] = {}
         self._fragment_sizes: Dict[FragmentId, int] = {}
         # Reverse map: fragment -> the keywords whose inverted lists mention it
@@ -40,35 +50,54 @@ class InMemoryStore(FragmentStore):
     # postings section — writes
     # ------------------------------------------------------------------
     def touch_fragment(self, identifier: FragmentId) -> None:
+        new = identifier not in self._fragment_sizes
         self._fragment_sizes.setdefault(identifier, 0)
         self._fragment_keywords.setdefault(identifier, {})
+        if new:
+            self._epoch_clock.tick_fragment(identifier)
 
     def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
-        self._postings.setdefault(keyword, []).append(Posting(identifier, occurrences))
-        self._fragment_sizes[identifier] = self._fragment_sizes.get(identifier, 0) + occurrences
-        self._fragment_keywords.setdefault(identifier, {})[keyword] = None
-        self._sorted = False
+        # Every mutator ticks the clock *after* its data writes complete (the
+        # tick is the mutation's commit point): search stamps are captured
+        # before the search's first data read, so any search that raced this
+        # write carries a pre-tick stamp and the tick invalidates it.
+        with self._postings_lock:
+            self._postings.setdefault(keyword, []).append(Posting(identifier, occurrences))
+            self._fragment_sizes[identifier] = self._fragment_sizes.get(identifier, 0) + occurrences
+            self._fragment_keywords.setdefault(identifier, {})[keyword] = None
+            self._sorted = False
+        self._epoch_clock.tick_posting(keyword, identifier)
 
     def remove_fragment(self, identifier: FragmentId) -> None:
         if identifier not in self._fragment_sizes:
             return
-        del self._fragment_sizes[identifier]
-        for keyword in self._fragment_keywords.pop(identifier, ()):
-            postings = self._postings.get(keyword)
-            if postings is None:
-                continue
-            kept = [posting for posting in postings if posting.document_id != identifier]
-            if kept:
-                self._postings[keyword] = kept
-            else:
-                del self._postings[keyword]
+        with self._postings_lock:
+            del self._fragment_sizes[identifier]
+            keywords = self._fragment_keywords.pop(identifier, {})
+            for keyword in keywords:
+                postings = self._postings.get(keyword)
+                if postings is None:
+                    continue
+                kept = [posting for posting in postings if posting.document_id != identifier]
+                if kept:
+                    self._postings[keyword] = kept
+                else:
+                    del self._postings[keyword]
+        self._epoch_clock.tick_removal(identifier, keywords)
 
     def finalize(self) -> None:
         if self._sorted:
             return
-        for postings in self._postings.values():
-            postings.sort(key=posting_sort_key)
-        self._sorted = True
+        with self._postings_lock:
+            if self._sorted:
+                return
+            for keyword in list(self._postings):
+                # Sort into a fresh list and swap in one assignment: a
+                # lock-free reader racing this sees either the complete
+                # unsorted list or the complete sorted one, never the
+                # emptied-out state CPython's in-place list.sort exposes.
+                self._postings[keyword] = sorted(self._postings[keyword], key=posting_sort_key)
+            self._sorted = True
 
     # ------------------------------------------------------------------
     # postings section — reads
@@ -101,6 +130,10 @@ class InMemoryStore(FragmentStore):
                     frequencies[keyword] = posting.term_frequency
                     break
         return frequencies
+
+    def fragment_keywords(self, identifier: FragmentId) -> Tuple[str, ...]:
+        """The keywords whose inverted lists mention ``identifier``."""
+        return tuple(self._fragment_keywords.get(identifier, ()))
 
     def fragment_size(self, identifier: FragmentId) -> int:
         return self._fragment_sizes.get(identifier, 0)
@@ -144,10 +177,12 @@ class InMemoryStore(FragmentStore):
     def add_node(self, identifier: FragmentId, keyword_count: int) -> None:
         self._nodes[identifier] = keyword_count
         self._adjacency[identifier] = set()
+        self._epoch_clock.tick_fragment(identifier)
 
     def remove_node(self, identifier: FragmentId) -> None:
         del self._adjacency[identifier]
         del self._nodes[identifier]
+        self._epoch_clock.tick_fragment(identifier)
 
     def has_node(self, identifier: FragmentId) -> bool:
         return identifier in self._nodes
@@ -159,6 +194,7 @@ class InMemoryStore(FragmentStore):
         if identifier not in self._nodes:
             raise KeyError(identifier)
         self._nodes[identifier] = keyword_count
+        self._epoch_clock.tick_fragment(identifier)
 
     def node_ids(self) -> Tuple[FragmentId, ...]:
         return tuple(self._nodes)
@@ -167,10 +203,14 @@ class InMemoryStore(FragmentStore):
         return len(self._nodes)
 
     def add_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        # Only ``identifier``'s neighbour set changes here; add_edge ticks the
+        # other endpoint through its own add_neighbor call.
         self._adjacency[identifier].add(neighbor)
+        self._epoch_clock.tick_fragment(identifier)
 
     def discard_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
         self._adjacency[identifier].discard(neighbor)
+        self._epoch_clock.tick_fragment(identifier)
 
     def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
         return tuple(self._adjacency[identifier])

@@ -19,6 +19,7 @@ it parallelises.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
@@ -49,12 +50,20 @@ class ShardedStore(FragmentStore):
     ) -> None:
         if shards < 1:
             raise StoreError(f"shard count must be at least 1, got {shards}")
-        self._shards: List[InMemoryStore] = [InMemoryStore() for _ in range(shards)]
+        # One clock, shared with every shard: the shards' own mutators tick
+        # it with their tick-after-write ordering, and no wrapper bookkeeping
+        # can drift from what the shards actually mutate.
+        super().__init__()
+        self._shards: List[InMemoryStore] = [
+            InMemoryStore(clock=self._epoch_clock) for _ in range(shards)
+        ]
         self._parallel_threshold = parallel_threshold
         self._max_workers = max_workers or min(shards, os.cpu_count() or 2)
         self._executor: Optional[ThreadPoolExecutor] = None
-        # Merged keyword -> sorted postings, rebuilt lazily after writes.
-        self._merged_postings: Dict[str, Tuple[Posting, ...]] = {}
+        self._executor_lock = threading.Lock()
+        # Merged keyword -> (epoch stamp, sorted postings); entries revalidate
+        # against the keyword's mutation epoch on every hit.
+        self._merged_postings: Dict[str, Tuple[int, Tuple[Posting, ...]]] = {}
         # Identifier -> owning shard.  The stable hash walks the identifier's
         # text in pure Python, so memoising the route matters on hot paths;
         # routes never change for a fixed shard count.
@@ -84,12 +93,20 @@ class ShardedStore(FragmentStore):
     def run_parallel(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
         if len(tasks) <= 1 or not self._fan_out():
             return [task() for task in tasks]
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="fragment-store",
-            )
-        return list(self._executor.map(lambda task: task(), tasks))
+        executor = self._executor
+        if executor is None:
+            # Concurrent searches (SearchService workers) can race the first
+            # fan-out; without the lock each racer would spawn its own pool
+            # and orphan all but the last one.
+            with self._executor_lock:
+                executor = self._executor
+                if executor is None:
+                    executor = ThreadPoolExecutor(
+                        max_workers=self._max_workers,
+                        thread_name_prefix="fragment-store",
+                    )
+                    self._executor = executor
+        return list(executor.map(lambda task: task(), tasks))
 
     def map_shards(self, fn: Callable[[InMemoryStore], T]) -> List[T]:
         """Apply ``fn`` to every shard (fanning out), preserving shard order."""
@@ -98,10 +115,6 @@ class ShardedStore(FragmentStore):
     def _fan_out(self) -> bool:
         return len(self._shards) > 1 and self.fragment_count() >= self._parallel_threshold
 
-    def _invalidate(self) -> None:
-        if self._merged_postings:
-            self._merged_postings.clear()
-
     # ------------------------------------------------------------------
     # postings section — writes (routed to the owning shard)
     # ------------------------------------------------------------------
@@ -109,18 +122,35 @@ class ShardedStore(FragmentStore):
         self._owner(identifier).touch_fragment(identifier)
 
     def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
-        self._invalidate()
+        # Writes evict only the merged lists they touch; the epoch stamp on
+        # each cached entry remains the correctness backstop (postings()
+        # refuses any entry whose keyword epoch passed its stamp).
+        self._merged_postings.pop(keyword, None)
         self._owner(identifier).add_posting(keyword, identifier, occurrences)
 
     def remove_fragment(self, identifier: FragmentId) -> None:
-        self._invalidate()
-        self._owner(identifier).remove_fragment(identifier)
+        owner = self._owner(identifier)
+        for keyword in owner.fragment_keywords(identifier):
+            self._merged_postings.pop(keyword, None)
+        owner.remove_fragment(identifier)
 
     def replace_fragment(self, identifier: FragmentId, term_frequencies) -> None:
         # One fragment's postings all live on its owning shard, so the swap is
-        # a single-shard operation regardless of the shard count.
-        self._invalidate()
-        self._owner(identifier).replace_fragment(identifier, term_frequencies)
+        # a single-shard operation regardless of the shard count.  The shard's
+        # internal remove/add calls tick the shared clock (after each write)
+        # but do not pass through this wrapper, so the merged lists of both
+        # the outgoing and the incoming keyword sets are evicted here.
+        owner = self._owner(identifier)
+        for keyword in owner.fragment_keywords(identifier):
+            self._merged_postings.pop(keyword, None)
+        items = (
+            list(term_frequencies.items())
+            if hasattr(term_frequencies, "items")
+            else list(term_frequencies)
+        )
+        for keyword, _occurrences in items:
+            self._merged_postings.pop(keyword, None)
+        owner.replace_fragment(identifier, items)
 
     def finalize(self) -> None:
         self.map_shards(lambda shard: shard.finalize())
@@ -131,7 +161,14 @@ class ShardedStore(FragmentStore):
     def postings(self, keyword: str) -> Tuple[Posting, ...]:
         cached = self._merged_postings.get(keyword)
         if cached is not None:
-            return cached
+            stamp, result = cached
+            # Revalidate against the keyword's mutation epoch: an entry a
+            # racing reader merged from pre-write shard state carries a stamp
+            # older than the write's tick, so it can never outlive the write.
+            if self.keyword_epoch(keyword) <= stamp:
+                return result
+            self._merged_postings.pop(keyword, None)
+        stamp = self.epoch
         parts = self.map_shards(lambda shard: shard.raw_postings(keyword))
         merged: List[Posting] = []
         for part in parts:
@@ -141,7 +178,7 @@ class ShardedStore(FragmentStore):
         if result:
             # Never cache misses: arbitrary unknown keywords (typos, hostile
             # input) would grow the cache without bound on a read-only store.
-            self._merged_postings[keyword] = result
+            self._merged_postings[keyword] = (stamp, result)
         return result
 
     def fragment_frequency(self, keyword: str) -> int:

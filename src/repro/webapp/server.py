@@ -16,6 +16,7 @@ application executions each approach causes.
 
 from __future__ import annotations
 
+import urllib.parse
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.db.database import Database
@@ -78,9 +79,13 @@ class WebServer:
         """Submit ``form_fields`` to the application at ``uri`` (POST semantics).
 
         The paper notes Dash supports both GET and POST; a POST submission is
-        simply a query string carried in the request body.
+        simply a query string carried in the request body.  Field names and
+        values are percent-encoded exactly like a browser form submission
+        (``application/x-www-form-urlencoded``) — a value containing ``&`` or
+        ``=`` must not corrupt the synthesized query string — and the
+        application's query-string parsing decodes symmetrically.
         """
-        query_string = "&".join(f"{field}={value}" for field, value in form_fields.items())
+        query_string = urllib.parse.urlencode(form_fields)
         application = self.application_at(uri)
         self.invocation_count += 1
         page = application.generate_page(self.database, query_string)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.harness import calibrated_runtime, run_crawl
-from repro.bench.reporting import format_table, print_table
+from repro.bench.reporting import format_table, percentile, print_table, summarize_latencies
 from repro.bench.settings import (
     DATASET_NAMES,
     K_VALUES,
@@ -55,6 +55,43 @@ class TestReporting:
         print_table(["a"], [(1,)], title="demo")
         captured = capsys.readouterr()
         assert "demo" in captured.out
+
+
+class TestLatencyReporting:
+    def test_percentile_interpolates(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 0.0) == 10.0
+        assert percentile(samples, 1.0) == 40.0
+        assert percentile(samples, 0.5) == 25.0
+        assert percentile([7.0], 0.99) == 7.0
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0  # order-insensitive
+
+    def test_percentile_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_summarize_latencies_distribution(self):
+        samples = [0.001 * (index + 1) for index in range(100)]  # 1..100 ms
+        summary = summarize_latencies(samples)
+        assert summary["requests"] == 100
+        assert summary["mean_ms"] == pytest.approx(50.5)
+        assert summary["p50_ms"] == pytest.approx(50.5)
+        assert summary["p95_ms"] == pytest.approx(95.05)
+        assert summary["p99_ms"] == pytest.approx(99.01)
+        assert summary["max_ms"] == pytest.approx(100.0)
+        # sequential fallback: throughput over the latency sum
+        assert summary["throughput_qps"] == pytest.approx(100 / sum(samples))
+
+    def test_summarize_latencies_concurrent_throughput(self):
+        """Wall-clock elapsed governs throughput when requests overlapped."""
+        summary = summarize_latencies([0.010] * 40, elapsed_seconds=0.100)
+        assert summary["throughput_qps"] == pytest.approx(400.0)
+
+    def test_summarize_latencies_rejects_empty_sample(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
 
 
 class TestHarness:

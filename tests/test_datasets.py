@@ -4,7 +4,7 @@ import pytest
 
 from repro.datasets.fooddb import build_fooddb
 from repro.datasets.tpch import SCALES, TINY, TpchScale, build_tpch, tpch_queries, tpch_schemas
-from repro.datasets.workloads import select_keyword_workloads
+from repro.datasets.workloads import select_keyword_workloads, zipf_keyword_queries
 
 
 class TestFooddb:
@@ -114,3 +114,59 @@ class TestKeywordWorkloads:
         )
         hot = list(workloads["hot"])
         assert all(fooddb_engine.index.fragment_frequency(word) >= 1 for word in hot)
+
+
+class TestZipfQueryWorkloads:
+    FREQUENCIES = {f"word{index:03d}": 500 - index for index in range(500)}
+
+    def test_deterministic_given_seed(self):
+        first = zipf_keyword_queries(self.FREQUENCIES, count=200, seed=3)
+        second = zipf_keyword_queries(self.FREQUENCIES, count=200, seed=3)
+        assert first == second
+        different = zipf_keyword_queries(self.FREQUENCIES, count=200, seed=4)
+        assert first != different
+
+    def test_queries_draw_from_the_vocabulary(self):
+        workload = zipf_keyword_queries(self.FREQUENCIES, count=100, keywords_per_query=(1, 3))
+        assert len(workload) == 100
+        for query in workload:
+            assert 1 <= len(query) <= 3
+            assert len(set(query)) == len(query)  # distinct within one query
+            assert all(keyword in self.FREQUENCIES for keyword in query)
+
+    def test_skew_concentrates_on_hot_keywords(self):
+        """Higher skew -> the hottest keyword dominates more of the stream."""
+        def hottest_share(skew):
+            workload = zipf_keyword_queries(
+                self.FREQUENCIES, count=400, skew=skew, keywords_per_query=1, seed=9
+            )
+            hottest = max(self.FREQUENCIES, key=self.FREQUENCIES.get)
+            return sum(1 for query in workload if query == (hottest,)) / len(workload)
+
+        assert hottest_share(1.6) > hottest_share(0.4)
+
+    def test_unique_queries_preserve_first_appearance_order(self):
+        workload = zipf_keyword_queries(self.FREQUENCIES, count=50, keywords_per_query=1, seed=2)
+        unique = workload.unique_queries()
+        assert len(set(unique)) == len(unique)
+        assert set(unique) == set(workload.queries)
+
+    def test_fixed_query_length(self):
+        workload = zipf_keyword_queries(self.FREQUENCIES, count=20, keywords_per_query=2)
+        assert all(len(query) == 2 for query in workload)
+
+    def test_length_clamped_to_vocabulary(self):
+        workload = zipf_keyword_queries({"a": 2, "b": 1}, count=10, keywords_per_query=(2, 5))
+        assert all(len(query) == 2 for query in workload)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_keyword_queries({}, count=10)
+        with pytest.raises(ValueError):
+            zipf_keyword_queries(self.FREQUENCIES, count=-1)
+        with pytest.raises(ValueError):
+            zipf_keyword_queries(self.FREQUENCIES, count=10, skew=0)
+        with pytest.raises(ValueError):
+            zipf_keyword_queries(self.FREQUENCIES, count=10, keywords_per_query=(3, 1))
+        with pytest.raises(ValueError):
+            zipf_keyword_queries(self.FREQUENCIES, count=10, keywords_per_query=0)

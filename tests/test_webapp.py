@@ -114,6 +114,22 @@ class TestWebServer:
         post_page = fooddb_server.post("www.example.com/Search", {"c": "Thai", "l": "10", "u": "10"})
         assert page_signature(get_page) == page_signature(post_page)
 
+    def test_post_percent_encodes_reserved_characters(self, fooddb_server):
+        """A form value containing & or = must survive the synthesized query string."""
+        page = fooddb_server.post(
+            "www.example.com/Search", {"c": "Thai&Mex=Fusion", "l": "10", "u": "15"}
+        )
+        # the value parsed back as one field (no records match, but no error)
+        assert page.record_count == 0
+        assert "Thai%26Mex%3DFusion" in page.url
+
+    def test_post_round_trips_spaces(self, fooddb_server):
+        page = fooddb_server.post(
+            "www.example.com/Search", {"c": "Middle East", "l": "10", "u": "15"}
+        )
+        assert page.record_count == 0
+        assert QueryString.parse(page.url.split("?", 1)[1]).get("c") == "Middle East"
+
     def test_counts_invocations(self, fooddb, search_application):
         server = WebServer(fooddb, host="www.example.com")
         server.deploy(search_application)
