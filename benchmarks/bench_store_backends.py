@@ -11,10 +11,18 @@ keywords), loads them into every backend —
                    (one-pass seed scoring + incremental page statistics),
 * ``sharded-N``  — :class:`ShardedStore` with N hash partitions and the
                    per-shard seeding fan-out,
+* ``disk``       — :class:`DiskStore`, the persistent sqlite backend,
 
 — measures average search latency over cold/warm/hot keywords, verifies that
 every backend returns exactly the seed path's ranked URLs, and emits
 ``BENCH_store_backends.json`` for tooling.
+
+The disk backend is additionally measured on its reason to exist: cold
+start.  ``cold_start`` rows compare rebuilding the store from fragments
+into memory (the no-persistence restart path; re-crawling would come on
+top) against re-attaching to the already-built sqlite file (what only the
+disk backend can do), alongside the one-time cost of building onto disk
+and the first post-attach search.
 
 Run under pytest (``PYTHONPATH=src python -m pytest benchmarks/bench_store_backends.py``)
 or standalone (``PYTHONPATH=src python benchmarks/bench_store_backends.py``).
@@ -30,6 +38,7 @@ import heapq
 import itertools
 import os
 import random
+import tempfile
 import time
 from typing import Dict, List, Tuple
 
@@ -40,7 +49,7 @@ from repro.core.scoring import DashScorer
 from repro.core.search import TopKSearcher
 from repro.core.urls import UrlFormulator
 from repro.datasets.fooddb import build_fooddb, fooddb_search_query
-from repro.store import InMemoryStore, ShardedStore
+from repro.store import DiskStore, InMemoryStore, ShardedStore
 from repro.webapp.request import QueryStringSpec
 
 FRAGMENT_COUNTS = tuple(
@@ -176,10 +185,55 @@ def searcher_for(name: str, fragments):
         return SeedTopKSearcher(index, graph, UrlFormulator(QUERY, SPEC, URI))
     if name == "memory":
         store = InMemoryStore()
+    elif name == "disk":
+        store = DiskStore(
+            os.path.join(tempfile.mkdtemp(prefix="repro-bench-disk-"), "store.sqlite")
+        )
     else:
         store = ShardedStore(shards=int(name.split("-")[1]))
     index, graph = build_backend(fragments, store)
     return TopKSearcher(index, graph, UrlFormulator(QUERY, SPEC, URI))
+
+
+def measure_cold_start(fragments, hot_keyword: str) -> Dict[str, float]:
+    """Rebuild-from-fragments vs re-attach-to-file, for one fragment set.
+
+    ``rebuild`` is the honest no-persistence restart path: index + graph
+    construction into a fresh in-memory store (crawling would come on top
+    in a real restart, making the comparison conservative).  ``disk_build``
+    is the one-time cost of building onto the sqlite file instead.
+    ``open`` is the disk backend's restart path: attach to the existing
+    file, wire the facades, and (``open_first_search``) answer the first
+    query with page-cache-cold reads.
+    """
+    started = time.perf_counter()
+    build_backend(fragments, InMemoryStore())
+    rebuild_seconds = time.perf_counter() - started
+
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-bench-cold-"), "store.sqlite")
+    started = time.perf_counter()
+    index, graph = build_backend(fragments, DiskStore(path))
+    disk_build_seconds = time.perf_counter() - started
+    index.store.close()
+
+    started = time.perf_counter()
+    reopened = DiskStore(path, create=False)
+    index = InvertedFragmentIndex(store=reopened)
+    graph = FragmentGraph(QUERY, store=reopened)
+    searcher = TopKSearcher(index, graph, UrlFormulator(QUERY, SPEC, URI))
+    open_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    searcher.search([hot_keyword], k=K, size_threshold=SIZE_THRESHOLDS[0])
+    first_search_seconds = time.perf_counter() - started
+    return {
+        "rebuild_s": round(rebuild_seconds, 4),
+        "disk_build_s": round(disk_build_seconds, 4),
+        "open_s": round(open_seconds, 4),
+        "open_first_search_s": round(first_search_seconds, 4),
+        "open_speedup_vs_rebuild": round(
+            rebuild_seconds / open_seconds if open_seconds else float("inf"), 2
+        ),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -190,9 +244,10 @@ def _urls(results) -> List[str]:
 
 
 def run_comparison() -> Dict:
-    backends = ["seed", "memory"] + [f"sharded-{count}" for count in SHARD_COUNTS]
+    backends = ["seed", "memory"] + [f"sharded-{count}" for count in SHARD_COUNTS] + ["disk"]
     payload = {"k": K, "size_thresholds": list(SIZE_THRESHOLDS), "repeats": REPEATS,
-               "fragment_counts": list(FRAGMENT_COUNTS), "measurements": []}
+               "fragment_counts": list(FRAGMENT_COUNTS), "measurements": [],
+               "cold_start": []}
     rows = []
     for count in FRAGMENT_COUNTS:
         fragments = synthetic_fragments(count)
@@ -233,10 +288,28 @@ def run_comparison() -> Dict:
             for measurement in payload["measurements"]:
                 if measurement["fragments"] == count and measurement["backend"] == name:
                     measurement["speedup_vs_seed"] = round(speedup, 2)
+        cold = measure_cold_start(fragments, workload["hot"])
+        payload["cold_start"].append({"fragments": count, **cold})
     print_table(
         ["fragments", "backend", "avg search (ms)", "speedup vs seed"],
         rows,
         title="Store backends: average top-k search latency (identical ranked URLs verified)",
+    )
+    print_table(
+        ["fragments", "rebuild (s)", "disk build (s)", "open (s)", "first search (s)",
+         "open speedup"],
+        [
+            (
+                entry["fragments"],
+                entry["rebuild_s"],
+                entry["disk_build_s"],
+                entry["open_s"],
+                entry["open_first_search_s"],
+                entry["open_speedup_vs_rebuild"],
+            )
+            for entry in payload["cold_start"]
+        ],
+        title="Disk backend cold start: in-memory rebuild vs re-attach to the sqlite file",
     )
     path = write_json("BENCH_store_backends.json", payload)
     print(f"\nwrote {path}")
@@ -254,6 +327,10 @@ def test_store_backend_comparison(benchmark):
     # The refactored search path must beat the seed path clearly on the
     # largest synthetic fragment set (acceptance: >= 2x).
     assert max(speedups.values()) >= 2.0, speedups
+    # Persistence must pay off on restart: re-attaching to the sqlite file
+    # has to be far cheaper than rebuilding the store from fragments.
+    for entry in payload["cold_start"]:
+        assert entry["open_speedup_vs_rebuild"] > 1.0, entry
 
 
 if __name__ == "__main__":

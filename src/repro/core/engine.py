@@ -18,7 +18,7 @@ Wires the whole pipeline together for one web application over one database:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.analyzer import AnalyzedApplication, ApplicationAnalyzer
 from repro.core.crawler import CrawlResult, IntegratedCrawler, StepwiseCrawler
@@ -45,6 +45,13 @@ _CRAWLERS = {
 }
 
 
+def _close_store(store: FragmentStore) -> None:
+    """Close a backend if it holds external resources (DiskStore does)."""
+    close = getattr(store, "close", None)
+    if close is not None:
+        close()
+
+
 @dataclass
 class DashBuildReport:
     """Everything measured while building an engine (used by benchmarks)."""
@@ -55,7 +62,13 @@ class DashBuildReport:
 
 
 class DashEngine:
-    """A built, searchable Dash instance for one web application."""
+    """A built, searchable Dash instance for one web application.
+
+    Construct one with :meth:`build` (analyse + crawl + index into the
+    configured store) or :meth:`open` (re-attach to a persistent store a
+    previous process built — no crawl).  ``build_report`` is ``None`` for
+    reopened engines: nothing was measured because nothing was built.
+    """
 
     def __init__(
         self,
@@ -63,7 +76,7 @@ class DashEngine:
         database: Database,
         index: InvertedFragmentIndex,
         graph: FragmentGraph,
-        build_report: DashBuildReport,
+        build_report: Optional[DashBuildReport],
     ) -> None:
         self.application = application
         self.database = database
@@ -98,6 +111,7 @@ class DashEngine:
         num_reduce_tasks: int = 4,
         store: StoreSpec = None,
         shards: Optional[int] = None,
+        store_path: Optional[str] = None,
     ) -> "DashEngine":
         """Analyse, crawl, index and wire up a searchable engine.
 
@@ -109,39 +123,37 @@ class DashEngine:
         itself takes); otherwise the application's declared query is trusted.
 
         ``store`` selects the serving backend (see
-        :func:`repro.store.resolve_store`): ``"memory"`` (default), or
+        :func:`repro.store.resolve_store`): ``"memory"`` (default),
         ``"sharded"`` together with ``shards=N`` for a hash-partitioned store
-        whose lookups fan out in parallel.  The crawl output, the fragment
-        graph and the searcher all share the resolved store.
+        whose lookups fan out in parallel, or ``"disk"`` together with
+        ``store_path=`` for a persistent sqlite store a later process can
+        re-attach to with :meth:`open` — no re-crawl.  The crawl output, the
+        fragment graph and the searcher all share the resolved store.
         """
         if algorithm not in _CRAWLERS:
             raise DashEngineError(
                 f"unknown crawling algorithm {algorithm!r}; expected one of {sorted(_CRAWLERS)}"
             )
         try:
-            fragment_store = resolve_store(store, shards=shards)
+            fragment_store = resolve_store(store, shards=shards, path=store_path)
         except Exception as error:
             raise DashEngineError(str(error)) from error
         if fragment_store.fragment_count() or fragment_store.node_count():
             # Loading a second crawl into a populated store would duplicate
             # postings and corrupt every TF denominator before anything fails.
+            if not isinstance(store, FragmentStore):
+                # We resolved (and for "disk", opened) this backend ourselves;
+                # don't hold its file open past the rejection.  A caller-owned
+                # instance stays the caller's to manage.
+                _close_store(fragment_store)
             raise DashEngineError(
                 "the configured store already holds fragments; build each engine "
                 "over a fresh FragmentStore"
             )
 
-        analyzed: Optional[AnalyzedApplication] = None
-        effective_application = application
-        if analyze_source and application.source:
-            analyzer = ApplicationAnalyzer(database)
-            analyzed = analyzer.analyze(application.source, name=application.name)
-            effective_application = WebApplication(
-                name=application.name,
-                uri=application.uri,
-                query=analyzed.query,
-                query_string_spec=analyzed.query_string_spec,
-                source=application.source,
-            )
+        effective_application, analyzed = cls._effective_application(
+            application, database, analyze_source
+        )
 
         crawler_cls = _CRAWLERS[algorithm]
         crawler = crawler_cls(
@@ -166,6 +178,81 @@ class DashEngine:
             index=crawl_result.index,
             graph=graph,
             build_report=report,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        application: WebApplication,
+        database: Database,
+        analyze_source: bool = True,
+    ) -> "DashEngine":
+        """Re-attach to a persistent store a previous process built.
+
+        Opens the :class:`~repro.store.DiskStore` at ``path`` (raising
+        :class:`DashEngineError` when no store exists there — a typo'd path
+        must not masquerade as an empty dataset) and wires the index, graph
+        and searcher facades straight onto it: **no crawl runs**.  The store's
+        epoch clock was persisted with the data, so a serving layer stacked on
+        the reopened engine invalidates exactly like one that never restarted.
+
+        ``application``/``database`` supply what the store does not hold —
+        the PSJ query and query-string mapping that drive graph adjacency
+        interpretation and result-URL formulation, and the live database
+        future :class:`~repro.core.incremental.IncrementalMaintainer` runs
+        consult.  ``analyze_source`` recovers them from servlet source
+        exactly as :meth:`build` does.
+        """
+        # Imported here: the store package is imported by repro.core modules,
+        # and DiskStore lives behind the same resolution seam build() uses.
+        from repro.store.disk import DiskStore
+
+        try:
+            fragment_store = DiskStore(path, create=False)
+        except Exception as error:
+            raise DashEngineError(str(error)) from error
+        if not fragment_store.fragment_count():
+            fragment_store.close()  # don't hold the rejected file open
+            raise DashEngineError(
+                f"the disk store at {path!r} holds no fragments; build an engine "
+                "over it first (DashEngine.build(..., store='disk', store_path=...))"
+            )
+        try:
+            effective_application, _analyzed = cls._effective_application(
+                application, database, analyze_source
+            )
+        except BaseException:
+            fragment_store.close()
+            raise
+        index = InvertedFragmentIndex(store=fragment_store)
+        graph = FragmentGraph(effective_application.query, store=fragment_store)
+        return cls(
+            application=effective_application,
+            database=database,
+            index=index,
+            graph=graph,
+            build_report=None,
+        )
+
+    @staticmethod
+    def _effective_application(
+        application: WebApplication, database: Database, analyze_source: bool
+    ) -> Tuple[WebApplication, Optional[AnalyzedApplication]]:
+        """The application with its query recovered from source when possible."""
+        if not (analyze_source and application.source):
+            return application, None
+        analyzer = ApplicationAnalyzer(database)
+        analyzed = analyzer.analyze(application.source, name=application.name)
+        return (
+            WebApplication(
+                name=application.name,
+                uri=application.uri,
+                query=analyzed.query,
+                query_string_spec=analyzed.query_string_spec,
+                source=application.source,
+            ),
+            analyzed,
         )
 
     # ------------------------------------------------------------------
@@ -228,17 +315,29 @@ class DashEngine:
     # inspection helpers
     # ------------------------------------------------------------------
     def statistics(self) -> Dict[str, Any]:
-        """A summary of the built engine (fragment counts, build costs)."""
-        return {
+        """A summary of the engine (fragment counts, build costs).
+
+        Reopened engines (:meth:`open`) report ``algorithm: "reopened"`` and
+        no crawl/graph-build timings — nothing was built in this process.
+        """
+        statistics: Dict[str, Any] = {
             "application": self.application.name,
-            "algorithm": self.build_report.crawl.algorithm,
+            "algorithm": (
+                self.build_report.crawl.algorithm if self.build_report else "reopened"
+            ),
             "store_backend": type(self.store).__name__,
             "store_shards": self.store.shard_count,
             "fragments": self.index.fragment_count,
             "vocabulary": len(self.index),
             "average_keywords_per_fragment": self.index.average_keywords_per_fragment(),
             "graph_edges": self.graph.edge_count,
-            "graph_build_seconds": self.build_report.graph.build_seconds,
-            "crawl_simulated_seconds": self.build_report.crawl.simulated_seconds(),
-            "crawl_stage_seconds": self.build_report.crawl.stage_seconds(),
         }
+        if self.build_report is not None:
+            statistics.update(
+                {
+                    "graph_build_seconds": self.build_report.graph.build_seconds,
+                    "crawl_simulated_seconds": self.build_report.crawl.simulated_seconds(),
+                    "crawl_stage_seconds": self.build_report.crawl.stage_seconds(),
+                }
+            )
+        return statistics

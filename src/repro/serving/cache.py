@@ -132,6 +132,19 @@ class ResultCache:
             self._entries.clear()
             return dropped
 
+    def oldest_stamp(self) -> Optional[int]:
+        """The oldest epoch stamp any resident entry carries (None when empty).
+
+        This is the generation boundary the epoch-tombstone sweep prunes up
+        to: every clock entry at or below it can no longer flip any resident
+        entry's revalidation verdict (see
+        :meth:`repro.store.EpochClock.sweep`).
+        """
+        with self._lock:
+            if not self._entries:
+                return None
+            return min(entry.epoch for entry in self._entries.values())
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -129,11 +129,19 @@ class SearchService:
         self._executor_lock = threading.Lock()
         self._flight_lock = threading.Lock()
         self._inflight: Dict[Hashable, "Future[CachedResult]"] = {}
+        # Store epoch observed when each in-flight leader was admitted — a
+        # lower bound on the stamp its entry will carry (epochs only grow),
+        # which is what lets sweep_epochs run safely alongside readers.
+        self._inflight_stamps: Dict[Hashable, int] = {}
         self._counter_lock = threading.Lock()
         self._queries = 0
         self._computed = 0
         self._coalesced = 0
         self._closed = False
+        # Every cache comparing stamps against the store's clock must be
+        # visible to epoch sweeps — including ones driven by *another*
+        # service sharing the store (engine.serving() called twice).
+        self._store.register_stamp_provider(self._oldest_stamp_in_use)
 
     # ------------------------------------------------------------------
     # admission
@@ -292,6 +300,7 @@ class SearchService:
                 if leader:
                     future = Future()
                     self._inflight[key] = future
+                    self._inflight_stamps[key] = self._store.epoch
             if not leader:
                 entry = future.result()
                 with self._counter_lock:
@@ -331,6 +340,7 @@ class SearchService:
             finally:
                 with self._flight_lock:
                     self._inflight.pop(key, None)
+                    self._inflight_stamps.pop(key, None)
             return self._serve(query, entry, started, cached=False, coalesced=False)
 
     def _serve(
@@ -368,6 +378,51 @@ class SearchService:
     def invalidate_cache(self) -> int:
         """Drop every cached result (returns how many were resident)."""
         return self._cache.invalidate()
+
+    def sweep_epochs(self) -> int:
+        """Prune the store clock's tombstones no live cache entry can see.
+
+        The :class:`~repro.store.EpochClock` keeps a final epoch for every
+        fragment and keyword ever mutated — removed fragments stay behind as
+        tombstones so stale entries keep failing revalidation, which is
+        O(fragments ever seen) memory under continuous maintenance churn.
+        This sweep bounds that: it computes the oldest stamp still in use —
+        over the resident cache entries and every in-flight computation's
+        admission epoch (a lower bound on the stamp its entry will carry) —
+        and drops every clock entry at or below it, which provably cannot
+        change any surviving revalidation verdict (see
+        :meth:`repro.store.EpochClock.sweep`).
+
+        The store clamps the bound by every registered consumer — this
+        service's own :meth:`_oldest_stamp_in_use` and any other service
+        sharing the store — so a sweep driven here can never strand someone
+        else's older entries.  Safe to call while readers are searching;
+        call it from the maintenance writer after applying updates (the
+        same single-writer regime the rest of the store layer assumes).
+        One bounded race is accepted, same class as the clock's permitted
+        write-window race: an entry that left the cache (eviction,
+        ``invalidate_cache``) while a reader was mid-revalidation is
+        invisible to the bound and may be served stale once; it is gone
+        from the cache, so it cannot be served again.  Returns the number
+        of clock entries pruned.
+        """
+        # The service's own bound arrives through its registered provider;
+        # with nothing cached and nothing in flight anywhere, every stamp
+        # handed out from now on is >= the current epoch.
+        return self._store.sweep_epochs(self._store.epoch)
+
+    def _oldest_stamp_in_use(self) -> Optional[int]:
+        """The oldest epoch stamp this service still compares against.
+
+        ``None`` when nothing is cached or in flight.  Registered with the
+        store as a stamp provider so sweeps from any consumer respect it.
+        """
+        with self._flight_lock:
+            bounds = list(self._inflight_stamps.values())
+        oldest_cached = self._cache.oldest_stamp()
+        if oldest_cached is not None:
+            bounds.append(oldest_cached)
+        return min(bounds) if bounds else None
 
     @property
     def epoch(self) -> int:
@@ -407,6 +462,7 @@ class SearchService:
         with self._executor_lock:
             self._closed = True
             executor, self._executor = self._executor, None
+        self._store.unregister_stamp_provider(self._oldest_stamp_in_use)
         if executor is not None:
             executor.shutdown(wait=True)
 

@@ -6,6 +6,13 @@
   backend (the seed implementation's dictionaries, extracted).
 * :mod:`repro.store.sharded` — :class:`ShardedStore`, hash-partitioned over
   N in-memory shards with a ``concurrent.futures`` read fan-out.
+* :mod:`repro.store.disk` — :class:`DiskStore`, the persistent sqlite3
+  backend: the crawl, the graph and the epoch clock survive process exit,
+  and ``replace_fragment`` swaps are crash-safe single transactions.
+* :mod:`repro.store.snapshot` — backend-independent snapshot files
+  (:meth:`FragmentStore.snapshot` / :meth:`FragmentStore.from_snapshot`).
+* :mod:`repro.store.epochs` — the :class:`EpochClock` every backend ticks,
+  which the serving layer's caches revalidate against.
 
 :func:`resolve_store` turns the ``store=`` configuration accepted by
 :class:`~repro.core.engine.DashEngine` (a name, a shard count, an instance or
@@ -14,9 +21,12 @@ a factory) into a concrete backend.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Callable, Optional, Union
 
 from repro.store.base import FragmentStore, StoreError
+from repro.store.disk import DiskStore
 from repro.store.epochs import EpochClock
 from repro.store.memory import InMemoryStore
 from repro.store.sharded import ShardedStore
@@ -27,7 +37,11 @@ StoreSpec = Union[None, str, int, FragmentStore, Callable[[], FragmentStore]]
 _DEFAULT_SHARDS = 4
 
 
-def resolve_store(spec: StoreSpec = None, shards: Optional[int] = None) -> FragmentStore:
+def resolve_store(
+    spec: StoreSpec = None,
+    shards: Optional[int] = None,
+    path: Optional[str] = None,
+) -> FragmentStore:
     """Resolve a store configuration into a :class:`FragmentStore` backend.
 
     * ``None`` — a fresh :class:`InMemoryStore`, or a :class:`ShardedStore`
@@ -36,13 +50,24 @@ def resolve_store(spec: StoreSpec = None, shards: Optional[int] = None) -> Fragm
       ``shards`` of 2+ is a conflicting spec and raises);
     * ``"sharded"`` — a :class:`ShardedStore` with ``shards`` partitions
       (default 4);
+    * ``"disk"`` — a persistent :class:`DiskStore` at ``path``; without a
+      ``path`` the database lands in a fresh temporary file (its location is
+      the store's ``.path``).  Combining it with ``shards`` of 2+ raises;
     * an ``int`` — a :class:`ShardedStore` with that many partitions (a
       different ``shards=`` alongside it is a conflicting spec and raises);
     * a :class:`FragmentStore` instance — used as-is;
     * a zero-argument callable — called to produce the backend.
+
+    ``path`` is only meaningful for ``"disk"``; passing it with any other
+    spec is a conflicting spec and raises.
     """
     if shards is not None and shards < 1:
         raise StoreError(f"shard count must be at least 1, got {shards}")
+    if path is not None and spec != "disk":
+        raise StoreError(
+            f"conflicting store spec: path={path!r} is only valid with store='disk', "
+            f"got store={spec!r}"
+        )
     if isinstance(spec, FragmentStore):
         return _checked_shards(spec, shards)
     if callable(spec):
@@ -69,9 +94,19 @@ def resolve_store(spec: StoreSpec = None, shards: Optional[int] = None) -> Fragm
         return InMemoryStore()
     if spec == "sharded":
         return ShardedStore(shards=_DEFAULT_SHARDS if shards is None else shards)
+    if spec == "disk":
+        if shards is not None and shards > 1:
+            raise StoreError(
+                f"conflicting store spec: store='disk' with shards={shards}; "
+                "the disk backend is single-partition"
+            )
+        if path is None:
+            descriptor, path = tempfile.mkstemp(prefix="repro-diskstore-", suffix=".sqlite")
+            os.close(descriptor)
+        return DiskStore(path)
     raise StoreError(
-        f"unknown store spec {spec!r}; expected 'memory', 'sharded', a shard count, "
-        "a FragmentStore or a factory"
+        f"unknown store spec {spec!r}; expected 'memory', 'sharded', 'disk', a shard "
+        "count, a FragmentStore or a factory"
     )
 
 
@@ -85,6 +120,7 @@ def _checked_shards(store: FragmentStore, shards: Optional[int]) -> FragmentStor
 
 
 __all__ = [
+    "DiskStore",
     "EpochClock",
     "FragmentStore",
     "InMemoryStore",

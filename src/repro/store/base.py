@@ -30,6 +30,8 @@ Contract notes shared by all backends:
 
 from __future__ import annotations
 
+import threading
+import weakref
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
@@ -56,6 +58,13 @@ class FragmentStore(ABC):
 
     def __init__(self, clock: Optional["EpochClock"] = None) -> None:
         self._epoch_clock = clock if clock is not None else EpochClock()
+        # Resolvers yielding the oldest-stamp callback of each live consumer
+        # revalidating against the clock (weak for bound methods);
+        # sweep_epochs takes their minimum (see register_stamp_provider).
+        # The lock keeps a registration racing a sweep's list rebuild from
+        # being silently dropped.
+        self._stamp_providers: List[Callable[[], Optional[Callable[[], Optional[int]]]]] = []
+        self._stamp_providers_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # mutation epochs (serving-layer invalidation)
@@ -77,6 +86,87 @@ class FragmentStore(ABC):
     def fragment_epoch(self, identifier: FragmentId) -> int:
         """Epoch of ``identifier``'s last change — postings, node or adjacency."""
         return self._epoch_clock.fragment_epoch(identifier)
+
+    def load_epochs(
+        self,
+        epoch: int,
+        keyword_epochs: Mapping[str, int],
+        fragment_epochs: Mapping[FragmentId, int],
+    ) -> None:
+        """Replace the clock state wholesale (snapshot restore).
+
+        Persistent backends override this to also write the restored state
+        through to their storage.
+        """
+        self._epoch_clock.load(epoch, keyword_epochs, fragment_epochs)
+
+    def register_stamp_provider(self, provider: Callable[[], Optional[int]]) -> None:
+        """Register a callback reporting the oldest epoch stamp a consumer
+        still compares against (``None`` when it holds none).
+
+        Every cache revalidating against this store's clock — each
+        :class:`~repro.serving.SearchService` registers on construction —
+        must be represented here: :meth:`sweep_epochs` clamps its prune
+        bound to the minimum over all providers, so a sweep driven by one
+        consumer can never erase a tombstone another consumer's older
+        entries still need to fail revalidation against.
+
+        Bound methods are held through a weak reference to their instance:
+        a consumer dropped without :meth:`unregister_stamp_provider` (an
+        abandoned, never-closed service) stops pinning the sweep bound as
+        soon as it is collected, instead of freezing it forever.
+        """
+        resolver = (
+            weakref.WeakMethod(provider)
+            if hasattr(provider, "__self__")
+            else (lambda: provider)
+        )
+        with self._stamp_providers_lock:
+            self._stamp_providers.append(resolver)
+
+    def unregister_stamp_provider(self, provider: Callable[[], Optional[int]]) -> None:
+        """Remove a provider added by :meth:`register_stamp_provider`.
+
+        Entries whose consumer has been garbage-collected are dropped too.
+        """
+        with self._stamp_providers_lock:
+            self._stamp_providers = [
+                resolver
+                for resolver in self._stamp_providers
+                if resolver() not in (None, provider)
+            ]
+
+    def _effective_sweep_bound(self, oldest_live_stamp: int) -> int:
+        with self._stamp_providers_lock:
+            resolvers = list(self._stamp_providers)
+        bounds = [oldest_live_stamp]
+        dead: List[Callable[[], Optional[Callable[[], Optional[int]]]]] = []
+        for resolver in resolvers:
+            provider = resolver()
+            if provider is None:
+                dead.append(resolver)  # consumer collected — stop honouring it
+                continue
+            stamp = provider()
+            if stamp is not None:
+                bounds.append(stamp)
+        if dead:
+            with self._stamp_providers_lock:
+                self._stamp_providers = [
+                    resolver for resolver in self._stamp_providers if resolver not in dead
+                ]
+        return min(bounds)
+
+    def sweep_epochs(self, oldest_live_stamp: int) -> int:
+        """Prune clock tombstones no registered consumer can still see.
+
+        The prune bound is ``oldest_live_stamp`` clamped by every registered
+        stamp provider (see :meth:`register_stamp_provider`), so the sweep
+        stays sound when several serving caches share one store.  See
+        :meth:`~repro.store.EpochClock.sweep` for the safety argument;
+        persistent backends override this to also prune their persisted
+        epoch tables.  Returns the number of entries pruned.
+        """
+        return self._epoch_clock.sweep(self._effective_sweep_bound(oldest_live_stamp))
 
     # ------------------------------------------------------------------
     # postings section — writes
@@ -243,6 +333,43 @@ class FragmentStore(ABC):
     @abstractmethod
     def edge_count(self) -> int:
         """Number of undirected edges."""
+
+    # ------------------------------------------------------------------
+    # snapshots (dataset reuse across runs and processes)
+    # ------------------------------------------------------------------
+    def snapshot(self, path: str) -> str:
+        """Serialize the whole store (both sections + clock) to ``path``.
+
+        Works for every backend: the snapshot captures postings, fragment
+        sizes, graph nodes, adjacency and the full :class:`EpochClock` state,
+        and is written atomically (temp file + ``os.replace``) so a crash
+        mid-write never leaves a truncated snapshot behind.  Returns the
+        written path.  Restore with :meth:`from_snapshot`.
+        """
+        from repro.store.snapshot import write_snapshot
+
+        return write_snapshot(self, path)
+
+    @staticmethod
+    def from_snapshot(
+        path: str,
+        store=None,
+        shards: Optional[int] = None,
+        store_path: Optional[str] = None,
+    ) -> "FragmentStore":
+        """Load a snapshot written by :meth:`snapshot` into a fresh backend.
+
+        ``store``/``shards``/``store_path`` accept everything
+        :func:`repro.store.resolve_store` does, so a snapshot taken from an
+        in-memory store can be restored into a sharded or on-disk one (and
+        vice versa) — ``store_path`` picks where a ``store="disk"`` restore
+        lands its sqlite file.  The restored store's epoch clock matches the
+        snapshotted one exactly, so serving-layer cache stamps taken against
+        the original store stay comparable.
+        """
+        from repro.store.snapshot import load_snapshot
+
+        return load_snapshot(path, store=store, shards=shards, store_path=store_path)
 
     # ------------------------------------------------------------------
     # partitioning

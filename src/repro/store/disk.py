@@ -1,0 +1,662 @@
+"""The persistent on-disk backend (sqlite3, standard library only).
+
+:class:`DiskStore` keeps the entire serving state — keyword postings,
+fragment sizes, graph nodes, adjacency *and* the store's
+:class:`~repro.store.EpochClock` — in one sqlite database file, so a crawl
+survives process exit: a restarted server re-attaches with
+``DiskStore(path)`` (or :meth:`repro.core.engine.DashEngine.open`) and
+serves exactly the results it served before, without re-crawling, and with
+cache stamps handed out before the restart still comparing correctly
+against mutations applied after it.
+
+Consistency model
+-----------------
+
+* **Bulk loads batch, maintenance commits.**  Crawl-time writes
+  (``add_posting`` streams of ``InvertedFragmentIndex``) accumulate in one
+  open sqlite transaction and are flushed by :meth:`finalize` (and by every
+  explicit commit point), which keeps loading fast; losing an in-flight
+  crawl to a crash just means re-crawling.
+* **``replace_fragment`` is one transaction per swap.**  Incremental
+  maintenance must never leave a fragment half-replaced on disk: the swap
+  (postings delete + re-insert, size update, epoch write-through) commits
+  as a single sqlite transaction, so after a crash the file holds either
+  the old fragment or the new one — never a mix.  ``remove_fragment``
+  commits the same way.  Crash-safety is sqlite's journal: the database
+  runs in WAL mode with ``synchronous=NORMAL``.
+* **The clock is write-through.**  Every tick lands in the ``meta`` /
+  ``keyword_epochs`` / ``fragment_epochs`` tables inside the same
+  transaction as the data write it stamps, and is restored into the
+  in-memory clock on open — reads stay dict-fast, restarts stay exact.
+
+Identifiers are flat tuples of scalars (strings, numbers, booleans,
+``None``); they are stored JSON-encoded, together with the ``str()`` form
+the posting sort order tie-breaks on, so ``ORDER BY occurrences DESC, tie``
+reproduces the canonical inverted-list order byte for byte.
+
+Thread-safety: one connection guarded by an :class:`~threading.RLock`
+(``check_same_thread=False``), so concurrent serving-layer readers are
+safe but serialized; the intended regime matches the rest of the store
+layer — many readers, one maintenance writer at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.fragments import FragmentId
+from repro.store.base import FragmentStore, StoreError
+from repro.text.inverted_index import Posting
+
+#: Bump when the table layout changes; stored in ``PRAGMA user_version``.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS fragments (
+    id   TEXT PRIMARY KEY,
+    size INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS postings (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    keyword     TEXT NOT NULL,
+    fragment    TEXT NOT NULL,
+    tie         TEXT NOT NULL,
+    occurrences INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS postings_by_keyword ON postings (keyword, occurrences DESC, tie);
+CREATE INDEX IF NOT EXISTS postings_by_fragment ON postings (fragment);
+CREATE TABLE IF NOT EXISTS nodes (
+    id            TEXT PRIMARY KEY,
+    keyword_count INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS edges (
+    src TEXT NOT NULL,
+    dst TEXT NOT NULL,
+    PRIMARY KEY (src, dst)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS keyword_epochs (
+    keyword TEXT PRIMARY KEY,
+    epoch   INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS fragment_epochs (
+    fragment TEXT PRIMARY KEY,
+    epoch    INTEGER NOT NULL
+);
+"""
+
+
+#: Identifier component types that survive the JSON round trip unchanged.
+SCALAR_COMPONENT_TYPES = (str, int, float, bool, type(None))
+
+
+def check_identifier_components(identifier: FragmentId) -> None:
+    """Reject identifiers whose components would not round-trip through JSON.
+
+    Identifiers are flat tuples of scalars by contract; a nested tuple would
+    *serialize* fine (json writes it as an array) but decode as a list —
+    an unequal, unhashable value that would brick the store on reopen.
+    Failing the write keeps the file always reopenable.
+    """
+    for component in identifier:
+        if not isinstance(component, SCALAR_COMPONENT_TYPES):
+            raise StoreError(
+                f"fragment identifier {identifier!r} has non-scalar component "
+                f"{component!r} ({type(component).__name__}); persistent stores "
+                "require flat tuples of str/int/float/bool/None"
+            )
+
+
+def encode_identifier(identifier: FragmentId) -> str:
+    """One fragment identifier as a canonical JSON string (the row key)."""
+    check_identifier_components(identifier)
+    return json.dumps(list(identifier), separators=(",", ":"))
+
+
+def decode_identifier(encoded: str) -> FragmentId:
+    """The inverse of :func:`encode_identifier`."""
+    return tuple(json.loads(encoded))
+
+
+class DiskStore(FragmentStore):
+    """All serving state in one sqlite database file.
+
+    ``path`` — the database file; created (with parent directories) when
+    missing unless ``create=False``, in which case opening a non-existent
+    path raises :class:`~repro.store.StoreError` (the ``DashEngine.open``
+    re-attach path, where silently creating an empty store would mask a
+    typo'd path as an empty dataset).
+    """
+
+    def __init__(self, path: str, create: bool = True) -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+        existed = os.path.exists(self.path)
+        if not existed and not create:
+            raise StoreError(f"no disk store at {self.path!r} (create=False)")
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.RLock()
+        # One shared connection: sqlite serializes writers anyway, and the
+        # RLock keeps cursor use race-free across serving-layer threads.
+        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._ensure_schema(existed)
+            # Decoded-identifier memo (encoded text -> tuple) plus an
+            # epoch-validated merged-postings cache, mirroring ShardedStore's:
+            # hot keywords skip the SQL round-trip until their epoch moves.
+            self._decoded: Dict[str, FragmentId] = {}
+            self._postings_cache: Dict[str, Tuple[int, Tuple[Posting, ...]]] = {}
+            self._restore_clock()
+        except BaseException:
+            # A failed open (schema mismatch, corrupt file) must not leave the
+            # connection dangling — the caller may want to delete or rebuild
+            # the file, which a held lock would block on some platforms.
+            self._connection.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # schema / lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_schema(self, existed: bool) -> None:
+        with self._lock:
+            version = self._connection.execute("PRAGMA user_version").fetchone()[0]
+            if existed and version not in (0, SCHEMA_VERSION):
+                raise StoreError(
+                    f"disk store {self.path!r} uses schema version {version}, "
+                    f"this build reads version {SCHEMA_VERSION}"
+                )
+            self._connection.executescript(_SCHEMA)
+            self._connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+            self._connection.commit()
+
+    def _restore_clock(self) -> None:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT value FROM meta WHERE key = 'epoch'"
+            ).fetchone()
+            if row is None:
+                return
+            keywords = {
+                keyword: epoch
+                for keyword, epoch in self._connection.execute(
+                    "SELECT keyword, epoch FROM keyword_epochs"
+                )
+            }
+            fragments = {
+                self._decode(encoded): epoch
+                for encoded, epoch in self._connection.execute(
+                    "SELECT fragment, epoch FROM fragment_epochs"
+                )
+            }
+        self._epoch_clock.load(int(row[0]), keywords, fragments)
+
+    def close(self) -> None:
+        """Flush pending writes and close the sqlite connection."""
+        with self._lock:
+            self._connection.commit()
+            self._connection.close()
+
+    def __enter__(self) -> "DiskStore":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # encoding / clock write-through
+    # ------------------------------------------------------------------
+    def _decode(self, encoded: str) -> FragmentId:
+        identifier = self._decoded.get(encoded)
+        if identifier is None:
+            identifier = decode_identifier(encoded)
+            self._decoded[encoded] = identifier
+        return identifier
+
+    def _persist_epoch(self) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES ('epoch', ?)",
+            (str(self._epoch_clock.epoch),),
+        )
+
+    def _persist_keyword_epoch(self, keyword: str) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO keyword_epochs (keyword, epoch) VALUES (?, ?)",
+            (keyword, self._epoch_clock.keyword_epoch(keyword)),
+        )
+
+    def _persist_fragment_epoch(self, encoded: str, identifier: FragmentId) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO fragment_epochs (fragment, epoch) VALUES (?, ?)",
+            (encoded, self._epoch_clock.fragment_epoch(identifier)),
+        )
+
+    def load_epochs(
+        self,
+        epoch: int,
+        keyword_epochs: Mapping[str, int],
+        fragment_epochs: Mapping[FragmentId, int],
+    ) -> None:
+        """Restore the clock and persist the restored state (one transaction)."""
+        self._epoch_clock.load(epoch, keyword_epochs, fragment_epochs)
+        with self._lock:
+            self._connection.commit()
+            try:
+                self._connection.execute("DELETE FROM keyword_epochs")
+                self._connection.execute("DELETE FROM fragment_epochs")
+                self._connection.executemany(
+                    "INSERT INTO keyword_epochs (keyword, epoch) VALUES (?, ?)",
+                    [(keyword, int(value)) for keyword, value in keyword_epochs.items()],
+                )
+                self._connection.executemany(
+                    "INSERT INTO fragment_epochs (fragment, epoch) VALUES (?, ?)",
+                    [
+                        (encode_identifier(identifier), int(value))
+                        for identifier, value in fragment_epochs.items()
+                    ],
+                )
+                self._persist_epoch()
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+
+    def sweep_epochs(self, oldest_live_stamp: int) -> int:
+        """Prune tombstones in memory and on disk (one transaction)."""
+        bound = self._effective_sweep_bound(oldest_live_stamp)
+        pruned = self._epoch_clock.sweep(bound)
+        with self._lock:
+            self._connection.commit()
+            try:
+                self._connection.execute(
+                    "DELETE FROM keyword_epochs WHERE epoch <= ?", (bound,)
+                )
+                self._connection.execute(
+                    "DELETE FROM fragment_epochs WHERE epoch <= ?", (bound,)
+                )
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+        return pruned
+
+    # ------------------------------------------------------------------
+    # postings section — writes
+    # ------------------------------------------------------------------
+    def touch_fragment(self, identifier: FragmentId) -> None:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            cursor = self._connection.execute(
+                "INSERT OR IGNORE INTO fragments (id, size) VALUES (?, 0)", (encoded,)
+            )
+            new = cursor.rowcount > 0
+            if new:
+                self._epoch_clock.tick_fragment(identifier)
+                self._persist_epoch()
+                self._persist_fragment_epoch(encoded, identifier)
+
+    def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            self._postings_cache.pop(keyword, None)
+            self._connection.execute(
+                "INSERT INTO postings (keyword, fragment, tie, occurrences) VALUES (?, ?, ?, ?)",
+                (keyword, encoded, str(tuple(identifier)), occurrences),
+            )
+            self._connection.execute(
+                "INSERT INTO fragments (id, size) VALUES (?, ?) "
+                "ON CONFLICT (id) DO UPDATE SET size = size + excluded.size",
+                (encoded, occurrences),
+            )
+            # Tick after the data writes: the tick is the commit point the
+            # serving layer revalidates against (see repro.store.epochs).
+            self._epoch_clock.tick_posting(keyword, identifier)
+            self._persist_epoch()
+            self._persist_keyword_epoch(keyword)
+            self._persist_fragment_epoch(encoded, identifier)
+
+    def _fragment_keywords(self, encoded: str) -> List[str]:
+        return [
+            keyword
+            for (keyword,) in self._connection.execute(
+                "SELECT DISTINCT keyword FROM postings WHERE fragment = ?", (encoded,)
+            )
+        ]
+
+    def _delete_fragment_rows(self, encoded: str) -> List[str]:
+        """Drop one fragment's size row and postings; returns touched keywords."""
+        keywords = self._fragment_keywords(encoded)
+        self._connection.execute("DELETE FROM postings WHERE fragment = ?", (encoded,))
+        self._connection.execute("DELETE FROM fragments WHERE id = ?", (encoded,))
+        for keyword in keywords:
+            self._postings_cache.pop(keyword, None)
+        return keywords
+
+    def remove_fragment(self, identifier: FragmentId) -> None:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            known = self._connection.execute(
+                "SELECT 1 FROM fragments WHERE id = ?", (encoded,)
+            ).fetchone()
+            if known is None:
+                return
+            self._connection.commit()  # keep unrelated batched writes out of this txn
+            try:
+                keywords = self._delete_fragment_rows(encoded)
+                self._epoch_clock.tick_removal(identifier, keywords)
+                self._persist_epoch()
+                for keyword in keywords:
+                    self._persist_keyword_epoch(keyword)
+                self._persist_fragment_epoch(encoded, identifier)
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+
+    def replace_fragment(self, identifier: FragmentId, term_frequencies) -> None:
+        """Swap one fragment's postings in a single sqlite transaction.
+
+        This is the incremental-maintenance path: after a crash the file
+        holds the old postings or the new ones, never a mix, and the epoch
+        write-through commits with the data it stamps.
+        """
+        encoded = encode_identifier(identifier)
+        items = (
+            list(term_frequencies.items())
+            if hasattr(term_frequencies, "items")
+            else list(term_frequencies)
+        )
+        with self._lock:
+            self._connection.commit()  # keep unrelated batched writes out of this txn
+            try:
+                known = self._connection.execute(
+                    "SELECT 1 FROM fragments WHERE id = ?", (encoded,)
+                ).fetchone()
+                if known is not None:
+                    outgoing = self._delete_fragment_rows(encoded)
+                    self._epoch_clock.tick_removal(identifier, outgoing)
+                    for keyword in outgoing:
+                        self._persist_keyword_epoch(keyword)
+                tie = str(tuple(identifier))
+                for keyword, occurrences in items:
+                    if occurrences <= 0:
+                        continue
+                    self._postings_cache.pop(keyword, None)
+                    self._connection.execute(
+                        "INSERT INTO postings (keyword, fragment, tie, occurrences) "
+                        "VALUES (?, ?, ?, ?)",
+                        (keyword, encoded, tie, occurrences),
+                    )
+                    self._connection.execute(
+                        "INSERT INTO fragments (id, size) VALUES (?, ?) "
+                        "ON CONFLICT (id) DO UPDATE SET size = size + excluded.size",
+                        (encoded, occurrences),
+                    )
+                    self._epoch_clock.tick_posting(keyword, identifier)
+                    self._persist_keyword_epoch(keyword)
+                self._persist_epoch()
+                self._persist_fragment_epoch(encoded, identifier)
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+
+    def finalize(self) -> None:
+        """Flush batched writes to disk (lists are stored sorted-on-read)."""
+        with self._lock:
+            self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # postings section — reads
+    # ------------------------------------------------------------------
+    def postings(self, keyword: str) -> Tuple[Posting, ...]:
+        with self._lock:
+            cached = self._postings_cache.get(keyword)
+            if cached is not None:
+                stamp, result = cached
+                if self.keyword_epoch(keyword) <= stamp:
+                    return result
+                self._postings_cache.pop(keyword, None)
+            stamp = self.epoch
+            # occurrences DESC then the str(identifier) tie then insertion
+            # order — exactly the stable sort the in-memory backend applies.
+            rows = self._connection.execute(
+                "SELECT fragment, occurrences FROM postings WHERE keyword = ? "
+                "ORDER BY occurrences DESC, tie ASC, seq ASC",
+                (keyword,),
+            ).fetchall()
+            result = tuple(
+                Posting(self._decode(encoded), occurrences) for encoded, occurrences in rows
+            )
+            if result:
+                self._postings_cache[keyword] = (stamp, result)
+            return result
+
+    def fragment_frequency(self, keyword: str) -> int:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT COUNT(*) FROM postings WHERE keyword = ?", (keyword,)
+            ).fetchone()[0]
+
+    def document_frequencies(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(
+                self._connection.execute(
+                    "SELECT keyword, COUNT(*) FROM postings GROUP BY keyword"
+                )
+            )
+
+    def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT occurrences FROM postings WHERE keyword = ? AND fragment = ? "
+                "ORDER BY occurrences DESC, seq ASC LIMIT 1",
+                (keyword, encoded),
+            ).fetchone()
+        return row[0] if row is not None else 0
+
+    def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT keyword, occurrences FROM postings WHERE fragment = ? "
+                "ORDER BY occurrences DESC, seq ASC",
+                (encoded,),
+            ).fetchall()
+        frequencies: Dict[str, int] = {}
+        for keyword, occurrences in rows:
+            frequencies.setdefault(keyword, occurrences)
+        return frequencies
+
+    def fragment_keywords(self, identifier: FragmentId) -> Tuple[str, ...]:
+        """The keywords whose inverted lists mention ``identifier``."""
+        with self._lock:
+            return tuple(self._fragment_keywords(encode_identifier(identifier)))
+
+    def fragment_size(self, identifier: FragmentId) -> int:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT size FROM fragments WHERE id = ?", (encode_identifier(identifier),)
+            ).fetchone()
+        return row[0] if row is not None else 0
+
+    def fragment_sizes(self) -> Dict[FragmentId, int]:
+        with self._lock:
+            rows = self._connection.execute("SELECT id, size FROM fragments").fetchall()
+        return {self._decode(encoded): size for encoded, size in rows}
+
+    def fragment_sizes_for(self, identifiers) -> Dict[FragmentId, int]:
+        # One batched IN query per chunk instead of the base class's
+        # per-identifier SELECT: scorer construction asks for every relevant
+        # fragment's size at once, the hottest read on the search path.
+        wanted = [(identifier, encode_identifier(identifier)) for identifier in identifiers]
+        sizes = {identifier: 0 for identifier, _encoded in wanted}
+        chunk_size = 500  # stay under sqlite's bound-variable limit
+        with self._lock:
+            for start in range(0, len(wanted), chunk_size):
+                chunk = wanted[start : start + chunk_size]
+                placeholders = ",".join("?" for _ in chunk)
+                rows = self._connection.execute(
+                    f"SELECT id, size FROM fragments WHERE id IN ({placeholders})",
+                    [encoded for _identifier, encoded in chunk],
+                ).fetchall()
+                by_encoded = dict(rows)
+                for identifier, encoded in chunk:
+                    if encoded in by_encoded:
+                        sizes[identifier] = by_encoded[encoded]
+        return sizes
+
+    def fragment_ids(self) -> Tuple[FragmentId, ...]:
+        with self._lock:
+            rows = self._connection.execute("SELECT id FROM fragments").fetchall()
+        return tuple(self._decode(encoded) for (encoded,) in rows)
+
+    def has_fragment(self, identifier: FragmentId) -> bool:
+        with self._lock:
+            return (
+                self._connection.execute(
+                    "SELECT 1 FROM fragments WHERE id = ?", (encode_identifier(identifier),)
+                ).fetchone()
+                is not None
+            )
+
+    def fragment_count(self) -> int:
+        with self._lock:
+            return self._connection.execute("SELECT COUNT(*) FROM fragments").fetchone()[0]
+
+    def vocabulary(self) -> Tuple[str, ...]:
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT DISTINCT keyword FROM postings ORDER BY keyword"
+            ).fetchall()
+        return tuple(keyword for (keyword,) in rows)
+
+    def vocabulary_size(self) -> int:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT COUNT(DISTINCT keyword) FROM postings"
+            ).fetchone()[0]
+
+    def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
+        for keyword in self.vocabulary():
+            yield keyword, self.postings(keyword)
+
+    # ------------------------------------------------------------------
+    # graph section
+    # ------------------------------------------------------------------
+    def add_node(self, identifier: FragmentId, keyword_count: int) -> None:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO nodes (id, keyword_count) VALUES (?, ?)",
+                (encoded, keyword_count),
+            )
+            # Re-adding a node resets its neighbour set, like the in-memory
+            # backend's fresh set() assignment.
+            self._connection.execute("DELETE FROM edges WHERE src = ?", (encoded,))
+            self._epoch_clock.tick_fragment(identifier)
+            self._persist_epoch()
+            self._persist_fragment_epoch(encoded, identifier)
+
+    def _require_node(self, encoded: str, identifier: FragmentId) -> None:
+        known = self._connection.execute(
+            "SELECT 1 FROM nodes WHERE id = ?", (encoded,)
+        ).fetchone()
+        if known is None:
+            raise KeyError(identifier)
+
+    def remove_node(self, identifier: FragmentId) -> None:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            self._require_node(encoded, identifier)
+            self._connection.execute("DELETE FROM edges WHERE src = ?", (encoded,))
+            self._connection.execute("DELETE FROM nodes WHERE id = ?", (encoded,))
+            self._epoch_clock.tick_fragment(identifier)
+            self._persist_epoch()
+            self._persist_fragment_epoch(encoded, identifier)
+
+    def has_node(self, identifier: FragmentId) -> bool:
+        with self._lock:
+            return (
+                self._connection.execute(
+                    "SELECT 1 FROM nodes WHERE id = ?", (encode_identifier(identifier),)
+                ).fetchone()
+                is not None
+            )
+
+    def node_keyword_count(self, identifier: FragmentId) -> int:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT keyword_count FROM nodes WHERE id = ?",
+                (encode_identifier(identifier),),
+            ).fetchone()
+        if row is None:
+            raise KeyError(identifier)
+        return row[0]
+
+    def set_node_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            self._require_node(encoded, identifier)
+            self._connection.execute(
+                "UPDATE nodes SET keyword_count = ? WHERE id = ?", (keyword_count, encoded)
+            )
+            self._epoch_clock.tick_fragment(identifier)
+            self._persist_epoch()
+            self._persist_fragment_epoch(encoded, identifier)
+
+    def node_ids(self) -> Tuple[FragmentId, ...]:
+        with self._lock:
+            rows = self._connection.execute("SELECT id FROM nodes").fetchall()
+        return tuple(self._decode(encoded) for (encoded,) in rows)
+
+    def node_count(self) -> int:
+        with self._lock:
+            return self._connection.execute("SELECT COUNT(*) FROM nodes").fetchone()[0]
+
+    def add_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            self._require_node(encoded, identifier)
+            self._connection.execute(
+                "INSERT OR IGNORE INTO edges (src, dst) VALUES (?, ?)",
+                (encoded, encode_identifier(neighbor)),
+            )
+            self._epoch_clock.tick_fragment(identifier)
+            self._persist_epoch()
+            self._persist_fragment_epoch(encoded, identifier)
+
+    def discard_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            self._require_node(encoded, identifier)
+            self._connection.execute(
+                "DELETE FROM edges WHERE src = ? AND dst = ?",
+                (encoded, encode_identifier(neighbor)),
+            )
+            self._epoch_clock.tick_fragment(identifier)
+            self._persist_epoch()
+            self._persist_fragment_epoch(encoded, identifier)
+
+    def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
+        encoded = encode_identifier(identifier)
+        with self._lock:
+            self._require_node(encoded, identifier)
+            rows = self._connection.execute(
+                "SELECT dst FROM edges WHERE src = ?", (encoded,)
+            ).fetchall()
+        return tuple(self._decode(dst) for (dst,) in rows)
+
+    def edge_count(self) -> int:
+        with self._lock:
+            return self._connection.execute("SELECT COUNT(*) FROM edges").fetchone()[0] // 2

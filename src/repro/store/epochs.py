@@ -40,7 +40,7 @@ not-yet-committed update — and the tick retires the entry immediately after.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.core.fragments import FragmentId
 
@@ -74,8 +74,9 @@ class EpochClock:
         on them must keep failing the freshness check, not see a reset to 0.
         The deliberate cost is O(fragments ever seen) resident entries — a
         tombstone only becomes prunable once no cache entry stamped before
-        the removal survives, which the clock cannot observe by itself (a
-        generation sweep driven by the serving layer is the ROADMAP item).
+        the removal survives, which the clock cannot observe by itself; the
+        serving layer drives that pruning through :meth:`sweep` (see
+        :meth:`repro.serving.SearchService.sweep_epochs`).
         """
         return self._fragments.get(identifier, 0)
 
@@ -102,6 +103,73 @@ class EpochClock:
             self._keywords[keyword] = self._epoch
         self._fragments[identifier] = self._epoch
         return self._epoch
+
+    # ------------------------------------------------------------------
+    # persistence and bounding
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        epoch: int,
+        keywords: Mapping[str, int],
+        fragments: Mapping[FragmentId, int],
+    ) -> None:
+        """Replace the clock's state wholesale (snapshot/disk restore).
+
+        A persistent store that survived a restart restores its clock with
+        this, so cache stamps handed out before the restart keep comparing
+        correctly against mutations applied after it.  ``epoch`` must be at
+        least every restored per-keyword/per-fragment epoch; anything else is
+        a corrupt snapshot and raises ``ValueError``.
+        """
+        views = list(keywords.values()) + list(fragments.values())
+        if views and epoch < max(views):
+            raise ValueError(
+                f"corrupt epoch state: store epoch {epoch} is older than a "
+                f"restored fine-grained epoch {max(views)}"
+            )
+        self._epoch = int(epoch)
+        self._keywords = {keyword: int(value) for keyword, value in keywords.items()}
+        self._fragments = {
+            tuple(identifier): int(value) for identifier, value in fragments.items()
+        }
+
+    def sweep(self, oldest_live_stamp: int) -> int:
+        """Prune every per-keyword/per-fragment entry at or below the stamp.
+
+        This is the generation sweep that bounds tombstone memory: removed
+        fragments (and vanished keywords) keep their final epoch forever so
+        stale cache entries keep failing revalidation — O(fragments ever
+        seen) entries under continuous maintenance churn.  Once the serving
+        layer knows the *oldest stamp any live cache entry carries*, every
+        entry with ``epoch <= oldest_live_stamp`` is dead weight: for any
+        surviving stamp ``t >= oldest_live_stamp`` the freshness comparison
+        ``entry_epoch > t`` is false whether the entry reads its recorded
+        epoch or the unknown-entry default of 0, so dropping it can never
+        flip a revalidation verdict.  Returns the number of entries pruned.
+
+        Callers must pass a stamp no newer than any stamp still being
+        compared — :meth:`repro.serving.SearchService.sweep_epochs` derives
+        it from the result cache and the live session.
+        """
+        if oldest_live_stamp < 0:
+            raise ValueError(f"oldest live stamp must be non-negative, got {oldest_live_stamp}")
+        pruned = 0
+        for keyword in [k for k, value in self._keywords.items() if value <= oldest_live_stamp]:
+            del self._keywords[keyword]
+            pruned += 1
+        for identifier in [
+            f for f, value in self._fragments.items() if value <= oldest_live_stamp
+        ]:
+            del self._fragments[identifier]
+            pruned += 1
+        return pruned
+
+    def state(self) -> Tuple[int, Dict[str, int], Dict[FragmentId, int]]:
+        """The full clock state (store epoch + both fine-grained views).
+
+        Used by snapshot writers; the returned dicts are copies.
+        """
+        return (self._epoch, dict(self._keywords), dict(self._fragments))
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Tuple[int, int, int]:

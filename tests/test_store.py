@@ -1,12 +1,17 @@
 """The pluggable fragment-store layer: backend parity and store semantics.
 
 The load-bearing guarantee is that the storage backend is *invisible*: a
-:class:`ShardedStore` with any shard count must return exactly the search
-results, scores and incremental-maintenance outcomes of the single-partition
+:class:`ShardedStore` with any shard count — and the persistent
+:class:`DiskStore` — must return exactly the search results, scores and
+incremental-maintenance outcomes of the single-partition
 :class:`InMemoryStore`.  The parity suite checks that on the fooddb running
 example, on randomized fooddb-shaped databases (hypothesis) and on a tiny
-TPC-H workload.
+TPC-H workload; snapshot round-trips must preserve the whole store state
+(both sections plus the epoch clock) across every backend pairing.
 """
+
+import os
+import tempfile
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 import pytest
@@ -26,10 +31,22 @@ from repro.datasets.fooddb import (
 )
 from repro.db.database import Database
 from repro.db.sqlparse import parse_psj_query
-from repro.store import FragmentStore, InMemoryStore, ShardedStore, StoreError, resolve_store
+from repro.store import (
+    DiskStore,
+    FragmentStore,
+    InMemoryStore,
+    ShardedStore,
+    StoreError,
+    resolve_store,
+)
 from repro.webapp.request import QueryStringSpec
 
 SHARD_COUNTS = (1, 2, 8)
+
+
+def _tmp_disk_store() -> DiskStore:
+    """A DiskStore over a fresh temp file (the OS reclaims the tmp dir)."""
+    return DiskStore(os.path.join(tempfile.mkdtemp(prefix="repro-store-test-"), "store.sqlite"))
 SPEC = QueryStringSpec((("c", "cuisine"), ("l", "min"), ("u", "max")))
 RELAXED = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
@@ -154,9 +171,34 @@ class TestResolveStore:
         with pytest.raises(StoreError):
             ShardedStore(shards=0)
 
+    def test_disk_spec(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        store = resolve_store("disk", path=path)
+        assert isinstance(store, DiskStore)
+        assert store.path == path
+        store.close()
+        # without a path the database lands in a fresh temp file
+        anonymous = resolve_store("disk")
+        assert isinstance(anonymous, DiskStore)
+        assert os.path.exists(anonymous.path)
+        anonymous.close()
 
-@pytest.mark.parametrize("make_store", [InMemoryStore, lambda: ShardedStore(shards=4)],
-                         ids=["memory", "sharded"])
+    def test_disk_spec_conflicts(self, tmp_path):
+        with pytest.raises(StoreError):
+            resolve_store("disk", shards=2)
+        with pytest.raises(StoreError):
+            resolve_store("memory", path=str(tmp_path / "x.sqlite"))
+        with pytest.raises(StoreError):
+            resolve_store(None, path=str(tmp_path / "x.sqlite"))
+        with pytest.raises(StoreError):
+            DiskStore(str(tmp_path / "missing.sqlite"), create=False)
+
+
+@pytest.mark.parametrize(
+    "make_store",
+    [InMemoryStore, lambda: ShardedStore(shards=4), _tmp_disk_store],
+    ids=["memory", "sharded", "disk"],
+)
 class TestStoreSemantics:
     def test_remove_fragment_touches_only_affected_lists(self, make_store):
         store = make_store()
@@ -328,6 +370,181 @@ class TestFooddbParity:
         # both stay consistent with a from-scratch rebuild
         rebuilt = InvertedFragmentIndex.from_fragments(derive_fragments(query0, bundles[0][0]))
         assert _index_as_dict(index0) == _index_as_dict(rebuilt)
+
+
+# ----------------------------------------------------------------------
+# backend parity: the persistent disk store
+# ----------------------------------------------------------------------
+class TestDiskStoreParity:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        database = build_fooddb()
+        query = fooddb_search_query(database)
+        return database, query, derive_fragments(query, database)
+
+    def test_search_parity(self, workload, tmp_path):
+        _database, query, fragments = workload
+        _, _, reference = _build_searcher(query, fragments, InMemoryStore())
+        _, _, disk = _build_searcher(query, fragments, DiskStore(str(tmp_path / "s.sqlite")))
+        for keywords in (["burger"], ["coffee", "fries"], ["spicy"], ["nonexistent"]):
+            for k in (1, 3, 10):
+                for s in (1, 20, 1000):
+                    expected = _result_tuples(reference.search(keywords, k=k, size_threshold=s))
+                    actual = _result_tuples(disk.search(keywords, k=k, size_threshold=s))
+                    assert actual == expected
+        assert disk.last_statistics.dequeues == reference.last_statistics.dequeues
+        assert disk.last_statistics.expansions == reference.last_statistics.expansions
+
+    def test_index_parity(self, workload, tmp_path):
+        _database, _query, fragments = workload
+        reference = InvertedFragmentIndex.from_fragments(fragments, store=InMemoryStore())
+        disk = InvertedFragmentIndex.from_fragments(
+            fragments, store=DiskStore(str(tmp_path / "s.sqlite"))
+        )
+        assert _index_as_dict(disk) == _index_as_dict(reference)
+        assert disk.fragment_sizes == reference.fragment_sizes
+        assert disk.document_frequencies() == reference.document_frequencies()
+        assert set(disk.fragment_ids()) == set(reference.fragment_ids())
+        assert disk.approximate_bytes() == reference.approximate_bytes()
+        # the write path ticks the shared clock identically on both backends
+        assert disk.store.epoch == reference.store.epoch
+
+    def test_incremental_maintenance_parity(self, tmp_path):
+        bundles = []
+        for store in (InMemoryStore(), DiskStore(str(tmp_path / "s.sqlite"))):
+            database = build_fooddb()
+            query = fooddb_search_query(database)
+            fragments = derive_fragments(query, database)
+            index, graph, _searcher = _build_searcher(query, fragments, store)
+            bundles.append(
+                (database, query, index, graph, IncrementalMaintainer(query, database, index, graph))
+            )
+
+        updates = [
+            ("insert", "comment", ("207", "001", "120", "great milkshake", "07/12")),
+            ("insert", "restaurant", ("008", "Pasta Palace", "Italian", 14, 4.6)),
+            ("insert", "restaurant", ("009", "Grill House", "American", 11, 3.5)),
+            ("delete", "comment", lambda record: record["cid"] == "203"),
+            ("delete", "restaurant", lambda record: record["rid"] == "007"),
+        ]
+        affected = []
+        for _database, _query, _index, _graph, maintainer in bundles:
+            touched = []
+            for action, relation, payload in updates:
+                if action == "insert":
+                    touched.append(maintainer.insert(relation, payload))
+                else:
+                    touched.append(maintainer.delete(relation, payload))
+            affected.append(touched)
+        assert affected[0] == affected[1]
+
+        (_, query0, index0, graph0, _), (_, _query1, index1, graph1, _) = bundles
+        assert _index_as_dict(index1) == _index_as_dict(index0)
+        assert index1.fragment_sizes == index0.fragment_sizes
+        assert graph1.edge_count == graph0.edge_count
+        assert set(graph1.fragment_ids()) == set(graph0.fragment_ids())
+        for identifier in graph0.fragment_ids():
+            assert graph1.neighbors(identifier) == graph0.neighbors(identifier)
+        rebuilt = InvertedFragmentIndex.from_fragments(derive_fragments(query0, bundles[0][0]))
+        assert _index_as_dict(index1) == _index_as_dict(rebuilt)
+
+    def test_unserializable_identifier_rejected(self, tmp_path):
+        store = DiskStore(str(tmp_path / "s.sqlite"))
+        with pytest.raises(StoreError):
+            store.add_posting("kw", (object(),), 1)
+
+
+# ----------------------------------------------------------------------
+# snapshots: every backend pairing round-trips the whole store state
+# ----------------------------------------------------------------------
+class TestSnapshots:
+    @pytest.fixture()
+    def populated(self):
+        database = build_fooddb()
+        query = fooddb_search_query(database)
+        fragments = derive_fragments(query, database)
+        store = InMemoryStore()
+        _build_searcher(query, fragments, store)
+        return store
+
+    @pytest.mark.parametrize(
+        "target", [None, "sharded", "disk"], ids=["memory", "sharded", "disk"]
+    )
+    def test_roundtrip(self, populated, tmp_path, target):
+        path = str(tmp_path / "store.snapshot")
+        assert populated.snapshot(path) == path
+        restored = FragmentStore.from_snapshot(
+            path, store=target, shards=2 if target == "sharded" else None
+        )
+        assert dict(restored.iter_items()) == dict(populated.iter_items())
+        assert restored.fragment_sizes() == populated.fragment_sizes()
+        assert set(restored.node_ids()) == set(populated.node_ids())
+        assert restored.edge_count() == populated.edge_count()
+        for identifier in populated.node_ids():
+            assert set(restored.neighbors(identifier)) == set(populated.neighbors(identifier))
+            assert restored.node_keyword_count(identifier) == populated.node_keyword_count(
+                identifier
+            )
+        # the clock travels with the data, exactly
+        assert restored.epochs.state() == populated.epochs.state()
+
+    def test_snapshot_from_disk_store(self, populated, tmp_path):
+        sqlite_path = str(tmp_path / "restored.sqlite")
+        disk = FragmentStore.from_snapshot(
+            populated.snapshot(str(tmp_path / "a.snapshot")),
+            store="disk",
+            store_path=sqlite_path,
+        )
+        assert disk.path == sqlite_path  # the restore lands where asked
+        back = FragmentStore.from_snapshot(disk.snapshot(str(tmp_path / "b.snapshot")))
+        assert dict(back.iter_items()) == dict(populated.iter_items())
+        assert back.epochs.state() == populated.epochs.state()
+
+    def test_inconsistent_sizes_rejected(self, populated, tmp_path):
+        import json
+
+        path = populated.snapshot(str(tmp_path / "store.snapshot"))
+        payload = json.load(open(path))
+        payload["sizes"][0][1] += 1  # corrupt one stored size
+        json.dump(payload, open(path, "w"))
+        with pytest.raises(StoreError):
+            FragmentStore.from_snapshot(path)
+
+    def test_failed_disk_restore_cleans_up_for_retry(self, populated, tmp_path):
+        """A corrupt restore must not strand a half-populated sqlite file:
+        retrying at the same store_path with a good snapshot succeeds."""
+        import json
+
+        good = populated.snapshot(str(tmp_path / "good.snapshot"))
+        bad = str(tmp_path / "bad.snapshot")
+        payload = json.load(open(good))
+        payload["sizes"][0][1] += 1
+        json.dump(payload, open(bad, "w"))
+        sqlite_path = str(tmp_path / "restored.sqlite")
+        with pytest.raises(StoreError):
+            FragmentStore.from_snapshot(bad, store="disk", store_path=sqlite_path)
+        assert not os.path.exists(sqlite_path), "partial file must be removed"
+        restored = FragmentStore.from_snapshot(good, store="disk", store_path=sqlite_path)
+        assert dict(restored.iter_items()) == dict(populated.iter_items())
+        restored.close()
+
+    def test_restore_requires_empty_store(self, populated, tmp_path):
+        path = populated.snapshot(str(tmp_path / "store.snapshot"))
+        with pytest.raises(StoreError):
+            FragmentStore.from_snapshot(path, store=populated)
+
+    def test_snapshot_replaces_atomically(self, populated, tmp_path):
+        path = str(tmp_path / "store.snapshot")
+        populated.snapshot(path)
+        first = open(path, "rb").read()
+        populated.add_posting("freshly-added", ("snapshot-frag", 1), 2)
+        populated.finalize()
+        populated.snapshot(path)
+        second = open(path, "rb").read()
+        assert first != second
+        assert not [
+            name for name in os.listdir(tmp_path) if name.endswith(".tmp")
+        ], "temp files must not survive a successful snapshot"
 
 
 # ----------------------------------------------------------------------
