@@ -169,6 +169,19 @@ def keyword_workload(index: InvertedFragmentIndex) -> Dict[str, str]:
     return {"cold": ranked[0], "warm": ranked[len(ranked) // 2], "hot": ranked[-1]}
 
 
+def query_workload(index: InvertedFragmentIndex) -> Dict[str, List[str]]:
+    """The measured queries: the three single keywords plus a mixed query.
+
+    The mixed hot+warm+cold query is where the searcher's admissible seed
+    bounds have IDF skew to work with — single-keyword queries only exercise
+    the expansion-side pruning.
+    """
+    workload = keyword_workload(index)
+    queries: Dict[str, List[str]] = {name: [keyword] for name, keyword in workload.items()}
+    queries["mixed"] = [workload["hot"], workload["warm"], workload["cold"]]
+    return queries
+
+
 def build_backend(fragments, store):
     index = InvertedFragmentIndex(store=store)
     for identifier, term_frequencies in fragments.items():
@@ -252,32 +265,49 @@ def run_comparison() -> Dict:
     for count in FRAGMENT_COUNTS:
         fragments = synthetic_fragments(count)
         searchers = {name: searcher_for(name, fragments) for name in backends}
-        workload = keyword_workload(searchers["memory"].index)
+        queries = query_workload(searchers["memory"].index)
         reference_urls = {}
         for name in backends:
             searcher = searchers[name]
             per_backend_ms = []
-            for temperature, keyword in workload.items():
+            pruned = {"seeds_scored": 0, "pruned_dequeues": 0, "pruned_expansions": 0}
+            parity_ok = True
+            for temperature, keywords in queries.items():
                 for size_threshold in SIZE_THRESHOLDS:
-                    searcher.search([keyword], k=K, size_threshold=size_threshold)  # warm-up
+                    searcher.search(keywords, k=K, size_threshold=size_threshold)  # warm-up
                     samples = []
                     for _ in range(REPEATS):
                         started = time.perf_counter()
-                        results = searcher.search([keyword], k=K, size_threshold=size_threshold)
+                        results = searcher.search(keywords, k=K, size_threshold=size_threshold)
                         samples.append(time.perf_counter() - started)
                     # best-of-N: robust against scheduler noise on shared boxes
                     elapsed_ms = min(samples) * 1000.0
                     per_backend_ms.append(elapsed_ms)
+                    statistics = getattr(searcher, "last_statistics", None)
+                    if statistics is not None:  # the seed replica has none
+                        for field in pruned:
+                            pruned[field] += getattr(statistics, field)
                     key = (temperature, size_threshold)
                     # every backend must rank exactly like the seed path
                     if name == "seed":
                         reference_urls[key] = _urls(results)
                     else:
-                        assert _urls(results) == reference_urls[key], (name, count, key)
+                        matched = _urls(results) == reference_urls[key]
+                        parity_ok = parity_ok and matched
+                        assert matched, (name, count, key)
             average_ms = sum(per_backend_ms) / len(per_backend_ms)
-            payload["measurements"].append(
-                {"fragments": count, "backend": name, "avg_search_ms": round(average_ms, 4)}
-            )
+            measurement = {
+                "fragments": count,
+                "backend": name,
+                "avg_search_ms": round(average_ms, 4),
+                # computed from the actual URL comparisons above (the seed
+                # row is its own reference), so tools/check_bench_parity.py
+                # keeps its guarantee even if the hard assert is ever removed
+                "parity_ok": parity_ok,
+            }
+            if name != "seed":
+                measurement.update(pruned)
+            payload["measurements"].append(measurement)
         seed_ms = next(m["avg_search_ms"] for m in payload["measurements"]
                        if m["fragments"] == count and m["backend"] == "seed")
         for name in backends:
@@ -288,8 +318,11 @@ def run_comparison() -> Dict:
             for measurement in payload["measurements"]:
                 if measurement["fragments"] == count and measurement["backend"] == name:
                     measurement["speedup_vs_seed"] = round(speedup, 2)
-        cold = measure_cold_start(fragments, workload["hot"])
+        cold = measure_cold_start(fragments, queries["hot"][0])
         payload["cold_start"].append({"fragments": count, **cold})
+        for searcher in searchers.values():
+            # release the sharded read executors / disk sqlite connections
+            searcher.index.store.close()
     print_table(
         ["fragments", "backend", "avg search (ms)", "speedup vs seed"],
         rows,
@@ -327,6 +360,18 @@ def test_store_backend_comparison(benchmark):
     # The refactored search path must beat the seed path clearly on the
     # largest synthetic fragment set (acceptance: >= 2x).
     assert max(speedups.values()) >= 2.0, speedups
+    # The read-connection pool + bounded reads must lift the disk backend
+    # out of the serialized-sqlite regime (was ~1.2x before the overhaul;
+    # ~2.2x typical now — the CI floor is deliberately conservative).
+    assert speedups["disk"] >= 1.5, speedups
+    # Every backend recorded its ranked-URL parity verdict.
+    assert all(m["parity_ok"] for m in payload["measurements"])
+    # The admissible bounds must actually prune work on this workload.
+    pruned_total = sum(
+        m.get("pruned_dequeues", 0) + m.get("pruned_expansions", 0)
+        for m in payload["measurements"]
+    )
+    assert pruned_total > 0, payload["measurements"]
     # Persistence must pay off on restart: re-attaching to the sqlite file
     # has to be far cheaper than rebuilding the store from fragments.
     for entry in payload["cold_start"]:

@@ -91,6 +91,7 @@ class FragmentGraph:
         if not presorted:
             for identifier in fragment_sizes:
                 graph.add_fragment(identifier, fragment_sizes[identifier])
+            graph._store.finalize()
             return graph
 
         def group_then_range(identifier: FragmentId):
@@ -113,6 +114,10 @@ class FragmentGraph:
                 graph._store.add_edge(previous, identifier)
             graph.comparisons += 1
             previous = identifier
+        # Graph construction is a bulk load like the index's: flush the
+        # store's batched writes so persistent backends commit the adjacency
+        # (and their read paths stop routing through the write connection).
+        graph._store.finalize()
         return graph
 
     @classmethod

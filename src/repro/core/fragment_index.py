@@ -121,6 +121,15 @@ class InvertedFragmentIndex:
         """The inverted list of ``keyword`` (sorted, possibly empty)."""
         return self._store.postings(keyword.lower())
 
+    def postings_for_many(self, keywords: Sequence[str]) -> Dict[str, Tuple[Posting, ...]]:
+        """The inverted lists of all ``keywords`` in one batched store read.
+
+        Keys are the canonical (lower-cased) keywords.  This is the scorer's
+        construction path: a multi-keyword query costs one shard fan-out /
+        one sqlite query instead of one per keyword.
+        """
+        return self._store.postings_for_many([keyword.lower() for keyword in keywords])
+
     def fragment_frequency(self, keyword: str) -> int:
         """Number of fragments containing ``keyword`` (the DF Dash uses for IDF)."""
         return self._store.fragment_frequency(keyword.lower())

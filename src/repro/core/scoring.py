@@ -27,10 +27,21 @@ are exact integers and the keyword accumulation order matches
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.core.fragment_index import InvertedFragmentIndex
 from repro.core.fragments import FragmentId
+
+#: Relative inflation applied to every admissible score bound.  The bounds
+#: are derived with different floating-point operation orders than the exact
+#: scores they cap (one division of sums vs. a sum of divided terms), so a
+#: mathematically-equal bound could land an ulp *below* the exact score and
+#: break the early-termination exactness argument.  Inflating by 1e-9 —
+#: about a million times the worst accumulated rounding over a query's few
+#: dozen terms — keeps every bound safely admissible; the only cost is that
+#: scores within one part per billion of a bound are computed rather than
+#: pruned.
+_BOUND_INFLATION = 1.0 + 1e-9
 
 
 @dataclass(frozen=True)
@@ -51,22 +62,28 @@ class DashScorer:
     def __init__(self, index: InvertedFragmentIndex, keywords: Iterable[str]) -> None:
         self.index = index
         self.keywords: Tuple[str, ...] = tuple(dict.fromkeys(keyword.lower() for keyword in keywords))
-        self._idf: Dict[str, float] = {keyword: index.idf(keyword) for keyword in self.keywords}
-        # Per-keyword occurrence counts of every relevant fragment, gathered
-        # once from the inverted lists so scoring a candidate page is O(|W| * |page|).
-        self._occurrences: Dict[str, Dict[FragmentId, int]] = {}
-        for keyword in self.keywords:
-            self._occurrences[keyword] = {
-                posting.document_id: posting.term_frequency for posting in index.postings(keyword)
+        # One batched store read gathers every query keyword's inverted list
+        # (a single shard fan-out / one sqlite query); the IDF table falls
+        # out of the gathered lists for free — the document frequency is
+        # simply the list length.
+        gathered = index.postings_for_many(self.keywords)
+        self._occurrences: Dict[str, Dict[FragmentId, int]] = {
+            keyword: {
+                posting.document_id: posting.term_frequency for posting in gathered[keyword]
             }
-        # Sizes of every relevant fragment, fetched in one batch (a single
-        # per-shard fan-out on partitioned stores); neighbours encountered
-        # during expansion fill in lazily.
-        relevant: Dict[FragmentId, None] = {}
-        for keyword in self.keywords:
-            for identifier in self._occurrences[keyword]:
-                relevant.setdefault(identifier, None)
-        self._sizes: Dict[FragmentId, int] = index.store.fragment_sizes_for(tuple(relevant))
+            for keyword in self.keywords
+        }
+        self._idf: Dict[str, float] = {
+            keyword: (1.0 / len(gathered[keyword]) if gathered[keyword] else 0.0)
+            for keyword in self.keywords
+        }
+        # Fragment sizes are fetched lazily: the bounded top-k search only
+        # needs the sizes of the seeds it actually materializes, so eagerly
+        # reading every relevant fragment's size — the hottest read on the
+        # old search path — would throw the pruning away.  prime_sizes()
+        # batches the fetches; stray lookups fall back one at a time.
+        self._sizes: Dict[FragmentId, int] = {}
+        self._seed_bounds: Optional[Dict[FragmentId, float]] = None
 
     def _size_of(self, identifier: FragmentId) -> int:
         size = self._sizes.get(identifier)
@@ -74,6 +91,20 @@ class DashScorer:
             size = self.index.fragment_size(identifier)
             self._sizes[identifier] = size
         return size
+
+    def prime_sizes(self, identifiers: Sequence[FragmentId]) -> None:
+        """Batch-fetch the sizes of ``identifiers`` not yet known.
+
+        One chunked/fanned-out store read instead of a per-fragment lookup —
+        the searcher calls this for every batch of seeds it materializes.
+        Expansion candidates deliberately stay on the lazy ``_size_of``
+        fallback: the bound pruning skips most of them before their size is
+        ever needed, so batching there would read sizes the search then
+        throws away.
+        """
+        missing = [identifier for identifier in identifiers if identifier not in self._sizes]
+        if missing:
+            self._sizes.update(self.index.store.fragment_sizes_for(tuple(missing)))
 
     # ------------------------------------------------------------------
     def idf(self, keyword: str) -> float:
@@ -158,6 +189,62 @@ class DashScorer:
                         total += (occurrences / size) * self._idf[keyword]
             scores[identifier] = total
         return scores
+
+    # ------------------------------------------------------------------
+    # admissible score bounds (exact early termination)
+    # ------------------------------------------------------------------
+    def seed_score_bounds(self) -> Dict[FragmentId, float]:
+        """An admissible score bound per relevant fragment, size-free.
+
+        A seed's exact score is ``sum_w (tf_w/size) * idf_w``; its size is at
+        least the sum of its query-keyword occurrences, so the IDF average
+        weighted by those occurrences bounds the score from above using the
+        gathered inverted lists alone — no store read.  The searcher only
+        pays for a fragment's size once this bound says the seed could still
+        beat the current frontier.  Keys iterate in relevant-fragment order;
+        values are safety-inflated (see ``_BOUND_INFLATION``), so a bound
+        never dips below the exact score it caps and over-pruning is
+        impossible.  Computed once per scorer.
+        """
+        if self._seed_bounds is None:
+            weighted: Dict[FragmentId, float] = {}
+            totals: Dict[FragmentId, int] = {}
+            for keyword in self.keywords:
+                idf = self._idf[keyword]
+                for identifier, occurrences in self._occurrences[keyword].items():
+                    weighted[identifier] = weighted.get(identifier, 0.0) + occurrences * idf
+                    totals[identifier] = totals.get(identifier, 0) + occurrences
+            self._seed_bounds = {
+                identifier: (
+                    (weighted[identifier] / totals[identifier]) * _BOUND_INFLATION
+                    if totals[identifier]
+                    else 0.0
+                )
+                for identifier in weighted
+            }
+        return self._seed_bounds
+
+    def extended_score_bound(self, stats: PageStats, candidate: FragmentId) -> float:
+        """An admissible bound on the page's score once ``candidate`` joins.
+
+        Uses only the gathered occurrence counts: the candidate's size is at
+        least its query-keyword occurrence total, so substituting that total
+        for the (unread) size bounds the exact extended score from above.
+        Lets the expansion loop discard candidates that cannot beat the best
+        one found so far without touching the store for their sizes.
+        """
+        added = 0
+        weighted = 0.0
+        for keyword, total in zip(self.keywords, stats.occurrences):
+            occurrences = self._occurrences[keyword].get(candidate, 0)
+            weighted += (total + occurrences) * self._idf[keyword]
+            added += occurrences
+        denominator = stats.size + added
+        if denominator <= 0:
+            # Neither the page nor the candidate holds any query keyword:
+            # the exact extended score is 0 whatever the candidate's size.
+            return 0.0
+        return (weighted / denominator) * _BOUND_INFLATION
 
     def page_stats(self, fragments: Sequence[FragmentId]) -> PageStats:
         """The integer statistics of the page assembled from ``fragments``."""

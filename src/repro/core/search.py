@@ -13,14 +13,37 @@ the ``k`` most relevant ones:
 4. stop when ``k`` results are collected or the queue empties, and formulate
    the result URLs by reverse query-string parsing.
 
-Two implementation notes beyond the paper's pseudo-code:
+Three implementation notes beyond the paper's pseudo-code:
 
-* **Sharded seeding** — when the index sits on a partitioned
-  :class:`~repro.store.FragmentStore`, the relevant fragments are grouped by
-  owning shard, each shard's seeds are scored and heapified in a parallel
-  fan-out, and the per-shard heaps are merged into the global priority
-  queue.  Heap order depends only on the ``(score, seed position)`` keys, so
-  any shard count dequeues in exactly the single-shard order.
+* **Exact score-bounded early termination** — seeds are *not* scored up
+  front.  Every relevant fragment enters a bound-ordered heap under the
+  admissible, size-free bound of
+  :meth:`~repro.core.scoring.DashScorer.seed_score_bounds`; a seed is only
+  *materialized* (its size read from the store, its exact score computed and
+  pushed onto the real priority queue) while its bound says it could still
+  be the next dequeue.  Because every bound is at least the exact score it
+  caps, the pop order of entries that reach the queue — and therefore the
+  result set — is provably identical to scoring everything eagerly (seeds
+  the eager path would pop only to discard as already-consumed are dropped
+  before the queue here, so ``SearchStatistics.dequeues`` can be lower in
+  bounded mode while results stay byte-identical); seeds whose bound never
+  reaches the frontier are never scored at all, which is where partitioned
+  and on-disk backends stop paying for thousands of size reads per query.  The
+  same argument prunes expansion candidates: an irrelevant candidate can
+  never out-prefer a relevant one (the relevance tier dominates the
+  preference order), and a relevant candidate whose
+  :meth:`~repro.core.scoring.DashScorer.extended_score_bound` cannot beat
+  the best candidate found so far is skipped without reading its size.
+  ``SearchStatistics`` counts both kinds of pruned work; construct the
+  searcher with ``early_termination=False`` for the bound-free exhaustive
+  reference (the property suite checks the two byte-identical).
+* **Sharded seeding** — on a partitioned
+  :class:`~repro.store.FragmentStore`, materialization batches read their
+  sizes through ``fragment_sizes_for`` (one fan-out per batch); the
+  exhaustive path groups seeds by owning shard and scores them in a
+  parallel fan-out.  Heap order depends only on the ``(score, seed
+  position)`` keys, so any shard count dequeues in exactly the single-shard
+  order.
 * **Incremental page statistics** — every pending db-page carries its exact
   integer occurrence totals and size (:class:`~repro.core.scoring.PageStats`),
   so evaluating an expansion candidate costs ``O(|W|)`` instead of
@@ -70,12 +93,24 @@ class SearchResult:
 
 @dataclass
 class SearchStatistics:
-    """Instrumentation of one search call (used by the Figure 11 bench)."""
+    """Instrumentation of one search call (used by the Figure 11 bench).
+
+    ``seeds_scored`` is how many seeds were materialized (size read, exact
+    score computed); ``pruned_dequeues`` counts seed entries the admissible
+    bound proved could never be dequeued before the search completed (they
+    were never scored and never entered the queue); ``pruned_expansions``
+    counts expansion-candidate evaluations skipped by the relevance tier or
+    by :meth:`~repro.core.scoring.DashScorer.extended_score_bound`.  The
+    pruned counters stay 0 on an ``early_termination=False`` searcher.
+    """
 
     elapsed_seconds: float = 0.0
     seed_fragments: int = 0
+    seeds_scored: int = 0
     expansions: int = 0
     dequeues: int = 0
+    pruned_dequeues: int = 0
+    pruned_expansions: int = 0
     results: int = 0
 
 
@@ -190,23 +225,55 @@ class SearchSession:
 
 
 class TopKSearcher:
-    """Executes Algorithm 1 over a fragment index and a fragment graph."""
+    """Executes Algorithm 1 over a fragment index and a fragment graph.
+
+    ``early_termination`` (default on) enables the exact score-bounded
+    pruning described in the module docstring; turning it off restores the
+    eager score-everything reference path.  Results are byte-identical
+    either way — the flag exists for the property suite's oracle and for
+    profiling the pruning itself.
+    """
+
+    #: Cap on the seeds materialized blind while the scored queue is empty
+    #: (the very first batch of a search): big enough to amortize one
+    #: batched size read, small enough not to undo the pruning.  The
+    #: effective blind batch is ``min(SEED_BATCH, max(2 * k, 8))`` — a
+    #: small-``k`` search should not score dozens of seeds it may never pop.
+    SEED_BATCH = 64
 
     def __init__(
         self,
         index: InvertedFragmentIndex,
         graph: FragmentGraph,
         url_formulator: UrlFormulator,
+        early_termination: bool = True,
     ) -> None:
         self.index = index
         self.graph = graph
         self.url_formulator = url_formulator
+        self.early_termination = early_termination
         self.last_statistics = SearchStatistics()
+        # Pruning pays off across requests, so the serving layer wants the
+        # running totals, not just the last search's snapshot.
+        self._lifetime_lock = threading.Lock()
+        self._lifetime: Dict[str, int] = {
+            "searches": 0,
+            "dequeues": 0,
+            "expansions": 0,
+            "seeds_scored": 0,
+            "pruned_dequeues": 0,
+            "pruned_expansions": 0,
+        }
         # Identifier -> deterministic sort key.  Scoped to this searcher on
         # purpose: Python equates 1 and True as dict keys, so a process-wide
         # cache could hand one engine's key to another engine's identifier;
         # within a single index/graph such identifiers are the same fragment.
         self._order_cache: Dict[FragmentId, Tuple] = {}
+
+    def lifetime_statistics(self) -> Dict[str, int]:
+        """Running totals over every search this searcher has answered."""
+        with self._lifetime_lock:
+            return dict(self._lifetime)
 
     def _order(self, identifier: FragmentId) -> Tuple:
         key = self._order_cache.get(identifier)
@@ -273,8 +340,22 @@ class TopKSearcher:
         # Priority queue of pending db-pages, keyed by descending score.  The
         # tie-breaking counter keeps heap ordering deterministic: seeds take
         # counters 0..len(seeds)-1 in relevant-fragment order, expansions
-        # continue from there.
-        queue = self._seed_queue(seeds, scorer)
+        # continue from there.  Under early termination the queue starts
+        # empty and seeds wait in a bound-ordered heap; _materialize_seeds
+        # promotes exactly the ones whose admissible bound could still win
+        # the next dequeue, so the pop sequence matches the eager queue's.
+        if self.early_termination:
+            bounds = scorer.seed_score_bounds()
+            pending_bounds: List[Tuple[float, int, FragmentId]] = [
+                (-bounds[identifier], position, identifier)
+                for position, identifier in enumerate(seeds)
+            ]
+            heapq.heapify(pending_bounds)
+            queue: List[QueueEntry] = []
+        else:
+            pending_bounds = []
+            queue = self._seed_queue(seeds, scorer)
+            statistics.seeds_scored = len(seeds)
         counter = itertools.count(len(seeds))
 
         # Pending pages carry their integer occurrence/size statistics so each
@@ -286,7 +367,11 @@ class TopKSearcher:
         stats_cache: Dict[Tuple[FragmentId, ...], PageStats] = {}
         consumed: Set[FragmentId] = set()
         results: List[SearchResult] = []
-        while queue and len(results) < k:
+        while len(results) < k:
+            if pending_bounds:
+                self._materialize_seeds(pending_bounds, queue, scorer, consumed, statistics, k)
+            if not queue:
+                break
             negative_score, _tie, fragments = heapq.heappop(queue)
             statistics.dequeues += 1
             if len(fragments) == 1 and fragments[0] in consumed:
@@ -297,7 +382,7 @@ class TopKSearcher:
             if stats is None:
                 stats = scorer.page_stats(fragments)
             expansion = self._expansion_candidate(
-                fragments, scorer, size_threshold, stats, neighbor_cache, consulted
+                fragments, scorer, size_threshold, stats, neighbor_cache, consulted, statistics
             )
             if expansion is None:
                 results.append(self._make_result(fragments, -negative_score, stats))
@@ -311,6 +396,9 @@ class TopKSearcher:
                 queue,
                 (-scorer.score_from_stats(expanded_stats), next(counter), expanded),
             )
+        # Seeds still waiting behind their bounds were proven unable to win
+        # any dequeue this search performed: work the bound saved outright.
+        statistics.pruned_dequeues += len(pending_bounds)
 
         # Best-first emission is not strictly score-ordered when an expansion
         # raises a pending page's score above an already-emitted result (the
@@ -320,6 +408,16 @@ class TopKSearcher:
         statistics.results = len(results)
         statistics.elapsed_seconds = time.perf_counter() - started
         self.last_statistics = statistics
+        with self._lifetime_lock:
+            self._lifetime["searches"] += 1
+            for field_name in (
+                "dequeues",
+                "expansions",
+                "seeds_scored",
+                "pruned_dequeues",
+                "pruned_expansions",
+            ):
+                self._lifetime[field_name] += getattr(statistics, field_name)
         return DetailedSearch(
             results=tuple(results),
             keywords=canonical,
@@ -329,6 +427,51 @@ class TopKSearcher:
         )
 
     # ------------------------------------------------------------------
+    def _materialize_seeds(
+        self,
+        pending_bounds: List[Tuple[float, int, FragmentId]],
+        queue: List[QueueEntry],
+        scorer: DashScorer,
+        consumed: Set[FragmentId],
+        statistics: SearchStatistics,
+        k: int,
+    ) -> None:
+        """Promote every waiting seed whose bound could still win the next pop.
+
+        A waiting seed must be scored before the next dequeue whenever its
+        ``(-bound, position)`` key is at most the queue head's
+        ``(-score, position)`` key: its exact score is at most its bound, so
+        any seed *not* promoted provably loses the pop to the queue head, and
+        the dequeue sequence is exactly the eager path's.  Promotions happen
+        in batches so each one costs a single batched size read; while the
+        queue is still empty (the first batch of a search) up to
+        ``SEED_BATCH`` best-bound seeds are materialized blind.  Seeds
+        already absorbed into an expanded page are dropped unscored — the
+        eager path would dequeue and discard them.
+        """
+        blind_batch = min(self.SEED_BATCH, max(2 * k, 8))
+        while pending_bounds and (not queue or pending_bounds[0][:2] <= queue[0][:2]):
+            threshold = queue[0][:2] if queue else None
+            batch: List[Tuple[int, FragmentId]] = []
+            while pending_bounds and (
+                pending_bounds[0][:2] <= threshold
+                if threshold is not None
+                else len(batch) < blind_batch
+            ):
+                _bound, position, identifier = heapq.heappop(pending_bounds)
+                if identifier in consumed:
+                    statistics.pruned_dequeues += 1
+                    continue
+                batch.append((position, identifier))
+            if not batch:
+                continue
+            identifiers = [identifier for _position, identifier in batch]
+            scorer.prime_sizes(identifiers)
+            scores = scorer.seed_scores_for(identifiers)
+            statistics.seeds_scored += len(batch)
+            for position, identifier in batch:
+                heapq.heappush(queue, (-scores[identifier], position, (identifier,)))
+
     def _seed_queue(self, seeds: Tuple[FragmentId, ...], scorer: DashScorer) -> List[QueueEntry]:
         """Build the initial priority queue of single-fragment pending pages.
 
@@ -338,6 +481,7 @@ class TopKSearcher:
         with one heapify.  Heap pops are ordered purely by the
         ``(-score, position)`` keys — identical for any shard count.
         """
+        scorer.prime_sizes(seeds)  # one batched read, not one per seed
         store = self.index.store
         if store.shard_count > 1 and len(seeds) > 1:
             by_shard: Dict[int, List[Tuple[int, FragmentId]]] = {}
@@ -372,6 +516,7 @@ class TopKSearcher:
         stats: PageStats,
         neighbor_cache: Dict[FragmentId, Tuple[FragmentId, ...]],
         consulted: Set[FragmentId],
+        statistics: SearchStatistics,
     ) -> Optional[Tuple[FragmentId, PageStats]]:
         """The fragment to expand with (and the expanded page's statistics),
         or ``None`` when not expandable.
@@ -380,7 +525,14 @@ class TopKSearcher:
         threshold ``s`` or no combinable fragment remains.  Among the
         combinable candidates, relevant fragments (those containing query
         keywords) are favoured, then higher resulting score, then the
-        deterministic identifier order.
+        deterministic identifier order.  Under early termination two exact
+        prunings apply: once any relevant candidate exists, irrelevant ones
+        are skipped unevaluated (the relevance tier dominates the preference
+        order), and a relevant candidate whose admissible extended-score
+        bound cannot beat the best candidate so far is skipped without
+        reading its size.  Every candidate still lands in ``consulted`` —
+        skipping an evaluation must not narrow the dependency set a serving
+        cache revalidates against.
         """
         if stats.size >= size_threshold:
             return None
@@ -397,10 +549,19 @@ class TopKSearcher:
         if not candidates:
             return None
 
+        unique = list(dict.fromkeys(candidates))
+        consulted.update(unique)
+        if self.early_termination:
+            relevant = [
+                candidate for candidate in unique if scorer.fragment_is_relevant(candidate)
+            ]
+            if relevant:
+                statistics.pruned_expansions += len(unique) - len(relevant)
+                return self._best_relevant_candidate(relevant, scorer, stats, statistics)
+
         best_key = None
         best: Optional[Tuple[FragmentId, PageStats]] = None
-        for candidate in dict.fromkeys(candidates):
-            consulted.add(candidate)
+        for candidate in unique:
             extended = scorer.extended_stats(stats, candidate)
             preference = (
                 0 if scorer.fragment_is_relevant(candidate) else 1,
@@ -410,6 +571,40 @@ class TopKSearcher:
             if best_key is None or preference < best_key:
                 best_key = preference
                 best = (candidate, extended)
+        return best
+
+    def _best_relevant_candidate(
+        self,
+        candidates: List[FragmentId],
+        scorer: DashScorer,
+        stats: PageStats,
+        statistics: SearchStatistics,
+    ) -> Tuple[FragmentId, PageStats]:
+        """The preferred candidate among relevant ones, bound-pruned.
+
+        All candidates share preference tier 0, so the comparison reduces to
+        ``(-score, identifier order)``.  A candidate whose admissible bound
+        key already loses to the best exact key cannot win (its exact score
+        is at most its bound), so its size is never read — exact output,
+        fewer store reads.
+        """
+        best_key = None
+        best: Optional[Tuple[FragmentId, PageStats]] = None
+        for candidate in candidates:
+            if best_key is not None:
+                bound_key = (
+                    -scorer.extended_score_bound(stats, candidate),
+                    self._order(candidate),
+                )
+                if bound_key > best_key:
+                    statistics.pruned_expansions += 1
+                    continue
+            extended = scorer.extended_stats(stats, candidate)
+            key = (-scorer.score_from_stats(extended), self._order(candidate))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (candidate, extended)
+        assert best is not None  # candidates is non-empty by construction
         return best
 
     def _make_result(

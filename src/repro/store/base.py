@@ -207,6 +207,18 @@ class FragmentStore(ABC):
     def postings(self, keyword: str) -> Tuple[Posting, ...]:
         """The sorted (possibly empty) inverted list of ``keyword``."""
 
+    def postings_for_many(self, keywords: Sequence[str]) -> Dict[str, Tuple[Posting, ...]]:
+        """The inverted lists of all ``keywords`` in one batched read.
+
+        Returns ``keyword -> sorted postings`` (empty tuple for unknown
+        keywords; duplicate inputs collapse).  The base implementation loops
+        :meth:`postings`; partitioned and on-disk backends override it to
+        answer the whole batch with a single fan-out / a single query, which
+        is what makes scorer construction one store round-trip instead of
+        one per query keyword.
+        """
+        return {keyword: self.postings(keyword) for keyword in dict.fromkeys(keywords)}
+
     @abstractmethod
     def fragment_frequency(self, keyword: str) -> int:
         """Number of postings of ``keyword`` (the DF Dash inverts for IDF)."""
@@ -370,6 +382,19 @@ class FragmentStore(ABC):
         from repro.store.snapshot import load_snapshot
 
         return load_snapshot(path, store=store, shards=shards, store_path=store_path)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release any resources the backend holds (thread pools, files).
+
+        The base implementation is a no-op; :class:`ShardedStore` shuts its
+        read executor down and :class:`DiskStore` closes its sqlite
+        connections (the write connection and every pooled reader).  Closing
+        is idempotent; reads after ``close()`` are undefined for backends
+        that hold external resources.
+        """
 
     # ------------------------------------------------------------------
     # partitioning

@@ -34,10 +34,32 @@ Identifiers are flat tuples of scalars (strings, numbers, booleans,
 the posting sort order tie-breaks on, so ``ORDER BY occurrences DESC, tie``
 reproduces the canonical inverted-list order byte for byte.
 
-Thread-safety: one connection guarded by an :class:`~threading.RLock`
-(``check_same_thread=False``), so concurrent serving-layer readers are
-safe but serialized; the intended regime matches the rest of the store
-layer — many readers, one maintenance writer at a time.
+Thread-safety and the read-connection pool
+------------------------------------------
+
+Writes go through one shared connection guarded by an
+:class:`~threading.RLock` (sqlite serializes writers anyway).  Reads do
+**not** share it: every reader thread lazily opens its own read-only
+connection (``PRAGMA query_only=ON``) the first time it touches the store
+and keeps it for the thread's life, so concurrent serving-layer readers —
+``SearchService.search_many`` workers, the sharded fan-out pattern — run
+their SQL genuinely in parallel under WAL instead of convoying behind one
+lock.  ``close()`` closes the write connection *and* every pooled reader.
+
+Two read paths fall back to the locked write connection on purpose:
+
+* while a bulk load's batched transaction is open (``finalize()`` not yet
+  called), readers must see the staged rows, which only the writing
+  connection can — ``_read_connection`` detects the open transaction;
+* a store that never sees a second thread only ever creates the one
+  pooled reader, so the single-threaded cost is one extra ``connect``.
+
+Hot reads are additionally cached in memory with epoch validation, the
+same scheme :class:`~repro.store.ShardedStore` uses for merged postings:
+keyword -> postings and fragment -> size entries are stamped with the
+store epoch and revalidated against the clock per lookup, so a warm
+searcher reads dictionaries, not SQL, until maintenance actually touches
+the data it cached.
 """
 
 from __future__ import annotations
@@ -144,18 +166,30 @@ class DiskStore(FragmentStore):
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         self._lock = threading.RLock()
-        # One shared connection: sqlite serializes writers anyway, and the
-        # RLock keeps cursor use race-free across serving-layer threads.
+        # One shared *write* connection: sqlite serializes writers anyway,
+        # and the RLock keeps its cursor use race-free.  Reads go through a
+        # per-thread read-only pool (see _read_connection).
         self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        self._pool_lock = threading.Lock()
+        # (owning thread, connection) pairs: the thread reference is what
+        # lets _read_connection reclaim connections whose thread exited.
+        self._pooled_readers: List[Tuple[threading.Thread, sqlite3.Connection]] = []
+        self._thread_reader = threading.local()
+        self._closed = False
         try:
             self._connection.execute("PRAGMA journal_mode=WAL")
             self._connection.execute("PRAGMA synchronous=NORMAL")
             self._ensure_schema(existed)
-            # Decoded-identifier memo (encoded text -> tuple) plus an
-            # epoch-validated merged-postings cache, mirroring ShardedStore's:
-            # hot keywords skip the SQL round-trip until their epoch moves.
+            # Decoded-identifier memo (encoded text -> tuple) plus
+            # epoch-validated read caches, mirroring ShardedStore's merged
+            # postings: hot keywords and hot fragment sizes skip the SQL
+            # round-trip until their epoch moves.  Guarded by their own lock
+            # so pooled readers never serialize behind the write lock.
             self._decoded: Dict[str, FragmentId] = {}
+            self._cache_lock = threading.Lock()
             self._postings_cache: Dict[str, Tuple[int, Tuple[Posting, ...]]] = {}
+            self._sizes_cache: Dict[FragmentId, Tuple[int, int]] = {}
+            self._neighbors_cache: Dict[FragmentId, Tuple[int, Tuple[FragmentId, ...]]] = {}
             self._restore_clock()
         except BaseException:
             # A failed open (schema mismatch, corrupt file) must not leave the
@@ -201,10 +235,93 @@ class DiskStore(FragmentStore):
         self._epoch_clock.load(int(row[0]), keywords, fragments)
 
     def close(self) -> None:
-        """Flush pending writes and close the sqlite connection."""
-        with self._lock:
-            self._connection.commit()
-            self._connection.close()
+        """Flush pending writes and close every sqlite connection.
+
+        Closes the write connection *and* all pooled read connections (no
+        file descriptor outlives the store).  Idempotent; reads after
+        ``close()`` raise :class:`sqlite3.ProgrammingError`.
+        """
+        with self._pool_lock:
+            already_closed = self._closed
+            self._closed = True
+            pooled, self._pooled_readers = self._pooled_readers, []
+        for _thread, connection in pooled:
+            connection.close()
+        if not already_closed:
+            with self._lock:
+                self._connection.commit()
+                self._connection.close()
+
+    @property
+    def pooled_reader_count(self) -> int:
+        """Number of per-thread read connections currently open."""
+        with self._pool_lock:
+            return len(self._pooled_readers)
+
+    def drop_read_caches(self) -> int:
+        """Evict the in-memory postings/size caches (benchmark cold starts).
+
+        Returns the number of entries dropped.  Purely a diagnostics hook:
+        the caches are epoch-validated, so correctness never requires this.
+        """
+        with self._cache_lock:
+            dropped = (
+                len(self._postings_cache) + len(self._sizes_cache) + len(self._neighbors_cache)
+            )
+            self._postings_cache = {}
+            self._sizes_cache = {}
+            self._neighbors_cache = {}
+        return dropped
+
+    def _read_connection(self) -> Optional[sqlite3.Connection]:
+        """This thread's pooled read-only connection.
+
+        ``None`` while the write connection has an open transaction — a bulk
+        load's staged rows are only visible to the connection that wrote
+        them, so such reads must go through the write connection (locked).
+        """
+        if self._connection.in_transaction:
+            return None
+        connection = getattr(self._thread_reader, "connection", None)
+        if connection is None:
+            with self._pool_lock:
+                if self._closed:
+                    raise StoreError(f"disk store {self.path!r} is closed")
+                # Reclaim connections whose owning thread exited — the
+                # thread-local reference died with the thread, but this list
+                # would otherwise keep their sqlite fds open forever under
+                # thread churn (thread-per-request servers, repeated
+                # SearchService pools).  Churn always brings new reader
+                # threads through here, so sweeps keep pace with deaths.
+                surviving = []
+                for thread, pooled in self._pooled_readers:
+                    if thread.is_alive():
+                        surviving.append((thread, pooled))
+                    else:
+                        pooled.close()
+                self._pooled_readers = surviving
+                # check_same_thread=False only so close() (and the sweep
+                # above) can close pooled readers from whatever thread runs
+                # them; reads still use each connection from its owner.
+                connection = sqlite3.connect(self.path, check_same_thread=False)
+                try:
+                    connection.execute("PRAGMA query_only=ON")
+                    connection.execute("PRAGMA busy_timeout=5000")
+                except BaseException:
+                    connection.close()
+                    raise
+                self._pooled_readers.append((threading.current_thread(), connection))
+            self._thread_reader.connection = connection
+        return connection
+
+    def _execute_read(self, sql: str, parameters: Tuple = ()) -> List[Tuple]:
+        """Run one SELECT on this thread's pooled reader (or, while a bulk
+        load is staged, on the locked write connection) and fetch all rows."""
+        connection = self._read_connection()
+        if connection is None:
+            with self._lock:
+                return self._connection.execute(sql, parameters).fetchall()
+        return connection.execute(sql, parameters).fetchall()
 
     def __enter__(self) -> "DiskStore":
         return self
@@ -307,7 +424,9 @@ class DiskStore(FragmentStore):
     def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
         encoded = encode_identifier(identifier)
         with self._lock:
-            self._postings_cache.pop(keyword, None)
+            with self._cache_lock:
+                self._postings_cache.pop(keyword, None)
+                self._sizes_cache.pop(identifier, None)
             self._connection.execute(
                 "INSERT INTO postings (keyword, fragment, tie, occurrences) VALUES (?, ?, ?, ?)",
                 (keyword, encoded, str(tuple(identifier)), occurrences),
@@ -337,8 +456,10 @@ class DiskStore(FragmentStore):
         keywords = self._fragment_keywords(encoded)
         self._connection.execute("DELETE FROM postings WHERE fragment = ?", (encoded,))
         self._connection.execute("DELETE FROM fragments WHERE id = ?", (encoded,))
-        for keyword in keywords:
-            self._postings_cache.pop(keyword, None)
+        with self._cache_lock:
+            for keyword in keywords:
+                self._postings_cache.pop(keyword, None)
+            self._sizes_cache.pop(self._decode(encoded), None)
         return keywords
 
     def remove_fragment(self, identifier: FragmentId) -> None:
@@ -387,10 +508,15 @@ class DiskStore(FragmentStore):
                     for keyword in outgoing:
                         self._persist_keyword_epoch(keyword)
                 tie = str(tuple(identifier))
+                # One cache-lock acquisition for the whole swap's evictions —
+                # pooled readers contend on this lock for every lookup.
+                with self._cache_lock:
+                    self._sizes_cache.pop(identifier, None)
+                    for keyword, _occurrences in items:
+                        self._postings_cache.pop(keyword, None)
                 for keyword, occurrences in items:
                     if occurrences <= 0:
                         continue
-                    self._postings_cache.pop(keyword, None)
                     self._connection.execute(
                         "INSERT INTO postings (keyword, fragment, tie, occurrences) "
                         "VALUES (?, ?, ?, ?)",
@@ -418,61 +544,105 @@ class DiskStore(FragmentStore):
     # ------------------------------------------------------------------
     # postings section — reads
     # ------------------------------------------------------------------
+    #: Bound variables per IN (...) chunk — stays under sqlite's default
+    #: SQLITE_MAX_VARIABLE_NUMBER on every supported build.
+    _IN_CHUNK = 500
+
     def postings(self, keyword: str) -> Tuple[Posting, ...]:
-        with self._lock:
+        with self._cache_lock:
             cached = self._postings_cache.get(keyword)
             if cached is not None:
                 stamp, result = cached
                 if self.keyword_epoch(keyword) <= stamp:
                     return result
                 self._postings_cache.pop(keyword, None)
-            stamp = self.epoch
-            # occurrences DESC then the str(identifier) tie then insertion
-            # order — exactly the stable sort the in-memory backend applies.
-            rows = self._connection.execute(
-                "SELECT fragment, occurrences FROM postings WHERE keyword = ? "
-                "ORDER BY occurrences DESC, tie ASC, seq ASC",
-                (keyword,),
-            ).fetchall()
-            result = tuple(
-                Posting(self._decode(encoded), occurrences) for encoded, occurrences in rows
-            )
-            if result:
+        stamp = self.epoch
+        # occurrences DESC then the str(identifier) tie then insertion
+        # order — exactly the stable sort the in-memory backend applies.
+        rows = self._execute_read(
+            "SELECT fragment, occurrences FROM postings WHERE keyword = ? "
+            "ORDER BY occurrences DESC, tie ASC, seq ASC",
+            (keyword,),
+        )
+        result = tuple(
+            Posting(self._decode(encoded), occurrences) for encoded, occurrences in rows
+        )
+        if result:
+            # The pre-read stamp makes a racing write's tick invalidate this
+            # entry on its next lookup; misses are never cached (unbounded
+            # growth under hostile unknown keywords).
+            with self._cache_lock:
                 self._postings_cache[keyword] = (stamp, result)
-            return result
+        return result
+
+    def postings_for_many(self, keywords) -> Dict[str, Tuple[Posting, ...]]:
+        """All requested inverted lists in one chunked query.
+
+        Cache hits are revalidated per keyword exactly like :meth:`postings`;
+        the misses are answered together with ``keyword IN (...)`` batches
+        (ordered so each keyword's rows come back in canonical inverted-list
+        order), one round-trip instead of one per query keyword.
+        """
+        results: Dict[str, Tuple[Posting, ...]] = {}
+        missing: List[str] = []
+        with self._cache_lock:
+            for keyword in dict.fromkeys(keywords):
+                cached = self._postings_cache.get(keyword)
+                if cached is not None and self.keyword_epoch(keyword) <= cached[0]:
+                    results[keyword] = cached[1]
+                    continue
+                if cached is not None:
+                    self._postings_cache.pop(keyword, None)
+                missing.append(keyword)
+        if not missing:
+            return results
+        stamp = self.epoch
+        grouped: Dict[str, List[Posting]] = {keyword: [] for keyword in missing}
+        for start in range(0, len(missing), self._IN_CHUNK):
+            chunk = missing[start : start + self._IN_CHUNK]
+            placeholders = ",".join("?" for _ in chunk)
+            rows = self._execute_read(
+                f"SELECT keyword, fragment, occurrences FROM postings "
+                f"WHERE keyword IN ({placeholders}) "
+                "ORDER BY keyword, occurrences DESC, tie ASC, seq ASC",
+                tuple(chunk),
+            )
+            for keyword, encoded, occurrences in rows:
+                grouped[keyword].append(Posting(self._decode(encoded), occurrences))
+        for keyword in missing:
+            result = tuple(grouped[keyword])
+            if result:
+                with self._cache_lock:
+                    self._postings_cache[keyword] = (stamp, result)
+            results[keyword] = result
+        return results
 
     def fragment_frequency(self, keyword: str) -> int:
-        with self._lock:
-            return self._connection.execute(
-                "SELECT COUNT(*) FROM postings WHERE keyword = ?", (keyword,)
-            ).fetchone()[0]
+        return self._execute_read(
+            "SELECT COUNT(*) FROM postings WHERE keyword = ?", (keyword,)
+        )[0][0]
 
     def document_frequencies(self) -> Dict[str, int]:
-        with self._lock:
-            return dict(
-                self._connection.execute(
-                    "SELECT keyword, COUNT(*) FROM postings GROUP BY keyword"
-                )
-            )
+        return dict(
+            self._execute_read("SELECT keyword, COUNT(*) FROM postings GROUP BY keyword")
+        )
 
     def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
         encoded = encode_identifier(identifier)
-        with self._lock:
-            row = self._connection.execute(
-                "SELECT occurrences FROM postings WHERE keyword = ? AND fragment = ? "
-                "ORDER BY occurrences DESC, seq ASC LIMIT 1",
-                (keyword, encoded),
-            ).fetchone()
-        return row[0] if row is not None else 0
+        rows = self._execute_read(
+            "SELECT occurrences FROM postings WHERE keyword = ? AND fragment = ? "
+            "ORDER BY occurrences DESC, seq ASC LIMIT 1",
+            (keyword, encoded),
+        )
+        return rows[0][0] if rows else 0
 
     def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
         encoded = encode_identifier(identifier)
-        with self._lock:
-            rows = self._connection.execute(
-                "SELECT keyword, occurrences FROM postings WHERE fragment = ? "
-                "ORDER BY occurrences DESC, seq ASC",
-                (encoded,),
-            ).fetchall()
+        rows = self._execute_read(
+            "SELECT keyword, occurrences FROM postings WHERE fragment = ? "
+            "ORDER BY occurrences DESC, seq ASC",
+            (encoded,),
+        )
         frequencies: Dict[str, int] = {}
         for keyword, occurrences in rows:
             frequencies.setdefault(keyword, occurrences)
@@ -480,72 +650,83 @@ class DiskStore(FragmentStore):
 
     def fragment_keywords(self, identifier: FragmentId) -> Tuple[str, ...]:
         """The keywords whose inverted lists mention ``identifier``."""
-        with self._lock:
-            return tuple(self._fragment_keywords(encode_identifier(identifier)))
+        rows = self._execute_read(
+            "SELECT DISTINCT keyword FROM postings WHERE fragment = ?",
+            (encode_identifier(identifier),),
+        )
+        return tuple(keyword for (keyword,) in rows)
 
     def fragment_size(self, identifier: FragmentId) -> int:
-        with self._lock:
-            row = self._connection.execute(
-                "SELECT size FROM fragments WHERE id = ?", (encode_identifier(identifier),)
-            ).fetchone()
-        return row[0] if row is not None else 0
+        with self._cache_lock:
+            cached = self._sizes_cache.get(identifier)
+            if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
+                return cached[1]
+        stamp = self.epoch
+        rows = self._execute_read(
+            "SELECT size FROM fragments WHERE id = ?", (encode_identifier(identifier),)
+        )
+        size = rows[0][0] if rows else 0
+        if rows:
+            with self._cache_lock:
+                self._sizes_cache[identifier] = (stamp, size)
+        return size
 
     def fragment_sizes(self) -> Dict[FragmentId, int]:
-        with self._lock:
-            rows = self._connection.execute("SELECT id, size FROM fragments").fetchall()
+        rows = self._execute_read("SELECT id, size FROM fragments")
         return {self._decode(encoded): size for encoded, size in rows}
 
     def fragment_sizes_for(self, identifiers) -> Dict[FragmentId, int]:
         # One batched IN query per chunk instead of the base class's
-        # per-identifier SELECT: scorer construction asks for every relevant
-        # fragment's size at once, the hottest read on the search path.
-        wanted = [(identifier, encode_identifier(identifier)) for identifier in identifiers]
-        sizes = {identifier: 0 for identifier, _encoded in wanted}
-        chunk_size = 500  # stay under sqlite's bound-variable limit
-        with self._lock:
-            for start in range(0, len(wanted), chunk_size):
-                chunk = wanted[start : start + chunk_size]
-                placeholders = ",".join("?" for _ in chunk)
-                rows = self._connection.execute(
-                    f"SELECT id, size FROM fragments WHERE id IN ({placeholders})",
-                    [encoded for _identifier, encoded in chunk],
-                ).fetchall()
-                by_encoded = dict(rows)
+        # per-identifier SELECT: scorer size priming asks for a whole batch
+        # of fragments at once, the hottest read on the search path.  Sizes
+        # already cached (and epoch-fresh) never reach SQL at all.
+        sizes: Dict[FragmentId, int] = {}
+        wanted: List[Tuple[FragmentId, str]] = []
+        with self._cache_lock:
+            for identifier in identifiers:
+                cached = self._sizes_cache.get(identifier)
+                if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
+                    sizes[identifier] = cached[1]
+                else:
+                    sizes[identifier] = 0
+                    wanted.append((identifier, encode_identifier(identifier)))
+        stamp = self.epoch
+        for start in range(0, len(wanted), self._IN_CHUNK):
+            chunk = wanted[start : start + self._IN_CHUNK]
+            placeholders = ",".join("?" for _ in chunk)
+            rows = self._execute_read(
+                f"SELECT id, size FROM fragments WHERE id IN ({placeholders})",
+                tuple(encoded for _identifier, encoded in chunk),
+            )
+            by_encoded = dict(rows)
+            with self._cache_lock:
                 for identifier, encoded in chunk:
                     if encoded in by_encoded:
-                        sizes[identifier] = by_encoded[encoded]
+                        size = by_encoded[encoded]
+                        sizes[identifier] = size
+                        self._sizes_cache[identifier] = (stamp, size)
         return sizes
 
     def fragment_ids(self) -> Tuple[FragmentId, ...]:
-        with self._lock:
-            rows = self._connection.execute("SELECT id FROM fragments").fetchall()
+        rows = self._execute_read("SELECT id FROM fragments")
         return tuple(self._decode(encoded) for (encoded,) in rows)
 
     def has_fragment(self, identifier: FragmentId) -> bool:
-        with self._lock:
-            return (
-                self._connection.execute(
-                    "SELECT 1 FROM fragments WHERE id = ?", (encode_identifier(identifier),)
-                ).fetchone()
-                is not None
+        return bool(
+            self._execute_read(
+                "SELECT 1 FROM fragments WHERE id = ?", (encode_identifier(identifier),)
             )
+        )
 
     def fragment_count(self) -> int:
-        with self._lock:
-            return self._connection.execute("SELECT COUNT(*) FROM fragments").fetchone()[0]
+        return self._execute_read("SELECT COUNT(*) FROM fragments")[0][0]
 
     def vocabulary(self) -> Tuple[str, ...]:
-        with self._lock:
-            rows = self._connection.execute(
-                "SELECT DISTINCT keyword FROM postings ORDER BY keyword"
-            ).fetchall()
+        rows = self._execute_read("SELECT DISTINCT keyword FROM postings ORDER BY keyword")
         return tuple(keyword for (keyword,) in rows)
 
     def vocabulary_size(self) -> int:
-        with self._lock:
-            return self._connection.execute(
-                "SELECT COUNT(DISTINCT keyword) FROM postings"
-            ).fetchone()[0]
+        return self._execute_read("SELECT COUNT(DISTINCT keyword) FROM postings")[0][0]
 
     def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
         for keyword in self.vocabulary():
@@ -564,6 +745,8 @@ class DiskStore(FragmentStore):
             # Re-adding a node resets its neighbour set, like the in-memory
             # backend's fresh set() assignment.
             self._connection.execute("DELETE FROM edges WHERE src = ?", (encoded,))
+            with self._cache_lock:
+                self._neighbors_cache.pop(identifier, None)
             self._epoch_clock.tick_fragment(identifier)
             self._persist_epoch()
             self._persist_fragment_epoch(encoded, identifier)
@@ -581,28 +764,27 @@ class DiskStore(FragmentStore):
             self._require_node(encoded, identifier)
             self._connection.execute("DELETE FROM edges WHERE src = ?", (encoded,))
             self._connection.execute("DELETE FROM nodes WHERE id = ?", (encoded,))
+            with self._cache_lock:
+                self._neighbors_cache.pop(identifier, None)
             self._epoch_clock.tick_fragment(identifier)
             self._persist_epoch()
             self._persist_fragment_epoch(encoded, identifier)
 
     def has_node(self, identifier: FragmentId) -> bool:
-        with self._lock:
-            return (
-                self._connection.execute(
-                    "SELECT 1 FROM nodes WHERE id = ?", (encode_identifier(identifier),)
-                ).fetchone()
-                is not None
+        return bool(
+            self._execute_read(
+                "SELECT 1 FROM nodes WHERE id = ?", (encode_identifier(identifier),)
             )
+        )
 
     def node_keyword_count(self, identifier: FragmentId) -> int:
-        with self._lock:
-            row = self._connection.execute(
-                "SELECT keyword_count FROM nodes WHERE id = ?",
-                (encode_identifier(identifier),),
-            ).fetchone()
-        if row is None:
+        rows = self._execute_read(
+            "SELECT keyword_count FROM nodes WHERE id = ?",
+            (encode_identifier(identifier),),
+        )
+        if not rows:
             raise KeyError(identifier)
-        return row[0]
+        return rows[0][0]
 
     def set_node_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
         encoded = encode_identifier(identifier)
@@ -616,13 +798,11 @@ class DiskStore(FragmentStore):
             self._persist_fragment_epoch(encoded, identifier)
 
     def node_ids(self) -> Tuple[FragmentId, ...]:
-        with self._lock:
-            rows = self._connection.execute("SELECT id FROM nodes").fetchall()
+        rows = self._execute_read("SELECT id FROM nodes")
         return tuple(self._decode(encoded) for (encoded,) in rows)
 
     def node_count(self) -> int:
-        with self._lock:
-            return self._connection.execute("SELECT COUNT(*) FROM nodes").fetchone()[0]
+        return self._execute_read("SELECT COUNT(*) FROM nodes")[0][0]
 
     def add_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
         encoded = encode_identifier(identifier)
@@ -632,6 +812,8 @@ class DiskStore(FragmentStore):
                 "INSERT OR IGNORE INTO edges (src, dst) VALUES (?, ?)",
                 (encoded, encode_identifier(neighbor)),
             )
+            with self._cache_lock:
+                self._neighbors_cache.pop(identifier, None)
             self._epoch_clock.tick_fragment(identifier)
             self._persist_epoch()
             self._persist_fragment_epoch(encoded, identifier)
@@ -644,19 +826,33 @@ class DiskStore(FragmentStore):
                 "DELETE FROM edges WHERE src = ? AND dst = ?",
                 (encoded, encode_identifier(neighbor)),
             )
+            with self._cache_lock:
+                self._neighbors_cache.pop(identifier, None)
             self._epoch_clock.tick_fragment(identifier)
             self._persist_epoch()
             self._persist_fragment_epoch(encoded, identifier)
 
     def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
+        # The expansion loop reads adjacency for every page member of every
+        # dequeued pending page — the second-hottest read on the search path
+        # after sizes — so neighbour sets are cached with the same epoch
+        # validation as postings and sizes (every adjacency mutation ticks
+        # the endpoint's fragment epoch).
+        with self._cache_lock:
+            cached = self._neighbors_cache.get(identifier)
+            if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
+                return cached[1]
+        stamp = self.epoch
         encoded = encode_identifier(identifier)
-        with self._lock:
-            self._require_node(encoded, identifier)
-            rows = self._connection.execute(
-                "SELECT dst FROM edges WHERE src = ?", (encoded,)
-            ).fetchall()
-        return tuple(self._decode(dst) for (dst,) in rows)
+        rows = self._execute_read("SELECT dst FROM edges WHERE src = ?", (encoded,))
+        if not rows and not self.has_node(identifier):
+            # Only the empty-adjacency answer needs the existence probe; a
+            # node with edges is trivially known.
+            raise KeyError(identifier)
+        result = tuple(self._decode(dst) for (dst,) in rows)
+        with self._cache_lock:
+            self._neighbors_cache[identifier] = (stamp, result)
+        return result
 
     def edge_count(self) -> int:
-        with self._lock:
-            return self._connection.execute("SELECT COUNT(*) FROM edges").fetchone()[0] // 2
+        return self._execute_read("SELECT COUNT(*) FROM edges")[0][0] // 2

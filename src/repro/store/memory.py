@@ -106,6 +106,11 @@ class InMemoryStore(FragmentStore):
         self.finalize()
         return tuple(self._postings.get(keyword, ()))
 
+    def postings_for_many(self, keywords) -> Dict[str, Tuple[Posting, ...]]:
+        """All requested inverted lists behind a single finalize check."""
+        self.finalize()
+        return {keyword: tuple(self._postings.get(keyword, ())) for keyword in dict.fromkeys(keywords)}
+
     def raw_postings(self, keyword: str) -> List[Posting]:
         """The keyword's posting list without sorting (shard-merge internal)."""
         return self._postings.get(keyword, [])
@@ -140,6 +145,11 @@ class InMemoryStore(FragmentStore):
 
     def fragment_sizes(self) -> Dict[FragmentId, int]:
         return dict(self._fragment_sizes)
+
+    def fragment_sizes_for(self, identifiers) -> Dict[FragmentId, int]:
+        """Sizes of just ``identifiers`` in one dictionary pass."""
+        sizes = self._fragment_sizes
+        return {identifier: sizes.get(identifier, 0) for identifier in identifiers}
 
     def fragment_ids(self) -> Tuple[FragmentId, ...]:
         return tuple(self._fragment_sizes)

@@ -19,7 +19,6 @@ it parallelises.
 from __future__ import annotations
 
 import os
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
@@ -59,8 +58,17 @@ class ShardedStore(FragmentStore):
         ]
         self._parallel_threshold = parallel_threshold
         self._max_workers = max_workers or min(shards, os.cpu_count() or 2)
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._executor_lock = threading.Lock()
+        # One long-lived read pool for the store's whole life, built up front
+        # (ThreadPoolExecutor spawns its worker threads lazily, so an eager
+        # pool costs nothing until the first fan-out) and shut down by
+        # close().  Constructing a pool per fan-out — or racing lazily for a
+        # shared one — is exactly the dispatch churn that made small sharded
+        # stores slower than the single-partition backend.
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=self._max_workers, thread_name_prefix="fragment-store")
+            if shards > 1
+            else None
+        )
         # Merged keyword -> (epoch stamp, sorted postings); entries revalidate
         # against the keyword's mutation epoch on every hit.
         self._merged_postings: Dict[str, Tuple[int, Tuple[Posting, ...]]] = {}
@@ -91,22 +99,30 @@ class ShardedStore(FragmentStore):
         return self._shards[self.shard_of(identifier)]
 
     def run_parallel(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
-        if len(tasks) <= 1 or not self._fan_out():
-            return [task() for task in tasks]
+        # Single-task batches — a read whose relevant fragments all live on
+        # one shard — bypass the pool entirely: thread hand-off would be pure
+        # overhead for work with no concurrency to exploit.
         executor = self._executor
-        if executor is None:
-            # Concurrent searches (SearchService workers) can race the first
-            # fan-out; without the lock each racer would spawn its own pool
-            # and orphan all but the last one.
-            with self._executor_lock:
-                executor = self._executor
-                if executor is None:
-                    executor = ThreadPoolExecutor(
-                        max_workers=self._max_workers,
-                        thread_name_prefix="fragment-store",
-                    )
-                    self._executor = executor
-        return list(executor.map(lambda task: task(), tasks))
+        if len(tasks) <= 1 or executor is None or not self._fan_out():
+            return [task() for task in tasks]
+        try:
+            return list(executor.map(lambda task: task(), tasks))
+        except RuntimeError:
+            # Only a close() race gets the serial fallback: the pool was
+            # captured above but shut down before (or while) the batch was
+            # submitted.  Shard reads are idempotent, so re-running the
+            # batch inline is safe even if some tasks already ran on the
+            # pool.  A RuntimeError raised by a task itself (pool still
+            # installed) must propagate, not silently retry.
+            if self._executor is None:
+                return [task() for task in tasks]
+            raise
+
+    def close(self) -> None:
+        """Shut the read pool down.  Reads keep working, serially."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def map_shards(self, fn: Callable[[InMemoryStore], T]) -> List[T]:
         """Apply ``fn`` to every shard (fanning out), preserving shard order."""
@@ -180,6 +196,42 @@ class ShardedStore(FragmentStore):
             # input) would grow the cache without bound on a read-only store.
             self._merged_postings[keyword] = (stamp, result)
         return result
+
+    def postings_for_many(self, keywords) -> Dict[str, Tuple[Posting, ...]]:
+        """All requested inverted lists with a single shard fan-out.
+
+        Fresh merged lists for every cache-missing keyword come out of one
+        ``map_shards`` round-trip (each shard task gathers its raw lists for
+        the whole batch), instead of one fan-out per keyword; cache hits are
+        revalidated against their keyword epochs exactly like
+        :meth:`postings`.
+        """
+        results: Dict[str, Tuple[Posting, ...]] = {}
+        missing: List[str] = []
+        for keyword in dict.fromkeys(keywords):
+            cached = self._merged_postings.get(keyword)
+            if cached is not None and self.keyword_epoch(keyword) <= cached[0]:
+                results[keyword] = cached[1]
+                continue
+            if cached is not None:
+                self._merged_postings.pop(keyword, None)
+            missing.append(keyword)
+        if missing:
+            stamp = self.epoch
+            parts = self.map_shards(
+                lambda shard: {keyword: shard.raw_postings(keyword) for keyword in missing}
+            )
+            for keyword in missing:
+                merged: List[Posting] = []
+                for part in parts:
+                    merged.extend(part[keyword])
+                merged.sort(key=posting_sort_key)
+                result = tuple(merged)
+                if result:
+                    # Same no-miss-caching rule as postings().
+                    self._merged_postings[keyword] = (stamp, result)
+                results[keyword] = result
+        return results
 
     def fragment_frequency(self, keyword: str) -> int:
         return sum(self.map_shards(lambda shard: shard.fragment_frequency(keyword)))

@@ -1,0 +1,441 @@
+"""The overhauled read path: batched reads, the DiskStore read-connection
+pool, and exact score-bounded early termination.
+
+Three guarantees are load-bearing:
+
+* **Exactness** — the bounded searcher must return byte-identical results
+  (URLs, scores, fragments, sizes) to the bound-free exhaustive searcher on
+  every backend, for randomized corpora and queries (hypothesis) as well as
+  the running examples.  Pruning that changes output is a correctness bug,
+  not a performance trade.
+* **Batched reads agree with the per-item reads** — ``postings_for_many``
+  and ``fragment_sizes_for`` must answer exactly like their singular
+  counterparts on every backend, before and after mutations.
+* **The DiskStore pool is real and bounded** — concurrent ``search_many``
+  readers return the single-threaded results, and ``close()`` closes every
+  pooled connection (no file-descriptor leak).
+"""
+
+import os
+import tempfile
+import threading
+import time
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+import pytest
+
+from repro.core.fragment_graph import FragmentGraph
+from repro.core.fragment_index import InvertedFragmentIndex
+from repro.core.search import TopKSearcher
+from repro.core.urls import UrlFormulator
+from repro.datasets.fooddb import build_fooddb, fooddb_search_query
+from repro.serving import SearchService
+from repro.store import DiskStore, InMemoryStore, ShardedStore
+from repro.webapp.request import QueryStringSpec
+
+QUERY = fooddb_search_query(build_fooddb())
+SPEC = QueryStringSpec((("c", "cuisine"), ("l", "min"), ("u", "max")))
+URI = "www.example.com/Search"
+
+RELAXED = settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def _disk_store() -> DiskStore:
+    return DiskStore(os.path.join(tempfile.mkdtemp(prefix="repro-read-path-"), "store.sqlite"))
+
+
+def _build(fragments, store, early_termination=True):
+    index = InvertedFragmentIndex(store=store)
+    for identifier, term_frequencies in fragments.items():
+        index.add_fragment(identifier, term_frequencies)
+    index.finalize()
+    sizes = {identifier: index.fragment_size(identifier) for identifier in fragments}
+    graph = FragmentGraph.build(QUERY, sizes, store=store)
+    searcher = TopKSearcher(
+        index, graph, UrlFormulator(QUERY, SPEC, URI), early_termination=early_termination
+    )
+    return index, graph, searcher
+
+
+def _result_tuples(results):
+    return [(r.url, r.score, r.fragments, r.size) for r in results]
+
+
+# ----------------------------------------------------------------------
+# randomized corpora + queries
+# ----------------------------------------------------------------------
+corpus_strategy = st.builds(
+    lambda seed, count: _random_fragments(seed, count),
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=5, max_value=90),
+)
+
+
+def _random_fragments(seed: int, count: int):
+    import random
+
+    rng = random.Random(seed)
+    vocabulary = [f"kw{index:02d}" for index in range(30)]
+    fragments = {}
+    groups = max(1, count // 6)
+    for index in range(count):
+        identifier = (f"Cuisine{index % groups:02d}", 5 + index // groups)
+        fragments[identifier] = {
+            rng.choice(vocabulary): rng.randint(1, 5) for _ in range(rng.randint(1, 8))
+        }
+    return fragments
+
+
+class TestEarlyTerminationExactness:
+    """Bounded and exhaustive searches must be byte-identical everywhere."""
+
+    @RELAXED
+    @given(
+        fragments=corpus_strategy,
+        query_seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=6),
+        size_threshold=st.sampled_from([1, 10, 60]),
+    )
+    def test_bounded_equals_exhaustive_across_backends(
+        self, fragments, query_seed, k, size_threshold
+    ):
+        import random
+
+        rng = random.Random(query_seed)
+        vocabulary = [f"kw{index:02d}" for index in range(30)] + ["unknown"]
+        keywords = rng.sample(vocabulary, rng.randint(1, 3))
+
+        _, _, exhaustive = _build(fragments, InMemoryStore(), early_termination=False)
+        expected = _result_tuples(exhaustive.search(keywords, k=k, size_threshold=size_threshold))
+        assert exhaustive.last_statistics.pruned_dequeues == 0
+        assert exhaustive.last_statistics.pruned_expansions == 0
+
+        for store_factory in (InMemoryStore, lambda: ShardedStore(shards=3), _disk_store):
+            _, _, bounded = _build(fragments, store_factory(), early_termination=True)
+            actual = _result_tuples(bounded.search(keywords, k=k, size_threshold=size_threshold))
+            assert actual == expected
+
+    def test_pruned_work_is_reported(self):
+        """A skewed-IDF query must leave most seeds unscored.
+
+        Every fragment carries the common keyword (low IDF), three also carry
+        the rare one (high IDF): the common-only seeds' admissible bound is
+        the common keyword's IDF, which cannot beat the rare seeds' exact
+        scores, so with a small ``k`` they are never materialized.
+        """
+        fragments = {}
+        for index in range(60):
+            fragments[("Cuisine00", 5 + index)] = {"common": 1 + index % 3, "filler": 2}
+        for index in range(3):
+            fragments[("Cuisine01", 5 + index)] = {"rare": 9, "common": 1}
+        _, _, bounded = _build(fragments, InMemoryStore())
+        _, _, exhaustive = _build(fragments, InMemoryStore(), early_termination=False)
+        keywords = ["rare", "common"]
+        bounded_results = bounded.search(keywords, k=2, size_threshold=1)
+        exhaustive_results = exhaustive.search(keywords, k=2, size_threshold=1)
+        assert _result_tuples(bounded_results) == _result_tuples(exhaustive_results)
+        statistics = bounded.last_statistics
+        assert statistics.seed_fragments == 63
+        assert statistics.pruned_dequeues > 0
+        assert statistics.seeds_scored < statistics.seed_fragments
+        assert statistics.seeds_scored + statistics.pruned_dequeues == statistics.seed_fragments
+        totals = bounded.lifetime_statistics()
+        assert totals["searches"] == 1
+        assert totals["pruned_dequeues"] == statistics.pruned_dequeues
+        assert totals["pruned_expansions"] == statistics.pruned_expansions
+
+    def test_expansion_tier_pruning_is_reported(self):
+        """Irrelevant neighbours are skipped once a relevant candidate exists."""
+        fragments = _random_fragments(seed=3, count=90)
+        _, _, bounded = _build(fragments, InMemoryStore())
+        _, _, exhaustive = _build(fragments, InMemoryStore(), early_termination=False)
+        keywords = ["kw00", "kw01", "kw02"]
+        bounded_results = bounded.search(keywords, k=2, size_threshold=10)
+        exhaustive_results = exhaustive.search(keywords, k=2, size_threshold=10)
+        assert _result_tuples(bounded_results) == _result_tuples(exhaustive_results)
+        assert bounded.last_statistics.pruned_expansions > 0
+
+    def test_dequeue_and_expansion_counts_are_backend_independent(self):
+        fragments = _random_fragments(seed=9, count=60)
+        _, _, reference = _build(fragments, InMemoryStore())
+        reference.search(["kw03", "kw07"], k=4, size_threshold=20)
+        for store_factory in (lambda: ShardedStore(shards=4), _disk_store):
+            _, _, other = _build(fragments, store_factory())
+            other.search(["kw03", "kw07"], k=4, size_threshold=20)
+            assert other.last_statistics.dequeues == reference.last_statistics.dequeues
+            assert other.last_statistics.expansions == reference.last_statistics.expansions
+            assert other.last_statistics.seeds_scored == reference.last_statistics.seeds_scored
+
+
+# ----------------------------------------------------------------------
+# the precomputed bound building blocks
+# ----------------------------------------------------------------------
+class TestAdmissibleBounds:
+    """The scoring layer's precomputed bounds must never under-cap a score."""
+
+    @RELAXED
+    @given(fragments=corpus_strategy, query_seed=st.integers(min_value=0, max_value=10_000))
+    def test_sorted_lists_and_seed_bounds_are_admissible(self, fragments, query_seed):
+        import random
+
+        from repro.core.scoring import DashScorer
+
+        rng = random.Random(query_seed)
+        vocabulary = [f"kw{index:02d}" for index in range(30)] + ["unknown"]
+        keywords = rng.sample(vocabulary, rng.randint(1, 3))
+        index, _, _ = _build(fragments, InMemoryStore())
+        scorer = DashScorer(index, keywords)
+
+        for keyword in keywords:
+            postings = index.postings(keyword)
+            if postings:
+                # the per-keyword occurrence ceiling is the head of the
+                # descending-sorted list — the invariant the bound math rides
+                assert postings[0].term_frequency == max(
+                    p.term_frequency for p in postings
+                )
+
+        bounds = scorer.seed_score_bounds()
+        for identifier in bounds:
+            assert bounds[identifier] >= scorer.score((identifier,))
+class TestBatchedReads:
+    @pytest.mark.parametrize(
+        "store_factory", [InMemoryStore, lambda: ShardedStore(shards=3), _disk_store]
+    )
+    def test_postings_for_many_matches_postings(self, store_factory):
+        fragments = _random_fragments(seed=5, count=40)
+        index, _, _ = _build(fragments, store_factory())
+        store = index.store
+        keywords = list(store.vocabulary())[:10] + ["missing", "missing"]
+        batched = store.postings_for_many(keywords)
+        assert set(batched) == set(keywords)
+        for keyword in batched:
+            assert batched[keyword] == store.postings(keyword)
+
+    @pytest.mark.parametrize(
+        "store_factory", [InMemoryStore, lambda: ShardedStore(shards=3), _disk_store]
+    )
+    def test_postings_for_many_sees_mutations(self, store_factory):
+        fragments = _random_fragments(seed=6, count=30)
+        index, _, _ = _build(fragments, store_factory())
+        store = index.store
+        keyword = next(iter(store.vocabulary()))
+        before = store.postings_for_many([keyword])[keyword]
+        assert before  # the vocabulary keyword has postings
+        victim = before[0].document_id
+        index.replace_fragment(victim, {keyword: 999})
+        after = store.postings_for_many([keyword])[keyword]
+        assert after == store.postings(keyword)
+        assert after[0].term_frequency == 999
+
+    @pytest.mark.parametrize(
+        "store_factory", [InMemoryStore, lambda: ShardedStore(shards=3), _disk_store]
+    )
+    def test_fragment_sizes_for_matches_fragment_size(self, store_factory):
+        fragments = _random_fragments(seed=7, count=40)
+        index, _, _ = _build(fragments, store_factory())
+        store = index.store
+        identifiers = list(store.fragment_ids())[:15] + [("Nope", 1)]
+        batched = store.fragment_sizes_for(identifiers)
+        for identifier in identifiers:
+            assert batched[identifier] == store.fragment_size(identifier)
+        assert batched[("Nope", 1)] == 0
+
+    def test_disk_size_cache_invalidates_on_replace(self):
+        fragments = _random_fragments(seed=8, count=20)
+        index, _, _ = _build(fragments, _disk_store())
+        store = index.store
+        identifier = store.fragment_ids()[0]
+        original = store.fragment_sizes_for([identifier])[identifier]
+        assert original == store.fragment_size(identifier)
+        index.replace_fragment(identifier, {"kw00": original + 17})
+        assert store.fragment_sizes_for([identifier])[identifier] == original + 17
+        assert store.fragment_size(identifier) == original + 17
+
+    def test_disk_batched_reads_see_staged_bulk_load(self):
+        """Before finalize() commits, reads must route through the write
+        connection and see the staged rows."""
+        store = _disk_store()
+        index = InvertedFragmentIndex(store=store)
+        index.add_fragment(("American", 10), {"burger": 2, "fries": 1})
+        # finalize() not called: the bulk-load transaction is still open
+        assert store.fragment_sizes_for([("American", 10)])[("American", 10)] == 3
+        batched = store.postings_for_many(["burger", "fries"])
+        assert [p.document_id for p in batched["burger"]] == [("American", 10)]
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# the DiskStore read-connection pool
+# ----------------------------------------------------------------------
+def _open_sqlite_fds(path):
+    """File descriptors of this process pointing at ``path`` (linux)."""
+    fd_dir = "/proc/self/fd"
+    if not os.path.isdir(fd_dir):
+        pytest.skip("/proc/self/fd not available on this platform")
+    real = os.path.realpath(path)
+    open_fds = []
+    for entry in os.listdir(fd_dir):
+        try:
+            target = os.readlink(os.path.join(fd_dir, entry))
+        except OSError:
+            continue
+        if target == real:
+            open_fds.append(entry)
+    return open_fds
+
+
+class TestDiskReadPool:
+    def test_concurrent_search_many_matches_serial_results(self):
+        fragments = _random_fragments(seed=11, count=80)
+        _, _, searcher = _build(fragments, _disk_store())
+        store = searcher.index.store
+        queries = [[f"kw{index % 30:02d}", f"kw{(index * 7) % 30:02d}"] for index in range(24)]
+        expected = [
+            _result_tuples(searcher.search(keywords, k=5, size_threshold=20))
+            for keywords in queries
+        ]
+        store.drop_read_caches()  # make the concurrent pass actually read SQL
+        service = SearchService(searcher, cache_size=0, workers=4)
+        served = service.search_many(
+            [{"keywords": keywords} for keywords in queries], k=5, size_threshold=20
+        )
+        assert [_result_tuples(result.results) for result in served] == expected
+        service.close()
+        store.close()
+
+    def test_pool_grows_per_thread_and_closes_without_fd_leak(self):
+        fragments = _random_fragments(seed=12, count=30)
+        _, _, searcher = _build(fragments, _disk_store())
+        store = searcher.index.store
+        searcher.search(["kw01"], k=3, size_threshold=10)
+        assert store.pooled_reader_count >= 1
+
+        seen = []
+        release = threading.Event()
+
+        def reader():
+            seen.append(store.fragment_count())
+            # stay alive until the pool size is observed — exited threads'
+            # connections are legitimately reclaimed by later connects
+            release.wait(timeout=30)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 30
+        while len(seen) < 3 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert sorted(seen) == [30, 30, 30]
+        # one pooled connection per (live) reader thread plus the main thread's
+        assert store.pooled_reader_count >= 4
+        release.set()
+        for thread in threads:
+            thread.join()
+
+        assert len(_open_sqlite_fds(store.path)) >= 1
+        store.close()
+        assert store.pooled_reader_count == 0
+        assert _open_sqlite_fds(store.path) == []
+        store.close()  # idempotent
+
+    def test_dead_thread_connections_are_reclaimed(self):
+        """Thread churn must not leak pooled connections (EMFILE over time)."""
+        fragments = _random_fragments(seed=15, count=20)
+        _, _, searcher = _build(fragments, _disk_store())
+        store = searcher.index.store
+        store.fragment_count()  # the main thread's pooled reader
+
+        def reader():
+            store.fragment_count()
+
+        for _round in range(5):
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # Each round's new readers swept the previous round's dead ones:
+        # main + at most the last round's (dead, not-yet-swept) connections.
+        assert store.pooled_reader_count <= 5
+        final = threading.Thread(target=reader)
+        final.start()
+        final.join()
+        # The final thread's connect swept every earlier dead reader.  (The
+        # connection count is the leak-proof bound; per-connection fd counts
+        # on the main db file vary with WAL timing, so they are asserted
+        # only at close.)
+        assert store.pooled_reader_count <= 2
+        store.close()
+        assert _open_sqlite_fds(store.path) == []
+
+    def test_reads_after_close_raise(self):
+        fragments = _random_fragments(seed=13, count=10)
+        _, _, searcher = _build(fragments, _disk_store())
+        store = searcher.index.store
+        store.close()
+        with pytest.raises(Exception):
+            store.fragment_count()
+
+
+# ----------------------------------------------------------------------
+# ShardedStore read-pool lifecycle
+# ----------------------------------------------------------------------
+class TestShardedStoreLifecycle:
+    def test_close_shuts_the_executor_down_and_reads_stay_correct(self):
+        fragments = _random_fragments(seed=14, count=40)
+        index, _, searcher = _build(fragments, ShardedStore(shards=4, parallel_threshold=1))
+        store = index.store
+        # force a fan-out before and after close
+        before = store.fragment_sizes()
+        assert store._executor is not None
+        results_before = _result_tuples(searcher.search(["kw02", "kw04"], k=3, size_threshold=10))
+        store.close()
+        assert store._executor is None
+        assert store.fragment_sizes() == before
+        results_after = _result_tuples(searcher.search(["kw02", "kw04"], k=3, size_threshold=10))
+        assert results_after == results_before
+        store.close()  # idempotent
+
+    def test_single_shard_store_never_builds_a_pool(self):
+        store = ShardedStore(shards=1)
+        assert store._executor is None
+        store.close()
+
+    def test_fan_out_racing_close_falls_back_to_serial(self):
+        """A fan-out that captured the pool just before close() must not
+        crash — it degrades to the serial path close() promises."""
+        fragments = _random_fragments(seed=16, count=40)
+        index, _, _ = _build(fragments, ShardedStore(shards=4, parallel_threshold=1))
+        store = index.store
+        expected = store.fragment_sizes()
+        real = store._executor
+
+        class RacingExecutor:
+            """Completes close() between the pool capture and submission."""
+
+            def map(self, fn, tasks):
+                store.close()
+                return real.map(fn, tasks)  # raises: the pool is shut down
+
+            def shutdown(self, wait=True):
+                real.shutdown(wait=wait)
+
+        store._executor = RacingExecutor()
+        assert store.fragment_sizes() == expected  # serial fallback, no crash
+        assert store._executor is None  # close() really ran mid-flight
+        store.close()  # idempotent
+
+    def test_task_runtime_errors_propagate_through_the_pool(self):
+        """Only the close() race retries serially — a task's own
+        RuntimeError must surface, not silently re-execute the batch."""
+        fragments = _random_fragments(seed=17, count=40)
+        index, _, _ = _build(fragments, ShardedStore(shards=4, parallel_threshold=1))
+        store = index.store
+
+        def boom():
+            raise RuntimeError("task failure")
+
+        with pytest.raises(RuntimeError, match="task failure"):
+            store.run_parallel([boom, boom, boom, boom])
+        store.close()

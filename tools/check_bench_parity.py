@@ -1,0 +1,70 @@
+"""Fail CI when any benchmark reported non-identical ranked URLs.
+
+Every benchmark asserts ranked-URL parity while it runs *and* records the
+verdict in its ``BENCH_*.json`` payload; this checker re-reads the emitted
+files so a refactor that silently stops asserting (or stops running a
+backend) still fails the smoke job.  Usage::
+
+    python tools/check_bench_parity.py BENCH_store_backends.json BENCH_serving.json
+
+Exits non-zero when a file is missing, holds no parity flags at all, or
+holds any flag that is not ``true``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, List, Tuple
+
+
+def collect_parity_flags(payload: Any, path: str = "$") -> List[Tuple[str, Any]]:
+    """Every ``parity_ok`` entry in the payload, with its JSON path."""
+    flags: List[Tuple[str, Any]] = []
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if key == "parity_ok":
+                flags.append((f"{path}.{key}", value))
+            else:
+                flags.extend(collect_parity_flags(value, f"{path}.{key}"))
+    elif isinstance(payload, list):
+        for position, value in enumerate(payload):
+            flags.extend(collect_parity_flags(value, f"{path}[{position}]"))
+    return flags
+
+
+def check_file(filename: str) -> Tuple[List[str], int]:
+    """``(problems, parity-flag count)`` for one benchmark payload."""
+    try:
+        with open(filename, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return [f"{filename}: missing (did the benchmark run?)"], 0
+    except json.JSONDecodeError as error:
+        return [f"{filename}: unparseable ({error})"], 0
+    flags = collect_parity_flags(payload)
+    if not flags:
+        return [f"{filename}: no parity_ok flags recorded"], 0
+    problems = [
+        f"{filename}: {path} = {value!r}" for path, value in flags if value is not True
+    ]
+    return problems, len(flags)
+
+
+def main(argv: List[str]) -> int:
+    """Check every named file; print a verdict per file."""
+    filenames = argv or ["BENCH_store_backends.json", "BENCH_serving.json"]
+    problems: List[str] = []
+    for filename in filenames:
+        found, flag_count = check_file(filename)
+        if found:
+            problems.extend(found)
+        else:
+            print(f"ok: {filename} ({flag_count} parity flags, all true)")
+    for problem in problems:
+        print(f"PARITY FAILURE — {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

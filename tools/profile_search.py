@@ -1,0 +1,111 @@
+"""cProfile harness for the top-k search read path.
+
+Builds the synthetic fooddb-shaped corpus the store benchmarks use, runs a
+mixed single-/multi-keyword query loop against the chosen backend, and
+prints the top cumulative hot spots — the quickest way to see where a
+backend's search time actually goes (seed materialization, size reads,
+neighbour lookups, ...) before and after a change.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_search.py --backend disk --fragments 6000
+    PYTHONPATH=src python tools/profile_search.py --backend sharded-4 --top 30
+    PYTHONPATH=src python tools/profile_search.py --backend memory --output profile.txt
+
+``--backend`` accepts ``seed`` (the pre-store baseline searcher), ``memory``,
+``sharded-N`` and ``disk``.  Referenced from docs/benchmarks.md; CI runs it
+on the smoke corpus and uploads the output as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import os
+import pstats
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from bench_store_backends import (  # noqa: E402  (path set up above)
+    K,
+    SIZE_THRESHOLDS,
+    keyword_workload,
+    searcher_for,
+    synthetic_fragments,
+)
+
+
+def profile_backend(backend: str, fragments: int, repeats: int, top: int) -> str:
+    """Profile ``repeats`` passes of the standard query mix; returns the report."""
+    corpus = synthetic_fragments(fragments)
+    searcher = searcher_for(backend, corpus)
+    workload = keyword_workload(searcher.index)
+    queries = [[keyword] for keyword in workload.values()]
+    queries.append(list(workload.values()))  # one multi-keyword query
+    for keywords in queries:  # warm caches so the profile shows the steady state
+        searcher.search(keywords, k=K, size_threshold=SIZE_THRESHOLDS[0])
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(repeats):
+        for keywords in queries:
+            for size_threshold in SIZE_THRESHOLDS:
+                searcher.search(keywords, k=K, size_threshold=size_threshold)
+    profiler.disable()
+
+    store = getattr(getattr(searcher, "index", None), "store", None)
+    if store is not None:
+        store.close()  # release the disk backend's connections / read pool
+
+    buffer = io.StringIO()
+    statistics = pstats.Stats(profiler, stream=buffer)
+    statistics.sort_stats("cumulative").print_stats(top)
+    header = (
+        f"backend={backend} fragments={fragments} repeats={repeats} "
+        f"queries/pass={len(queries) * len(SIZE_THRESHOLDS)}\n"
+    )
+    try:
+        search_statistics = searcher.last_statistics
+        header += (
+            f"last search: seeds={search_statistics.seed_fragments} "
+            f"scored={search_statistics.seeds_scored} "
+            f"pruned_dequeues={search_statistics.pruned_dequeues} "
+            f"pruned_expansions={search_statistics.pruned_expansions}\n"
+        )
+    except AttributeError:
+        pass  # the seed replica carries no statistics
+    return header + buffer.getvalue()
+
+
+def main(argv=None) -> int:
+    """Parse arguments, profile one backend, print (or write) the report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        default="disk",
+        help="seed | memory | sharded-N | disk (default: disk)",
+    )
+    parser.add_argument("--fragments", type=int, default=6000, help="corpus size (default 6000)")
+    parser.add_argument("--repeats", type=int, default=5, help="query-mix passes (default 5)")
+    parser.add_argument("--top", type=int, default=20, help="hot spots to print (default 20)")
+    parser.add_argument("--output", default=None, help="write the report here instead of stdout")
+    arguments = parser.parse_args(argv)
+
+    report = profile_backend(
+        arguments.backend, arguments.fragments, arguments.repeats, arguments.top
+    )
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {arguments.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
