@@ -187,6 +187,8 @@ class DashEngine:
         application: WebApplication,
         database: Database,
         analyze_source: bool = True,
+        read_only: bool = False,
+        exclusive_writer: bool = False,
     ) -> "DashEngine":
         """Re-attach to a persistent store a previous process built.
 
@@ -203,13 +205,23 @@ class DashEngine:
         future :class:`~repro.core.incremental.IncrementalMaintainer` runs
         consult.  ``analyze_source`` recovers them from servlet source
         exactly as :meth:`build` does.
+
+        ``read_only``/``exclusive_writer`` select the store's multi-process
+        role (see :class:`~repro.store.DiskStore`): several processes can
+        open one file read-only and serve WAL snapshot reads while a single
+        ``exclusive_writer`` process owns every mutation.
         """
         # Imported here: the store package is imported by repro.core modules,
         # and DiskStore lives behind the same resolution seam build() uses.
         from repro.store.disk import DiskStore
 
         try:
-            fragment_store = DiskStore(path, create=False)
+            fragment_store = DiskStore(
+                path,
+                create=False,
+                read_only=read_only,
+                exclusive_writer=exclusive_writer,
+            )
         except Exception as error:
             raise DashEngineError(str(error)) from error
         if not fragment_store.fragment_count():
@@ -276,18 +288,33 @@ class DashEngine:
         default_k: int = 10,
         default_size_threshold: int = 100,
         max_dependencies: int = 4096,
+        maintenance: bool = False,
+        maintenance_batch: int = 64,
+        maintenance_delay_seconds: float = 0.005,
+        strict_freshness: bool = False,
     ) -> "SearchService":
         """The blessed serving entry point: a cached, concurrent SearchService.
 
         Wraps this engine's searcher (sharing its epoch-invalidated session)
         in a :class:`~repro.serving.SearchService`: query admission, a
         versioned LRU result cache, and a thread pool for ``search_many``.
+
+        ``maintenance=True`` additionally wires the write path: an
+        :class:`~repro.core.incremental.IncrementalMaintainer` over this
+        engine's database/index/graph, wrapped in a
+        :class:`~repro.serving.MaintenanceService` (exposed as the returned
+        service's ``.maintenance``) whose dedicated writer thread queues,
+        coalesces and applies mutation batches — each batch atomic with
+        respect to this service's search computations.
+        ``maintenance_batch``/``maintenance_delay_seconds`` tune its
+        coalescing; ``strict_freshness`` is the multi-process reader knob
+        (see :class:`~repro.serving.SearchService`).
         """
         # Imported here: repro.serving programs against repro.core, so a
         # module-level import would be circular through repro.core.__init__.
         from repro.serving.service import SearchService
 
-        return SearchService(
+        service = SearchService(
             self._searcher,
             session=self._session,
             cache_size=cache_size,
@@ -295,7 +322,22 @@ class DashEngine:
             default_k=default_k,
             default_size_threshold=default_size_threshold,
             max_dependencies=max_dependencies,
+            strict_freshness=strict_freshness,
         )
+        if maintenance:
+            from repro.core.incremental import IncrementalMaintainer
+            from repro.serving.maintenance import MaintenanceService
+
+            maintainer = IncrementalMaintainer(
+                self.application.query, self.database, self.index, self.graph
+            )
+            service.maintenance = MaintenanceService(
+                maintainer,
+                service=service,
+                max_batch=maintenance_batch,
+                max_delay_seconds=maintenance_delay_seconds,
+            )
+        return service
 
     @property
     def searcher(self) -> TopKSearcher:

@@ -110,6 +110,42 @@ class InvertedFragmentIndex:
         if term_frequencies:
             self._store.touch_fragment(identifier)
 
+    def apply_mutations(self, batch) -> int:
+        """Apply a batch of replace/remove/touch ops as one store operation.
+
+        ``batch`` holds :mod:`repro.store.mutations` ops; replace ops are
+        canonicalised exactly like :meth:`replace_fragment` (identifiers
+        coerced to tuples, keywords lower-cased — distinct keys that
+        lower-case to the same keyword accumulate, non-positive counts
+        dropped) before the store sees them.  The store applies the whole
+        batch natively — one dictionary pass, one per-shard fan-out, or one
+        crash-safe transaction — and ticks its epoch clock once.  Returns
+        the number of ops applied after coalescing.
+        """
+        from repro.store.mutations import ReplaceFragment, replace_op
+
+        canonical = []
+        for op in batch:
+            if isinstance(op, ReplaceFragment):
+                items = (
+                    op.term_frequencies.items()
+                    if hasattr(op.term_frequencies, "items")
+                    else op.term_frequencies
+                )
+                # Only the lower-casing is facade business; identifier
+                # coercion and count filtering live in replace_op, and the
+                # store's normalize_mutations re-validates everything else
+                # (including rejecting unknown op types).
+                canonical.append(
+                    replace_op(
+                        op.identifier,
+                        [(keyword.lower(), occurrences) for keyword, occurrences in items],
+                    )
+                )
+            else:
+                canonical.append(op)
+        return self._store.apply_mutations(canonical)
+
     def finalize(self) -> None:
         """Sort every inverted list by descending occurrence count."""
         self._store.finalize()

@@ -21,15 +21,26 @@ joined rows that involve the changed record.  The maintainer therefore
 
 The maintainer only ever talks to the index/graph facades, which route every
 per-fragment mutation to the underlying
-:class:`~repro.store.FragmentStore`.  Each posting swap is a single
-``replace_fragment`` store operation, and because a fragment's postings,
-size and graph node all live on the identifier's owning shard, incremental
-maintenance stays a one-shard affair on partitioned backends.
+:class:`~repro.store.FragmentStore`.  The write path is **batched**: one
+maintenance round — a single :meth:`IncrementalMaintainer.insert`/``delete``
+or a whole burst handed to :meth:`IncrementalMaintainer.apply_updates` —
+derives every affected fragment once, coalesces repeated touches to the
+same fragment, and emits a single
+:meth:`~repro.store.FragmentStore.apply_mutations` batch wrapped (together
+with the round's graph updates) in one
+:meth:`~repro.store.FragmentStore.write_batch` scope.  On the persistent
+backend that makes the whole round one crash-safe sqlite transaction; on
+every backend the round finalizes the index exactly once and ticks the
+epoch clock once, so serving caches drop precisely the entries the round
+could have changed.  Because a fragment's postings, size and graph node
+all live on the identifier's owning shard, the batch fans out per shard on
+partitioned backends.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.fragment_graph import FragmentGraph
 from repro.core.fragment_index import InvertedFragmentIndex
@@ -38,10 +49,32 @@ from repro.db.algebra import select
 from repro.db.database import Database
 from repro.db.query import ParameterizedPSJQuery
 from repro.db.relation import Record, Relation
+from repro.store.mutations import Mutation, RemoveFragment, replace_op
 
 
 class IncrementalMaintenanceError(Exception):
     """Raised when an update cannot be applied incrementally."""
+
+
+@dataclass(frozen=True)
+class InsertRecord:
+    """One record insertion into an operand relation (a queueable update)."""
+
+    relation: str
+    record: Any
+
+
+@dataclass(frozen=True)
+class DeleteRecords:
+    """Deletion of every record of ``relation`` matching ``predicate``."""
+
+    relation: str
+    predicate: Callable[[Record], bool]
+
+
+#: What :meth:`IncrementalMaintainer.apply_updates` (and the serving layer's
+#: :class:`~repro.serving.MaintenanceService`) accept as one queued update.
+DatabaseUpdate = Union[InsertRecord, DeleteRecords]
 
 
 class IncrementalMaintainer:
@@ -86,26 +119,54 @@ class IncrementalMaintainer:
     # ------------------------------------------------------------------
     def insert(self, relation_name: str, record: Any) -> Tuple[FragmentId, ...]:
         """Insert ``record`` into ``relation_name`` and refresh affected fragments."""
-        self._require_operand(relation_name)
-        inserted = self.database.insert(relation_name, record)
-        affected = self._affected_identifiers(relation_name, inserted)
-        self._refresh(affected)
-        self.updates_applied += 1
-        self.last_epoch = self.store.epoch
-        return affected
+        return self.apply_updates([InsertRecord(relation_name, record)])
 
     def delete(self, relation_name: str, predicate) -> Tuple[FragmentId, ...]:
         """Delete records matching ``predicate`` and refresh affected fragments."""
-        self._require_operand(relation_name)
-        relation = self.database.relation(relation_name)
-        doomed = [record for record in relation if predicate(record)]
+        return self.apply_updates([DeleteRecords(relation_name, predicate)])
+
+    def apply_updates(self, updates: Sequence[DatabaseUpdate]) -> Tuple[FragmentId, ...]:
+        """Apply a whole burst of database updates as **one** maintenance round.
+
+        Every update (:class:`InsertRecord` / :class:`DeleteRecords`) is
+        applied to the database in order, accumulating the union of affected
+        fragment identifiers; the union is then refreshed once — one
+        restricted derivation, one coalesced
+        :meth:`~repro.store.FragmentStore.apply_mutations` batch plus the
+        matching graph updates inside a single
+        :meth:`~repro.store.FragmentStore.write_batch` scope, and one
+        ``finalize``.  A burst that touches the same hot fragment N times
+        therefore re-derives and swaps it once, and on ``DiskStore`` the
+        whole round is one crash-safe transaction instead of one per
+        fragment.  Returns the affected identifiers, sorted by ``str``.
+        """
+        for update in updates:
+            self._require_operand(update.relation)
         affected: Set[FragmentId] = set()
-        for record in doomed:
-            affected.update(self._affected_identifiers(relation_name, record))
-        self.database.delete(relation_name, predicate)
+        try:
+            for update in updates:
+                if isinstance(update, InsertRecord):
+                    inserted = self.database.insert(update.relation, update.record)
+                    affected.update(self._affected_identifiers(update.relation, inserted))
+                else:
+                    relation = self.database.relation(update.relation)
+                    doomed = [record for record in relation if update.predicate(record)]
+                    for record in doomed:
+                        affected.update(self._affected_identifiers(update.relation, record))
+                    self.database.delete(update.relation, update.predicate)
+        except BaseException:
+            # A failing update (a predicate that raises, a rejected record)
+            # must not strand earlier updates of the burst half-applied: the
+            # database already holds them, so refresh their fragments before
+            # re-raising — the index stays consistent with whatever the
+            # burst actually changed.
+            if affected:
+                self._refresh(tuple(sorted(affected, key=str)))
+                self.last_epoch = self.store.epoch
+            raise
         ordered = tuple(sorted(affected, key=str))
         self._refresh(ordered)
-        self.updates_applied += 1
+        self.updates_applied += len(updates)
         self.last_epoch = self.store.epoch
         return ordered
 
@@ -175,25 +236,52 @@ class IncrementalMaintainer:
         return True
 
     def _refresh(self, identifiers: Sequence[FragmentId]) -> None:
-        """Re-derive ``identifiers`` from the current database state and swap them in."""
+        """Re-derive ``identifiers`` from the current database state and swap
+        them in as one batched store round.
+
+        The round is atomic end to end: the postings batch and the graph
+        updates it implies share one
+        :meth:`~repro.store.FragmentStore.write_batch` scope (one sqlite
+        transaction on ``DiskStore``), the index finalizes exactly once per
+        applied batch, and the store's epoch clock ticks once for the whole
+        round.
+        """
         if not identifiers:
             return
         affected = set(identifiers)
         fragments = self._derive_restricted(affected)
-        for identifier in affected:
+        ordered = sorted(affected, key=str)
+        batch: List[Mutation] = []
+        removed: List[FragmentId] = []
+        replaced: List[Tuple[FragmentId, Fragment]] = []
+        for identifier in ordered:
             fragment = fragments.get(identifier)
             if fragment is None or fragment.size == 0 and fragment.record_count == 0:
                 # The fragment no longer exists (its last record was deleted).
-                self.index.remove_fragment(identifier)
+                batch.append(RemoveFragment(identifier))
+                removed.append(identifier)
+            else:
+                replaced.append((identifier, fragment))
+        with self.store.write_batch():
+            # Postings first (replaced fragments canonicalised through the
+            # index facade), then the graph section; on DiskStore both halves
+            # stage into the same transaction and commit together.
+            self.index.apply_mutations(
+                batch
+                + [
+                    replace_op(identifier, fragment.term_frequencies)
+                    for identifier, fragment in replaced
+                ]
+            )
+            for identifier in removed:
                 if self.graph.has_fragment(identifier):
                     self.graph.remove_fragment(identifier)
-                continue
-            self.index.replace_fragment(identifier, fragment.term_frequencies)
-            if self.graph.has_fragment(identifier):
-                self.graph.update_keyword_count(identifier, fragment.size)
-            else:
-                self.graph.add_fragment(identifier, fragment.size)
-        self.index.finalize()
+            for identifier, fragment in replaced:
+                if self.graph.has_fragment(identifier):
+                    self.graph.update_keyword_count(identifier, fragment.size)
+                else:
+                    self.graph.add_fragment(identifier, fragment.size)
+            self.index.finalize()
         self.fragments_touched += len(affected)
 
     def _derive_restricted(self, identifiers: Set[FragmentId]) -> Dict[FragmentId, Fragment]:

@@ -11,6 +11,14 @@ popularity follows a Zipf distribution over the DF ranking, the standard
 model of web-search traffic (a few queries dominate, with a long tail).  The
 serving benchmarks and cache tests drive :class:`~repro.serving.SearchService`
 with it.
+
+For the write-path experiments, :func:`zipf_mutation_stream` generates the
+matching *mutation stream*: a seeded insert/delete sequence over one of a
+database's relations whose target popularity is Zipf-skewed over the
+relation's existing records — a few hot records (and therefore a few hot
+fragments) absorb most of the churn, which is exactly the regime batched
+maintenance coalesces.  ``benchmarks/bench_maintenance.py`` and the
+maintenance tests drive :class:`~repro.serving.MaintenanceService` with it.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -159,3 +167,142 @@ def zipf_keyword_queries(
             chosen.setdefault(keyword, None)
         queries.append(tuple(chosen))
     return QueryWorkload(skew=skew, queries=tuple(queries))
+
+
+# ----------------------------------------------------------------------
+# Zipf-distributed insert/delete streams (write-path workloads)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MutationWorkload:
+    """A generated stream of database updates (the write-path workload).
+
+    ``updates`` holds :class:`~repro.core.incremental.InsertRecord` /
+    :class:`~repro.core.incremental.DeleteRecords` ops, directly consumable
+    by :meth:`~repro.core.incremental.IncrementalMaintainer.apply_updates`
+    and :meth:`~repro.serving.MaintenanceService.submit`.
+    """
+
+    skew: float
+    relation: str
+    updates: Tuple[object, ...]
+
+    def __iter__(self):
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+#: Filler tokens appended to mutated text attributes so every insert
+#: actually changes term frequencies (drawn Zipf-skewed, like real chatter).
+_MUTATION_TOKENS = (
+    "tasty", "crowded", "quiet", "fresh", "stale", "cosy", "loud", "spicy",
+    "bland", "quick", "slow", "cheap", "fancy", "crispy", "greasy", "sweet",
+)
+
+
+def zipf_mutation_stream(
+    database,
+    relation: str,
+    count: int,
+    skew: float = 1.1,
+    delete_fraction: float = 0.25,
+    mutate_attribute: Optional[str] = None,
+    seed: int = 19,
+) -> MutationWorkload:
+    """Generate ``count`` insert/delete updates over ``relation``.
+
+    Inserts clone an existing record chosen with Zipf-distributed
+    popularity over the relation's current contents (rank 1 = first
+    record), give the clone a fresh primary-key value, and perturb one text
+    attribute (``mutate_attribute``, defaulting to the first non-key string
+    attribute) with a Zipf-chosen filler token — so the hot records' pages
+    keep churning, the regime batched maintenance coalesces.  With
+    probability ``delete_fraction`` the stream instead deletes one of *its
+    own* earlier inserts (by primary key), so replaying a stream leaves the
+    original records intact and the stream is safe to apply to any copy of
+    the database.
+
+    Fully seeded: the same arguments always produce the same stream.  The
+    returned updates plug straight into
+    :meth:`~repro.core.incremental.IncrementalMaintainer.apply_updates` and
+    :class:`~repro.serving.MaintenanceService`.
+    """
+    # Imported here: repro.core.incremental imports the db layer, and this
+    # module is otherwise dependency-free; keeping the import local avoids
+    # widening the package's import graph for query-only users.
+    from repro.core.incremental import DeleteRecords, InsertRecord
+
+    if count < 0:
+        raise ValueError(f"update count must be non-negative, got {count}")
+    if skew <= 0:
+        raise ValueError(f"the Zipf skew must be positive, got {skew}")
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError(
+            f"delete_fraction must be in [0, 1), got {delete_fraction}"
+        )
+    source = database.relation(relation)
+    schema = source.schema
+    templates = list(source)
+    if not templates:
+        raise ValueError(f"relation {relation!r} holds no records to mutate")
+    key_attributes = schema.primary_key or [schema.attribute_names[0]]
+    primary_key = key_attributes[0]
+    foreign_sources = {
+        foreign_key.attribute for foreign_key in getattr(schema, "foreign_keys", ())
+    }
+    if mutate_attribute is None:
+        for attribute in schema.attribute_names:
+            if attribute == primary_key or attribute in foreign_sources:
+                continue
+            value = templates[0][attribute]
+            if isinstance(value, str):
+                mutate_attribute = attribute
+                break
+    elif not schema.has_attribute(mutate_attribute):
+        raise ValueError(
+            f"relation {relation!r} has no attribute {mutate_attribute!r}"
+        )
+
+    cumulative_weights = list(
+        itertools.accumulate(1.0 / (rank ** skew) for rank in range(1, len(templates) + 1))
+    )
+    token_weights = list(
+        itertools.accumulate(
+            1.0 / (rank ** skew) for rank in range(1, len(_MUTATION_TOKENS) + 1)
+        )
+    )
+    rng = random.Random(seed)
+    sample_key = templates[0][primary_key]
+    updates: List[object] = []
+    inserted_keys: List[object] = []
+    for index in range(count):
+        if inserted_keys and rng.random() < delete_fraction:
+            victim = inserted_keys.pop(rng.randrange(len(inserted_keys)))
+            updates.append(
+                DeleteRecords(
+                    relation,
+                    lambda record, attribute=primary_key, value=victim: (
+                        record[attribute] == value
+                    ),
+                )
+            )
+            continue
+        template = rng.choices(templates, cum_weights=cumulative_weights, k=1)[0]
+        fresh_key = (
+            f"zmut{seed}x{index:06d}"
+            if isinstance(sample_key, str)
+            else 10_000_000 + seed * 100_000 + index
+        )
+        record = {attribute: template[attribute] for attribute in schema.attribute_names}
+        record[primary_key] = fresh_key
+        if mutate_attribute is not None:
+            token = rng.choices(_MUTATION_TOKENS, cum_weights=token_weights, k=1)[0]
+            record[mutate_attribute] = f"{template[mutate_attribute]} {token}"
+        updates.append(
+            InsertRecord(
+                relation, tuple(record[attribute] for attribute in schema.attribute_names)
+            )
+        )
+        inserted_keys.append(fresh_key)
+    return MutationWorkload(skew=skew, relation=relation, updates=tuple(updates))

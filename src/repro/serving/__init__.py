@@ -6,13 +6,19 @@
 * :mod:`repro.serving.cache` — :class:`ResultCache`: LRU entries stamped with
   the store epoch and revalidated against per-keyword / per-fragment mutation
   epochs (see :mod:`repro.store.epochs`).
-* :mod:`repro.serving.gateway` — :class:`SearchGateway`: the search endpoint
-  deployable on the simulated :class:`~repro.webapp.server.WebServer`.
+* :mod:`repro.serving.gateway` — :class:`SearchGateway`: the search (and
+  mutation) endpoint deployable on the simulated
+  :class:`~repro.webapp.server.WebServer`.
+* :mod:`repro.serving.maintenance` — :class:`MaintenanceService`: the write
+  side — queued mutations coalesced into background batches on a dedicated
+  writer thread, fenced against search computations by a
+  :class:`ReadWriteGate`.
 * :mod:`repro.serving.errors` — the typed :class:`ServingError` hierarchy.
 
 The blessed construction path is
 :meth:`repro.core.engine.DashEngine.serving`, which shares the engine's
-epoch-invalidated search session with the service.
+epoch-invalidated search session with the service (and, with
+``maintenance=True``, wires the write side to the same engine).
 """
 
 from repro.serving.cache import CachedResult, CacheStatistics, ResultCache
@@ -24,14 +30,18 @@ from repro.serving.errors import (
     ServingError,
 )
 from repro.serving.gateway import SearchGateway
+from repro.serving.maintenance import AppliedBatch, MaintenanceService, ReadWriteGate
 from repro.serving.service import AdmittedQuery, SearchService, ServingResult
 
 __all__ = [
     "AdmittedQuery",
+    "AppliedBatch",
     "CachedResult",
     "CacheStatistics",
     "InvalidParameterError",
     "InvalidQueryError",
+    "MaintenanceService",
+    "ReadWriteGate",
     "ResultCache",
     "SearchGateway",
     "SearchService",

@@ -13,11 +13,27 @@ spaces, required); ``k`` — result count; ``s`` — the size threshold.  Invali
 input raises the service's typed
 :class:`~repro.serving.errors.ServingError`\\ s, exactly like a malformed
 query string raises on a regular application.
+
+When the gateway's service carries a
+:class:`~repro.serving.MaintenanceService` (``serving(maintenance=True)``),
+the endpoint also accepts **mutation routes** — the write path over the same
+wire format:
+
+    GET .../dbsearch?op=insert&relation=comment&values=["207","001",...]
+    GET .../dbsearch?op=delete&relation=comment&attr=cid&value=203
+
+``values`` is a percent-encoded JSON array matching the relation's attribute
+order; a delete removes every record whose ``attr`` stringifies to
+``value``.  Mutations queue behind the maintenance writer and the response
+reports the applied batch (``wait=0`` returns as soon as the update is
+queued).  A gateway whose service has no maintenance side rejects mutation
+routes with :class:`~repro.serving.errors.InvalidParameterError`.
 """
 
 from __future__ import annotations
 
 import html
+import json
 from typing import Any, Optional
 
 from repro.serving.errors import InvalidParameterError
@@ -44,15 +60,21 @@ class SearchGateway:
     # the WebApplication execution contract
     # ------------------------------------------------------------------
     def generate_page(self, database: Any, query_string: Any) -> DbPage:
-        """Answer ``?q=...&k=...&s=...`` with a page of ranked db-page URLs.
+        """Answer search (``?q=...``) and mutation (``?op=...``) routes.
 
         ``database`` is part of the hosting contract but unused: the gateway
-        answers from the fragment index, never by running the application
-        queries — that is the entire point of the paper's architecture.
+        answers from the fragment index (and mutates through the maintenance
+        queue), never by running the application queries — that is the
+        entire point of the paper's architecture.
         """
         del database
         text = str(query_string).lstrip("?")
         fields = QueryString.parse(text)
+        operation = fields.get("op") or "search"
+        if operation != "search":
+            page = self._mutate(text, operation, fields)
+            self.requests_served += 1
+            return page
         served = self.service.search(
             fields.get("q") or "",
             k=self._int_field(fields.get("k"), "k"),
@@ -60,6 +82,83 @@ class SearchGateway:
         )
         self.requests_served += 1
         return self._render(text, served)
+
+    # ------------------------------------------------------------------
+    # mutation routes
+    # ------------------------------------------------------------------
+    def _mutate(self, query_string: str, operation: str, fields: QueryString) -> DbPage:
+        maintenance = self.service.maintenance
+        if maintenance is None:
+            raise InvalidParameterError(
+                "this gateway serves a read-only SearchService; build it with "
+                "serving(maintenance=True) to accept mutations"
+            )
+        relation = fields.get("relation")
+        if not relation:
+            raise InvalidParameterError("mutation routes require a 'relation' field")
+        if operation == "insert":
+            raw = fields.get("values")
+            if raw is None:
+                raise InvalidParameterError("op=insert requires a 'values' JSON array")
+            try:
+                values = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise InvalidParameterError(
+                    f"field 'values' is not valid JSON: {error}"
+                ) from None
+            if not isinstance(values, list):
+                raise InvalidParameterError(
+                    f"field 'values' must be a JSON array, got {type(values).__name__}"
+                )
+            ticket = maintenance.insert(relation, tuple(values))
+        elif operation == "delete":
+            attribute = fields.get("attr")
+            value = fields.get("value")
+            if attribute is None or value is None:
+                raise InvalidParameterError(
+                    "op=delete requires 'attr' and 'value' fields"
+                )
+            ticket = maintenance.delete(
+                relation,
+                lambda record, attribute=attribute, value=value: (
+                    str(record[attribute]) == value
+                ),
+            )
+        else:
+            raise InvalidParameterError(
+                f"unknown op {operation!r}; expected 'search', 'insert' or 'delete'"
+            )
+        wait = (fields.get("wait") or "1") not in ("0", "false", "no")
+        if not wait:
+            return self._render_mutation(query_string, operation, relation, None)
+        applied = ticket.result()
+        return self._render_mutation(query_string, operation, relation, applied)
+
+    def _render_mutation(
+        self, query_string: str, operation: str, relation: str, applied
+    ) -> DbPage:
+        title = f"{self.name}: {operation} {relation}"
+        if applied is None:
+            lines = ["queued"]
+        else:
+            lines = [
+                f"updates {applied.updates}",
+                f"epoch {applied.epoch}",
+                f"affected {' '.join(str(identifier) for identifier in applied.affected)}",
+            ]
+        body = "\n".join(lines)
+        page_html = (
+            f"<html><head><title>{html.escape(title)}</title></head><body>\n"
+            f"<h1>{html.escape(title)}</h1>\n<pre>{html.escape(body)}</pre>\n"
+            f"</body></html>"
+        )
+        return DbPage(
+            url=f"{self.uri}?{query_string}",
+            title=title,
+            text=body,
+            html=page_html,
+            record_count=0 if applied is None else len(applied.affected),
+        )
 
     @staticmethod
     def _int_field(value: Optional[str], name: str) -> Optional[int]:

@@ -1,0 +1,319 @@
+"""The asynchronous write side of the serving layer.
+
+:class:`MaintenanceService` is to mutations what
+:class:`~repro.serving.SearchService` is to queries: the layer a deployment
+puts between HTTP and :class:`~repro.core.incremental.IncrementalMaintainer`.
+Callers enqueue database updates (:meth:`MaintenanceService.insert` /
+:meth:`MaintenanceService.delete`) and immediately get a ticket
+(a :class:`concurrent.futures.Future`); a dedicated writer thread drains the
+queue, **coalesces** whatever accumulated into one batch (bounded by
+``max_batch``, padded by a short ``max_delay_seconds`` window so bursts
+arrive together), and applies it through
+:meth:`~repro.core.incremental.IncrementalMaintainer.apply_updates` — one
+derivation, one store mutation batch, one epoch tick per applied batch.
+
+Consistency contract
+--------------------
+
+Search traffic keeps flowing while batches apply, and never observes a torn
+state:
+
+* batch application runs under the write side of a :class:`ReadWriteGate`;
+  every search *computation* in the paired
+  :class:`~repro.serving.SearchService` runs under the read side, so a
+  computed result always reflects a batch boundary — the pre-batch or the
+  post-batch index, never a mix (cached results revalidate against the
+  epoch clock, which the batch ticks exactly once);
+* on :class:`~repro.store.DiskStore` the whole batch additionally commits
+  as one WAL transaction, so *other processes* reading the same file see
+  batch boundaries too (see the store's single-writer mode).
+
+One writer thread is the whole write side — the same single-writer regime
+the store layer assumes — so no further locking is needed around the
+maintainer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.fragments import FragmentId
+from repro.core.incremental import (
+    DatabaseUpdate,
+    DeleteRecords,
+    IncrementalMaintainer,
+    InsertRecord,
+)
+from repro.serving.errors import ServiceClosedError
+
+
+class ReadWriteGate:
+    """A writer-preferring readers/writer lock for search-vs-maintenance.
+
+    Many readers (search computations) share the gate; one writer (the
+    maintenance batch) excludes them all while it applies.  Writer
+    preference — arriving readers wait once a writer is queued — keeps a
+    continuous query stream from starving the write path.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        """Hold the shared (reader) side for the duration of the block."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._active_readers += 1
+        try:
+            yield self
+        finally:
+            with self._condition:
+                self._active_readers -= 1
+                if not self._active_readers:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Hold the exclusive (writer) side for the duration of the block."""
+        with self._condition:
+            self._writers_waiting += 1
+            while self._writer_active or self._active_readers:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield self
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
+@dataclass(frozen=True)
+class AppliedBatch:
+    """What one applied maintenance batch did (every ticket resolves to one).
+
+    ``affected`` — the union of fragment identifiers the batch re-derived;
+    ``epoch`` — the store epoch after the batch (the tick serving caches
+    revalidate against); ``updates`` — how many queued updates the batch
+    coalesced; ``elapsed_seconds`` — wall time of the application itself.
+    """
+
+    affected: Tuple[FragmentId, ...]
+    epoch: int
+    updates: int
+    elapsed_seconds: float
+
+
+class MaintenanceService:
+    """Queued, coalescing, background mutation application.
+
+    ``maintainer`` owns the actual index/graph refresh logic; ``service``
+    (optional) is the :class:`~repro.serving.SearchService` to coordinate
+    with — its search computations are fenced by this service's
+    :class:`ReadWriteGate` so they always observe batch boundaries.
+    ``max_batch`` bounds how many queued updates one application round
+    coalesces; ``max_delay_seconds`` is how long the writer waits after the
+    first queued update for stragglers (latency/throughput knob: 0 applies
+    immediately, larger windows batch harder).
+    """
+
+    def __init__(
+        self,
+        maintainer: IncrementalMaintainer,
+        service: Optional[Any] = None,
+        max_batch: int = 64,
+        max_delay_seconds: float = 0.005,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        if max_delay_seconds < 0:
+            raise ValueError(
+                f"max_delay_seconds must be non-negative, got {max_delay_seconds}"
+            )
+        self._maintainer = maintainer
+        self._service = service
+        self._max_batch = max_batch
+        self._max_delay = max_delay_seconds
+        self.gate = ReadWriteGate()
+        if service is not None:
+            service.set_mutation_gate(self.gate)
+        self._condition = threading.Condition()
+        self._pending: Deque[Tuple[DatabaseUpdate, "Future[AppliedBatch]"]] = deque()
+        self._inflight = 0  # queued + currently-applying tickets
+        self._closed = False
+        self._failed_batches = 0
+        self._batches_applied = 0
+        self._updates_applied = 0
+        self._updates_coalesced = 0
+        self._apply_seconds = 0.0
+        self._thread = threading.Thread(
+            target=self._run, name="maintenance-writer", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # enqueueing
+    # ------------------------------------------------------------------
+    def insert(self, relation: str, record: Any) -> "Future[AppliedBatch]":
+        """Queue one record insertion; returns the ticket of its batch."""
+        return self.submit(InsertRecord(relation, record))
+
+    def delete(
+        self, relation: str, predicate: Callable[[Any], bool]
+    ) -> "Future[AppliedBatch]":
+        """Queue a predicate deletion; returns the ticket of its batch."""
+        return self.submit(DeleteRecords(relation, predicate))
+
+    def submit(self, update: DatabaseUpdate) -> "Future[AppliedBatch]":
+        """Queue one :class:`~repro.core.incremental.DatabaseUpdate`.
+
+        The returned future resolves to the :class:`AppliedBatch` that
+        carried the update (many tickets can share one batch), or raises
+        whatever the application raised.  Ordering is FIFO: updates apply in
+        submission order, possibly within one coalesced round.
+        """
+        ticket: "Future[AppliedBatch]" = Future()
+        with self._condition:
+            if self._closed:
+                raise ServiceClosedError("this MaintenanceService has been closed")
+            self._pending.append((update, ticket))
+            self._inflight += 1
+            self._condition.notify_all()
+        return ticket
+
+    # ------------------------------------------------------------------
+    # the writer thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                while not self._pending and not self._closed:
+                    self._condition.wait()
+                if not self._pending and self._closed:
+                    return
+                if self._max_delay and len(self._pending) < self._max_batch:
+                    # Coalescing window: give a burst a moment to finish
+                    # arriving so it lands as one batch, not many.
+                    deadline = time.monotonic() + self._max_delay
+                    while len(self._pending) < self._max_batch and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or self._condition.wait(remaining) is False:
+                            break
+                batch = [
+                    self._pending.popleft()
+                    for _ in range(min(len(self._pending), self._max_batch))
+                ]
+            if not batch:
+                # close(drain=False) cancelled the queue while we sat in the
+                # coalescing window — nothing to apply, nothing to count.
+                continue
+            updates = [update for update, _ticket in batch]
+            started = time.perf_counter()
+            try:
+                with self.gate.write():
+                    affected = self._maintainer.apply_updates(updates)
+            except BaseException as error:  # resolve tickets, keep the thread alive
+                with self._condition:
+                    self._failed_batches += 1
+                    self._inflight -= len(batch)
+                    self._condition.notify_all()
+                for _update, ticket in batch:
+                    ticket.set_exception(error)
+                continue
+            elapsed = time.perf_counter() - started
+            applied = AppliedBatch(
+                affected=affected,
+                epoch=self._maintainer.last_epoch,
+                updates=len(batch),
+                elapsed_seconds=elapsed,
+            )
+            with self._condition:
+                self._batches_applied += 1
+                self._updates_applied += len(batch)
+                self._updates_coalesced += len(batch) - 1
+                self._apply_seconds += elapsed
+                self._inflight -= len(batch)
+                self._condition.notify_all()
+            for _update, ticket in batch:
+                ticket.set_result(applied)
+
+    # ------------------------------------------------------------------
+    # synchronisation / lifecycle
+    # ------------------------------------------------------------------
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until every update submitted so far has been applied.
+
+        Returns ``False`` when ``timeout`` (seconds) elapsed first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while self._inflight:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._condition.wait(remaining)
+        return True
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting updates and shut the writer thread down.
+
+        ``drain=True`` (default) applies everything still queued first;
+        ``drain=False`` cancels the queue (pending tickets raise
+        :class:`~repro.serving.errors.ServiceClosedError`).  Idempotent.
+        """
+        cancelled: List[Tuple[DatabaseUpdate, "Future[AppliedBatch]"]] = []
+        with self._condition:
+            already_closed = self._closed
+            self._closed = True
+            if not (already_closed or drain):
+                cancelled = list(self._pending)
+                self._pending.clear()
+                self._inflight -= len(cancelled)
+            self._condition.notify_all()
+        for _update, ticket in cancelled:
+            ticket.set_exception(
+                ServiceClosedError("this MaintenanceService was closed before applying")
+            )
+        self._thread.join()
+
+    def __enter__(self) -> "MaintenanceService":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Store epoch after the last applied batch."""
+        return self._maintainer.last_epoch
+
+    def statistics(self) -> Dict[str, Any]:
+        """One snapshot of the write-side counters."""
+        with self._condition:
+            batches = self._batches_applied
+            return {
+                "batches_applied": batches,
+                "updates_applied": self._updates_applied,
+                "updates_coalesced": self._updates_coalesced,
+                "failed_batches": self._failed_batches,
+                "pending": len(self._pending),
+                "apply_seconds": self._apply_seconds,
+                "mean_batch_size": (self._updates_applied / batches) if batches else 0.0,
+                "fragments_touched": self._maintainer.fragments_touched,
+                "epoch": self._maintainer.last_epoch,
+            }

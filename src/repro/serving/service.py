@@ -103,6 +103,7 @@ class SearchService:
         default_k: int = 10,
         default_size_threshold: int = 100,
         max_dependencies: int = 4096,
+        strict_freshness: bool = False,
     ) -> None:
         if workers < 1:
             raise ServiceConfigurationError(f"workers must be at least 1, got {workers}")
@@ -138,6 +139,23 @@ class SearchService:
         self._computed = 0
         self._coalesced = 0
         self._closed = False
+        # Write-side coordination (see repro.serving.maintenance): when a
+        # MaintenanceService pairs with this service it installs its
+        # ReadWriteGate here, fencing every search computation against
+        # in-flight batch application so computed results always reflect a
+        # batch boundary.  None means searches run ungated.
+        self._mutation_gate = None
+        #: The paired MaintenanceService, when serving was built with
+        #: ``maintenance=True`` (closed together with this service).
+        self.maintenance = None
+        # Multi-process strictness: refresh the store's persisted epochs
+        # before admission and revalidate every *computed* result before
+        # serving it, recomputing on conflict.  This is what lets a
+        # read-only DiskStore process serve boundary-consistent results
+        # while another process owns writes; single-process deployments
+        # leave it off (the gate already provides the guarantee for free).
+        self._strict_freshness = strict_freshness
+        self._epoch_refresher = getattr(self._store, "refresh_epochs", None)
         # Every cache comparing stamps against the store's clock must be
         # visible to epoch sweeps — including ones driven by *another*
         # service sharing the store (engine.serving() called twice).
@@ -287,6 +305,11 @@ class SearchService:
         key = query.key
 
         while True:
+            if self._strict_freshness and self._epoch_refresher is not None:
+                # Pull epochs another process committed before consulting the
+                # cache, so entries invalidate exactly like they would in the
+                # writer's own process.
+                self._epoch_refresher()
             entry = self._cache.get(key, self._store)
             if entry is not None:
                 return self._serve(query, entry, started, cached=True, coalesced=False)
@@ -315,12 +338,25 @@ class SearchService:
                 continue
 
             try:
-                detailed = self._searcher.search_detailed(
-                    query.keywords,
-                    k=query.k,
-                    size_threshold=query.size_threshold,
-                    session=self._session,
-                )
+                gate = self._mutation_gate
+                if gate is None:
+                    detailed = self._searcher.search_detailed(
+                        query.keywords,
+                        k=query.k,
+                        size_threshold=query.size_threshold,
+                        session=self._session,
+                    )
+                else:
+                    # The read side of the maintenance gate: a background
+                    # batch can never apply halfway through this computation,
+                    # so the result always reflects a batch boundary.
+                    with gate.read():
+                        detailed = self._searcher.search_detailed(
+                            query.keywords,
+                            k=query.k,
+                            size_threshold=query.size_threshold,
+                            session=self._session,
+                        )
                 dependencies = detailed.dependencies
                 entry = CachedResult(
                     results=detailed.results,
@@ -341,6 +377,17 @@ class SearchService:
                 with self._flight_lock:
                     self._inflight.pop(key, None)
                     self._inflight_stamps.pop(key, None)
+            if self._strict_freshness:
+                # Cross-process regime: another process's batch may have
+                # committed mid-computation (no in-process gate can fence
+                # it).  Refresh the persisted epochs and apply the same
+                # freshness rule a cache lookup would — recompute on
+                # conflict instead of serving a possibly-torn read.  Bounded
+                # by the writer actually committing between rounds.
+                if self._epoch_refresher is not None:
+                    self._epoch_refresher()
+                if not ResultCache.is_fresh(entry, self._store):
+                    continue
             return self._serve(query, entry, started, cached=False, coalesced=False)
 
     def _serve(
@@ -371,6 +418,15 @@ class SearchService:
                     max_workers=self._workers, thread_name_prefix="search-service"
                 )
             return self._executor
+
+    def set_mutation_gate(self, gate) -> None:
+        """Install (or clear) the maintenance gate fencing computations.
+
+        Called by :class:`~repro.serving.maintenance.MaintenanceService` on
+        construction; every subsequent search computation runs under the
+        gate's read side so batch application is atomic with respect to it.
+        """
+        self._mutation_gate = gate
 
     # ------------------------------------------------------------------
     # lifecycle / inspection
@@ -445,7 +501,7 @@ class SearchService:
                 "computed": self._computed,
                 "coalesced": self._coalesced,
             }
-        return {
+        statistics = {
             **counters,
             "cache": {
                 **self._cache.statistics.as_dict(),
@@ -461,9 +517,19 @@ class SearchService:
             "epoch": self._store.epoch,
             "workers": self._workers,
         }
+        if self.maintenance is not None:
+            statistics["maintenance"] = self.maintenance.statistics()
+        return statistics
 
     def close(self) -> None:
-        """Stop accepting queries and shut the worker pool down."""
+        """Stop accepting queries and shut the worker pool down.
+
+        A paired :class:`~repro.serving.maintenance.MaintenanceService`
+        (``serving(maintenance=True)``) is closed first, draining its queue.
+        """
+        maintenance, self.maintenance = self.maintenance, None
+        if maintenance is not None:
+            maintenance.close()
         with self._executor_lock:
             self._closed = True
             executor, self._executor = self._executor, None

@@ -13,6 +13,10 @@
   (:meth:`FragmentStore.snapshot` / :meth:`FragmentStore.from_snapshot`).
 * :mod:`repro.store.epochs` — the :class:`EpochClock` every backend ticks,
   which the serving layer's caches revalidate against.
+* :mod:`repro.store.mutations` — the batched write-path ops
+  (:class:`ReplaceFragment` / :class:`RemoveFragment` /
+  :class:`TouchFragment`) that :meth:`FragmentStore.apply_mutations`
+  applies as one store operation.
 
 :func:`resolve_store` turns the ``store=`` configuration accepted by
 :class:`~repro.core.engine.DashEngine` (a name, a shard count, an instance or
@@ -29,6 +33,14 @@ from repro.store.base import FragmentStore, StoreError
 from repro.store.disk import DiskStore
 from repro.store.epochs import EpochClock
 from repro.store.memory import InMemoryStore
+from repro.store.mutations import (
+    Mutation,
+    RemoveFragment,
+    ReplaceFragment,
+    TouchFragment,
+    coalesce_mutations,
+    replace_op,
+)
 from repro.store.sharded import ShardedStore
 
 #: What ``DashEngine.build(store=...)`` accepts.
@@ -124,8 +136,14 @@ __all__ = [
     "EpochClock",
     "FragmentStore",
     "InMemoryStore",
+    "Mutation",
+    "RemoveFragment",
+    "ReplaceFragment",
     "ShardedStore",
     "StoreError",
     "StoreSpec",
+    "TouchFragment",
+    "coalesce_mutations",
+    "replace_op",
     "resolve_store",
 ]

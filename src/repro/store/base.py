@@ -30,6 +30,7 @@ Contract notes shared by all backends:
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import weakref
 from abc import ABC, abstractmethod
@@ -37,6 +38,13 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, 
 
 from repro.core.fragments import FragmentId
 from repro.store.epochs import EpochClock
+from repro.store.mutations import (
+    Mutation,
+    RemoveFragment,
+    ReplaceFragment,
+    TouchFragment,
+    normalize_mutations,
+)
 from repro.text.inverted_index import Posting
 
 T = TypeVar("T")
@@ -92,13 +100,14 @@ class FragmentStore(ABC):
         epoch: int,
         keyword_epochs: Mapping[str, int],
         fragment_epochs: Mapping[FragmentId, int],
+        floor: int = 0,
     ) -> None:
         """Replace the clock state wholesale (snapshot restore).
 
         Persistent backends override this to also write the restored state
         through to their storage.
         """
-        self._epoch_clock.load(epoch, keyword_epochs, fragment_epochs)
+        self._epoch_clock.load(epoch, keyword_epochs, fragment_epochs, floor=floor)
 
     def register_stamp_provider(self, provider: Callable[[], Optional[int]]) -> None:
         """Register a callback reporting the oldest epoch stamp a consumer
@@ -199,6 +208,61 @@ class FragmentStore(ABC):
     @abstractmethod
     def finalize(self) -> None:
         """Sort every inverted list by descending occurrence count."""
+
+    # ------------------------------------------------------------------
+    # postings section — batched writes
+    # ------------------------------------------------------------------
+    def write_batch(self):
+        """Context manager scoping one atomic write batch.
+
+        The base implementation is a no-op scope (in-memory backends need no
+        transaction bracket); :class:`~repro.store.DiskStore` overrides it so
+        that every write issued inside the scope — including graph-section
+        writes — commits as **one** sqlite transaction with the epoch
+        write-through for the whole batch in that same transaction, and the
+        clock ticks once after the commit.  Nesting is allowed; only the
+        outermost scope commits.
+        """
+        return contextlib.nullcontext(self)
+
+    def apply_mutations(self, batch: Sequence[Mutation]) -> int:
+        """Apply one batch of replace/remove/touch ops as a single operation.
+
+        ``batch`` holds :class:`~repro.store.mutations.ReplaceFragment`,
+        :class:`~repro.store.mutations.RemoveFragment` and
+        :class:`~repro.store.mutations.TouchFragment` ops (see
+        :mod:`repro.store.mutations`); repeated ops on one fragment coalesce
+        before anything is written.  Returns the number of ops actually
+        applied after coalescing.
+
+        This is the write path's throughput primitive: the base
+        implementation brackets a per-op loop in :meth:`write_batch` and
+        finalizes once at the end, and the concrete backends replace the
+        loop with their native bulk form — a single locked dictionary pass
+        (:class:`~repro.store.InMemoryStore`), a per-shard grouped fan-out
+        (:class:`~repro.store.ShardedStore`), or one crash-safe transaction
+        (:class:`~repro.store.DiskStore`).  Every backend leaves the
+        inverted lists canonical (sorted); the shipped backends additionally
+        tick the epoch clock exactly once for the whole batch (the base
+        per-op loop inherits each op's own ticks, which over-counts epochs
+        but never under-invalidates).
+        """
+        ops = normalize_mutations(batch)
+        if not ops:
+            return 0
+        with self.write_batch():
+            for op in ops:
+                if isinstance(op, ReplaceFragment):
+                    self.replace_fragment(op.identifier, op.term_frequencies)
+                    # A replace op registers its fragment even when the new
+                    # posting set is empty (see repro.store.mutations).
+                    self.touch_fragment(op.identifier)
+                elif isinstance(op, RemoveFragment):
+                    self.remove_fragment(op.identifier)
+                else:
+                    self.touch_fragment(op.identifier)
+        self.finalize()
+        return len(ops)
 
     # ------------------------------------------------------------------
     # postings section — reads

@@ -24,10 +24,31 @@ Consistency model
   the old fragment or the new one — never a mix.  ``remove_fragment``
   commits the same way.  Crash-safety is sqlite's journal: the database
   runs in WAL mode with ``synchronous=NORMAL``.
+* **A mutation batch is one transaction.**  :meth:`DiskStore.write_batch`
+  (which backs :meth:`~repro.store.FragmentStore.apply_mutations` and the
+  maintainer's whole refresh round, graph updates included) stages every
+  write inside the scope and commits once: a crash loses the whole batch,
+  never half, and a WAL reader — in this process or another — sees the
+  batch exactly at its commit boundary.  The epoch write-through for
+  everything the batch touched lands in that same transaction, and the
+  in-memory clock ticks once, after the commit.
 * **The clock is write-through.**  Every tick lands in the ``meta`` /
   ``keyword_epochs`` / ``fragment_epochs`` tables inside the same
   transaction as the data write it stamps, and is restored into the
   in-memory clock on open — reads stay dict-fast, restarts stay exact.
+
+Single-writer multi-process serving
+-----------------------------------
+
+One process opens the file with ``exclusive_writer=True`` (an advisory
+lock on ``<path>.writer-lock`` makes a second writer fail fast) and owns
+every mutation; any number of other processes open it with
+``read_only=True`` and serve WAL snapshot reads.  A reader process calls
+:meth:`refresh_epochs` to pull the epochs the writer committed — cheap
+when nothing changed — after which its serving caches invalidate exactly
+like the writer's own.  Sweep bounds persist in ``meta`` so a reader that
+re-syncs after a tombstone sweep retires everything it stamped before the
+sweep instead of trusting the pruned rows.
 
 Identifiers are flat tuples of scalars (strings, numbers, booleans,
 ``None``); they are stored JSON-encoded, together with the ``str()`` form
@@ -64,15 +85,21 @@ the data it cached.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import sqlite3
 import threading
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.fragments import FragmentId
 from repro.store.base import FragmentStore, StoreError
 from repro.text.inverted_index import Posting
+
+try:  # POSIX advisory locks back the single-writer mode; absent on Windows
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 #: Bump when the table layout changes; stored in ``PRAGMA user_version``.
 SCHEMA_VERSION = 1
@@ -155,16 +182,41 @@ class DiskStore(FragmentStore):
     path raises :class:`~repro.store.StoreError` (the ``DashEngine.open``
     re-attach path, where silently creating an empty store would mask a
     typo'd path as an empty dataset).
+
+    ``read_only`` — open in the multi-process *reader* role: every
+    connection is ``PRAGMA query_only``, write methods raise
+    :class:`~repro.store.StoreError`, and :meth:`refresh_epochs` re-syncs
+    the in-memory clock with mutations another process committed.  WAL
+    readers see each committed writer transaction atomically, so a reader
+    process never observes half of an applied mutation batch.
+
+    ``exclusive_writer`` — take the single-writer role: a POSIX advisory
+    lock on ``<path>.writer-lock`` is held for the store's life, so a second
+    process asking for the writer role fails fast instead of interleaving
+    transactions.  The lock dies with the process (no stale-lock cleanup
+    after a crash).
     """
 
-    def __init__(self, path: str, create: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        create: bool = True,
+        read_only: bool = False,
+        exclusive_writer: bool = False,
+    ) -> None:
         super().__init__()
         self.path = os.fspath(path)
+        self.read_only = read_only
         existed = os.path.exists(self.path)
-        if not existed and not create:
+        if read_only and exclusive_writer:
+            raise StoreError("a read-only disk store cannot take the writer role")
+        if not existed and (not create or read_only):
             raise StoreError(f"no disk store at {self.path!r} (create=False)")
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
+        self._writer_lock_fd: Optional[int] = None
+        if exclusive_writer:
+            self._acquire_writer_lock()
         self._lock = threading.RLock()
         # One shared *write* connection: sqlite serializes writers anyway,
         # and the RLock keeps its cursor use race-free.  Reads go through a
@@ -176,9 +228,29 @@ class DiskStore(FragmentStore):
         self._pooled_readers: List[Tuple[threading.Thread, sqlite3.Connection]] = []
         self._thread_reader = threading.local()
         self._closed = False
+        # Atomic-batch bookkeeping (see write_batch): depth of nested batch
+        # scopes, the thread that owns the open batch, and the keywords/
+        # fragments it touched, whose single deferred tick is the batch's
+        # in-process commit point.
+        self._batch_depth = 0
+        self._batch_owner: Optional[threading.Thread] = None
+        self._batch_keywords: Set[str] = set()
+        self._batch_fragments: Dict[str, FragmentId] = {}
+        # Highest persisted meta epoch whose commits the loaded clock views
+        # are known to cover (see refresh_epochs).
+        self._refreshed_meta_epoch = 0
         try:
-            self._connection.execute("PRAGMA journal_mode=WAL")
-            self._connection.execute("PRAGMA synchronous=NORMAL")
+            if read_only:
+                # The reader role never writes: query_only enforces it at
+                # the SQL layer (while still participating in WAL locking,
+                # which a mode=ro URI open could not on a missing -shm).
+                self._connection.execute("PRAGMA query_only=ON")
+            else:
+                self._connection.execute("PRAGMA journal_mode=WAL")
+                self._connection.execute("PRAGMA synchronous=NORMAL")
+            # A writer checkpointing (or a reader racing one) may find the
+            # file briefly busy in multi-process serving; wait, don't throw.
+            self._connection.execute("PRAGMA busy_timeout=5000")
             self._ensure_schema(existed)
             # Decoded-identifier memo (encoded text -> tuple) plus
             # epoch-validated read caches, mirroring ShardedStore's merged
@@ -196,11 +268,49 @@ class DiskStore(FragmentStore):
             # connection dangling — the caller may want to delete or rebuild
             # the file, which a held lock would block on some platforms.
             self._connection.close()
+            self._release_writer_lock()
             raise
 
     # ------------------------------------------------------------------
     # schema / lifecycle
     # ------------------------------------------------------------------
+    @property
+    def writer_lock_path(self) -> str:
+        """The advisory lock file backing the exclusive-writer role."""
+        return self.path + ".writer-lock"
+
+    def _acquire_writer_lock(self) -> None:
+        descriptor = os.open(self.writer_lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(descriptor, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    raise StoreError(
+                        f"another process already owns writes to {self.path!r} "
+                        f"(writer lock {self.writer_lock_path!r} is held)"
+                    ) from None
+            os.ftruncate(descriptor, 0)
+            os.write(descriptor, str(os.getpid()).encode("ascii"))
+        except BaseException:
+            os.close(descriptor)
+            raise
+        self._writer_lock_fd = descriptor
+
+    def _release_writer_lock(self) -> None:
+        descriptor, self._writer_lock_fd = self._writer_lock_fd, None
+        if descriptor is not None:
+            # Closing drops the flock; the lock file itself stays behind (a
+            # successor writer locks the same inode, so no unlink race).
+            os.close(descriptor)
+
+    def _assert_writable(self) -> None:
+        if self.read_only:
+            raise StoreError(
+                f"disk store {self.path!r} was opened read-only; writes belong "
+                "to the process holding the writer role"
+            )
+
     def _ensure_schema(self, existed: bool) -> None:
         with self._lock:
             version = self._connection.execute("PRAGMA user_version").fetchone()[0]
@@ -209,17 +319,30 @@ class DiskStore(FragmentStore):
                     f"disk store {self.path!r} uses schema version {version}, "
                     f"this build reads version {SCHEMA_VERSION}"
                 )
+            if self.read_only:
+                # A reader cannot create what is missing — and must not try.
+                if version != SCHEMA_VERSION:
+                    raise StoreError(
+                        f"disk store {self.path!r} holds no readable schema "
+                        "(build it with a writer first)"
+                    )
+                return
             self._connection.executescript(_SCHEMA)
             self._connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
             self._connection.commit()
 
-    def _restore_clock(self) -> None:
+    def _read_clock_state(self):
+        """The persisted clock state ``(epoch, keywords, fragments, floor)``
+        or ``None`` when the file has never been stamped."""
         with self._lock:
             row = self._connection.execute(
                 "SELECT value FROM meta WHERE key = 'epoch'"
             ).fetchone()
             if row is None:
-                return
+                return None
+            bound = self._connection.execute(
+                "SELECT value FROM meta WHERE key = 'sweep_bound'"
+            ).fetchone()
             keywords = {
                 keyword: epoch
                 for keyword, epoch in self._connection.execute(
@@ -232,7 +355,63 @@ class DiskStore(FragmentStore):
                     "SELECT fragment, epoch FROM fragment_epochs"
                 )
             }
-        self._epoch_clock.load(int(row[0]), keywords, fragments)
+        return int(row[0]), keywords, fragments, int(bound[0]) if bound else 0
+
+    def _restore_clock(self) -> None:
+        state = self._read_clock_state()
+        if state is None:
+            return
+        epoch, keywords, fragments, floor = state
+        self._epoch_clock.load(epoch, keywords, fragments, floor=floor)
+        # Everything committed up to this meta epoch is reflected in the
+        # loaded views (they were read after it) — the refresh_epochs
+        # short-circuit compares against this coverage mark, never against
+        # the possibly-ahead clock epoch.
+        self._refreshed_meta_epoch = epoch
+
+    def refresh_epochs(self) -> bool:
+        """Re-sync the in-memory clock with mutations committed by another
+        process (the reader half of the single-writer protocol).
+
+        Cheap when nothing changed: one ``meta`` row read.  When the
+        persisted store epoch (or sweep bound) moved past what this process
+        has already loaded, the fine-grained views are reloaded wholesale
+        and the method returns ``True`` — every cache revalidating against
+        this store then drops exactly the entries the writer's batches
+        touched, and the restored sweep floor retires anything stamped
+        before a sweep this process never witnessed.  The writer's own
+        store is trivially current, so calling this there is a no-op.
+        """
+        row = self._execute_read("SELECT value FROM meta WHERE key = 'epoch'")
+        persisted = int(row[0][0]) if row else 0
+        bound_row = self._execute_read("SELECT value FROM meta WHERE key = 'sweep_bound'")
+        persisted_floor = int(bound_row[0][0]) if bound_row else 0
+        clock = self._epoch_clock
+        # Compare against the *coverage mark* (the meta epoch whose commits
+        # the loaded views provably include), never the clock epoch itself:
+        # a commit racing the previous reload can leave the clock rounded
+        # ahead of a view (see below), and short-circuiting on the clock
+        # would then skip that commit's epochs forever.
+        if persisted <= self._refreshed_meta_epoch and persisted_floor <= clock.floor:
+            return False
+        keywords = dict(self._execute_read("SELECT keyword, epoch FROM keyword_epochs"))
+        fragments = {
+            self._decode(encoded): epoch
+            for encoded, epoch in self._execute_read(
+                "SELECT fragment, epoch FROM fragment_epochs"
+            )
+        }
+        # Each SELECT above is its own WAL snapshot, so a commit landing
+        # between them can make a fine-grained view newer than the meta
+        # epoch read first; taking the maximum keeps the restored clock
+        # self-consistent (epochs only grow, so rounding up is safe).  The
+        # views were read *after* the meta row, so they cover every commit
+        # up to ``persisted`` — that, not the rounded-up epoch, is the next
+        # short-circuit bound.
+        epoch = max([persisted, clock.epoch, *keywords.values(), *fragments.values()])
+        clock.load(epoch, keywords, fragments, floor=persisted_floor)
+        self._refreshed_meta_epoch = persisted
+        return True
 
     def close(self) -> None:
         """Flush pending writes and close every sqlite connection.
@@ -249,8 +428,10 @@ class DiskStore(FragmentStore):
             connection.close()
         if not already_closed:
             with self._lock:
-                self._connection.commit()
+                if not self.read_only:
+                    self._connection.commit()
                 self._connection.close()
+            self._release_writer_lock()
 
     @property
     def pooled_reader_count(self) -> int:
@@ -279,8 +460,17 @@ class DiskStore(FragmentStore):
         ``None`` while the write connection has an open transaction — a bulk
         load's staged rows are only visible to the connection that wrote
         them, so such reads must go through the write connection (locked).
+        The exception is an open *atomic batch* (see :meth:`write_batch`):
+        its staged rows must stay invisible until the batch commits, so
+        batch-window reads from other threads keep using the pooled snapshot
+        connections — a racing reader sees the complete pre-batch state,
+        never a torn one.  The batch-owning thread itself reads through the
+        write connection: its own maintenance logic (graph surgery over
+        fragments the batch already removed) depends on the staged rows.
         """
-        if self._connection.in_transaction:
+        if self._connection.in_transaction and (
+            not self._batch_depth or self._in_owned_batch()
+        ):
             return None
         connection = getattr(self._thread_reader, "connection", None)
         if connection is None:
@@ -357,14 +547,145 @@ class DiskStore(FragmentStore):
             (encoded, self._epoch_clock.fragment_epoch(identifier)),
         )
 
+    def _in_owned_batch(self) -> bool:
+        """Whether the calling thread owns the currently-open write batch.
+
+        The owner's reads must see the batch's staged rows (and must skip
+        the epoch-validated caches, whose entries still describe pre-batch
+        state under an unticked clock); every other thread reads the
+        pre-batch snapshot.
+        """
+        return bool(self._batch_depth) and self._batch_owner is threading.current_thread()
+
+    # Every write method stamps its mutation through these three helpers.
+    # Outside a batch they tick the clock and write the epoch rows
+    # immediately (one transaction per mutation, the pre-overhaul regime);
+    # inside an open write_batch they only *record* what was touched — the
+    # batch writes one predicted epoch for everything at commit and ticks
+    # the in-memory clock once, after the commit, so a racing reader can
+    # never cache pre-batch data under a post-batch stamp.
+    def _tick_posting_write(self, keyword: str, encoded: str, identifier: FragmentId) -> None:
+        if self._batch_depth:
+            self._batch_keywords.add(keyword)
+            self._batch_fragments[encoded] = identifier
+            return
+        self._epoch_clock.tick_posting(keyword, identifier)
+        self._persist_epoch()
+        self._persist_keyword_epoch(keyword)
+        self._persist_fragment_epoch(encoded, identifier)
+
+    def _tick_fragment_write(self, encoded: str, identifier: FragmentId) -> None:
+        if self._batch_depth:
+            self._batch_fragments[encoded] = identifier
+            return
+        self._epoch_clock.tick_fragment(identifier)
+        self._persist_epoch()
+        self._persist_fragment_epoch(encoded, identifier)
+
+    def _tick_removal_write(
+        self, encoded: str, identifier: FragmentId, keywords: List[str]
+    ) -> None:
+        if self._batch_depth:
+            self._batch_keywords.update(keywords)
+            self._batch_fragments[encoded] = identifier
+            return
+        self._epoch_clock.tick_removal(identifier, keywords)
+        self._persist_epoch()
+        for keyword in keywords:
+            self._persist_keyword_epoch(keyword)
+        self._persist_fragment_epoch(encoded, identifier)
+
+    @contextlib.contextmanager
+    def write_batch(self):
+        """One crash-safe transaction for every write issued inside the scope.
+
+        This is the disk backend's native form of
+        :meth:`~repro.store.FragmentStore.apply_mutations` — and of any
+        larger maintenance round that must land atomically (postings batch
+        plus the graph updates belonging to it):
+
+        * data writes stage on the write connection and **commit once**, at
+          scope exit; a crash loses the whole batch, never half of it;
+        * the epoch write-through for everything the batch touched lands in
+          that same transaction (one predicted epoch for the batch);
+        * the in-memory clock ticks once, *after* the commit — in-process
+          readers mid-batch read the pre-batch WAL snapshot under pre-batch
+          stamps, and the post-commit tick retires whatever they cached;
+        * reader processes see the batch exactly at the WAL commit boundary.
+
+        Nested scopes are allowed (``apply_mutations`` inside a maintenance
+        round); only the outermost commits.  Raising out of the scope rolls
+        the entire batch back — the deferred tick means the in-memory clock
+        never saw it either.
+        """
+        self._assert_writable()
+        with self._lock:
+            if self._batch_depth:
+                self._batch_depth += 1
+                try:
+                    yield self
+                finally:
+                    self._batch_depth -= 1
+                return
+            # Keep an open bulk load's staged rows out of the batch's
+            # transaction (same rule as the per-fragment swap paths).
+            self._connection.commit()
+            self._batch_depth = 1
+            self._batch_owner = threading.current_thread()
+            self._batch_keywords = set()
+            self._batch_fragments = {}
+            keywords: Set[str] = set()
+            fragments: Dict[str, FragmentId] = {}
+            try:
+                yield self
+                keywords = self._batch_keywords
+                fragments = self._batch_fragments
+                if keywords or fragments:
+                    predicted = self._epoch_clock.epoch + 1
+                    self._connection.execute(
+                        "INSERT OR REPLACE INTO meta (key, value) VALUES ('epoch', ?)",
+                        (str(predicted),),
+                    )
+                    self._connection.executemany(
+                        "INSERT OR REPLACE INTO keyword_epochs (keyword, epoch) "
+                        "VALUES (?, ?)",
+                        [(keyword, predicted) for keyword in keywords],
+                    )
+                    self._connection.executemany(
+                        "INSERT OR REPLACE INTO fragment_epochs (fragment, epoch) "
+                        "VALUES (?, ?)",
+                        [(encoded, predicted) for encoded in fragments],
+                    )
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+            finally:
+                self._batch_depth = 0
+                self._batch_owner = None
+                self._batch_keywords = set()
+                self._batch_fragments = {}
+            if keywords or fragments:
+                # The batch's commit point for in-process consumers: one
+                # epoch for everything it touched.
+                self._epoch_clock.tick_batch(keywords, fragments.values())
+                with self._cache_lock:
+                    for keyword in keywords:
+                        self._postings_cache.pop(keyword, None)
+                    for identifier in fragments.values():
+                        self._sizes_cache.pop(identifier, None)
+                        self._neighbors_cache.pop(identifier, None)
+
     def load_epochs(
         self,
         epoch: int,
         keyword_epochs: Mapping[str, int],
         fragment_epochs: Mapping[FragmentId, int],
+        floor: int = 0,
     ) -> None:
         """Restore the clock and persist the restored state (one transaction)."""
-        self._epoch_clock.load(epoch, keyword_epochs, fragment_epochs)
+        self._assert_writable()
+        self._epoch_clock.load(epoch, keyword_epochs, fragment_epochs, floor=floor)
         with self._lock:
             self._connection.commit()
             try:
@@ -382,13 +703,24 @@ class DiskStore(FragmentStore):
                     ],
                 )
                 self._persist_epoch()
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('sweep_bound', ?)",
+                    (str(int(floor)),),
+                )
                 self._connection.commit()
             except BaseException:
                 self._connection.rollback()
                 raise
 
     def sweep_epochs(self, oldest_live_stamp: int) -> int:
-        """Prune tombstones in memory and on disk (one transaction)."""
+        """Prune tombstones in memory and on disk (one transaction).
+
+        The applied bound is persisted as the file's ``sweep_bound``, so a
+        reader process syncing its clock with :meth:`refresh_epochs` learns
+        that entries below it were pruned and retires anything it stamped
+        before the sweep instead of trusting the missing rows.
+        """
+        self._assert_writable()
         bound = self._effective_sweep_bound(oldest_live_stamp)
         pruned = self._epoch_clock.sweep(bound)
         with self._lock:
@@ -400,6 +732,10 @@ class DiskStore(FragmentStore):
                 self._connection.execute(
                     "DELETE FROM fragment_epochs WHERE epoch <= ?", (bound,)
                 )
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('sweep_bound', ?)",
+                    (str(self._epoch_clock.floor),),
+                )
                 self._connection.commit()
             except BaseException:
                 self._connection.rollback()
@@ -410,6 +746,7 @@ class DiskStore(FragmentStore):
     # postings section — writes
     # ------------------------------------------------------------------
     def touch_fragment(self, identifier: FragmentId) -> None:
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
             cursor = self._connection.execute(
@@ -417,11 +754,10 @@ class DiskStore(FragmentStore):
             )
             new = cursor.rowcount > 0
             if new:
-                self._epoch_clock.tick_fragment(identifier)
-                self._persist_epoch()
-                self._persist_fragment_epoch(encoded, identifier)
+                self._tick_fragment_write(encoded, identifier)
 
     def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
             with self._cache_lock:
@@ -438,10 +774,7 @@ class DiskStore(FragmentStore):
             )
             # Tick after the data writes: the tick is the commit point the
             # serving layer revalidates against (see repro.store.epochs).
-            self._epoch_clock.tick_posting(keyword, identifier)
-            self._persist_epoch()
-            self._persist_keyword_epoch(keyword)
-            self._persist_fragment_epoch(encoded, identifier)
+            self._tick_posting_write(keyword, encoded, identifier)
 
     def _fragment_keywords(self, encoded: str) -> List[str]:
         return [
@@ -463,6 +796,7 @@ class DiskStore(FragmentStore):
         return keywords
 
     def remove_fragment(self, identifier: FragmentId) -> None:
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
             known = self._connection.execute(
@@ -470,26 +804,80 @@ class DiskStore(FragmentStore):
             ).fetchone()
             if known is None:
                 return
+            if self._batch_depth:
+                # Inside an atomic batch the enclosing write_batch owns the
+                # transaction (and the single deferred tick).
+                keywords = self._delete_fragment_rows(encoded)
+                self._tick_removal_write(encoded, identifier, keywords)
+                return
             self._connection.commit()  # keep unrelated batched writes out of this txn
             try:
                 keywords = self._delete_fragment_rows(encoded)
-                self._epoch_clock.tick_removal(identifier, keywords)
-                self._persist_epoch()
-                for keyword in keywords:
-                    self._persist_keyword_epoch(keyword)
-                self._persist_fragment_epoch(encoded, identifier)
+                self._tick_removal_write(encoded, identifier, keywords)
                 self._connection.commit()
             except BaseException:
                 self._connection.rollback()
                 raise
+
+    def _replace_fragment_rows(self, encoded: str, identifier: FragmentId, items) -> None:
+        """The swap's data writes + tick bookkeeping (transaction-agnostic).
+
+        In batch mode the ticks only accumulate in the batch sets; outside a
+        batch the clock ticks per mutation and the epoch rows are written
+        with the same statement economy the pre-batch implementation had
+        (each keyword once, the store epoch and fragment epoch once).
+        """
+        in_batch = bool(self._batch_depth)
+        known = self._connection.execute(
+            "SELECT 1 FROM fragments WHERE id = ?", (encoded,)
+        ).fetchone()
+        if known is not None:
+            outgoing = self._delete_fragment_rows(encoded)
+            if in_batch:
+                self._tick_removal_write(encoded, identifier, outgoing)
+            else:
+                self._epoch_clock.tick_removal(identifier, outgoing)
+                for keyword in outgoing:
+                    self._persist_keyword_epoch(keyword)
+        tie = str(tuple(identifier))
+        # One cache-lock acquisition for the whole swap's evictions —
+        # pooled readers contend on this lock for every lookup.
+        with self._cache_lock:
+            self._sizes_cache.pop(identifier, None)
+            for keyword, _occurrences in items:
+                self._postings_cache.pop(keyword, None)
+        for keyword, occurrences in items:
+            if occurrences <= 0:
+                continue
+            self._connection.execute(
+                "INSERT INTO postings (keyword, fragment, tie, occurrences) "
+                "VALUES (?, ?, ?, ?)",
+                (keyword, encoded, tie, occurrences),
+            )
+            self._connection.execute(
+                "INSERT INTO fragments (id, size) VALUES (?, ?) "
+                "ON CONFLICT (id) DO UPDATE SET size = size + excluded.size",
+                (encoded, occurrences),
+            )
+            if in_batch:
+                self._tick_posting_write(keyword, encoded, identifier)
+            else:
+                self._epoch_clock.tick_posting(keyword, identifier)
+                self._persist_keyword_epoch(keyword)
+        if not in_batch:
+            self._persist_epoch()
+            self._persist_fragment_epoch(encoded, identifier)
 
     def replace_fragment(self, identifier: FragmentId, term_frequencies) -> None:
         """Swap one fragment's postings in a single sqlite transaction.
 
         This is the incremental-maintenance path: after a crash the file
         holds the old postings or the new ones, never a mix, and the epoch
-        write-through commits with the data it stamps.
+        write-through commits with the data it stamps.  Inside an open
+        :meth:`write_batch` the swap joins the batch's transaction instead
+        of committing on its own.
         """
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         items = (
             list(term_frequencies.items())
@@ -497,40 +885,12 @@ class DiskStore(FragmentStore):
             else list(term_frequencies)
         )
         with self._lock:
+            if self._batch_depth:
+                self._replace_fragment_rows(encoded, identifier, items)
+                return
             self._connection.commit()  # keep unrelated batched writes out of this txn
             try:
-                known = self._connection.execute(
-                    "SELECT 1 FROM fragments WHERE id = ?", (encoded,)
-                ).fetchone()
-                if known is not None:
-                    outgoing = self._delete_fragment_rows(encoded)
-                    self._epoch_clock.tick_removal(identifier, outgoing)
-                    for keyword in outgoing:
-                        self._persist_keyword_epoch(keyword)
-                tie = str(tuple(identifier))
-                # One cache-lock acquisition for the whole swap's evictions —
-                # pooled readers contend on this lock for every lookup.
-                with self._cache_lock:
-                    self._sizes_cache.pop(identifier, None)
-                    for keyword, _occurrences in items:
-                        self._postings_cache.pop(keyword, None)
-                for keyword, occurrences in items:
-                    if occurrences <= 0:
-                        continue
-                    self._connection.execute(
-                        "INSERT INTO postings (keyword, fragment, tie, occurrences) "
-                        "VALUES (?, ?, ?, ?)",
-                        (keyword, encoded, tie, occurrences),
-                    )
-                    self._connection.execute(
-                        "INSERT INTO fragments (id, size) VALUES (?, ?) "
-                        "ON CONFLICT (id) DO UPDATE SET size = size + excluded.size",
-                        (encoded, occurrences),
-                    )
-                    self._epoch_clock.tick_posting(keyword, identifier)
-                    self._persist_keyword_epoch(keyword)
-                self._persist_epoch()
-                self._persist_fragment_epoch(encoded, identifier)
+                self._replace_fragment_rows(encoded, identifier, items)
                 self._connection.commit()
             except BaseException:
                 self._connection.rollback()
@@ -538,7 +898,12 @@ class DiskStore(FragmentStore):
 
     def finalize(self) -> None:
         """Flush batched writes to disk (lists are stored sorted-on-read)."""
+        if self.read_only:
+            return
         with self._lock:
+            if self._batch_depth:
+                # The open atomic batch commits at write_batch exit, not here.
+                return
             self._connection.commit()
 
     # ------------------------------------------------------------------
@@ -549,13 +914,15 @@ class DiskStore(FragmentStore):
     _IN_CHUNK = 500
 
     def postings(self, keyword: str) -> Tuple[Posting, ...]:
-        with self._cache_lock:
-            cached = self._postings_cache.get(keyword)
-            if cached is not None:
-                stamp, result = cached
-                if self.keyword_epoch(keyword) <= stamp:
-                    return result
-                self._postings_cache.pop(keyword, None)
+        in_owned_batch = self._in_owned_batch()
+        if not in_owned_batch:
+            with self._cache_lock:
+                cached = self._postings_cache.get(keyword)
+                if cached is not None:
+                    stamp, result = cached
+                    if self.keyword_epoch(keyword) <= stamp:
+                        return result
+                    self._postings_cache.pop(keyword, None)
         stamp = self.epoch
         # occurrences DESC then the str(identifier) tie then insertion
         # order — exactly the stable sort the in-memory backend applies.
@@ -567,10 +934,11 @@ class DiskStore(FragmentStore):
         result = tuple(
             Posting(self._decode(encoded), occurrences) for encoded, occurrences in rows
         )
-        if result:
+        if result and not in_owned_batch:
             # The pre-read stamp makes a racing write's tick invalidate this
             # entry on its next lookup; misses are never cached (unbounded
-            # growth under hostile unknown keywords).
+            # growth under hostile unknown keywords).  Staged batch reads
+            # are never cached at all — their stamp would predate the data.
             with self._cache_lock:
                 self._postings_cache[keyword] = (stamp, result)
         return result
@@ -585,15 +953,19 @@ class DiskStore(FragmentStore):
         """
         results: Dict[str, Tuple[Posting, ...]] = {}
         missing: List[str] = []
-        with self._cache_lock:
-            for keyword in dict.fromkeys(keywords):
-                cached = self._postings_cache.get(keyword)
-                if cached is not None and self.keyword_epoch(keyword) <= cached[0]:
-                    results[keyword] = cached[1]
-                    continue
-                if cached is not None:
-                    self._postings_cache.pop(keyword, None)
-                missing.append(keyword)
+        in_owned_batch = self._in_owned_batch()
+        if in_owned_batch:
+            missing = list(dict.fromkeys(keywords))
+        else:
+            with self._cache_lock:
+                for keyword in dict.fromkeys(keywords):
+                    cached = self._postings_cache.get(keyword)
+                    if cached is not None and self.keyword_epoch(keyword) <= cached[0]:
+                        results[keyword] = cached[1]
+                        continue
+                    if cached is not None:
+                        self._postings_cache.pop(keyword, None)
+                    missing.append(keyword)
         if not missing:
             return results
         stamp = self.epoch
@@ -611,7 +983,7 @@ class DiskStore(FragmentStore):
                 grouped[keyword].append(Posting(self._decode(encoded), occurrences))
         for keyword in missing:
             result = tuple(grouped[keyword])
-            if result:
+            if result and not in_owned_batch:
                 with self._cache_lock:
                     self._postings_cache[keyword] = (stamp, result)
             results[keyword] = result
@@ -657,16 +1029,18 @@ class DiskStore(FragmentStore):
         return tuple(keyword for (keyword,) in rows)
 
     def fragment_size(self, identifier: FragmentId) -> int:
-        with self._cache_lock:
-            cached = self._sizes_cache.get(identifier)
-            if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
-                return cached[1]
+        in_owned_batch = self._in_owned_batch()
+        if not in_owned_batch:
+            with self._cache_lock:
+                cached = self._sizes_cache.get(identifier)
+                if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
+                    return cached[1]
         stamp = self.epoch
         rows = self._execute_read(
             "SELECT size FROM fragments WHERE id = ?", (encode_identifier(identifier),)
         )
         size = rows[0][0] if rows else 0
-        if rows:
+        if rows and not in_owned_batch:
             with self._cache_lock:
                 self._sizes_cache[identifier] = (stamp, size)
         return size
@@ -682,14 +1056,20 @@ class DiskStore(FragmentStore):
         # already cached (and epoch-fresh) never reach SQL at all.
         sizes: Dict[FragmentId, int] = {}
         wanted: List[Tuple[FragmentId, str]] = []
-        with self._cache_lock:
+        in_owned_batch = self._in_owned_batch()
+        if in_owned_batch:
             for identifier in identifiers:
-                cached = self._sizes_cache.get(identifier)
-                if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
-                    sizes[identifier] = cached[1]
-                else:
-                    sizes[identifier] = 0
-                    wanted.append((identifier, encode_identifier(identifier)))
+                sizes[identifier] = 0
+                wanted.append((identifier, encode_identifier(identifier)))
+        else:
+            with self._cache_lock:
+                for identifier in identifiers:
+                    cached = self._sizes_cache.get(identifier)
+                    if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
+                        sizes[identifier] = cached[1]
+                    else:
+                        sizes[identifier] = 0
+                        wanted.append((identifier, encode_identifier(identifier)))
         stamp = self.epoch
         for start in range(0, len(wanted), self._IN_CHUNK):
             chunk = wanted[start : start + self._IN_CHUNK]
@@ -704,7 +1084,8 @@ class DiskStore(FragmentStore):
                     if encoded in by_encoded:
                         size = by_encoded[encoded]
                         sizes[identifier] = size
-                        self._sizes_cache[identifier] = (stamp, size)
+                        if not in_owned_batch:
+                            self._sizes_cache[identifier] = (stamp, size)
         return sizes
 
     def fragment_ids(self) -> Tuple[FragmentId, ...]:
@@ -736,6 +1117,7 @@ class DiskStore(FragmentStore):
     # graph section
     # ------------------------------------------------------------------
     def add_node(self, identifier: FragmentId, keyword_count: int) -> None:
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
             self._connection.execute(
@@ -747,9 +1129,7 @@ class DiskStore(FragmentStore):
             self._connection.execute("DELETE FROM edges WHERE src = ?", (encoded,))
             with self._cache_lock:
                 self._neighbors_cache.pop(identifier, None)
-            self._epoch_clock.tick_fragment(identifier)
-            self._persist_epoch()
-            self._persist_fragment_epoch(encoded, identifier)
+            self._tick_fragment_write(encoded, identifier)
 
     def _require_node(self, encoded: str, identifier: FragmentId) -> None:
         known = self._connection.execute(
@@ -759,6 +1139,7 @@ class DiskStore(FragmentStore):
             raise KeyError(identifier)
 
     def remove_node(self, identifier: FragmentId) -> None:
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
             self._require_node(encoded, identifier)
@@ -766,9 +1147,7 @@ class DiskStore(FragmentStore):
             self._connection.execute("DELETE FROM nodes WHERE id = ?", (encoded,))
             with self._cache_lock:
                 self._neighbors_cache.pop(identifier, None)
-            self._epoch_clock.tick_fragment(identifier)
-            self._persist_epoch()
-            self._persist_fragment_epoch(encoded, identifier)
+            self._tick_fragment_write(encoded, identifier)
 
     def has_node(self, identifier: FragmentId) -> bool:
         return bool(
@@ -787,15 +1166,14 @@ class DiskStore(FragmentStore):
         return rows[0][0]
 
     def set_node_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
             self._require_node(encoded, identifier)
             self._connection.execute(
                 "UPDATE nodes SET keyword_count = ? WHERE id = ?", (keyword_count, encoded)
             )
-            self._epoch_clock.tick_fragment(identifier)
-            self._persist_epoch()
-            self._persist_fragment_epoch(encoded, identifier)
+            self._tick_fragment_write(encoded, identifier)
 
     def node_ids(self) -> Tuple[FragmentId, ...]:
         rows = self._execute_read("SELECT id FROM nodes")
@@ -805,6 +1183,7 @@ class DiskStore(FragmentStore):
         return self._execute_read("SELECT COUNT(*) FROM nodes")[0][0]
 
     def add_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
             self._require_node(encoded, identifier)
@@ -814,11 +1193,10 @@ class DiskStore(FragmentStore):
             )
             with self._cache_lock:
                 self._neighbors_cache.pop(identifier, None)
-            self._epoch_clock.tick_fragment(identifier)
-            self._persist_epoch()
-            self._persist_fragment_epoch(encoded, identifier)
+            self._tick_fragment_write(encoded, identifier)
 
     def discard_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
             self._require_node(encoded, identifier)
@@ -828,9 +1206,7 @@ class DiskStore(FragmentStore):
             )
             with self._cache_lock:
                 self._neighbors_cache.pop(identifier, None)
-            self._epoch_clock.tick_fragment(identifier)
-            self._persist_epoch()
-            self._persist_fragment_epoch(encoded, identifier)
+            self._tick_fragment_write(encoded, identifier)
 
     def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
         # The expansion loop reads adjacency for every page member of every
@@ -838,10 +1214,12 @@ class DiskStore(FragmentStore):
         # after sizes — so neighbour sets are cached with the same epoch
         # validation as postings and sizes (every adjacency mutation ticks
         # the endpoint's fragment epoch).
-        with self._cache_lock:
-            cached = self._neighbors_cache.get(identifier)
-            if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
-                return cached[1]
+        in_owned_batch = self._in_owned_batch()
+        if not in_owned_batch:
+            with self._cache_lock:
+                cached = self._neighbors_cache.get(identifier)
+                if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
+                    return cached[1]
         stamp = self.epoch
         encoded = encode_identifier(identifier)
         rows = self._execute_read("SELECT dst FROM edges WHERE src = ?", (encoded,))
@@ -850,8 +1228,9 @@ class DiskStore(FragmentStore):
             # node with edges is trivially known.
             raise KeyError(identifier)
         result = tuple(self._decode(dst) for (dst,) in rows)
-        with self._cache_lock:
-            self._neighbors_cache[identifier] = (stamp, result)
+        if not in_owned_batch:
+            with self._cache_lock:
+                self._neighbors_cache[identifier] = (stamp, result)
         return result
 
     def edge_count(self) -> int:

@@ -48,12 +48,19 @@ from repro.core.fragments import FragmentId
 class EpochClock:
     """Monotonic mutation counter with per-keyword and per-fragment views."""
 
-    __slots__ = ("_epoch", "_keywords", "_fragments")
+    __slots__ = ("_epoch", "_keywords", "_fragments", "_floor")
 
     def __init__(self) -> None:
         self._epoch = 0
         self._keywords: Dict[str, int] = {}
         self._fragments: Dict[FragmentId, int] = {}
+        # The highest sweep bound ever applied: entries at or below it were
+        # pruned, so an *unknown* key answers the floor rather than 0.  This
+        # is what keeps the clock sound for consumers the sweep could not
+        # see (a reader process refreshing its clock from a swept file): any
+        # entry stamped below the floor fails revalidation against a pruned
+        # dependency instead of silently validating against the 0 default.
+        self._floor = 0
 
     # ------------------------------------------------------------------
     # reads
@@ -63,9 +70,15 @@ class EpochClock:
         """The store-wide epoch (0 for a store never mutated)."""
         return self._epoch
 
+    @property
+    def floor(self) -> int:
+        """The highest sweep bound applied (unknown keys answer this)."""
+        return self._floor
+
     def keyword_epoch(self, keyword: str) -> int:
-        """Epoch of the keyword's last postings change (0 if never touched)."""
-        return self._keywords.get(keyword, 0)
+        """Epoch of the keyword's last postings change (the sweep floor if
+        never touched or pruned)."""
+        return self._keywords.get(keyword, self._floor)
 
     def fragment_epoch(self, identifier: FragmentId) -> int:
         """Epoch of the fragment's last change of any kind (0 if never touched).
@@ -76,9 +89,10 @@ class EpochClock:
         tombstone only becomes prunable once no cache entry stamped before
         the removal survives, which the clock cannot observe by itself; the
         serving layer drives that pruning through :meth:`sweep` (see
-        :meth:`repro.serving.SearchService.sweep_epochs`).
+        :meth:`repro.serving.SearchService.sweep_epochs`).  Unknown (or
+        pruned) identifiers answer the sweep floor.
         """
-        return self._fragments.get(identifier, 0)
+        return self._fragments.get(identifier, self._floor)
 
     # ------------------------------------------------------------------
     # ticks (one per store mutation)
@@ -104,6 +118,25 @@ class EpochClock:
         self._fragments[identifier] = self._epoch
         return self._epoch
 
+    def tick_batch(
+        self, keywords: Iterable[str], fragments: Iterable[FragmentId]
+    ) -> int:
+        """One applied mutation batch: a single epoch for everything it touched.
+
+        This is the commit point of
+        :meth:`~repro.store.FragmentStore.apply_mutations` — every keyword
+        whose inverted list the batch changed and every fragment it replaced,
+        removed or registered is stamped with the same new epoch, so the
+        clock grows by one epoch per batch instead of one per posting while
+        invalidation stays exactly as precise.
+        """
+        self._epoch += 1
+        for keyword in keywords:
+            self._keywords[keyword] = self._epoch
+        for identifier in fragments:
+            self._fragments[identifier] = self._epoch
+        return self._epoch
+
     # ------------------------------------------------------------------
     # persistence and bounding
     # ------------------------------------------------------------------
@@ -112,6 +145,7 @@ class EpochClock:
         epoch: int,
         keywords: Mapping[str, int],
         fragments: Mapping[FragmentId, int],
+        floor: int = 0,
     ) -> None:
         """Replace the clock's state wholesale (snapshot/disk restore).
 
@@ -119,7 +153,8 @@ class EpochClock:
         this, so cache stamps handed out before the restart keep comparing
         correctly against mutations applied after it.  ``epoch`` must be at
         least every restored per-keyword/per-fragment epoch; anything else is
-        a corrupt snapshot and raises ``ValueError``.
+        a corrupt snapshot and raises ``ValueError``.  ``floor`` restores the
+        sweep floor persisted alongside (see :meth:`sweep`).
         """
         views = list(keywords.values()) + list(fragments.values())
         if views and epoch < max(views):
@@ -127,11 +162,17 @@ class EpochClock:
                 f"corrupt epoch state: store epoch {epoch} is older than a "
                 f"restored fine-grained epoch {max(views)}"
             )
+        if floor > epoch:
+            raise ValueError(
+                f"corrupt epoch state: sweep floor {floor} is newer than the "
+                f"store epoch {epoch}"
+            )
         self._epoch = int(epoch)
         self._keywords = {keyword: int(value) for keyword, value in keywords.items()}
         self._fragments = {
             tuple(identifier): int(value) for identifier, value in fragments.items()
         }
+        self._floor = int(floor)
 
     def sweep(self, oldest_live_stamp: int) -> int:
         """Prune every per-keyword/per-fragment entry at or below the stamp.
@@ -153,6 +194,12 @@ class EpochClock:
         """
         if oldest_live_stamp < 0:
             raise ValueError(f"oldest live stamp must be non-negative, got {oldest_live_stamp}")
+        # Record the bound so unknown keys answer it from now on: a consumer
+        # the sweep could not see (a reader process syncing its clock from a
+        # swept file) then fails revalidation for anything stamped below the
+        # bound instead of trusting the 0 default.
+        if oldest_live_stamp > self._floor:
+            self._floor = oldest_live_stamp
         pruned = 0
         for keyword in [k for k, value in self._keywords.items() if value <= oldest_live_stamp]:
             del self._keywords[keyword]

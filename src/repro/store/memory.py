@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from repro.core.fragments import FragmentId
 from repro.store.base import FragmentStore
 from repro.store.epochs import EpochClock
+from repro.store.mutations import RemoveFragment, ReplaceFragment, normalize_mutations
 from repro.text.inverted_index import Posting
 
 
@@ -84,6 +85,87 @@ class InMemoryStore(FragmentStore):
                 else:
                     del self._postings[keyword]
         self._epoch_clock.tick_removal(identifier, keywords)
+
+    def apply_mutations(self, batch) -> int:
+        """Apply a whole replace/remove/touch batch in one dictionary pass.
+
+        All ops run under a single acquisition of the postings lock, only
+        the inverted lists the batch touched are re-sorted, and the epoch
+        clock ticks once for the whole batch (every affected keyword and
+        fragment stamped with the same new epoch).  A reader racing the pass
+        can observe partially-applied lists with a pre-batch stamp — the
+        final tick retires anything it computed, the same write-window rule
+        every single mutator follows.
+        """
+        ops = normalize_mutations(batch)
+        if not ops:
+            return 0
+        count, keywords, fragments = self.apply_mutation_ops(ops)
+        if keywords or fragments:
+            self._epoch_clock.tick_batch(keywords, fragments)
+        return count
+
+    def apply_mutation_ops(self, ops) -> Tuple[int, Set[str], Set[FragmentId]]:
+        """The tick-free core of :meth:`apply_mutations` (shard-internal).
+
+        Applies already-normalized ops and returns ``(count, affected
+        keywords, affected fragments)`` *without* ticking the clock — the
+        caller owns the batch's single tick, which is how
+        :class:`~repro.store.ShardedStore` fans a batch out over its shards
+        and still commits it as one epoch on the shared clock.
+        """
+        affected_keywords: Set[str] = set()
+        affected_fragments: Set[FragmentId] = set()
+        with self._postings_lock:
+            was_sorted = self._sorted
+            self._sorted = False
+            for op in ops:
+                identifier = op.identifier
+                if isinstance(op, (ReplaceFragment, RemoveFragment)):
+                    if identifier in self._fragment_sizes:
+                        del self._fragment_sizes[identifier]
+                        outgoing = self._fragment_keywords.pop(identifier, {})
+                        for keyword in outgoing:
+                            postings = self._postings.get(keyword)
+                            if postings is None:
+                                continue
+                            kept = [p for p in postings if p.document_id != identifier]
+                            if kept:
+                                self._postings[keyword] = kept
+                            else:
+                                del self._postings[keyword]
+                            affected_keywords.add(keyword)
+                        affected_fragments.add(identifier)
+                    if isinstance(op, RemoveFragment):
+                        continue
+                    # Replace: register (even when empty) and append the new
+                    # postings exactly like repeated add_posting calls.
+                    size = 0
+                    keyword_map: Dict[str, None] = {}
+                    for keyword, occurrences in op.term_frequencies:
+                        self._postings.setdefault(keyword, []).append(
+                            Posting(identifier, occurrences)
+                        )
+                        size += occurrences
+                        keyword_map[keyword] = None
+                        affected_keywords.add(keyword)
+                    self._fragment_sizes[identifier] = size
+                    self._fragment_keywords[identifier] = keyword_map
+                    affected_fragments.add(identifier)
+                else:  # TouchFragment: a no-op unless the fragment is new
+                    if identifier not in self._fragment_sizes:
+                        self._fragment_sizes[identifier] = 0
+                        self._fragment_keywords[identifier] = {}
+                        affected_fragments.add(identifier)
+            if was_sorted:
+                # Only the touched lists lost their order; restore it here so
+                # the batch needs no store-wide finalize afterwards.
+                for keyword in affected_keywords:
+                    postings = self._postings.get(keyword)
+                    if postings is not None:
+                        self._postings[keyword] = sorted(postings, key=posting_sort_key)
+                self._sorted = True
+        return len(ops), affected_keywords, affected_fragments
 
     def finalize(self) -> None:
         if self._sorted:

@@ -168,6 +168,45 @@ class ShardedStore(FragmentStore):
             self._merged_postings.pop(keyword, None)
         owner.replace_fragment(identifier, items)
 
+    def apply_mutations(self, batch) -> int:
+        """Apply one batch with a per-shard grouped fan-out.
+
+        Ops are grouped by the owning shard (a fragment's postings never
+        straddle shards, so every group is independent), each group is
+        applied by its shard's single-pass
+        :meth:`~repro.store.InMemoryStore.apply_mutation_ops`, and the
+        shared clock ticks **once** for the union of everything the groups
+        touched — one epoch per batch no matter how many shards it spanned.
+        Groups fan out over the read executor when the store is large enough
+        to fan reads out; shard-level locking makes the groups safe to run
+        concurrently because the deferred tick keeps the shared clock out of
+        the parallel section.
+        """
+        from repro.store.mutations import normalize_mutations
+
+        ops = normalize_mutations(batch)
+        if not ops:
+            return 0
+        by_shard: Dict[int, List] = {}
+        for op in ops:
+            by_shard.setdefault(self.shard_of(op.identifier), []).append(op)
+        parts = self.run_parallel(
+            [
+                lambda shard=self._shards[index], group=group: shard.apply_mutation_ops(group)
+                for index, group in by_shard.items()
+            ]
+        )
+        affected_keywords: set = set()
+        affected_fragments: set = set()
+        for _count, keywords, fragments in parts:
+            affected_keywords |= keywords
+            affected_fragments |= fragments
+        for keyword in affected_keywords:
+            self._merged_postings.pop(keyword, None)
+        if affected_keywords or affected_fragments:
+            self._epoch_clock.tick_batch(affected_keywords, affected_fragments)
+        return len(ops)
+
     def finalize(self) -> None:
         self.map_shards(lambda shard: shard.finalize())
 

@@ -202,8 +202,12 @@ class TestEpochClock:
         clock.tick_posting("hot", ("live", 2))  # epoch 2
         clock.tick_fragment(("live", 3))  # epoch 3
         assert clock.sweep(1) == 2  # "old" and ("gone", 1)
-        assert clock.keyword_epoch("old") == 0
-        assert clock.fragment_epoch(("gone", 1)) == 0
+        # Pruned (and never-seen) keys answer the sweep floor, not 0: a
+        # consumer the sweep could not see keeps failing revalidation for
+        # anything it stamped before the bound.
+        assert clock.floor == 1
+        assert clock.keyword_epoch("old") == 1
+        assert clock.fragment_epoch(("gone", 1)) == 1
         assert clock.keyword_epoch("hot") == 2
         assert clock.fragment_epoch(("live", 3)) == 3
         with pytest.raises(ValueError):

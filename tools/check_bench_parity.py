@@ -5,7 +5,8 @@ verdict in its ``BENCH_*.json`` payload; this checker re-reads the emitted
 files so a refactor that silently stops asserting (or stops running a
 backend) still fails the smoke job.  Usage::
 
-    python tools/check_bench_parity.py BENCH_store_backends.json BENCH_serving.json
+    python tools/check_bench_parity.py BENCH_store_backends.json \
+        BENCH_serving.json BENCH_maintenance.json
 
 Exits non-zero when a file is missing, holds no parity flags at all, or
 holds any flag that is not ``true``.
@@ -53,7 +54,11 @@ def check_file(filename: str) -> Tuple[List[str], int]:
 
 def main(argv: List[str]) -> int:
     """Check every named file; print a verdict per file."""
-    filenames = argv or ["BENCH_store_backends.json", "BENCH_serving.json"]
+    filenames = argv or [
+        "BENCH_store_backends.json",
+        "BENCH_serving.json",
+        "BENCH_maintenance.json",
+    ]
     problems: List[str] = []
     for filename in filenames:
         found, flag_count = check_file(filename)

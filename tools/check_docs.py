@@ -32,9 +32,13 @@ PUBLIC_API = {
     "repro.store": [
         "FragmentStore",
         "FragmentStore.replace_fragment",
+        "FragmentStore.apply_mutations",
+        "FragmentStore.write_batch",
         "FragmentStore.snapshot",
         "FragmentStore.from_snapshot",
         "FragmentStore.sweep_epochs",
+        "DiskStore.refresh_epochs",
+        "DiskStore.write_batch",
         "InMemoryStore",
         "ShardedStore",
         "DiskStore",
@@ -65,8 +69,26 @@ PUBLIC_API = {
         "IncrementalMaintainer",
         "IncrementalMaintainer.insert",
         "IncrementalMaintainer.delete",
+        "IncrementalMaintainer.apply_updates",
+        "InsertRecord",
+        "DeleteRecords",
+    ],
+    "repro.store.mutations": [
+        "ReplaceFragment",
+        "RemoveFragment",
+        "TouchFragment",
+        "replace_op",
+        "coalesce_mutations",
     ],
     "repro.serving": [],
+    "repro.serving.maintenance": [
+        "MaintenanceService",
+        "MaintenanceService.submit",
+        "MaintenanceService.flush",
+        "MaintenanceService.statistics",
+        "AppliedBatch",
+        "ReadWriteGate",
+    ],
     "repro.serving.service": [
         "SearchService",
         "SearchService.search",
