@@ -15,28 +15,32 @@ the ``k`` most relevant ones:
 
 Three implementation notes beyond the paper's pseudo-code:
 
-* **Exact score-bounded early termination** — seeds are *not* scored up
-  front.  Every relevant fragment enters a bound-ordered heap under the
-  admissible, size-free bound of
-  :meth:`~repro.core.scoring.DashScorer.seed_score_bounds`; a seed is only
-  *materialized* (its size read from the store, its exact score computed and
-  pushed onto the real priority queue) while its bound says it could still
-  be the next dequeue.  Because every bound is at least the exact score it
-  caps, the pop order of entries that reach the queue — and therefore the
-  result set — is provably identical to scoring everything eagerly (seeds
-  the eager path would pop only to discard as already-consumed are dropped
-  before the queue here, so ``SearchStatistics.dequeues`` can be lower in
-  bounded mode while results stay byte-identical); seeds whose bound never
-  reaches the frontier are never scored at all, which is where partitioned
-  and on-disk backends stop paying for thousands of size reads per query.  The
-  same argument prunes expansion candidates: an irrelevant candidate can
-  never out-prefer a relevant one (the relevance tier dominates the
-  preference order), and a relevant candidate whose
-  :meth:`~repro.core.scoring.DashScorer.extended_score_bound` cannot beat
-  the best candidate found so far is skipped without reading its size.
-  ``SearchStatistics`` counts both kinds of pruned work; construct the
-  searcher with ``early_termination=False`` for the bound-free exhaustive
-  reference (the property suite checks the two byte-identical).
+* **Exact block-max early termination** — seeds are *not* even read up
+  front.  Each query keyword's impact-ordered inverted list is served as
+  fixed-size *blocks* with per-block maxima
+  (:meth:`~repro.store.FragmentStore.posting_blocks_for_many`), and the
+  pending heap holds whole undecoded blocks under the admissible per-block
+  bound of :meth:`~repro.core.scoring.DashScorer.block_plan`.  A block is
+  decoded — and its fragments materialized (vectors and sizes batch-read,
+  exact scores computed and pushed onto the real priority queue) — only
+  while its bound says some member could still win the next dequeue.
+  Because every bound is at least the exact score of every member, the pop
+  order of entries that reach the queue — and therefore the result set — is
+  provably identical to scoring everything eagerly (entries the eager path
+  would dequeue only to discard as duplicates or already-consumed are
+  dropped before the queue here, so ``SearchStatistics.dequeues`` can be
+  lower in bounded mode while results stay byte-identical); blocks whose
+  bound never reaches the frontier are never decoded at all, which is where
+  partitioned and on-disk backends stop paying for thousands of row decodes
+  and size reads per query.  The same argument prunes expansion candidates:
+  an irrelevant candidate can never out-prefer a relevant one (the
+  relevance tier dominates the preference order), and a relevant candidate
+  whose :meth:`~repro.core.scoring.DashScorer.extended_score_bound` cannot
+  beat the best candidate found so far is skipped without reading its size.
+  ``SearchStatistics`` counts both the pruned and the decoded work;
+  construct the searcher with ``early_termination=False`` for the
+  bound-free exhaustive reference (the property suite checks the two
+  byte-identical).
 * **Sharded seeding** — on a partitioned
   :class:`~repro.store.FragmentStore`, materialization batches read their
   sizes through ``fragment_sizes_for`` (one fan-out per batch); the
@@ -67,8 +71,17 @@ from repro.core.fragments import FragmentId
 from repro.core.scoring import DashScorer, PageStats
 from repro.core.urls import UrlFormulator
 
-#: One priority-queue entry: (negated score, tie-break, fragments).
-QueueEntry = Tuple[float, int, Tuple[FragmentId, ...]]
+#: One priority-queue entry: (negated score, tie-break, fragments).  The
+#: tie-break is a tuple: seeds carry ``(0, identifier order)`` and expanded
+#: pages ``(1, insertion counter)``, so equal-score ties resolve
+#: deterministically for any backend and any materialization order — and the
+#: pending *block* heap's sentinel tie ``(0,)`` sorts at-or-before every
+#: queue tie, keeping the materialize-before-dequeue invariant exact.
+QueueEntry = Tuple[float, Tuple, Tuple[FragmentId, ...]]
+
+#: One pending-block heap entry: (negated bound, sentinel tie, keyword
+#: index, block number, posting count).
+BlockEntry = Tuple[float, Tuple, int, int, int]
 
 
 @dataclass(frozen=True)
@@ -95,13 +108,22 @@ class SearchResult:
 class SearchStatistics:
     """Instrumentation of one search call (used by the Figure 11 bench).
 
-    ``seeds_scored`` is how many seeds were materialized (size read, exact
-    score computed); ``pruned_dequeues`` counts seed entries the admissible
-    bound proved could never be dequeued before the search completed (they
-    were never scored and never entered the queue); ``pruned_expansions``
-    counts expansion-candidate evaluations skipped by the relevance tier or
-    by :meth:`~repro.core.scoring.DashScorer.extended_score_bound`.  The
-    pruned counters stay 0 on an ``early_termination=False`` searcher.
+    ``seed_fragments`` is the total number of posting entries across the
+    query keywords' inverted lists (``sum_w df_w`` — a fragment relevant to
+    two keywords counts twice); ``seeds_scored`` is how many distinct seeds
+    were materialized (vector and size read, exact score computed);
+    ``pruned_dequeues`` counts posting entries that never produced a scored
+    queue entry — members of never-decoded blocks, decoded duplicates of an
+    already-materialized fragment, and decoded entries of already-consumed
+    fragments — so ``seeds_scored + pruned_dequeues == seed_fragments``
+    holds on every bounded search.  ``blocks_skipped``/``blocks_decoded``
+    split the block directory into never-decoded and decoded blocks, and
+    ``postings_decoded`` totals the entries the decoded blocks yielded.
+    ``pruned_expansions`` counts expansion-candidate evaluations skipped by
+    the relevance tier or by
+    :meth:`~repro.core.scoring.DashScorer.extended_score_bound`.  The
+    pruned and block counters stay 0 on an ``early_termination=False``
+    searcher (the exhaustive path reads whole lists, not blocks).
     """
 
     elapsed_seconds: float = 0.0
@@ -111,6 +133,9 @@ class SearchStatistics:
     dequeues: int = 0
     pruned_dequeues: int = 0
     pruned_expansions: int = 0
+    blocks_skipped: int = 0
+    blocks_decoded: int = 0
+    postings_decoded: int = 0
     results: int = 0
 
 
@@ -203,7 +228,9 @@ class SearchSession:
                     self._scorers.move_to_end(keywords)
                     self.scorer_reuses += 1
                     return scorer
-        scorer = DashScorer(self._searcher.index, keywords)
+        scorer = DashScorer(
+            self._searcher.index, keywords, lazy=self._searcher.early_termination
+        )
         with self._lock:
             self.scorer_builds += 1
             if epoch == self._epoch:
@@ -263,6 +290,9 @@ class TopKSearcher:
             "seeds_scored": 0,
             "pruned_dequeues": 0,
             "pruned_expansions": 0,
+            "blocks_skipped": 0,
+            "blocks_decoded": 0,
+            "postings_decoded": 0,
         }
         # Identifier -> deterministic sort key.  Scoped to this searcher on
         # purpose: Python equates 1 and True as dict keys, so a process-wide
@@ -330,33 +360,40 @@ class TopKSearcher:
         else:
             epoch = self.index.store.epoch
             neighbor_cache = {}
-            scorer = DashScorer(self.index, canonical)
-        seeds = scorer.relevant_fragments()
-        statistics.seed_fragments = len(seeds)
-        # Every fragment the search consults: seeds now, expansion candidates
-        # as they are evaluated.  Page members are always one or the other.
-        consulted: Set[FragmentId] = set(seeds)
+            scorer = DashScorer(self.index, canonical, lazy=self.early_termination)
+        statistics.seed_fragments = scorer.posting_count()
+        # Every fragment the search consults: materialized seeds and
+        # expansion candidates as they are evaluated.  Page members are
+        # always one or the other.  Fragments living only in never-decoded
+        # blocks are deliberately *not* dependencies — any mutation that
+        # could change them ticks their keywords' postings epochs, which a
+        # serving cache already revalidates against.
+        consulted: Set[FragmentId] = set()
+        # Distinct fragments decoded so far (bounded mode): a fragment
+        # relevant to several query keywords appears in several blocks but
+        # must be scored exactly once.
+        seen: Set[FragmentId] = set()
 
-        # Priority queue of pending db-pages, keyed by descending score.  The
-        # tie-breaking counter keeps heap ordering deterministic: seeds take
-        # counters 0..len(seeds)-1 in relevant-fragment order, expansions
-        # continue from there.  Under early termination the queue starts
-        # empty and seeds wait in a bound-ordered heap; _materialize_seeds
-        # promotes exactly the ones whose admissible bound could still win
-        # the next dequeue, so the pop sequence matches the eager queue's.
+        # Priority queue of pending db-pages, keyed by descending score with
+        # deterministic tuple tie-breaks (see QueueEntry).  Under early
+        # termination the queue starts empty and whole posting blocks wait
+        # in a bound-ordered heap; _materialize_blocks decodes exactly the
+        # blocks whose admissible bound could still win the next dequeue, so
+        # the pop sequence matches the eager queue's.
         if self.early_termination:
-            bounds = scorer.seed_score_bounds()
-            pending_bounds: List[Tuple[float, int, FragmentId]] = [
-                (-bounds[identifier], position, identifier)
-                for position, identifier in enumerate(seeds)
+            pending_blocks: List[BlockEntry] = [
+                (-bound, (0,), keyword_index, block_no, count)
+                for bound, keyword_index, block_no, count in scorer.block_plan()
             ]
-            heapq.heapify(pending_bounds)
+            heapq.heapify(pending_blocks)
             queue: List[QueueEntry] = []
         else:
-            pending_bounds = []
+            pending_blocks = []
+            seeds = scorer.relevant_fragments()
+            consulted.update(seeds)
             queue = self._seed_queue(seeds, scorer)
             statistics.seeds_scored = len(seeds)
-        counter = itertools.count(len(seeds))
+        counter = itertools.count()
 
         # Pending pages carry their integer occurrence/size statistics so each
         # expansion evaluation is O(|W|); seeds compute theirs on first pop.
@@ -368,8 +405,10 @@ class TopKSearcher:
         consumed: Set[FragmentId] = set()
         results: List[SearchResult] = []
         while len(results) < k:
-            if pending_bounds:
-                self._materialize_seeds(pending_bounds, queue, scorer, consumed, statistics, k)
+            if pending_blocks:
+                self._materialize_blocks(
+                    pending_blocks, queue, scorer, consumed, seen, consulted, statistics, k
+                )
             if not queue:
                 break
             negative_score, _tie, fragments = heapq.heappop(queue)
@@ -394,11 +433,14 @@ class TopKSearcher:
             stats_cache[expanded] = expanded_stats
             heapq.heappush(
                 queue,
-                (-scorer.score_from_stats(expanded_stats), next(counter), expanded),
+                (-scorer.score_from_stats(expanded_stats), (1, next(counter)), expanded),
             )
-        # Seeds still waiting behind their bounds were proven unable to win
-        # any dequeue this search performed: work the bound saved outright.
-        statistics.pruned_dequeues += len(pending_bounds)
+        # Blocks still waiting behind their bounds were proven unable to win
+        # any dequeue this search performed: every posting inside is work
+        # the bound saved outright — never decoded, never scored.
+        for _bound, _tie, _keyword_index, _block_no, count in pending_blocks:
+            statistics.blocks_skipped += 1
+            statistics.pruned_dequeues += count
 
         # Best-first emission is not strictly score-ordered when an expansion
         # raises a pending page's score above an already-emitted result (the
@@ -416,6 +458,9 @@ class TopKSearcher:
                 "seeds_scored",
                 "pruned_dequeues",
                 "pruned_expansions",
+                "blocks_skipped",
+                "blocks_decoded",
+                "postings_decoded",
             ):
                 self._lifetime[field_name] += getattr(statistics, field_name)
         return DetailedSearch(
@@ -427,50 +472,67 @@ class TopKSearcher:
         )
 
     # ------------------------------------------------------------------
-    def _materialize_seeds(
+    def _materialize_blocks(
         self,
-        pending_bounds: List[Tuple[float, int, FragmentId]],
+        pending_blocks: List[BlockEntry],
         queue: List[QueueEntry],
         scorer: DashScorer,
         consumed: Set[FragmentId],
+        seen: Set[FragmentId],
+        consulted: Set[FragmentId],
         statistics: SearchStatistics,
         k: int,
     ) -> None:
-        """Promote every waiting seed whose bound could still win the next pop.
+        """Decode every waiting block whose bound could still win the next pop.
 
-        A waiting seed must be scored before the next dequeue whenever its
-        ``(-bound, position)`` key is at most the queue head's
-        ``(-score, position)`` key: its exact score is at most its bound, so
-        any seed *not* promoted provably loses the pop to the queue head, and
-        the dequeue sequence is exactly the eager path's.  Promotions happen
-        in batches so each one costs a single batched size read; while the
-        queue is still empty (the first batch of a search) up to
-        ``SEED_BATCH`` best-bound seeds are materialized blind.  Seeds
-        already absorbed into an expanded page are dropped unscored — the
-        eager path would dequeue and discard them.
+        A waiting block must be decoded before the next dequeue whenever its
+        ``(-bound, (0,))`` key is at most the queue head's ``(-score, tie)``
+        key: every member's exact score is at most the block bound, so any
+        block *not* decoded provably loses the pop to the queue head, and
+        the dequeue sequence is exactly the eager path's (the sentinel tie
+        ``(0,)`` sorts at-or-before every queue tie, so equality still
+        decodes).  Decoded fragments are materialized in batches — one
+        batched vector read plus one batched size read per batch; while the
+        queue is still empty (the first blocks of a search) up to
+        ``SEED_BATCH`` best-bound fragments are materialized blind.
+        Duplicates of already-materialized fragments and fragments already
+        absorbed into an expanded page are dropped unscored — the eager
+        path would dequeue and discard them.
         """
         blind_batch = min(self.SEED_BATCH, max(2 * k, 8))
-        while pending_bounds and (not queue or pending_bounds[0][:2] <= queue[0][:2]):
+        while pending_blocks and (not queue or pending_blocks[0][:2] <= queue[0][:2]):
             threshold = queue[0][:2] if queue else None
-            batch: List[Tuple[int, FragmentId]] = []
-            while pending_bounds and (
-                pending_bounds[0][:2] <= threshold
+            batch: List[FragmentId] = []
+            while pending_blocks and (
+                pending_blocks[0][:2] <= threshold
                 if threshold is not None
                 else len(batch) < blind_batch
             ):
-                _bound, position, identifier = heapq.heappop(pending_bounds)
-                if identifier in consumed:
-                    statistics.pruned_dequeues += 1
-                    continue
-                batch.append((position, identifier))
+                _bound, _tie, keyword_index, block_no, _count = heapq.heappop(pending_blocks)
+                entries = scorer.decode_block(keyword_index, block_no)
+                statistics.blocks_decoded += 1
+                statistics.postings_decoded += len(entries)
+                for identifier in entries:
+                    if identifier in seen:
+                        statistics.pruned_dequeues += 1
+                        continue
+                    seen.add(identifier)
+                    if identifier in consumed:
+                        statistics.pruned_dequeues += 1
+                        continue
+                    batch.append(identifier)
             if not batch:
                 continue
-            identifiers = [identifier for _position, identifier in batch]
-            scorer.prime_sizes(identifiers)
-            scores = scorer.seed_scores_for(identifiers)
+            consulted.update(batch)
+            scorer.ensure_known(batch)
+            scorer.prime_sizes(batch)
+            scores = scorer.seed_scores_for(batch)
             statistics.seeds_scored += len(batch)
-            for position, identifier in batch:
-                heapq.heappush(queue, (-scores[identifier], position, (identifier,)))
+            for identifier in batch:
+                heapq.heappush(
+                    queue,
+                    (-scores[identifier], (0, self._order(identifier)), (identifier,)),
+                )
 
     def _seed_queue(self, seeds: Tuple[FragmentId, ...], scorer: DashScorer) -> List[QueueEntry]:
         """Build the initial priority queue of single-fragment pending pages.
@@ -479,20 +541,21 @@ class TopKSearcher:
         shard's task *scores its own seeds* before emitting queue entries; the
         per-shard entry lists are then merged into the global priority queue
         with one heapify.  Heap pops are ordered purely by the
-        ``(-score, position)`` keys — identical for any shard count.
+        ``(-score, (0, identifier order))`` keys — identical for any shard
+        count, and identical to the keys bounded-mode materialization pushes.
         """
         scorer.prime_sizes(seeds)  # one batched read, not one per seed
         store = self.index.store
         if store.shard_count > 1 and len(seeds) > 1:
-            by_shard: Dict[int, List[Tuple[int, FragmentId]]] = {}
-            for position, identifier in enumerate(seeds):
-                by_shard.setdefault(store.shard_of(identifier), []).append((position, identifier))
+            by_shard: Dict[int, List[FragmentId]] = {}
+            for identifier in seeds:
+                by_shard.setdefault(store.shard_of(identifier), []).append(identifier)
 
-            def shard_entries(items: List[Tuple[int, FragmentId]]) -> List[QueueEntry]:
-                scores = scorer.seed_scores_for([identifier for _position, identifier in items])
+            def shard_entries(items: List[FragmentId]) -> List[QueueEntry]:
+                scores = scorer.seed_scores_for(items)
                 return [
-                    (-scores[identifier], position, (identifier,))
-                    for position, identifier in items
+                    (-scores[identifier], (0, self._order(identifier)), (identifier,))
+                    for identifier in items
                 ]
 
             parts = store.run_parallel(
@@ -502,8 +565,8 @@ class TopKSearcher:
         else:
             seed_scores = scorer.seed_scores()
             queue = [
-                (-seed_scores[identifier], position, (identifier,))
-                for position, identifier in enumerate(seeds)
+                (-seed_scores[identifier], (0, self._order(identifier)), (identifier,))
+                for identifier in seeds
             ]
         heapq.heapify(queue)
         return queue
@@ -551,6 +614,9 @@ class TopKSearcher:
 
         unique = list(dict.fromkeys(candidates))
         consulted.update(unique)
+        # One batched vector read covers every candidate's relevance check
+        # and occurrence lookups below (no-op on an eager scorer).
+        scorer.ensure_known(unique)
         if self.early_termination:
             relevant = [
                 candidate for candidate in unique if scorer.fragment_is_relevant(candidate)

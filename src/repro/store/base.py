@@ -283,6 +283,35 @@ class FragmentStore(ABC):
         """
         return {keyword: self.postings(keyword) for keyword in dict.fromkeys(keywords)}
 
+    def posting_blocks_for_many(self, keywords: Sequence[str]):
+        """Block directories of all ``keywords`` in one batched read.
+
+        Returns ``keyword -> `` :class:`~repro.store.blocks.KeywordBlocks`
+        (an empty directory for unknown keywords; duplicate inputs
+        collapse).  Every backend must derive its summaries with
+        :func:`~repro.store.blocks.build_summaries` over the keyword's
+        current sorted list and the current fragment sizes, so the bound
+        floats — and therefore the searcher's skip/decode statistics — are
+        backend-independent.  The base implementation gathers the full lists
+        and chunks them; the shipped backends cache directories
+        (epoch-revalidated) and :class:`~repro.store.DiskStore` serves its
+        persisted ``posting_blocks`` rows without decoding any entries.
+        """
+        from repro.store.blocks import keyword_blocks_from_postings
+
+        gathered = self.postings_for_many(keywords)
+        directories = {}
+        for keyword, postings in gathered.items():
+            sizes = (
+                self.fragment_sizes_for([posting.document_id for posting in postings])
+                if postings
+                else {}
+            )
+            directories[keyword] = keyword_blocks_from_postings(
+                keyword, postings, lambda identifier, sizes=sizes: sizes.get(identifier, 0)
+            )
+        return directories
+
     @abstractmethod
     def fragment_frequency(self, keyword: str) -> int:
         """Number of postings of ``keyword`` (the DF Dash inverts for IDF)."""
@@ -298,6 +327,23 @@ class FragmentStore(ABC):
     @abstractmethod
     def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
         """All keyword counts of one fragment."""
+
+    def fragment_term_frequencies_for(
+        self, identifiers: Sequence[FragmentId]
+    ) -> Dict[FragmentId, Dict[str, int]]:
+        """Keyword counts of all ``identifiers`` in one batched read.
+
+        Unknown fragments map to ``{}``; duplicate inputs collapse.  This is
+        the lazy scorer's vector-fill path: a fragment materialized from one
+        keyword's decoded block needs its other query keywords' counts
+        without decoding those keywords' lists.  The base implementation
+        loops :meth:`fragment_term_frequencies`; partitioned and on-disk
+        backends batch per shard / per query.
+        """
+        return {
+            identifier: self.fragment_term_frequencies(identifier)
+            for identifier in dict.fromkeys(identifiers)
+        }
 
     @abstractmethod
     def fragment_size(self, identifier: FragmentId) -> int:

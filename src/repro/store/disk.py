@@ -55,6 +55,29 @@ Identifiers are flat tuples of scalars (strings, numbers, booleans,
 the posting sort order tie-breaks on, so ``ORDER BY occurrences DESC, tie``
 reproduces the canonical inverted-list order byte for byte.
 
+Block layout (schema v2)
+------------------------
+
+Schema v2 replaces the row-per-posting table with the block-max layout of
+:mod:`repro.store.blocks`: each keyword's impact-ordered list is stored as
+``posting_blocks`` rows — one delta+varint BLOB per :data:`~repro.store.blocks.BLOCK_SIZE`
+postings, with the block's ``count`` / ``max_occurrences`` / ``max_weight``
+summary alongside as plain columns so a block-skipping search reads only
+the tiny directory until a block's bound survives.  A per-fragment varint
+forward index (``fragment_terms``) replaces the old ``fragment`` column
+scans.  Mutations never rewrite blocks in place: they append to a
+``staged_postings`` log (plus a ``pending_removals`` set), and **every
+commit point compacts first** — the affected keywords' blocks are rebuilt
+from stored-minus-removed plus staged under the canonical sort, inside the
+same transaction.  A *committed* file therefore always has an empty staged
+log and fully fresh block summaries: pooled readers decode blocks without
+ever merging, and the stored ``max_weight`` values are bit-identical to
+what the in-memory backends compute fresh (cross-backend skip statistics
+stay equal).  Between commits a stale summary can only be stale-*high*
+(sizes grow monotonically within a transaction), which loosens bounds but
+never breaks exactness.  Opening a v1 file with a writer migrates it to v2
+in one transaction (readers refuse v1 files and ask for a writer open).
+
 Thread-safety and the read-connection pool
 ------------------------------------------
 
@@ -94,6 +117,15 @@ from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.fragments import FragmentId
 from repro.store.base import FragmentStore, StoreError
+from repro.store.blocks import (
+    BlockSummary,
+    KeywordBlocks,
+    build_summaries,
+    decode_block,
+    decode_uvarint,
+    encode_block,
+    encode_uvarint,
+)
 from repro.text.inverted_index import Posting
 
 try:  # POSIX advisory locks back the single-writer mode; absent on Windows
@@ -102,7 +134,10 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
 #: Bump when the table layout changes; stored in ``PRAGMA user_version``.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: The pre-block row-per-posting layout; migrated in place on writer open.
+_V1_SCHEMA_VERSION = 1
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -113,15 +148,31 @@ CREATE TABLE IF NOT EXISTS fragments (
     id   TEXT PRIMARY KEY,
     size INTEGER NOT NULL
 );
-CREATE TABLE IF NOT EXISTS postings (
+CREATE TABLE IF NOT EXISTS posting_blocks (
+    keyword         TEXT NOT NULL,
+    block_no        INTEGER NOT NULL,
+    count           INTEGER NOT NULL,
+    max_occurrences INTEGER NOT NULL,
+    max_weight      REAL NOT NULL,
+    entries         BLOB NOT NULL,
+    PRIMARY KEY (keyword, block_no)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS fragment_terms (
+    fragment TEXT PRIMARY KEY,
+    terms    BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS staged_postings (
     seq         INTEGER PRIMARY KEY AUTOINCREMENT,
     keyword     TEXT NOT NULL,
     fragment    TEXT NOT NULL,
     tie         TEXT NOT NULL,
     occurrences INTEGER NOT NULL
 );
-CREATE INDEX IF NOT EXISTS postings_by_keyword ON postings (keyword, occurrences DESC, tie);
-CREATE INDEX IF NOT EXISTS postings_by_fragment ON postings (fragment);
+CREATE INDEX IF NOT EXISTS staged_by_keyword ON staged_postings (keyword, occurrences DESC, tie);
+CREATE INDEX IF NOT EXISTS staged_by_fragment ON staged_postings (fragment);
+CREATE TABLE IF NOT EXISTS pending_removals (
+    fragment TEXT PRIMARY KEY
+);
 CREATE TABLE IF NOT EXISTS nodes (
     id            TEXT PRIMARY KEY,
     keyword_count INTEGER NOT NULL
@@ -172,6 +223,42 @@ def encode_identifier(identifier: FragmentId) -> str:
 def decode_identifier(encoded: str) -> FragmentId:
     """The inverse of :func:`encode_identifier`."""
     return tuple(json.loads(encoded))
+
+
+def encode_fragment_terms(items) -> bytes:
+    """One fragment's term vector as an *appendable* varint BLOB.
+
+    Each ``(keyword, occurrences)`` pair is ``varint(len) + utf-8 +
+    varint(occurrences)`` with no count header, so ``add_posting`` extends a
+    stored vector by concatenating one encoded pair instead of re-encoding
+    the whole row.  Duplicate keywords may therefore appear; decoders take
+    the maximum per keyword (the same winner ``ORDER BY occurrences DESC``
+    picked in the v1 row layout).
+    """
+    out = bytearray()
+    for keyword, occurrences in items:
+        raw = keyword.encode("utf-8")
+        encode_uvarint(len(raw), out)
+        out += raw
+        encode_uvarint(occurrences, out)
+    return bytes(out)
+
+
+def decode_fragment_terms(blob: bytes) -> List[Tuple[str, int]]:
+    """The ``(keyword, occurrences)`` pairs of one ``fragment_terms`` BLOB,
+    duplicates preserved in append order."""
+    pairs: List[Tuple[str, int]] = []
+    position = 0
+    end = len(blob)
+    while position < end:
+        length, position = decode_uvarint(blob, position)
+        raw = blob[position : position + length]
+        if len(raw) != length:
+            raise ValueError("truncated fragment term keyword")
+        position += length
+        occurrences, position = decode_uvarint(blob, position)
+        pairs.append((raw.decode("utf-8"), occurrences))
+    return pairs
 
 
 class DiskStore(FragmentStore):
@@ -236,6 +323,12 @@ class DiskStore(FragmentStore):
         self._batch_owner: Optional[threading.Thread] = None
         self._batch_keywords: Set[str] = set()
         self._batch_fragments: Dict[str, FragmentId] = {}
+        # Keywords whose posting_blocks rows are stale relative to the
+        # staged log / current sizes; _compact() rebuilds exactly these
+        # before any commit.  In-memory only on purpose: a crash discards
+        # the uncommitted staged rows wholesale, and a rollback that
+        # resurrects staged rows re-marks the set (_restage_dirty).
+        self._dirty_keywords: Set[str] = set()
         # Highest persisted meta epoch whose commits the loaded clock views
         # are known to cover (see refresh_epochs).
         self._refreshed_meta_epoch = 0
@@ -262,6 +355,15 @@ class DiskStore(FragmentStore):
             self._postings_cache: Dict[str, Tuple[int, Tuple[Posting, ...]]] = {}
             self._sizes_cache: Dict[FragmentId, Tuple[int, int]] = {}
             self._neighbors_cache: Dict[FragmentId, Tuple[int, Tuple[FragmentId, ...]]] = {}
+            # Block-layout caches.  Directory handles and decoded blocks are
+            # validated against the *store-wide* epoch, not the keyword
+            # epoch: a fragment-size change stales a block's max_weight
+            # without ticking the keyword, and the store epoch is the one
+            # stamp that moves on every mutation (same rule the in-memory
+            # backends apply to their block directories).
+            self._blocks_cache: Dict[str, Tuple[int, KeywordBlocks]] = {}
+            self._block_cache: Dict[str, Tuple[int, Dict[int, Tuple[Posting, ...]]]] = {}
+            self._terms_cache: Dict[FragmentId, Tuple[int, Dict[str, int]]] = {}
             self._restore_clock()
         except BaseException:
             # A failed open (schema mismatch, corrupt file) must not leave the
@@ -314,22 +416,115 @@ class DiskStore(FragmentStore):
     def _ensure_schema(self, existed: bool) -> None:
         with self._lock:
             version = self._connection.execute("PRAGMA user_version").fetchone()[0]
-            if existed and version not in (0, SCHEMA_VERSION):
+            if existed and version not in (0, _V1_SCHEMA_VERSION, SCHEMA_VERSION):
                 raise StoreError(
                     f"disk store {self.path!r} uses schema version {version}, "
                     f"this build reads version {SCHEMA_VERSION}"
                 )
             if self.read_only:
-                # A reader cannot create what is missing — and must not try.
+                # A reader cannot create what is missing — and must not
+                # migrate a v1 file either (migration writes).
                 if version != SCHEMA_VERSION:
                     raise StoreError(
-                        f"disk store {self.path!r} holds no readable schema "
-                        "(build it with a writer first)"
+                        f"disk store {self.path!r} holds no readable "
+                        f"version-{SCHEMA_VERSION} schema (open it with a "
+                        "writer once to build or migrate it)"
                     )
                 return
             self._connection.executescript(_SCHEMA)
+            # The migration's data moves, the DROP of the v1 table and the
+            # user_version bump all join one implicit transaction: a crash
+            # mid-migration leaves the file at v1 and the next writer open
+            # redoes it from scratch (the migration's leading DELETEs make
+            # the redo idempotent).
+            if version == _V1_SCHEMA_VERSION:
+                self._migrate_v1_postings()
             self._connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
             self._connection.commit()
+
+    def _migrate_v1_postings(self) -> None:
+        """One-time v1 -> v2 migration: fold the row-per-posting table into
+        block BLOBs plus the per-fragment forward index, then drop it."""
+        connection = self._connection
+        for table in ("posting_blocks", "fragment_terms", "staged_postings", "pending_removals"):
+            connection.execute(f"DELETE FROM {table}")
+        sizes = dict(connection.execute("SELECT id, size FROM fragments"))
+        # Forward index first: pairs land occurrences-descending per
+        # fragment, so the decoder's max-wins fold picks the same winner the
+        # v1 ``ORDER BY occurrences DESC LIMIT 1`` queries did.
+        vectors: Dict[str, bytearray] = {}
+        for encoded, keyword, occurrences in connection.execute(
+            "SELECT fragment, keyword, occurrences FROM postings "
+            "ORDER BY fragment, occurrences DESC, seq ASC"
+        ).fetchall():
+            blob = vectors.setdefault(encoded, bytearray())
+            raw = keyword.encode("utf-8")
+            encode_uvarint(len(raw), blob)
+            blob += raw
+            encode_uvarint(occurrences, blob)
+        connection.executemany(
+            "INSERT INTO fragment_terms (fragment, terms) VALUES (?, ?)",
+            [(encoded, bytes(blob)) for encoded, blob in vectors.items()],
+        )
+        # Inverted lists in canonical order, cut into blocks per keyword.
+        current: Optional[str] = None
+        entries: List[Tuple[str, int]] = []
+        for keyword, encoded, occurrences in connection.execute(
+            "SELECT keyword, fragment, occurrences FROM postings "
+            "ORDER BY keyword, occurrences DESC, tie ASC, seq ASC"
+        ).fetchall():
+            if keyword != current:
+                if current is not None:
+                    self._write_keyword_blocks(current, entries, sizes)
+                current = keyword
+                entries = []
+            entries.append((encoded, occurrences))
+        if current is not None:
+            self._write_keyword_blocks(current, entries, sizes)
+        connection.execute("DROP TABLE postings")
+
+    def _write_keyword_blocks(
+        self,
+        keyword: str,
+        entries: List[Tuple[str, int]],
+        sizes: Mapping[str, int],
+    ) -> None:
+        """Replace one keyword's ``posting_blocks`` rows.
+
+        ``entries`` is the keyword's complete inverted list in canonical
+        order as ``(encoded identifier, occurrences)`` pairs; ``sizes`` maps
+        encoded identifiers to *current* fragment sizes.  The summaries are
+        built through the shared :func:`~repro.store.blocks.build_summaries`
+        over exactly these values, so the stored ``max_weight`` floats are
+        bit-identical to what the in-memory backends compute fresh.
+        """
+        connection = self._connection
+        connection.execute("DELETE FROM posting_blocks WHERE keyword = ?", (keyword,))
+        if not entries:
+            return
+        postings = tuple(Posting(encoded, occurrences) for encoded, occurrences in entries)
+        summaries = build_summaries(postings, lambda encoded: sizes.get(encoded, 0))
+        rows = []
+        start = 0
+        for block_no, summary in enumerate(summaries):
+            chunk = postings[start : start + summary.count]
+            start += summary.count
+            rows.append(
+                (
+                    keyword,
+                    block_no,
+                    summary.count,
+                    summary.max_occurrences,
+                    summary.max_weight,
+                    encode_block(chunk, lambda encoded: encoded),
+                )
+            )
+        connection.executemany(
+            "INSERT INTO posting_blocks "
+            "(keyword, block_no, count, max_occurrences, max_weight, entries) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            rows,
+        )
 
     def _read_clock_state(self):
         """The persisted clock state ``(epoch, keywords, fragments, floor)``
@@ -429,7 +624,7 @@ class DiskStore(FragmentStore):
         if not already_closed:
             with self._lock:
                 if not self.read_only:
-                    self._connection.commit()
+                    self._flush_staged()
                 self._connection.close()
             self._release_writer_lock()
 
@@ -447,11 +642,19 @@ class DiskStore(FragmentStore):
         """
         with self._cache_lock:
             dropped = (
-                len(self._postings_cache) + len(self._sizes_cache) + len(self._neighbors_cache)
+                len(self._postings_cache)
+                + len(self._sizes_cache)
+                + len(self._neighbors_cache)
+                + len(self._blocks_cache)
+                + len(self._block_cache)
+                + len(self._terms_cache)
             )
             self._postings_cache = {}
             self._sizes_cache = {}
             self._neighbors_cache = {}
+            self._blocks_cache = {}
+            self._block_cache = {}
+            self._terms_cache = {}
         return dropped
 
     def _read_connection(self) -> Optional[sqlite3.Connection]:
@@ -595,6 +798,111 @@ class DiskStore(FragmentStore):
             self._persist_keyword_epoch(keyword)
         self._persist_fragment_epoch(encoded, identifier)
 
+    def _mark_dirty(self, keyword: str) -> None:
+        self._dirty_keywords.add(keyword)
+
+    def _compact(self) -> None:
+        """Fold the staged write log into the block tables (no commit).
+
+        Every commit site runs this first, so a *committed* file is always
+        fully block-compacted: ``staged_postings`` and ``pending_removals``
+        are empty on disk after any commit, pooled readers decode blocks
+        without merging, and every stored per-block ``max_weight`` reflects
+        the fragment sizes as of the commit — bit-identical to the
+        in-memory backends' fresh computation, which keeps block skip/decode
+        statistics equal across backends.
+        """
+        if not self._dirty_keywords:
+            return
+        connection = self._connection
+        removed = {
+            encoded
+            for (encoded,) in connection.execute("SELECT fragment FROM pending_removals")
+        }
+        dirty = sorted(self._dirty_keywords)
+        staged: Dict[str, List[Tuple[str, int, str]]] = {}
+        merged: Dict[str, List[Tuple[str, int]]] = {}
+        for start in range(0, len(dirty), self._IN_CHUNK):
+            chunk = dirty[start : start + self._IN_CHUNK]
+            placeholders = ",".join("?" for _ in chunk)
+            for keyword, encoded, occurrences, tie in connection.execute(
+                f"SELECT keyword, fragment, occurrences, tie FROM staged_postings "
+                f"WHERE keyword IN ({placeholders}) "
+                "ORDER BY keyword, occurrences DESC, tie ASC, seq ASC",
+                tuple(chunk),
+            ).fetchall():
+                staged.setdefault(keyword, []).append((encoded, occurrences, tie))
+            for keyword, blob in connection.execute(
+                f"SELECT keyword, entries FROM posting_blocks "
+                f"WHERE keyword IN ({placeholders}) ORDER BY keyword, block_no",
+                tuple(chunk),
+            ).fetchall():
+                kept = merged.setdefault(keyword, [])
+                for posting in decode_block(blob, lambda encoded: encoded):
+                    if posting.document_id not in removed:
+                        kept.append((posting.document_id, posting.term_frequency))
+        for keyword, additions in staged.items():
+            # Stable merge under the canonical (occurrences DESC, tie,
+            # insertion) order: stored entries precede staged ones at equal
+            # keys, exactly as their lower v1-style sequence numbers would.
+            combined = [
+                (encoded, occurrences, str(self._decode(encoded)))
+                for encoded, occurrences in merged.get(keyword, [])
+            ]
+            combined.extend(additions)
+            combined.sort(key=lambda entry: (-entry[1], entry[2]))
+            merged[keyword] = [(encoded, occurrences) for encoded, occurrences, _tie in combined]
+        members = sorted({
+            encoded for entries in merged.values() for encoded, _occurrences in entries
+        })
+        sizes: Dict[str, int] = {}
+        for start in range(0, len(members), self._IN_CHUNK):
+            chunk = members[start : start + self._IN_CHUNK]
+            placeholders = ",".join("?" for _ in chunk)
+            sizes.update(
+                connection.execute(
+                    f"SELECT id, size FROM fragments WHERE id IN ({placeholders})",
+                    tuple(chunk),
+                ).fetchall()
+            )
+        for keyword in dirty:
+            self._write_keyword_blocks(keyword, merged.get(keyword, []), sizes)
+        # Dirty marking is exhaustive (every staged row / removal marks its
+        # keywords), so the whole log is folded now.
+        connection.execute("DELETE FROM staged_postings")
+        connection.execute("DELETE FROM pending_removals")
+        self._dirty_keywords = set()
+        with self._cache_lock:
+            for keyword in dirty:
+                self._postings_cache.pop(keyword, None)
+                self._blocks_cache.pop(keyword, None)
+                self._block_cache.pop(keyword, None)
+
+    def _flush_staged(self) -> None:
+        """Compact and commit — the generic "flush whatever is pending" point."""
+        self._compact()
+        self._connection.commit()
+
+    def _restage_dirty(self) -> None:
+        """Re-mark dirt after a rollback resurrected staged rows.
+
+        A rollback that lands *after* :meth:`_compact` cleared the dirty set
+        restores the staged log on disk while the set says "nothing to do";
+        the next commit would then persist an uncompacted file.  Re-deriving
+        the marks from the restored log closes that hole (for removals the
+        touched keywords are no longer cheap to know, so every stored
+        keyword is conservatively re-marked — rollbacks are rare).
+        """
+        for (keyword,) in self._connection.execute(
+            "SELECT DISTINCT keyword FROM staged_postings"
+        ):
+            self._dirty_keywords.add(keyword)
+        if self._connection.execute("SELECT 1 FROM pending_removals LIMIT 1").fetchone():
+            for (keyword,) in self._connection.execute(
+                "SELECT DISTINCT keyword FROM posting_blocks"
+            ):
+                self._dirty_keywords.add(keyword)
+
     @contextlib.contextmanager
     def write_batch(self):
         """One crash-safe transaction for every write issued inside the scope.
@@ -627,9 +935,10 @@ class DiskStore(FragmentStore):
                 finally:
                     self._batch_depth -= 1
                 return
-            # Keep an open bulk load's staged rows out of the batch's
-            # transaction (same rule as the per-fragment swap paths).
-            self._connection.commit()
+            # Keep an open bulk load's writes out of the batch's transaction
+            # (same rule as the per-fragment swap paths) — compacted first,
+            # so the commit preserves the blocks-always-fresh invariant.
+            self._flush_staged()
             self._batch_depth = 1
             self._batch_owner = threading.current_thread()
             self._batch_keywords = set()
@@ -640,6 +949,10 @@ class DiskStore(FragmentStore):
                 yield self
                 keywords = self._batch_keywords
                 fragments = self._batch_fragments
+                # Fold the batch's staged writes into the block tables inside
+                # the batch's own transaction: the commit below publishes
+                # compacted blocks, never a staged log.
+                self._compact()
                 if keywords or fragments:
                     predicted = self._epoch_clock.epoch + 1
                     self._connection.execute(
@@ -659,6 +972,7 @@ class DiskStore(FragmentStore):
                 self._connection.commit()
             except BaseException:
                 self._connection.rollback()
+                self._restage_dirty()
                 raise
             finally:
                 self._batch_depth = 0
@@ -672,9 +986,12 @@ class DiskStore(FragmentStore):
                 with self._cache_lock:
                     for keyword in keywords:
                         self._postings_cache.pop(keyword, None)
+                        self._blocks_cache.pop(keyword, None)
+                        self._block_cache.pop(keyword, None)
                     for identifier in fragments.values():
                         self._sizes_cache.pop(identifier, None)
                         self._neighbors_cache.pop(identifier, None)
+                        self._terms_cache.pop(identifier, None)
 
     def load_epochs(
         self,
@@ -687,7 +1004,7 @@ class DiskStore(FragmentStore):
         self._assert_writable()
         self._epoch_clock.load(epoch, keyword_epochs, fragment_epochs, floor=floor)
         with self._lock:
-            self._connection.commit()
+            self._flush_staged()
             try:
                 self._connection.execute("DELETE FROM keyword_epochs")
                 self._connection.execute("DELETE FROM fragment_epochs")
@@ -724,7 +1041,7 @@ class DiskStore(FragmentStore):
         bound = self._effective_sweep_bound(oldest_live_stamp)
         pruned = self._epoch_clock.sweep(bound)
         with self._lock:
-            self._connection.commit()
+            self._flush_staged()
             try:
                 self._connection.execute(
                     "DELETE FROM keyword_epochs WHERE epoch <= ?", (bound,)
@@ -760,11 +1077,26 @@ class DiskStore(FragmentStore):
         self._assert_writable()
         encoded = encode_identifier(identifier)
         with self._lock:
+            row = self._connection.execute(
+                "SELECT terms FROM fragment_terms WHERE fragment = ?", (encoded,)
+            ).fetchone()
             with self._cache_lock:
                 self._postings_cache.pop(keyword, None)
+                self._blocks_cache.pop(keyword, None)
+                self._block_cache.pop(keyword, None)
                 self._sizes_cache.pop(identifier, None)
+                self._terms_cache.pop(identifier, None)
+            self._mark_dirty(keyword)
+            if row is not None:
+                # The fragment grows, so the stored max_weight of every
+                # *other* keyword mentioning it goes stale (stale-high —
+                # still admissible, but the next compaction must refresh it
+                # to keep the summaries bit-identical across backends).
+                for other, _occurrences in decode_fragment_terms(row[0]):
+                    self._mark_dirty(other)
             self._connection.execute(
-                "INSERT INTO postings (keyword, fragment, tie, occurrences) VALUES (?, ?, ?, ?)",
+                "INSERT INTO staged_postings (keyword, fragment, tie, occurrences) "
+                "VALUES (?, ?, ?, ?)",
                 (keyword, encoded, str(tuple(identifier)), occurrences),
             )
             self._connection.execute(
@@ -772,27 +1104,48 @@ class DiskStore(FragmentStore):
                 "ON CONFLICT (id) DO UPDATE SET size = size + excluded.size",
                 (encoded, occurrences),
             )
+            addition = encode_fragment_terms([(keyword, occurrences)])
+            existing = bytes(row[0]) if row is not None else b""
+            self._connection.execute(
+                "INSERT INTO fragment_terms (fragment, terms) VALUES (?, ?) "
+                "ON CONFLICT (fragment) DO UPDATE SET terms = excluded.terms",
+                (encoded, existing + addition),
+            )
             # Tick after the data writes: the tick is the commit point the
             # serving layer revalidates against (see repro.store.epochs).
             self._tick_posting_write(keyword, encoded, identifier)
 
     def _fragment_keywords(self, encoded: str) -> List[str]:
-        return [
-            keyword
-            for (keyword,) in self._connection.execute(
-                "SELECT DISTINCT keyword FROM postings WHERE fragment = ?", (encoded,)
-            )
-        ]
+        row = self._connection.execute(
+            "SELECT terms FROM fragment_terms WHERE fragment = ?", (encoded,)
+        ).fetchone()
+        if row is None:
+            return []
+        return list(dict.fromkeys(keyword for keyword, _occurrences in decode_fragment_terms(row[0])))
 
     def _delete_fragment_rows(self, encoded: str) -> List[str]:
-        """Drop one fragment's size row and postings; returns touched keywords."""
+        """Stage one fragment's removal; returns the touched keywords.
+
+        Block rows are not rewritten here — the fragment joins
+        ``pending_removals`` and its keywords the dirty set, and the next
+        commit's compaction drops its entries from every affected block.
+        """
         keywords = self._fragment_keywords(encoded)
-        self._connection.execute("DELETE FROM postings WHERE fragment = ?", (encoded,))
+        self._connection.execute(
+            "INSERT OR IGNORE INTO pending_removals (fragment) VALUES (?)", (encoded,)
+        )
+        self._connection.execute("DELETE FROM staged_postings WHERE fragment = ?", (encoded,))
+        self._connection.execute("DELETE FROM fragment_terms WHERE fragment = ?", (encoded,))
         self._connection.execute("DELETE FROM fragments WHERE id = ?", (encoded,))
+        for keyword in keywords:
+            self._mark_dirty(keyword)
         with self._cache_lock:
             for keyword in keywords:
                 self._postings_cache.pop(keyword, None)
+                self._blocks_cache.pop(keyword, None)
+                self._block_cache.pop(keyword, None)
             self._sizes_cache.pop(self._decode(encoded), None)
+            self._terms_cache.pop(self._decode(encoded), None)
         return keywords
 
     def remove_fragment(self, identifier: FragmentId) -> None:
@@ -810,13 +1163,15 @@ class DiskStore(FragmentStore):
                 keywords = self._delete_fragment_rows(encoded)
                 self._tick_removal_write(encoded, identifier, keywords)
                 return
-            self._connection.commit()  # keep unrelated batched writes out of this txn
+            self._flush_staged()  # keep unrelated batched writes out of this txn
             try:
                 keywords = self._delete_fragment_rows(encoded)
                 self._tick_removal_write(encoded, identifier, keywords)
+                self._compact()
                 self._connection.commit()
             except BaseException:
                 self._connection.rollback()
+                self._restage_dirty()
                 raise
 
     def _replace_fragment_rows(self, encoded: str, identifier: FragmentId, items) -> None:
@@ -840,17 +1195,20 @@ class DiskStore(FragmentStore):
                 for keyword in outgoing:
                     self._persist_keyword_epoch(keyword)
         tie = str(tuple(identifier))
+        kept = [(keyword, occurrences) for keyword, occurrences in items if occurrences > 0]
         # One cache-lock acquisition for the whole swap's evictions —
         # pooled readers contend on this lock for every lookup.
         with self._cache_lock:
             self._sizes_cache.pop(identifier, None)
-            for keyword, _occurrences in items:
+            self._terms_cache.pop(identifier, None)
+            for keyword, _occurrences in kept:
                 self._postings_cache.pop(keyword, None)
-        for keyword, occurrences in items:
-            if occurrences <= 0:
-                continue
+                self._blocks_cache.pop(keyword, None)
+                self._block_cache.pop(keyword, None)
+        for keyword, occurrences in kept:
+            self._mark_dirty(keyword)
             self._connection.execute(
-                "INSERT INTO postings (keyword, fragment, tie, occurrences) "
+                "INSERT INTO staged_postings (keyword, fragment, tie, occurrences) "
                 "VALUES (?, ?, ?, ?)",
                 (keyword, encoded, tie, occurrences),
             )
@@ -864,6 +1222,12 @@ class DiskStore(FragmentStore):
             else:
                 self._epoch_clock.tick_posting(keyword, identifier)
                 self._persist_keyword_epoch(keyword)
+        if kept:
+            self._connection.execute(
+                "INSERT INTO fragment_terms (fragment, terms) VALUES (?, ?) "
+                "ON CONFLICT (fragment) DO UPDATE SET terms = excluded.terms",
+                (encoded, encode_fragment_terms(kept)),
+            )
         if not in_batch:
             self._persist_epoch()
             self._persist_fragment_epoch(encoded, identifier)
@@ -888,23 +1252,25 @@ class DiskStore(FragmentStore):
             if self._batch_depth:
                 self._replace_fragment_rows(encoded, identifier, items)
                 return
-            self._connection.commit()  # keep unrelated batched writes out of this txn
+            self._flush_staged()  # keep unrelated batched writes out of this txn
             try:
                 self._replace_fragment_rows(encoded, identifier, items)
+                self._compact()
                 self._connection.commit()
             except BaseException:
                 self._connection.rollback()
+                self._restage_dirty()
                 raise
 
     def finalize(self) -> None:
-        """Flush batched writes to disk (lists are stored sorted-on-read)."""
+        """Fold staged writes into the block tables and commit."""
         if self.read_only:
             return
         with self._lock:
             if self._batch_depth:
                 # The open atomic batch commits at write_batch exit, not here.
                 return
-            self._connection.commit()
+            self._flush_staged()
 
     # ------------------------------------------------------------------
     # postings section — reads
@@ -912,6 +1278,79 @@ class DiskStore(FragmentStore):
     #: Bound variables per IN (...) chunk — stays under sqlite's default
     #: SQLITE_MAX_VARIABLE_NUMBER on every supported build.
     _IN_CHUNK = 500
+
+    def _gather_postings(self, keywords: List[str]) -> Dict[str, Tuple[Posting, ...]]:
+        """Decode the requested inverted lists from their block rows.
+
+        On a pooled reader the committed file is always compacted (see
+        :meth:`_compact`), so concatenating each keyword's blocks in
+        ``block_no`` order *is* the canonical inverted list.  On the locked
+        write connection (open bulk load, or the owning thread of an open
+        batch) the staged log may hold rows the blocks do not: those
+        keywords merge stored-minus-removed with the staged rows under the
+        canonical ``(occurrences DESC, tie, insertion)`` sort.
+        """
+        grouped: Dict[str, List] = {keyword: [] for keyword in keywords}
+        connection = self._read_connection()
+        if connection is not None:
+            for start in range(0, len(keywords), self._IN_CHUNK):
+                chunk = keywords[start : start + self._IN_CHUNK]
+                placeholders = ",".join("?" for _ in chunk)
+                for keyword, blob in connection.execute(
+                    f"SELECT keyword, entries FROM posting_blocks "
+                    f"WHERE keyword IN ({placeholders}) ORDER BY keyword, block_no",
+                    tuple(chunk),
+                ).fetchall():
+                    grouped[keyword].extend(decode_block(blob, self._decode))
+            return {keyword: tuple(grouped[keyword]) for keyword in keywords}
+        with self._lock:
+            removed = {
+                encoded
+                for (encoded,) in self._connection.execute(
+                    "SELECT fragment FROM pending_removals"
+                )
+            }
+            staged: Dict[str, List[Tuple[str, int, str]]] = {}
+            for start in range(0, len(keywords), self._IN_CHUNK):
+                chunk = keywords[start : start + self._IN_CHUNK]
+                placeholders = ",".join("?" for _ in chunk)
+                for keyword, blob in self._connection.execute(
+                    f"SELECT keyword, entries FROM posting_blocks "
+                    f"WHERE keyword IN ({placeholders}) ORDER BY keyword, block_no",
+                    tuple(chunk),
+                ).fetchall():
+                    kept = grouped[keyword]
+                    for posting in decode_block(blob, lambda encoded: encoded):
+                        if posting.document_id not in removed:
+                            kept.append((posting.document_id, posting.term_frequency))
+                for keyword, encoded, occurrences, tie in self._connection.execute(
+                    f"SELECT keyword, fragment, occurrences, tie FROM staged_postings "
+                    f"WHERE keyword IN ({placeholders}) "
+                    "ORDER BY keyword, occurrences DESC, tie ASC, seq ASC",
+                    tuple(chunk),
+                ).fetchall():
+                    staged.setdefault(keyword, []).append((encoded, occurrences, tie))
+            results: Dict[str, Tuple[Posting, ...]] = {}
+            for keyword in keywords:
+                entries = grouped[keyword]
+                additions = staged.get(keyword)
+                if additions:
+                    combined = [
+                        (encoded, occurrences, str(self._decode(encoded)))
+                        for encoded, occurrences in entries
+                    ]
+                    combined.extend(additions)
+                    # Stable: stored entries precede staged ones at equal
+                    # keys (their v1-style sequence numbers were lower).
+                    combined.sort(key=lambda entry: (-entry[1], entry[2]))
+                    entries = [
+                        (encoded, occurrences) for encoded, occurrences, _tie in combined
+                    ]
+                results[keyword] = tuple(
+                    Posting(self._decode(encoded), occurrences)
+                    for encoded, occurrences in entries
+                )
+            return results
 
     def postings(self, keyword: str) -> Tuple[Posting, ...]:
         in_owned_batch = self._in_owned_batch()
@@ -924,16 +1363,7 @@ class DiskStore(FragmentStore):
                         return result
                     self._postings_cache.pop(keyword, None)
         stamp = self.epoch
-        # occurrences DESC then the str(identifier) tie then insertion
-        # order — exactly the stable sort the in-memory backend applies.
-        rows = self._execute_read(
-            "SELECT fragment, occurrences FROM postings WHERE keyword = ? "
-            "ORDER BY occurrences DESC, tie ASC, seq ASC",
-            (keyword,),
-        )
-        result = tuple(
-            Posting(self._decode(encoded), occurrences) for encoded, occurrences in rows
-        )
+        result = self._gather_postings([keyword])[keyword]
         if result and not in_owned_batch:
             # The pre-read stamp makes a racing write's tick invalidate this
             # entry on its next lookup; misses are never cached (unbounded
@@ -969,20 +1399,9 @@ class DiskStore(FragmentStore):
         if not missing:
             return results
         stamp = self.epoch
-        grouped: Dict[str, List[Posting]] = {keyword: [] for keyword in missing}
-        for start in range(0, len(missing), self._IN_CHUNK):
-            chunk = missing[start : start + self._IN_CHUNK]
-            placeholders = ",".join("?" for _ in chunk)
-            rows = self._execute_read(
-                f"SELECT keyword, fragment, occurrences FROM postings "
-                f"WHERE keyword IN ({placeholders}) "
-                "ORDER BY keyword, occurrences DESC, tie ASC, seq ASC",
-                tuple(chunk),
-            )
-            for keyword, encoded, occurrences in rows:
-                grouped[keyword].append(Posting(self._decode(encoded), occurrences))
+        gathered = self._gather_postings(missing)
         for keyword in missing:
-            result = tuple(grouped[keyword])
+            result = gathered[keyword]
             if result and not in_owned_batch:
                 with self._cache_lock:
                     self._postings_cache[keyword] = (stamp, result)
@@ -990,50 +1409,97 @@ class DiskStore(FragmentStore):
         return results
 
     def fragment_frequency(self, keyword: str) -> int:
-        return self._execute_read(
-            "SELECT COUNT(*) FROM postings WHERE keyword = ?", (keyword,)
-        )[0][0]
+        if self._read_connection() is not None:
+            # Committed files are compacted: block counts sum to the df.
+            return self._execute_read(
+                "SELECT COALESCE(SUM(count), 0) FROM posting_blocks WHERE keyword = ?",
+                (keyword,),
+            )[0][0]
+        return len(self.postings(keyword))
 
     def document_frequencies(self) -> Dict[str, int]:
-        return dict(
-            self._execute_read("SELECT keyword, COUNT(*) FROM postings GROUP BY keyword")
-        )
+        if self._read_connection() is not None:
+            return dict(
+                self._execute_read(
+                    "SELECT keyword, SUM(count) FROM posting_blocks GROUP BY keyword"
+                )
+            )
+        return {
+            keyword: len(postings)
+            for keyword, postings in self._gather_postings(list(self.vocabulary())).items()
+            if postings
+        }
 
     def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
-        encoded = encode_identifier(identifier)
-        rows = self._execute_read(
-            "SELECT occurrences FROM postings WHERE keyword = ? AND fragment = ? "
-            "ORDER BY occurrences DESC, seq ASC LIMIT 1",
-            (keyword, encoded),
-        )
-        return rows[0][0] if rows else 0
+        return self.fragment_term_frequencies(identifier).get(keyword, 0)
 
     def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
-        encoded = encode_identifier(identifier)
-        rows = self._execute_read(
-            "SELECT keyword, occurrences FROM postings WHERE fragment = ? "
-            "ORDER BY occurrences DESC, seq ASC",
-            (encoded,),
-        )
-        frequencies: Dict[str, int] = {}
-        for keyword, occurrences in rows:
-            frequencies.setdefault(keyword, occurrences)
-        return frequencies
+        return self.fragment_term_frequencies_for((identifier,))[identifier]
+
+    def fragment_term_frequencies_for(self, identifiers) -> Dict[FragmentId, Dict[str, int]]:
+        """Each fragment's term vector from its forward-index BLOB.
+
+        One chunked IN query for the cache misses; hits are epoch-validated
+        like sizes.  Returned dictionaries are shared with the cache — treat
+        them as read-only.
+        """
+        vectors: Dict[FragmentId, Dict[str, int]] = {}
+        wanted: List[Tuple[FragmentId, str]] = []
+        in_owned_batch = self._in_owned_batch()
+        if in_owned_batch:
+            for identifier in dict.fromkeys(identifiers):
+                wanted.append((identifier, encode_identifier(identifier)))
+        else:
+            # Hoisted bound methods: this validation loop runs once per
+            # lazy-scorer vector fetch — tens of thousands of times per
+            # large search — so the per-fragment attribute walks add up.
+            epoch_of = self._epoch_clock.fragment_epoch
+            cache_get = self._terms_cache.get
+            with self._cache_lock:
+                for identifier in dict.fromkeys(identifiers):
+                    cached = cache_get(identifier)
+                    if cached is not None and epoch_of(identifier) <= cached[0]:
+                        vectors[identifier] = cached[1]
+                        continue
+                    if cached is not None:
+                        self._terms_cache.pop(identifier, None)
+                    wanted.append((identifier, encode_identifier(identifier)))
+        stamp = self.epoch
+        for start in range(0, len(wanted), self._IN_CHUNK):
+            chunk = wanted[start : start + self._IN_CHUNK]
+            placeholders = ",".join("?" for _ in chunk)
+            rows = self._execute_read(
+                f"SELECT fragment, terms FROM fragment_terms "
+                f"WHERE fragment IN ({placeholders})",
+                tuple(encoded for _identifier, encoded in chunk),
+            )
+            by_encoded = dict(rows)
+            with self._cache_lock:
+                for identifier, encoded in chunk:
+                    blob = by_encoded.get(encoded)
+                    if blob is None:
+                        # Unknown fragments answer {} and are never cached.
+                        vectors[identifier] = {}
+                        continue
+                    frequencies: Dict[str, int] = {}
+                    for keyword, occurrences in decode_fragment_terms(blob):
+                        if occurrences > frequencies.get(keyword, 0):
+                            frequencies[keyword] = occurrences
+                    vectors[identifier] = frequencies
+                    if not in_owned_batch:
+                        self._terms_cache[identifier] = (stamp, frequencies)
+        return vectors
 
     def fragment_keywords(self, identifier: FragmentId) -> Tuple[str, ...]:
         """The keywords whose inverted lists mention ``identifier``."""
-        rows = self._execute_read(
-            "SELECT DISTINCT keyword FROM postings WHERE fragment = ?",
-            (encode_identifier(identifier),),
-        )
-        return tuple(keyword for (keyword,) in rows)
+        return tuple(self.fragment_term_frequencies(identifier))
 
     def fragment_size(self, identifier: FragmentId) -> int:
         in_owned_batch = self._in_owned_batch()
         if not in_owned_batch:
             with self._cache_lock:
                 cached = self._sizes_cache.get(identifier)
-                if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
+                if cached is not None and self._epoch_clock.fragment_epoch(identifier) <= cached[0]:
                     return cached[1]
         stamp = self.epoch
         rows = self._execute_read(
@@ -1103,15 +1569,114 @@ class DiskStore(FragmentStore):
         return self._execute_read("SELECT COUNT(*) FROM fragments")[0][0]
 
     def vocabulary(self) -> Tuple[str, ...]:
-        rows = self._execute_read("SELECT DISTINCT keyword FROM postings ORDER BY keyword")
-        return tuple(keyword for (keyword,) in rows)
+        if self._read_connection() is not None:
+            rows = self._execute_read(
+                "SELECT DISTINCT keyword FROM posting_blocks ORDER BY keyword"
+            )
+            return tuple(keyword for (keyword,) in rows)
+        # Write-connection fallback (open bulk load / owned batch): the
+        # staged log can hold keywords the blocks don't yet, and pending
+        # removals can have emptied a blocked keyword.
+        with self._lock:
+            names = {
+                keyword
+                for (keyword,) in self._connection.execute(
+                    "SELECT DISTINCT keyword FROM posting_blocks"
+                )
+            }
+            names.update(
+                keyword
+                for (keyword,) in self._connection.execute(
+                    "SELECT DISTINCT keyword FROM staged_postings"
+                )
+            )
+        return tuple(keyword for keyword in sorted(names) if self.postings(keyword))
 
     def vocabulary_size(self) -> int:
-        return self._execute_read("SELECT COUNT(DISTINCT keyword) FROM postings")[0][0]
+        if self._read_connection() is not None:
+            return self._execute_read(
+                "SELECT COUNT(DISTINCT keyword) FROM posting_blocks"
+            )[0][0]
+        return len(self.vocabulary())
 
     def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
         for keyword in self.vocabulary():
             yield keyword, self.postings(keyword)
+
+    def posting_blocks_for_many(self, keywords) -> Dict[str, KeywordBlocks]:
+        """Block directories served straight from the summary columns.
+
+        The pooled-reader fast path reads only ``(count, max_occurrences,
+        max_weight)`` rows — no BLOBs — and hands back lazily-decoding
+        handles whose per-block reads (and the directories themselves) are
+        cached under store-epoch validation.  While this thread must read
+        through the write connection (open bulk load / owned batch) the
+        staged log isn't folded into blocks yet, so the generic merged-list
+        builder answers instead: deterministic, just not block-served.
+        """
+        unique = list(dict.fromkeys(keywords))
+        if self._read_connection() is None:
+            return super().posting_blocks_for_many(unique)
+        results: Dict[str, KeywordBlocks] = {}
+        missing: List[str] = []
+        with self._cache_lock:
+            for keyword in unique:
+                cached = self._blocks_cache.get(keyword)
+                if cached is not None and self.epoch <= cached[0]:
+                    results[keyword] = cached[1]
+                    continue
+                if cached is not None:
+                    self._blocks_cache.pop(keyword, None)
+                missing.append(keyword)
+        if not missing:
+            return results
+        stamp = self.epoch
+        grouped: Dict[str, List[BlockSummary]] = {keyword: [] for keyword in missing}
+        for start in range(0, len(missing), self._IN_CHUNK):
+            chunk = missing[start : start + self._IN_CHUNK]
+            placeholders = ",".join("?" for _ in chunk)
+            rows = self._execute_read(
+                f"SELECT keyword, count, max_occurrences, max_weight FROM posting_blocks "
+                f"WHERE keyword IN ({placeholders}) ORDER BY keyword, block_no",
+                tuple(chunk),
+            )
+            for keyword, count, max_occurrences, max_weight in rows:
+                grouped[keyword].append(BlockSummary(count, max_occurrences, max_weight))
+        with self._cache_lock:
+            for keyword in missing:
+                handle = KeywordBlocks(
+                    keyword, tuple(grouped[keyword]), self._block_decoder(keyword)
+                )
+                results[keyword] = handle
+                if grouped[keyword]:
+                    self._blocks_cache[keyword] = (stamp, handle)
+        return results
+
+    def _block_decoder(self, keyword: str):
+        """A per-keyword lazy block decoder backed by ``_block_cache``."""
+
+        def decoder(block_no: int) -> Tuple[Posting, ...]:
+            with self._cache_lock:
+                cached = self._block_cache.get(keyword)
+                if cached is not None and self.epoch <= cached[0]:
+                    decoded = cached[1].get(block_no)
+                    if decoded is not None:
+                        return decoded
+            stamp = self.epoch
+            rows = self._execute_read(
+                "SELECT entries FROM posting_blocks WHERE keyword = ? AND block_no = ?",
+                (keyword, block_no),
+            )
+            decoded = decode_block(rows[0][0], self._decode) if rows else ()
+            with self._cache_lock:
+                cached = self._block_cache.get(keyword)
+                if cached is not None and self.epoch <= cached[0]:
+                    cached[1][block_no] = decoded
+                else:
+                    self._block_cache[keyword] = (stamp, {block_no: decoded})
+            return decoded
+
+        return decoder
 
     # ------------------------------------------------------------------
     # graph section
@@ -1218,7 +1783,7 @@ class DiskStore(FragmentStore):
         if not in_owned_batch:
             with self._cache_lock:
                 cached = self._neighbors_cache.get(identifier)
-                if cached is not None and self.fragment_epoch(identifier) <= cached[0]:
+                if cached is not None and self._epoch_clock.fragment_epoch(identifier) <= cached[0]:
                     return cached[1]
         stamp = self.epoch
         encoded = encode_identifier(identifier)

@@ -15,6 +15,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.fragments import FragmentId
 from repro.store.base import FragmentStore
+from repro.store.blocks import KeywordBlocks, keyword_blocks_from_postings
 from repro.store.epochs import EpochClock
 from repro.store.mutations import RemoveFragment, ReplaceFragment, normalize_mutations
 from repro.text.inverted_index import Posting
@@ -39,11 +40,21 @@ class InMemoryStore(FragmentStore):
         self._postings_lock = threading.Lock()
         self._postings: Dict[str, List[Posting]] = {}
         self._fragment_sizes: Dict[FragmentId, int] = {}
-        # Reverse map: fragment -> the keywords whose inverted lists mention it
-        # (a dict used as an insertion-ordered set, keeping removals and
-        # per-fragment scans deterministic).
-        self._fragment_keywords: Dict[FragmentId, Dict[str, None]] = {}
+        # Reverse map: fragment -> keyword -> occurrence count, insertion
+        # ordered.  The keys make removals touch only the inverted lists the
+        # fragment appears in; the values answer per-fragment term-vector
+        # reads (fragment_term_frequencies and the lazy scorer's batched
+        # vector fill) without scanning any posting list.  Duplicate
+        # (keyword, fragment) postings keep the maximum count — the entry a
+        # descending-sorted list scan finds first.
+        self._fragment_keywords: Dict[FragmentId, Dict[str, int]] = {}
         self._sorted = True
+        # keyword -> (epoch stamp, block directory).  Validated against the
+        # store-wide epoch: block summaries depend on fragment sizes, which
+        # change without ticking the keyword's own epoch, so any write
+        # invalidates every cached directory.  Entries pin the sorted tuple
+        # their summaries were derived from (KeywordBlocks.decode slices it).
+        self._block_cache: Dict[str, Tuple[int, KeywordBlocks]] = {}
         self._nodes: Dict[FragmentId, int] = {}
         self._adjacency: Dict[FragmentId, Set[FragmentId]] = {}
 
@@ -65,7 +76,9 @@ class InMemoryStore(FragmentStore):
         with self._postings_lock:
             self._postings.setdefault(keyword, []).append(Posting(identifier, occurrences))
             self._fragment_sizes[identifier] = self._fragment_sizes.get(identifier, 0) + occurrences
-            self._fragment_keywords.setdefault(identifier, {})[keyword] = None
+            keyword_map = self._fragment_keywords.setdefault(identifier, {})
+            if occurrences > keyword_map.get(keyword, 0):
+                keyword_map[keyword] = occurrences
             self._sorted = False
         self._epoch_clock.tick_posting(keyword, identifier)
 
@@ -141,13 +154,14 @@ class InMemoryStore(FragmentStore):
                     # Replace: register (even when empty) and append the new
                     # postings exactly like repeated add_posting calls.
                     size = 0
-                    keyword_map: Dict[str, None] = {}
+                    keyword_map: Dict[str, int] = {}
                     for keyword, occurrences in op.term_frequencies:
                         self._postings.setdefault(keyword, []).append(
                             Posting(identifier, occurrences)
                         )
                         size += occurrences
-                        keyword_map[keyword] = None
+                        if occurrences > keyword_map.get(keyword, 0):
+                            keyword_map[keyword] = occurrences
                         affected_keywords.add(keyword)
                     self._fragment_sizes[identifier] = size
                     self._fragment_keywords[identifier] = keyword_map
@@ -193,6 +207,41 @@ class InMemoryStore(FragmentStore):
         self.finalize()
         return {keyword: tuple(self._postings.get(keyword, ())) for keyword in dict.fromkeys(keywords)}
 
+    def posting_blocks_for_many(self, keywords) -> Dict[str, KeywordBlocks]:
+        """Block directories, cached per keyword and epoch-revalidated.
+
+        A cached directory survives exactly until the store's next write of
+        any kind (block maxima depend on fragment sizes, which can change
+        without the keyword's own epoch moving), after which the directory
+        is rebuilt from the current sorted list and current sizes — the
+        cross-backend determinism contract of
+        :meth:`~repro.store.base.FragmentStore.posting_blocks_for_many`.
+        """
+        self.finalize()
+        directories: Dict[str, KeywordBlocks] = {}
+        sizes = self._fragment_sizes
+        for keyword in dict.fromkeys(keywords):
+            cached = self._block_cache.get(keyword)
+            if cached is not None and self._epoch_clock.epoch <= cached[0]:
+                directories[keyword] = cached[1]
+                continue
+            # The stamp is captured before the build: a write racing the
+            # build ticks past it, so the (possibly torn) entry can never
+            # outlive the write.
+            stamp = self._epoch_clock.epoch
+            postings = tuple(self._postings.get(keyword, ()))
+            blocks = keyword_blocks_from_postings(
+                keyword, postings, lambda identifier: sizes.get(identifier, 0)
+            )
+            if postings:
+                # Never cache misses (unknown-keyword floods would grow the
+                # cache without bound); stale hits self-replace above.
+                self._block_cache[keyword] = (stamp, blocks)
+            else:
+                self._block_cache.pop(keyword, None)
+            directories[keyword] = blocks
+        return directories
+
     def raw_postings(self, keyword: str) -> List[Posting]:
         """The keyword's posting list without sorting (shard-merge internal)."""
         return self._postings.get(keyword, [])
@@ -210,13 +259,15 @@ class InMemoryStore(FragmentStore):
         return 0
 
     def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
-        frequencies: Dict[str, int] = {}
-        for keyword in self._fragment_keywords.get(identifier, ()):
-            for posting in self._postings.get(keyword, ()):
-                if posting.document_id == identifier:
-                    frequencies[keyword] = posting.term_frequency
-                    break
-        return frequencies
+        # The reverse map carries the counts, so no posting list is scanned.
+        return dict(self._fragment_keywords.get(identifier, {}))
+
+    def fragment_term_frequencies_for(self, identifiers) -> Dict[FragmentId, Dict[str, int]]:
+        keyword_maps = self._fragment_keywords
+        return {
+            identifier: dict(keyword_maps.get(identifier, {}))
+            for identifier in dict.fromkeys(identifiers)
+        }
 
     def fragment_keywords(self, identifier: FragmentId) -> Tuple[str, ...]:
         """The keywords whose inverted lists mention ``identifier``."""

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Ty
 from repro.core.fragments import FragmentId
 from repro.mapreduce.job import default_partitioner
 from repro.store.base import FragmentStore, StoreError
+from repro.store.blocks import KeywordBlocks, keyword_blocks_from_postings
 from repro.store.memory import InMemoryStore, posting_sort_key
 from repro.text.inverted_index import Posting
 
@@ -72,6 +73,12 @@ class ShardedStore(FragmentStore):
         # Merged keyword -> (epoch stamp, sorted postings); entries revalidate
         # against the keyword's mutation epoch on every hit.
         self._merged_postings: Dict[str, Tuple[int, Tuple[Posting, ...]]] = {}
+        # Merged keyword -> (epoch stamp, block directory).  Unlike the
+        # merged lists these revalidate against the *store-wide* epoch:
+        # block maxima depend on member fragment sizes, which another
+        # keyword's add_posting can change without this keyword's epoch
+        # moving.
+        self._merged_blocks: Dict[str, Tuple[int, KeywordBlocks]] = {}
         # Identifier -> owning shard.  The stable hash walks the identifier's
         # text in pure Python, so memoising the route matters on hot paths;
         # routes never change for a fixed shard count.
@@ -272,6 +279,44 @@ class ShardedStore(FragmentStore):
                 results[keyword] = result
         return results
 
+    def posting_blocks_for_many(self, keywords) -> Dict[str, KeywordBlocks]:
+        """Block directories over the merged lists, store-epoch cached.
+
+        Misses cost one merged-postings gather plus one batched size fan-out
+        for every member fragment; hits are dictionary lookups.  Directories
+        are pure functions of the merged sorted list and the current sizes,
+        so any shard count produces the single-shard summaries bit for bit.
+        """
+        directories: Dict[str, KeywordBlocks] = {}
+        missing: List[str] = []
+        epoch = self.epoch
+        for keyword in dict.fromkeys(keywords):
+            cached = self._merged_blocks.get(keyword)
+            if cached is not None and epoch <= cached[0]:
+                directories[keyword] = cached[1]
+            else:
+                if cached is not None:
+                    self._merged_blocks.pop(keyword, None)
+                missing.append(keyword)
+        if missing:
+            stamp = self.epoch
+            gathered = self.postings_for_many(missing)
+            members = {
+                posting.document_id
+                for keyword in missing
+                for posting in gathered[keyword]
+            }
+            sizes = self.fragment_sizes_for(tuple(members)) if members else {}
+            for keyword in missing:
+                blocks = keyword_blocks_from_postings(
+                    keyword, gathered[keyword], lambda identifier: sizes.get(identifier, 0)
+                )
+                if gathered[keyword]:
+                    # Same no-miss-caching rule as the merged lists.
+                    self._merged_blocks[keyword] = (stamp, blocks)
+                directories[keyword] = blocks
+        return directories
+
     def fragment_frequency(self, keyword: str) -> int:
         return sum(self.map_shards(lambda shard: shard.fragment_frequency(keyword)))
 
@@ -287,6 +332,23 @@ class ShardedStore(FragmentStore):
 
     def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
         return self._owner(identifier).fragment_term_frequencies(identifier)
+
+    def fragment_term_frequencies_for(self, identifiers) -> Dict[FragmentId, Dict[str, int]]:
+        by_shard: Dict[int, List[FragmentId]] = {}
+        for identifier in dict.fromkeys(identifiers):
+            by_shard.setdefault(self.shard_of(identifier), []).append(identifier)
+        parts = self.run_parallel(
+            [
+                lambda shard=self._shards[index], wanted=wanted: shard.fragment_term_frequencies_for(
+                    wanted
+                )
+                for index, wanted in by_shard.items()
+            ]
+        )
+        merged: Dict[FragmentId, Dict[str, int]] = {}
+        for part in parts:
+            merged.update(part)
+        return merged
 
     def fragment_size(self, identifier: FragmentId) -> int:
         return self._owner(identifier).fragment_size(identifier)

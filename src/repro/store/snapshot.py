@@ -15,6 +15,13 @@ dataset seeding.
 
 Fragment identifiers are flat tuples of JSON scalars; the file stores them
 as JSON arrays and restoration coerces them back to tuples.
+
+Snapshots deliberately carry *postings*, not posting blocks: the block
+directories (summaries plus delta+varint BLOBs) are a pure function of the
+sorted posting lists and fragment sizes, so restoration replays the postings
+and every backend rebuilds bit-identical blocks on its own.  That keeps
+``FORMAT_VERSION`` at 1 — files written before the block layout existed
+restore unchanged, and block-format evolution never invalidates snapshots.
 """
 
 from __future__ import annotations

@@ -17,6 +17,7 @@ Three guarantees are load-bearing:
 """
 
 import os
+import sqlite3
 import tempfile
 import threading
 import time
@@ -116,32 +117,42 @@ class TestEarlyTerminationExactness:
             assert actual == expected
 
     def test_pruned_work_is_reported(self):
-        """A skewed-IDF query must leave most seeds unscored.
+        """An impact-skewed query must leave whole blocks undecoded.
 
-        Every fragment carries the common keyword (low IDF), three also carry
-        the rare one (high IDF): the common-only seeds' admissible bound is
-        the common keyword's IDF, which cannot beat the rare seeds' exact
-        scores, so with a small ``k`` they are never materialized.
+        The inverted list is impact-ordered, so the first block carries the
+        highest per-fragment weights (sizes are aligned with occurrences
+        here); with a small ``k`` the search decodes that block, pops its
+        best seeds, and the remaining blocks' admissible bounds can never
+        win a dequeue — they are skipped wholesale, their postings never
+        decoded, let alone scored.
         """
+        from repro.store.blocks import BLOCK_SIZE
+
+        count = 2 * BLOCK_SIZE + 44
         fragments = {}
-        for index in range(60):
-            fragments[("Cuisine00", 5 + index)] = {"common": 1 + index % 3, "filler": 2}
-        for index in range(3):
-            fragments[("Cuisine01", 5 + index)] = {"rare": 9, "common": 1}
+        for index in range(count):
+            tier = 9 - (index * 9) // count  # descending impact tiers
+            fragments[("Cuisine00", 5 + index)] = {"hot": 1 + tier, "filler": 3}
         _, _, bounded = _build(fragments, InMemoryStore())
         _, _, exhaustive = _build(fragments, InMemoryStore(), early_termination=False)
-        keywords = ["rare", "common"]
+        keywords = ["hot"]
         bounded_results = bounded.search(keywords, k=2, size_threshold=1)
         exhaustive_results = exhaustive.search(keywords, k=2, size_threshold=1)
         assert _result_tuples(bounded_results) == _result_tuples(exhaustive_results)
         statistics = bounded.last_statistics
-        assert statistics.seed_fragments == 63
+        assert statistics.seed_fragments == count
+        assert statistics.blocks_decoded >= 1
+        assert statistics.blocks_skipped >= 1
+        assert statistics.postings_decoded < count
         assert statistics.pruned_dequeues > 0
         assert statistics.seeds_scored < statistics.seed_fragments
         assert statistics.seeds_scored + statistics.pruned_dequeues == statistics.seed_fragments
         totals = bounded.lifetime_statistics()
         assert totals["searches"] == 1
         assert totals["pruned_dequeues"] == statistics.pruned_dequeues
+        assert totals["blocks_skipped"] == statistics.blocks_skipped
+        assert totals["blocks_decoded"] == statistics.blocks_decoded
+        assert totals["postings_decoded"] == statistics.postings_decoded
         assert totals["pruned_expansions"] == statistics.pruned_expansions
 
     def test_expansion_tier_pruning_is_reported(self):
@@ -439,3 +450,356 @@ class TestShardedStoreLifecycle:
         with pytest.raises(RuntimeError, match="task failure"):
             store.run_parallel([boom, boom, boom, boom])
         store.close()
+
+
+# ----------------------------------------------------------------------
+# block layout: directories are a pure function of store state
+# ----------------------------------------------------------------------
+def _assert_block_directories_match(store):
+    """Every keyword's directory equals a fresh build over the current state.
+
+    The cross-backend determinism contract: summaries (including the float
+    maxima) must be byte-identical to ``build_summaries`` over the current
+    sorted posting list and current sizes, and the concatenated decoded
+    blocks must reproduce the posting list exactly.
+    """
+    from repro.store.blocks import BLOCK_SIZE, build_summaries
+
+    keywords = list(store.vocabulary()) + ["kw-absent"]
+    directories = store.posting_blocks_for_many(keywords)
+    gathered = store.postings_for_many(keywords)
+    snapshot = {}
+    for keyword in keywords:
+        handle = directories[keyword]
+        postings = gathered[keyword]
+        sizes = store.fragment_sizes_for(tuple({p.document_id for p in postings}))
+        expected = build_summaries(postings, lambda identifier: sizes.get(identifier, 0))
+        assert handle.summaries == expected
+        assert handle.posting_count == len(postings)
+        decoded = []
+        for block_no, summary in enumerate(handle.summaries):
+            block = handle.decode(block_no)
+            assert len(block) == summary.count <= BLOCK_SIZE
+            assert summary.max_occurrences == max(p.term_frequency for p in block)
+            decoded.extend(block)
+        assert tuple(decoded) == postings
+        snapshot[keyword] = handle.summaries
+    return snapshot
+
+
+class TestBlockLayout:
+    """The tentpole invariant: blocks are pure functions of (list, sizes)."""
+
+    @RELAXED
+    @given(fragments=corpus_strategy, churn_seed=st.integers(min_value=0, max_value=10_000))
+    def test_directories_match_fresh_summaries_even_after_churn(self, fragments, churn_seed):
+        import random
+
+        from repro.store.mutations import RemoveFragment, replace_op
+
+        rng = random.Random(churn_seed)
+        batch = []
+        for identifier in sorted(fragments):
+            roll = rng.random()
+            if roll < 0.15:
+                batch.append(RemoveFragment(identifier))
+            elif roll < 0.45:
+                batch.append(
+                    replace_op(
+                        identifier,
+                        {
+                            f"kw{rng.randrange(30):02d}": rng.randint(1, 5)
+                            for _ in range(rng.randint(1, 4))
+                        },
+                    )
+                )
+
+        per_backend = []
+        for store_factory in (InMemoryStore, lambda: ShardedStore(shards=3), _disk_store):
+            store = store_factory()
+            index = InvertedFragmentIndex(store=store)
+            for identifier, term_frequencies in fragments.items():
+                index.add_fragment(identifier, term_frequencies)
+            index.finalize()
+            _assert_block_directories_match(store)
+            if batch:
+                store.apply_mutations(batch)
+            per_backend.append(_assert_block_directories_match(store))
+            store.close()
+        # the same logical state yields bit-identical directories everywhere
+        assert per_backend[0] == per_backend[1] == per_backend[2]
+
+    def test_incremental_writes_refresh_directories(self):
+        """add_posting / remove_fragment invalidate cached directories."""
+        for store_factory in (InMemoryStore, lambda: ShardedStore(shards=2), _disk_store):
+            store = store_factory()
+            store.add_posting("alpha", ("A", 1), 3)
+            store.add_posting("alpha", ("B", 2), 2)
+            store.finalize()
+            _assert_block_directories_match(store)
+            # growing B's size through another keyword stales alpha's maxima
+            store.add_posting("beta", ("B", 2), 9)
+            store.finalize()
+            _assert_block_directories_match(store)
+            store.remove_fragment(("A", 1))
+            store.finalize()
+            _assert_block_directories_match(store)
+            store.close()
+
+
+# ----------------------------------------------------------------------
+# the delta+varint block codec
+# ----------------------------------------------------------------------
+class TestBlockCodec:
+    @RELAXED
+    @given(values=st.lists(st.integers(min_value=0, max_value=2**40), max_size=30))
+    def test_uvarint_round_trip(self, values):
+        from repro.store.blocks import decode_uvarint, encode_uvarint
+
+        out = bytearray()
+        for value in values:
+            encode_uvarint(value, out)
+        blob = bytes(out)
+        position = 0
+        decoded = []
+        for _ in values:
+            value, position = decode_uvarint(blob, position)
+            decoded.append(value)
+        assert decoded == values
+        assert position == len(blob)
+
+    def test_uvarint_rejects_negative_and_truncated(self):
+        from repro.store.blocks import decode_uvarint, encode_uvarint
+
+        with pytest.raises(ValueError):
+            encode_uvarint(-1, bytearray())
+        with pytest.raises(ValueError, match="truncated"):
+            decode_uvarint(b"\x80", 0)
+        with pytest.raises(ValueError, match="truncated"):
+            decode_uvarint(b"", 0)
+
+    @RELAXED
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.text(max_size=8),
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=40,
+        )
+    )
+    def test_block_round_trip(self, entries):
+        from repro.store.blocks import decode_block, encode_block
+        from repro.store.disk import decode_identifier, encode_identifier
+        from repro.text.inverted_index import Posting
+
+        postings = tuple(
+            Posting((name, index), occurrences)
+            for name, index, occurrences in sorted(entries, key=lambda entry: -entry[2])
+        )
+        blob = encode_block(postings, encode_identifier)
+        assert decode_block(blob, decode_identifier) == postings
+
+    def test_encode_block_rejects_ascending_occurrences(self):
+        from repro.store.blocks import encode_block
+        from repro.store.disk import encode_identifier
+        from repro.text.inverted_index import Posting
+
+        postings = (Posting(("A", 1), 1), Posting(("B", 2), 5))
+        with pytest.raises(ValueError, match="occurrence-descending"):
+            encode_block(postings, encode_identifier)
+
+    @RELAXED
+    @given(data=st.binary(max_size=60))
+    def test_decode_block_never_crashes_on_garbage(self, data):
+        """Corrupt BLOBs raise ValueError — never hang, never crash."""
+        from repro.store.blocks import decode_block
+        from repro.store.disk import decode_identifier
+
+        try:
+            decode_block(data, decode_identifier)
+        except ValueError:
+            pass
+
+    @RELAXED
+    @given(
+        pairs=st.lists(
+            st.tuples(st.text(min_size=1, max_size=10), st.integers(min_value=0, max_value=500)),
+            max_size=20,
+        )
+    )
+    def test_fragment_terms_round_trip_keeps_the_maximum(self, pairs):
+        from repro.store.disk import decode_fragment_terms, encode_fragment_terms
+
+        blob = encode_fragment_terms(pairs)
+        assert decode_fragment_terms(blob) == pairs
+        # appending more pairs (the add_posting path) decodes to the
+        # concatenation — the blob format carries no count header
+        blob2 = blob + encode_fragment_terms([("extra", 7)])
+        assert decode_fragment_terms(blob2) == pairs + [("extra", 7)]
+        with pytest.raises(ValueError):
+            decode_fragment_terms(blob + b"\x85")
+
+
+# ----------------------------------------------------------------------
+# schema v1 -> v2 migration
+# ----------------------------------------------------------------------
+_V1_DDL = """
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE fragments (id TEXT PRIMARY KEY, size INTEGER NOT NULL);
+CREATE TABLE postings (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    keyword     TEXT NOT NULL,
+    fragment    TEXT NOT NULL,
+    tie         TEXT NOT NULL,
+    occurrences INTEGER NOT NULL
+);
+CREATE INDEX postings_by_keyword ON postings (keyword, occurrences DESC, tie);
+CREATE INDEX postings_by_fragment ON postings (fragment);
+CREATE TABLE nodes (id TEXT PRIMARY KEY, keyword_count INTEGER NOT NULL);
+CREATE TABLE edges (src TEXT NOT NULL, dst TEXT NOT NULL, PRIMARY KEY (src, dst)) WITHOUT ROWID;
+CREATE TABLE keyword_epochs (keyword TEXT PRIMARY KEY, epoch INTEGER NOT NULL);
+CREATE TABLE fragment_epochs (fragment TEXT PRIMARY KEY, epoch INTEGER NOT NULL);
+"""
+
+
+def _build_v1_file(fragments) -> str:
+    """A schema-v1 store file exactly as a PR 5 writer would have left it."""
+    from repro.store.disk import encode_identifier
+    from repro.store.memory import posting_sort_key
+
+    reference = InMemoryStore()
+    index = InvertedFragmentIndex(store=reference)
+    for identifier, term_frequencies in fragments.items():
+        index.add_fragment(identifier, term_frequencies)
+    index.finalize()
+
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-v1-migration-"), "store.sqlite")
+    connection = sqlite3.connect(path)
+    connection.executescript(_V1_DDL)
+    connection.executemany(
+        "INSERT INTO fragments (id, size) VALUES (?, ?)",
+        [
+            (encode_identifier(identifier), size)
+            for identifier, size in reference.fragment_sizes().items()
+        ],
+    )
+    for keyword, postings in reference.iter_items():
+        connection.executemany(
+            "INSERT INTO postings (keyword, fragment, tie, occurrences) VALUES (?, ?, ?, ?)",
+            [
+                (
+                    keyword,
+                    encode_identifier(posting.document_id),
+                    posting_sort_key(posting)[1],
+                    posting.term_frequency,
+                )
+                for posting in postings
+            ],
+        )
+    connection.execute("INSERT INTO meta (key, value) VALUES ('epoch', '0')")
+    connection.execute("INSERT INTO meta (key, value) VALUES ('sweep_bound', '0')")
+    connection.execute("PRAGMA user_version = 1")
+    connection.commit()
+    connection.close()
+    return path
+
+
+class TestDiskSchemaMigration:
+    def test_v1_file_migrates_and_serves_identical_results(self):
+        fragments = _random_fragments(seed=21, count=60)
+        path = _build_v1_file(fragments)
+        _, _, expected_searcher = _build(fragments, InMemoryStore())
+        queries = [(["kw00"], 3, 10), (["kw03", "kw07"], 4, 20), (["kw12", "unknown"], 2, 15)]
+        expected = [
+            _result_tuples(expected_searcher.search(kws, k=k, size_threshold=s))
+            for kws, k, s in queries
+        ]
+
+        migrated = DiskStore(path, create=False)
+        try:
+            assert migrated._connection.execute("PRAGMA user_version").fetchone()[0] == 2
+            tables = {
+                name
+                for (name,) in migrated._connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            assert "postings" not in tables
+            assert "posting_blocks" in tables
+            block_rows = migrated._connection.execute(
+                "SELECT COUNT(*) FROM posting_blocks"
+            ).fetchone()[0]
+            assert block_rows > 0
+            _assert_block_directories_match(migrated)
+            # attach to the already-populated store: no re-indexing
+            index = InvertedFragmentIndex(store=migrated)
+            graph = FragmentGraph.build(QUERY, migrated.fragment_sizes(), store=migrated)
+            searcher = TopKSearcher(index, graph, UrlFormulator(QUERY, SPEC, URI))
+            actual = [
+                _result_tuples(searcher.search(kws, k=k, size_threshold=s))
+                for kws, k, s in queries
+            ]
+            assert actual == expected
+            assert migrated.refresh_epochs() in (True, False)
+        finally:
+            migrated.close()
+
+        # durable: a second open finds v2 and does not re-migrate
+        reopened = DiskStore(path, create=False)
+        try:
+            assert reopened._connection.execute("PRAGMA user_version").fetchone()[0] == 2
+            assert reopened.postings("kw00")
+        finally:
+            reopened.close()
+
+    def test_read_only_open_of_v1_file_raises(self):
+        from repro.store import StoreError
+
+        path = _build_v1_file(_random_fragments(seed=22, count=10))
+        with pytest.raises(StoreError, match="migrate"):
+            DiskStore(path, create=False, read_only=True)
+
+    def test_migrated_file_supports_writer_and_reader_roles(self):
+        fragments = _random_fragments(seed=23, count=20)
+        path = _build_v1_file(fragments)
+        writer = DiskStore(path, create=False, exclusive_writer=True)
+        try:
+            writer.add_posting("kw99", ("Fresh", 1), 4)
+            writer.finalize()
+            assert ("Fresh", 1) in {p.document_id for p in writer.postings("kw99")}
+            _assert_block_directories_match(writer)
+            reader = DiskStore(path, create=False, read_only=True)
+            try:
+                assert reader.postings("kw99")
+                assert reader.refresh_epochs() in (True, False)
+            finally:
+                reader.close()
+        finally:
+            writer.close()
+
+    def test_interrupted_migration_redoes_cleanly(self):
+        """A crash mid-migration leaves user_version at 1; reopening redoes
+        the (idempotent) migration from scratch."""
+        fragments = _random_fragments(seed=24, count=15)
+        path = _build_v1_file(fragments)
+        store = DiskStore(path, create=False)
+        store.close()
+        # simulate the crash: blocks built but the version bump lost
+        connection = sqlite3.connect(path)
+        connection.executescript(_V1_DDL.replace("CREATE TABLE", "CREATE TABLE IF NOT EXISTS")
+                                 .replace("CREATE INDEX", "CREATE INDEX IF NOT EXISTS"))
+        connection.execute("DELETE FROM postings")
+        for keyword, postings in InMemoryStore().iter_items():
+            pass  # no-op: postings table intentionally left empty
+        connection.execute("PRAGMA user_version = 1")
+        connection.commit()
+        connection.close()
+        redone = DiskStore(path, create=False)
+        try:
+            assert redone._connection.execute("PRAGMA user_version").fetchone()[0] == 2
+            # the redo rebuilt blocks from the (now empty) v1 table
+            assert redone.vocabulary() == ()
+        finally:
+            redone.close()

@@ -533,6 +533,32 @@ class TestSnapshots:
         with pytest.raises(StoreError):
             FragmentStore.from_snapshot(path, store=populated)
 
+    @pytest.mark.parametrize(
+        "target", [None, "sharded", "disk"], ids=["memory", "sharded", "disk"]
+    )
+    def test_block_directories_rebuild_identically(self, populated, tmp_path, target):
+        """Snapshots carry postings, not blocks: FORMAT_VERSION stays 1 and
+        every backend rebuilds bit-identical block directories on restore."""
+        from repro.store.blocks import BLOCK_SIZE
+
+        path = populated.snapshot(str(tmp_path / "store.snapshot"))
+        restored = FragmentStore.from_snapshot(
+            path,
+            store=target,
+            shards=2 if target == "sharded" else None,
+            store_path=str(tmp_path / "restored.sqlite") if target == "disk" else None,
+        )
+        keywords = list(populated.vocabulary())
+        original = populated.posting_blocks_for_many(keywords)
+        rebuilt = restored.posting_blocks_for_many(keywords)
+        for keyword in keywords:
+            assert rebuilt[keyword].summaries == original[keyword].summaries
+            for block_no in range(len(original[keyword].summaries)):
+                block = rebuilt[keyword].decode(block_no)
+                assert block == original[keyword].decode(block_no)
+                assert len(block) <= BLOCK_SIZE
+        restored.close()
+
     def test_snapshot_replaces_atomically(self, populated, tmp_path):
         path = str(tmp_path / "store.snapshot")
         populated.snapshot(path)

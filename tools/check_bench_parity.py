@@ -8,8 +8,12 @@ backend) still fails the smoke job.  Usage::
     python tools/check_bench_parity.py BENCH_store_backends.json \
         BENCH_serving.json BENCH_maintenance.json
 
-Exits non-zero when a file is missing, holds no parity flags at all, or
-holds any flag that is not ``true``.
+Two flag families are collected: ``parity_ok`` (every backend ranked
+exactly like the seed path) and ``block_parity_ok`` (the disk backend's
+delta+varint posting blocks decoded back to the canonical posting lists,
+recorded per ``index_layout`` entry).  Exits non-zero when a file is
+missing, holds no parity flags at all, or holds any flag that is not
+``true`` — including a regressed decoded-block flag.
 """
 
 from __future__ import annotations
@@ -19,12 +23,15 @@ import sys
 from typing import Any, List, Tuple
 
 
+PARITY_KEYS = ("parity_ok", "block_parity_ok")
+
+
 def collect_parity_flags(payload: Any, path: str = "$") -> List[Tuple[str, Any]]:
-    """Every ``parity_ok`` entry in the payload, with its JSON path."""
+    """Every parity-flag entry (see ``PARITY_KEYS``) with its JSON path."""
     flags: List[Tuple[str, Any]] = []
     if isinstance(payload, dict):
         for key, value in payload.items():
-            if key == "parity_ok":
+            if key in PARITY_KEYS:
                 flags.append((f"{path}.{key}", value))
             else:
                 flags.extend(collect_parity_flags(value, f"{path}.{key}"))

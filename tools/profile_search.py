@@ -11,10 +11,17 @@ Usage::
     PYTHONPATH=src python tools/profile_search.py --backend disk --fragments 6000
     PYTHONPATH=src python tools/profile_search.py --backend sharded-4 --top 30
     PYTHONPATH=src python tools/profile_search.py --backend memory --output profile.txt
+    PYTHONPATH=src python tools/profile_search.py --backend disk --no-early-termination
+    PYTHONPATH=src python tools/profile_search.py --compare memory,disk
 
 ``--backend`` accepts ``seed`` (the pre-store baseline searcher), ``memory``,
-``sharded-N`` and ``disk``.  Referenced from docs/benchmarks.md; CI runs it
-on the smoke corpus and uploads the output as an artifact.
+``sharded-N`` and ``disk``.  ``--no-early-termination`` profiles the
+exhaustive oracle path instead of the block-max bounded one.
+``--compare a,b,...`` profiles every listed backend twice — bounded and
+exhaustive — in one run, so block-decode hot spots (``decode_block``,
+``posting_blocks_for_many``) can be read side by side against the full-scan
+path.  Referenced from docs/benchmarks.md; CI runs it on the smoke corpus
+and uploads the output as an artifact.
 """
 
 from __future__ import annotations
@@ -39,10 +46,12 @@ from bench_store_backends import (  # noqa: E402  (path set up above)
 )
 
 
-def profile_backend(backend: str, fragments: int, repeats: int, top: int) -> str:
+def profile_backend(
+    backend: str, fragments: int, repeats: int, top: int, early_termination: bool = True
+) -> str:
     """Profile ``repeats`` passes of the standard query mix; returns the report."""
     corpus = synthetic_fragments(fragments)
-    searcher = searcher_for(backend, corpus)
+    searcher = searcher_for(backend, corpus, early_termination=early_termination)
     workload = keyword_workload(searcher.index)
     queries = [[keyword] for keyword in workload.values()]
     queries.append(list(workload.values()))  # one multi-keyword query
@@ -66,6 +75,7 @@ def profile_backend(backend: str, fragments: int, repeats: int, top: int) -> str
     statistics.sort_stats("cumulative").print_stats(top)
     header = (
         f"backend={backend} fragments={fragments} repeats={repeats} "
+        f"early_termination={early_termination} "
         f"queries/pass={len(queries) * len(SIZE_THRESHOLDS)}\n"
     )
     try:
@@ -74,7 +84,10 @@ def profile_backend(backend: str, fragments: int, repeats: int, top: int) -> str
             f"last search: seeds={search_statistics.seed_fragments} "
             f"scored={search_statistics.seeds_scored} "
             f"pruned_dequeues={search_statistics.pruned_dequeues} "
-            f"pruned_expansions={search_statistics.pruned_expansions}\n"
+            f"pruned_expansions={search_statistics.pruned_expansions} "
+            f"blocks_skipped={search_statistics.blocks_skipped} "
+            f"blocks_decoded={search_statistics.blocks_decoded} "
+            f"postings_decoded={search_statistics.postings_decoded}\n"
         )
     except AttributeError:
         pass  # the seed replica carries no statistics
@@ -93,11 +106,42 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=5, help="query-mix passes (default 5)")
     parser.add_argument("--top", type=int, default=20, help="hot spots to print (default 20)")
     parser.add_argument("--output", default=None, help="write the report here instead of stdout")
+    parser.add_argument(
+        "--no-early-termination",
+        action="store_true",
+        help="profile the exhaustive (bound-free) search path instead",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BACKENDS",
+        help="comma-separated backends; profiles each one bounded AND "
+        "exhaustive in a single run (overrides --backend)",
+    )
     arguments = parser.parse_args(argv)
 
-    report = profile_backend(
-        arguments.backend, arguments.fragments, arguments.repeats, arguments.top
-    )
+    if arguments.compare:
+        sections = []
+        for backend in [name.strip() for name in arguments.compare.split(",") if name.strip()]:
+            for early_termination in (True, False):
+                sections.append(
+                    profile_backend(
+                        backend,
+                        arguments.fragments,
+                        arguments.repeats,
+                        arguments.top,
+                        early_termination=early_termination,
+                    )
+                )
+        report = ("=" * 78 + "\n").join(sections)
+    else:
+        report = profile_backend(
+            arguments.backend,
+            arguments.fragments,
+            arguments.repeats,
+            arguments.top,
+            early_termination=not arguments.no_early_termination,
+        )
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:
             handle.write(report)
