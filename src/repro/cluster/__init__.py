@@ -1,0 +1,44 @@
+"""Simulated multi-node search cluster: partitioned scatter-gather serving.
+
+The cluster package stacks on everything below it without forking any of
+it.  A built corpus is split into consistent-hash partitions that never
+cut a db-page chain (:class:`GroupPartitioner`), partitions are placed on
+:class:`SearchNode`\\ s by a :class:`HashRing` (primary + replicas), and a
+:class:`QueryRouter` answers queries by scatter-gather: global document
+frequencies first, then per-partition bound-ordered
+:class:`~repro.core.search.SearchStream`\\ s merged in exact dequeue
+order — results are byte-identical to a single-store run, and partitions
+whose bounds never reach the global frontier are short-circuited.
+
+:class:`ClusterStore` is the write/freshness facade (a real
+:class:`~repro.store.FragmentStore` routing writes to partition primaries
+and deriving a cluster-wide epoch clock), :class:`SearchCluster` owns the
+topology (replica catch-up and live rebalancing via the snapshot
+machinery), and :class:`ClusterSearchService` is a stock serving layer
+over the router — see :meth:`repro.core.engine.DashEngine.cluster`.
+"""
+
+from repro.cluster.node import HostedPartition, SearchNode
+from repro.cluster.partitioning import GroupPartitioner, HashRing
+from repro.cluster.router import (
+    ClusterSearchService,
+    PartitionAssignment,
+    QueryRouter,
+    RouterSession,
+    SearchCluster,
+)
+from repro.cluster.store import ClusterStore, populate_from_store
+
+__all__ = [
+    "ClusterSearchService",
+    "ClusterStore",
+    "GroupPartitioner",
+    "HashRing",
+    "HostedPartition",
+    "PartitionAssignment",
+    "QueryRouter",
+    "RouterSession",
+    "SearchCluster",
+    "SearchNode",
+    "populate_from_store",
+]

@@ -1,0 +1,650 @@
+"""Scatter-gather top-k over the partitioned cluster, byte-identical.
+
+The :class:`QueryRouter` answers one query in two fan-out rounds and one
+merge:
+
+1. **global document frequencies** — each selected partition copy reports
+   its exact per-keyword DF (an integer, read from the cached block
+   directories); their sum is the merged corpus's DF, so ``1/df`` — the
+   IDF every node then scores with via
+   :class:`~repro.core.scoring.DashScorer`'s ``idf_overrides`` — is the
+   bit-identical float a single store would compute.
+2. **bound-ordered partial streams** — each copy opens a
+   :class:`~repro.core.search.SearchStream` and materializes its first
+   admissible frontier in parallel.
+3. **precedence merge** — the router repeatedly advances the stream whose
+   next dequeue entry is smallest, bounded by the runner-up's entry.
+   Queue keys are content-determined (exact score + the deterministic
+   tie-breaks of :data:`repro.core.search.QueueEntry`) and every db-page
+   chain lives inside one partition, so this greedy interleave replays the
+   *exact global dequeue sequence* of a single merged store — result
+   emission is not score-monotone (expansions can raise pending pages
+   above emitted results), which is why merging per-node top-k lists by
+   score alone would not be byte-identical, and replaying the dequeue
+   order is.  The merge stops at the global ``k``-th emission; streams
+   whose best remaining bound never reaches the frontier are never pulled
+   (``nodes_short_circuited``), and their materialized-but-unranked
+   candidates are counted in ``partials_discarded``.
+
+:class:`SearchCluster` owns the topology: consistent-hash partition
+assignment (:class:`~repro.cluster.HashRing`), replica placement with
+round-robin reads for hot partitions, snapshot-based replica catch-up
+(:meth:`SearchCluster.sync_replicas`) and live rebalancing
+(:meth:`SearchCluster.rebalance`).  :class:`ClusterSearchService` is the
+serving entry point: a stock :class:`~repro.serving.SearchService` whose
+"searcher" is the router and whose "store" is the
+:class:`~repro.cluster.ClusterStore` facade — admission, result caching
+and epoch invalidation run unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.fragments import FragmentId
+from repro.core.search import (
+    LIFETIME_FIELDS,
+    DetailedSearch,
+    SearchResult,
+    SearchStatistics,
+    SearchStream,
+)
+from repro.cluster.node import HostedPartition, SearchNode
+from repro.cluster.partitioning import GroupPartitioner, HashRing
+from repro.cluster.store import ClusterStore, populate_from_store
+from repro.db.query import ParameterizedPSJQuery
+from repro.serving.service import SearchService
+from repro.store.base import FragmentStore
+from repro.store.disk import DiskStore
+from repro.store.memory import InMemoryStore
+from repro.store.snapshot import load_snapshot
+from repro.webapp.request import QueryStringSpec
+
+#: What ``node_store=`` accepts: a backend name (``"memory"``/``"disk"``) or
+#: a ``(node_id, partition) -> FragmentStore`` factory returning an *empty*
+#: backend (benchmarks use factories to wrap stores with simulated per-node
+#: latency).
+NodeStoreSpec = Union[str, Callable[[str, int], FragmentStore]]
+
+#: Counters summed across partition streams into the routed query's
+#: statistics (elapsed/results/fan-out counters are router-level).
+_STREAM_SUM_FIELDS = (
+    "seed_fragments",
+    "seeds_scored",
+    "expansions",
+    "dequeues",
+    "pruned_dequeues",
+    "pruned_expansions",
+    "blocks_skipped",
+    "blocks_decoded",
+    "postings_decoded",
+)
+
+
+class _RouterIndex:
+    """The ``searcher.index`` shim a SearchService expects: just ``.store``."""
+
+    def __init__(self, store: ClusterStore) -> None:
+        self.store = store
+
+
+class RouterSession:
+    """The router's stand-in for a :class:`~repro.core.search.SearchSession`.
+
+    Partition streams always build fresh scorers (a cached scorer's global
+    IDF could go stale through a *remote* partition's mutation without the
+    local epoch moving), so there is nothing to cache here — the session
+    exists so ``SearchService.statistics()["session"]`` keeps its shape.
+    """
+
+    def __init__(self, router: "QueryRouter") -> None:
+        self._router = router
+
+    def statistics(self) -> Dict[str, int]:
+        """Shape-compatible session counters (no scorer reuse by design)."""
+        lifetime = self._router.lifetime_statistics()
+        return {
+            "epoch": self._router.index.store.epoch,
+            "cached_scorers": 0,
+            "cached_neighbor_lists": 0,
+            "scorer_reuses": 0,
+            "scorer_builds": lifetime["searches"] * self._router.partition_count,
+        }
+
+
+class QueryRouter:
+    """Scatter-gather searcher over one :class:`SearchCluster`.
+
+    Duck-types the :class:`~repro.core.search.TopKSearcher` surface a
+    :class:`~repro.serving.SearchService` drives — ``search_detailed``,
+    ``session()``, ``lifetime_statistics()`` and ``index.store`` — so the
+    whole serving layer stacks on a cluster unchanged.
+    """
+
+    def __init__(self, cluster: "SearchCluster", workers: Optional[int] = None) -> None:
+        self._cluster = cluster
+        self.index = _RouterIndex(cluster.store)
+        self.partition_count = cluster.store.partition_count
+        if workers is None:
+            workers = min(16, max(4, 2 * self.partition_count))
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="cluster-router")
+            if self.partition_count > 1
+            else None
+        )
+        self.last_statistics = SearchStatistics()
+        self._lifetime_lock = threading.Lock()
+        self._lifetime: Dict[str, int] = {"searches": 0}
+        self._lifetime.update({field_name: 0 for field_name in LIFETIME_FIELDS})
+
+    # ------------------------------------------------------------------
+    def session(self) -> RouterSession:
+        """The router's session shim (see :class:`RouterSession`)."""
+        return RouterSession(self)
+
+    def lifetime_statistics(self) -> Dict[str, int]:
+        """Running totals over every routed search (includes fan-out counters)."""
+        with self._lifetime_lock:
+            return dict(self._lifetime)
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _fan_out(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        if self._executor is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        return list(self._executor.map(lambda task: task(), tasks))
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        keywords: Iterable[str],
+        k: int = 10,
+        size_threshold: int = 100,
+        session: Optional[RouterSession] = None,
+    ) -> List[SearchResult]:
+        """Routed top-``k`` results (see :meth:`search_detailed`)."""
+        return list(self.search_detailed(keywords, k, size_threshold, session=session).results)
+
+    def search_detailed(
+        self,
+        keywords: Iterable[str],
+        k: int = 10,
+        size_threshold: int = 100,
+        session: Optional[RouterSession] = None,
+    ) -> DetailedSearch:
+        """Scatter-gather one query; byte-identical to a single-store run.
+
+        ``session`` is accepted for interface compatibility and ignored —
+        per-partition scorers are built per query with the router's global
+        IDF.  The returned epoch is the facade (router-clock) epoch observed
+        before the first partition read, so serving-cache stamps invalidate
+        exactly as over a single store.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if size_threshold < 1:
+            raise ValueError("the size threshold s must be at least 1")
+        started = time.perf_counter()
+        canonical = tuple(dict.fromkeys(str(keyword).lower() for keyword in keywords))
+        epoch = self.index.store.epoch
+        # Pin one serving copy per partition for the whole query (round-robin
+        # over the primary and its fresh replicas) so both fan-out rounds
+        # read the same store objects even if a rebalance lands mid-query.
+        selections = [
+            self._cluster.select_serving(partition)
+            for partition in range(self.partition_count)
+        ]
+
+        def partition_frequencies(hosted: HostedPartition) -> Dict[str, int]:
+            directories = hosted.store.posting_blocks_for_many(canonical)
+            return {keyword: directories[keyword].posting_count for keyword in canonical}
+
+        frequency_maps = self._fan_out(
+            [lambda hosted=hosted: partition_frequencies(hosted) for _node, hosted in selections]
+        )
+        global_frequencies = {
+            keyword: sum(frequencies[keyword] for frequencies in frequency_maps)
+            for keyword in canonical
+        }
+        idf_overrides = {
+            keyword: (1.0 / frequency if frequency else 0.0)
+            for keyword, frequency in global_frequencies.items()
+        }
+
+        def open_stream(hosted: HostedPartition):
+            stream = hosted.searcher.stream(
+                canonical, k, size_threshold, idf_overrides=idf_overrides
+            )
+            # First materialization (the admissible frontier) runs inside
+            # the fan-out; afterwards the stream is advanced only by the
+            # merge thread.
+            return stream, stream.peek_entry()
+
+        opened = self._fan_out(
+            [lambda hosted=hosted: open_stream(hosted) for _node, hosted in selections]
+        )
+        streams: List[SearchStream] = [stream for stream, _entry in opened]
+
+        heap: List[Tuple[tuple, int]] = []
+        for sequence, (_stream, entry) in enumerate(opened):
+            if entry is not None:
+                heap.append((entry, sequence))
+        heap.sort()
+        merged: List[SearchResult] = []
+        while heap and len(merged) < k:
+            entry, sequence = heap[0]
+            # The runner-up's head entry bounds how far this stream may
+            # advance: every dequeue it performs within the limit is
+            # provably the globally smallest pending entry.
+            limit = heap[1][0] if len(heap) > 1 else None
+            stream = streams[sequence]
+            result = stream.next_result(limit)
+            if result is not None:
+                merged.append(result)
+            refreshed = stream.peek_entry()
+            if refreshed is None:
+                heap.pop(0)
+            else:
+                heap[0] = (refreshed, sequence)
+            heap.sort()
+
+        statistics = SearchStatistics()
+        statistics.nodes_queried = len({node_id for node_id, _hosted in selections})
+        short_circuited: Set[str] = set()
+        for (node_id, _hosted), stream in zip(selections, streams):
+            if not stream.exhausted:
+                short_circuited.add(node_id)
+            statistics.partials_discarded += stream.pending_candidates
+        statistics.nodes_short_circuited = len(short_circuited)
+        statistics.partials_merged = len(merged)
+        dependencies: Set[FragmentId] = set()
+        for stream in streams:
+            stream_statistics = stream.finalize()
+            dependencies.update(stream.consulted)
+            for field_name in _STREAM_SUM_FIELDS:
+                setattr(
+                    statistics,
+                    field_name,
+                    getattr(statistics, field_name) + getattr(stream_statistics, field_name),
+                )
+        # Same final step as a single stream: emission order is not strictly
+        # score-ordered, the stable sort restores the ranking.
+        merged.sort(key=lambda result: -result.score)
+        statistics.results = len(merged)
+        statistics.elapsed_seconds = time.perf_counter() - started
+        self.last_statistics = statistics
+        with self._lifetime_lock:
+            self._lifetime["searches"] += 1
+            for field_name in LIFETIME_FIELDS:
+                self._lifetime[field_name] += getattr(statistics, field_name)
+        return DetailedSearch(
+            results=tuple(merged),
+            keywords=canonical,
+            dependencies=frozenset(dependencies),
+            epoch=epoch,
+            statistics=statistics,
+        )
+
+
+@dataclass
+class PartitionAssignment:
+    """Where one partition's copies live (primary first for writes)."""
+
+    partition: int
+    primary: str
+    replicas: Tuple[str, ...]
+    round_robin: int = 0
+
+
+class SearchCluster:
+    """A simulated multi-node search cluster over one built corpus.
+
+    Build one with :meth:`build` (or through
+    :meth:`repro.core.engine.DashEngine.cluster`): the source store is
+    replayed into per-partition stores placed on the nodes by the
+    consistent-hash ring, replica copies are cut from partition snapshots,
+    and a :class:`QueryRouter` serves scatter-gather queries over the
+    topology.  ``replicas`` counts *copies* per partition (1 = primary
+    only), clamped to the node count.
+
+    Writes (through :attr:`store`, the :class:`~repro.cluster.ClusterStore`
+    facade) go to partition primaries; replicas become stale — the router
+    skips them until :meth:`sync_replicas` cuts fresh copies (snapshot +
+    epoch refresh).  :meth:`rebalance` moves a partition's primary between
+    nodes the same way while every other partition keeps serving.
+    Mutations to the *moving* partition should be quiesced by the caller
+    for the duration of the move (one maintenance-batch boundary); the move
+    re-cuts its snapshot if it detects a racing write.
+    """
+
+    def __init__(
+        self,
+        query: ParameterizedPSJQuery,
+        query_string_spec: QueryStringSpec,
+        uri: str,
+        node_ids: Sequence[str],
+        partitions: int,
+        replicas: int,
+        node_store: NodeStoreSpec = "memory",
+        store_dir: Optional[str] = None,
+    ) -> None:
+        self.partitioner = GroupPartitioner(query, partitions)
+        self.ring = HashRing(node_ids)
+        self.nodes: Dict[str, SearchNode] = {
+            node_id: SearchNode(node_id, query, query_string_spec, uri)
+            for node_id in node_ids
+        }
+        self.replication = max(1, min(replicas, len(node_ids)))
+        self._node_store = node_store
+        self._store_dir = store_dir
+        self._owns_store_dir = False
+        self._generation = itertools.count()
+        self._topology_lock = threading.Lock()
+        self._retired: List[FragmentStore] = []
+        self._assignments: Dict[int, PartitionAssignment] = {}
+        for partition in range(partitions):
+            owners = self.ring.nodes_for(("partition", partition), count=self.replication)
+            self._assignments[partition] = PartitionAssignment(
+                partition=partition, primary=owners[0], replicas=tuple(owners[1:])
+            )
+        self.store = ClusterStore(self.partitioner, self.primary_store)
+        self.router: Optional[QueryRouter] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        query: ParameterizedPSJQuery,
+        query_string_spec: QueryStringSpec,
+        uri: str,
+        source_store: FragmentStore,
+        nodes: int = 2,
+        replicas: int = 1,
+        partitions: Optional[int] = None,
+        node_store: NodeStoreSpec = "memory",
+        store_dir: Optional[str] = None,
+        router_workers: Optional[int] = None,
+    ) -> "SearchCluster":
+        """Partition a built corpus across ``nodes`` and wire the router.
+
+        ``partitions`` defaults to ``nodes`` (one primary per node);
+        ``node_store`` picks each partition copy's backend (see
+        :data:`NodeStoreSpec`), ``store_dir`` where disk backends land
+        their files (a managed temporary directory when omitted).
+        """
+        if nodes < 1:
+            raise ValueError(f"node count must be at least 1, got {nodes}")
+        partition_count = nodes if partitions is None else partitions
+        cluster = cls(
+            query=query,
+            query_string_spec=query_string_spec,
+            uri=uri,
+            node_ids=tuple(f"node-{index}" for index in range(nodes)),
+            partitions=partition_count,
+            replicas=replicas,
+            node_store=node_store,
+            store_dir=store_dir,
+        )
+        for partition, assignment in cluster._assignments.items():
+            store = cluster._new_partition_store(partition, assignment.primary)
+            cluster.nodes[assignment.primary].host(partition, store)
+        populate_from_store(cluster.store, source_store)
+        for partition, assignment in cluster._assignments.items():
+            for node_id in assignment.replicas:
+                cluster.nodes[node_id].host(
+                    partition, cluster._clone_partition(partition, node_id)
+                )
+        cluster.router = QueryRouter(cluster, workers=router_workers)
+        return cluster
+
+    def service(self, **kwargs) -> "ClusterSearchService":
+        """A serving layer over this cluster (see :class:`ClusterSearchService`)."""
+        return ClusterSearchService(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    @property
+    def partition_count(self) -> int:
+        """Number of corpus partitions."""
+        return self.partitioner.partitions
+
+    def assignment(self, partition: int) -> PartitionAssignment:
+        """A consistent copy of one partition's current placement."""
+        with self._topology_lock:
+            current = self._assignments[partition]
+            return PartitionAssignment(
+                partition=current.partition,
+                primary=current.primary,
+                replicas=current.replicas,
+                round_robin=current.round_robin,
+            )
+
+    def primary_store(self, partition: int) -> FragmentStore:
+        """The current primary store of ``partition`` (the facade's write target)."""
+        with self._topology_lock:
+            node_id = self._assignments[partition].primary
+        return self.nodes[node_id].hosted(partition).store
+
+    def select_serving(self, partition: int) -> Tuple[str, HostedPartition]:
+        """Pick the copy to serve one query's reads of ``partition``.
+
+        Round-robin over the primary and its replicas, skipping replicas
+        whose epoch trails the primary's (stale until
+        :meth:`sync_replicas`); falls back to the primary.  This is what
+        spreads a hot partition's read load ``replicas``-ways.
+        """
+        with self._topology_lock:
+            assignment = self._assignments[partition]
+            order = (assignment.primary,) + assignment.replicas
+            start = assignment.round_robin
+            assignment.round_robin = (assignment.round_robin + 1) % len(order)
+        primary_hosted = self.nodes[assignment.primary].hosted(partition)
+        primary_epoch = primary_hosted.store.epoch
+        for offset in range(len(order)):
+            node_id = order[(start + offset) % len(order)]
+            if node_id == assignment.primary:
+                return node_id, primary_hosted
+            node = self.nodes[node_id]
+            if not node.hosts(partition):
+                continue
+            hosted = node.hosted(partition)
+            if hosted.store.epoch == primary_epoch:
+                return node_id, hosted
+        return assignment.primary, primary_hosted
+
+    # ------------------------------------------------------------------
+    # rebalancing and replica catch-up
+    # ------------------------------------------------------------------
+    def rebalance(self, partition: int, target_node_id: str) -> bool:
+        """Move ``partition``'s primary to ``target_node_id`` via snapshot.
+
+        The source copy keeps serving while the snapshot is cut and
+        restored — no downtime for this or any other partition — and the
+        assignment flips atomically once the target copy is complete.  A
+        target that held a replica is promoted (the old primary demotes to
+        replica, reusing its still-fresh store); otherwise the old primary
+        copy is dropped and retired.  Returns ``False`` for a no-op move
+        (target already primary), ``True`` otherwise.
+        """
+        if target_node_id not in self.nodes:
+            raise ValueError(f"unknown node {target_node_id!r}")
+        with self._topology_lock:
+            assignment = self._assignments[partition]
+            source_node_id = assignment.primary
+        if source_node_id == target_node_id:
+            return False
+        source_store = self.nodes[source_node_id].hosted(partition).store
+        while True:
+            epoch_before = source_store.epoch
+            new_store = self._clone_partition(partition, target_node_id)
+            if source_store.epoch == epoch_before:
+                break
+            # A same-partition write raced the copy; retire it and recut.
+            self._retired.append(new_store)
+        self.nodes[target_node_id].host(partition, new_store)
+        with self._topology_lock:
+            assignment = self._assignments[partition]
+            was_replica = target_node_id in assignment.replicas
+            remaining = tuple(
+                node_id for node_id in assignment.replicas if node_id != target_node_id
+            )
+            assignment.primary = target_node_id
+            assignment.replicas = (
+                remaining + (source_node_id,) if was_replica else remaining
+            )
+            keep_source = was_replica
+        if not keep_source:
+            dropped = self.nodes[source_node_id].drop(partition)
+            if dropped is not None:
+                # In-flight queries pinned to the old copy finish against it;
+                # the store closes with the cluster, not under them.
+                self._retired.append(dropped.store)
+        return True
+
+    def sync_replicas(self, partition: Optional[int] = None) -> int:
+        """Cut fresh snapshot copies for stale replicas (epoch catch-up).
+
+        Covers one partition or (default) all of them; returns how many
+        replica copies were refreshed.  A replica is stale when its store
+        epoch differs from its primary's — the same check
+        :meth:`select_serving` uses to route reads away from it.
+        """
+        partitions = range(self.partition_count) if partition is None else (partition,)
+        refreshed = 0
+        for current in partitions:
+            assignment = self.assignment(current)
+            primary_epoch = self.nodes[assignment.primary].hosted(current).store.epoch
+            for node_id in assignment.replicas:
+                node = self.nodes[node_id]
+                if node.hosts(current) and node.hosted(current).store.epoch == primary_epoch:
+                    continue
+                previous = node.drop(current)
+                node.host(current, self._clone_partition(current, node_id))
+                if previous is not None:
+                    self._retired.append(previous.store)
+                refreshed += 1
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # statistics and lifecycle
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, object]:
+        """Topology + per-partition epochs (the cluster's inspection surface)."""
+        placements = {}
+        for partition in range(self.partition_count):
+            assignment = self.assignment(partition)
+            placements[partition] = {
+                "primary": assignment.primary,
+                "replicas": list(assignment.replicas),
+                "epoch": self.primary_store(partition).epoch,
+            }
+        return {
+            "nodes": {
+                node_id: {"partitions": list(node.partitions())}
+                for node_id, node in self.nodes.items()
+            },
+            "partitions": placements,
+            "partition_epochs": self.store.partition_epochs(),
+            "epoch": self.store.epoch,
+            "replication": self.replication,
+        }
+
+    def close(self) -> None:
+        """Shut the router down and close every hosted and retired store."""
+        if self.router is not None:
+            self.router.close()
+        for node in self.nodes.values():
+            for partition in node.partitions():
+                dropped = node.drop(partition)
+                if dropped is not None:
+                    dropped.store.close()
+        for store in self._retired:
+            store.close()
+        self._retired = []
+        if self._owns_store_dir and self._store_dir is not None:
+            shutil.rmtree(self._store_dir, ignore_errors=True)
+            self._store_dir = None
+
+    # ------------------------------------------------------------------
+    def _ensure_store_dir(self) -> str:
+        if self._store_dir is None:
+            self._store_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+            self._owns_store_dir = True
+        return self._store_dir
+
+    def _new_partition_store(self, partition: int, node_id: str) -> FragmentStore:
+        spec = self._node_store
+        if callable(spec):
+            return spec(node_id, partition)
+        if spec == "memory":
+            return InMemoryStore()
+        if spec == "disk":
+            filename = f"{node_id}-p{partition}-g{next(self._generation)}.sqlite"
+            return DiskStore(os.path.join(self._ensure_store_dir(), filename))
+        raise ValueError(
+            f"unknown node store spec {spec!r}; expected 'memory', 'disk' or a "
+            "(node_id, partition) -> FragmentStore factory"
+        )
+
+    def _clone_partition(self, partition: int, target_node_id: str) -> FragmentStore:
+        """Snapshot the partition's primary and restore it into a fresh store.
+
+        The existing backend-independent snapshot machinery does the heavy
+        lifting: postings, sizes, graph and the partition's epoch clock all
+        travel, so the clone is indistinguishable from the primary at cut
+        time — including for the epoch-equality freshness check.
+        """
+        source = self.primary_store(partition)
+        snapshot_path = os.path.join(
+            self._ensure_store_dir(),
+            f"snapshot-p{partition}-g{next(self._generation)}.json",
+        )
+        source.snapshot(snapshot_path)
+        try:
+            return load_snapshot(
+                snapshot_path,
+                store=self._new_partition_store(partition, target_node_id),
+            )
+        finally:
+            try:
+                os.remove(snapshot_path)
+            except OSError:
+                pass
+
+
+class ClusterSearchService(SearchService):
+    """A stock :class:`~repro.serving.SearchService` over a cluster.
+
+    The "searcher" is the cluster's :class:`QueryRouter` and the "store" is
+    the :class:`~repro.cluster.ClusterStore` facade, so admission, the
+    versioned result cache, single-flight coalescing and epoch invalidation
+    all run unchanged — cache stamps carry the router epoch, whose ticks
+    are derived one-to-one from per-partition commits.  Closing the service
+    closes the cluster (router pool, every partition store, managed files).
+    """
+
+    def __init__(self, cluster: SearchCluster, **kwargs) -> None:
+        if cluster.router is None:
+            raise ValueError("the cluster has no router; build it with SearchCluster.build")
+        self.cluster = cluster
+        super().__init__(cluster.router, session=cluster.router.session(), **kwargs)
+
+    def close(self) -> None:
+        """Close the serving layer, then the cluster underneath it."""
+        super().close()
+        self.cluster.close()

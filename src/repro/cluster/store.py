@@ -1,0 +1,355 @@
+"""The cluster's facade :class:`~repro.store.FragmentStore`.
+
+:class:`ClusterStore` makes a partitioned cluster look like one store:
+
+* **writes route** to the owning partition's *primary* store (decided by the
+  :class:`~repro.cluster.GroupPartitioner`, so a db-page chain never
+  straddles partitions) and then tick this facade's own
+  :class:`~repro.store.EpochClock` — the *router clock* the serving layer
+  stamps cache entries against.  The partition store's clock ticks first (its
+  own write methods do), the facade's second, so by the time a cache stamp
+  could observe the facade's new epoch the partition data is already
+  committed — the same tick-after-write ordering every single store obeys.
+  Per-partition clocks stay live underneath for replica freshness checks and
+  catch-up (see :class:`~repro.cluster.SearchCluster`).
+* **reads merge** across every partition primary: inverted lists concatenate
+  and re-sort under the canonical ``(-occurrences, str(identifier))`` order
+  (fragment identifiers are unique across partitions, so the merged order is
+  total and identical to a single store's), counts sum, and per-fragment
+  lookups route to the owner.
+
+Because the facade honours the full store contract — including
+``snapshot``/``apply_mutations`` and the epoch interface — the serving
+layer's :class:`~repro.serving.SearchService`, its result cache and its
+epoch invalidation run over a cluster *unchanged*; they cannot tell the
+difference.  The scatter-gather hot path does **not** read through this
+facade: the router opens per-partition search streams directly on the nodes
+(:mod:`repro.cluster.router`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.fragments import FragmentId
+from repro.cluster.partitioning import GroupPartitioner
+from repro.store.base import FragmentStore, StoreError
+from repro.store.epochs import EpochClock
+from repro.store.memory import posting_sort_key
+from repro.store.mutations import (
+    Mutation,
+    RemoveFragment,
+    ReplaceFragment,
+    normalize_mutations,
+)
+from repro.text.inverted_index import Posting
+
+
+class ClusterStore(FragmentStore):
+    """One logical store over the cluster's partition primaries.
+
+    ``primary_resolver`` returns the current primary store of a partition —
+    the indirection (rather than a fixed store list) is what lets a
+    rebalance swap a partition's backing store atomically underneath the
+    facade while everything stacked on it keeps working.
+    """
+
+    def __init__(
+        self,
+        partitioner: GroupPartitioner,
+        primary_resolver: Callable[[int], FragmentStore],
+        clock: "EpochClock" = None,
+    ) -> None:
+        super().__init__(clock=clock)
+        self._partitioner = partitioner
+        self._primary = primary_resolver
+
+    # ------------------------------------------------------------------
+    # partition plumbing
+    # ------------------------------------------------------------------
+    @property
+    def partition_count(self) -> int:
+        """Number of corpus partitions (fixed for the cluster's lifetime)."""
+        return self._partitioner.partitions
+
+    def partition_of(self, identifier: FragmentId) -> int:
+        """The partition owning ``identifier`` (equality-group hash)."""
+        return self._partitioner.partition_of(identifier)
+
+    def partition_epochs(self) -> Dict[int, int]:
+        """Each partition primary's current store-wide epoch.
+
+        Cache stamps carry the facade epoch (one scalar, derived from the
+        same per-partition commits); this view is what replica catch-up and
+        the statistics surface report per partition.
+        """
+        return {
+            partition: self._primary(partition).epoch
+            for partition in range(self.partition_count)
+        }
+
+    def _owner(self, identifier: FragmentId) -> FragmentStore:
+        return self._primary(self._partitioner.partition_of(identifier))
+
+    def _primaries(self) -> List[FragmentStore]:
+        return [self._primary(partition) for partition in range(self.partition_count)]
+
+    @property
+    def shard_count(self) -> int:
+        """Partitions double as shards for the searcher's fan-out seams."""
+        return self.partition_count
+
+    def shard_of(self, identifier: FragmentId) -> int:
+        """Same mapping as :meth:`partition_of` (the store-contract name)."""
+        return self.partition_of(identifier)
+
+    # ------------------------------------------------------------------
+    # postings section — writes
+    # ------------------------------------------------------------------
+    def touch_fragment(self, identifier: FragmentId) -> None:
+        identifier = tuple(identifier)
+        self._owner(identifier).touch_fragment(identifier)
+        self._epoch_clock.tick_fragment(identifier)
+
+    def add_posting(self, keyword: str, identifier: FragmentId, occurrences: int) -> None:
+        identifier = tuple(identifier)
+        self._owner(identifier).add_posting(keyword, identifier, occurrences)
+        self._epoch_clock.tick_posting(keyword, identifier)
+
+    def remove_fragment(self, identifier: FragmentId) -> None:
+        identifier = tuple(identifier)
+        owner = self._owner(identifier)
+        # The facade must stamp the keywords whose inverted lists shrink,
+        # and only the owner knows them — read them before they are gone.
+        keywords = tuple(owner.fragment_term_frequencies(identifier))
+        owner.remove_fragment(identifier)
+        self._epoch_clock.tick_removal(identifier, keywords)
+
+    def finalize(self) -> None:
+        for store in self._primaries():
+            store.finalize()
+
+    def apply_mutations(self, batch: Sequence[Mutation]) -> int:
+        """Apply one batch, each op routed to its owning partition.
+
+        Every partition applies its sub-batch with its native bulk form
+        (ticking its own clock once), then the facade clock ticks **once**
+        for the whole batch — exactly one router epoch per maintenance
+        round, matching the single-store contract the serving cache's
+        invalidation granularity is built on.
+        """
+        ops = normalize_mutations(batch)
+        if not ops:
+            return 0
+        grouped: Dict[int, List[Mutation]] = {}
+        for op in ops:
+            grouped.setdefault(self.partition_of(op.identifier), []).append(op)
+        affected_keywords: Set[str] = set()
+        affected_fragments: Set[FragmentId] = set()
+        applied = 0
+        for partition, partition_ops in grouped.items():
+            store = self._primary(partition)
+            # Stamp the keywords the batch may detach: a replace/remove
+            # drops the fragment's *old* postings, known only to the owner.
+            replaced = [
+                op.identifier
+                for op in partition_ops
+                if isinstance(op, (ReplaceFragment, RemoveFragment))
+            ]
+            if replaced:
+                old_vectors = store.fragment_term_frequencies_for(replaced)
+                for vector in old_vectors.values():
+                    affected_keywords.update(vector)
+            for op in partition_ops:
+                affected_fragments.add(op.identifier)
+                if isinstance(op, ReplaceFragment):
+                    affected_keywords.update(
+                        keyword for keyword, _occurrences in op.term_frequencies
+                    )
+            applied += store.apply_mutations(partition_ops)
+        self._epoch_clock.tick_batch(affected_keywords, affected_fragments)
+        return applied
+
+    # ------------------------------------------------------------------
+    # postings section — reads
+    # ------------------------------------------------------------------
+    def postings(self, keyword: str) -> Tuple[Posting, ...]:
+        merged: List[Posting] = []
+        for store in self._primaries():
+            merged.extend(store.postings(keyword))
+        merged.sort(key=posting_sort_key)
+        return tuple(merged)
+
+    def postings_for_many(self, keywords: Sequence[str]) -> Dict[str, Tuple[Posting, ...]]:
+        unique = list(dict.fromkeys(keywords))
+        gathered = [store.postings_for_many(unique) for store in self._primaries()]
+        merged: Dict[str, Tuple[Posting, ...]] = {}
+        for keyword in unique:
+            combined: List[Posting] = []
+            for part in gathered:
+                combined.extend(part.get(keyword, ()))
+            combined.sort(key=posting_sort_key)
+            merged[keyword] = tuple(combined)
+        return merged
+
+    def fragment_frequency(self, keyword: str) -> int:
+        return sum(store.fragment_frequency(keyword) for store in self._primaries())
+
+    def document_frequencies(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for store in self._primaries():
+            for keyword, frequency in store.document_frequencies().items():
+                totals[keyword] = totals.get(keyword, 0) + frequency
+        return totals
+
+    def term_frequency(self, keyword: str, identifier: FragmentId) -> int:
+        return self._owner(tuple(identifier)).term_frequency(keyword, tuple(identifier))
+
+    def fragment_term_frequencies(self, identifier: FragmentId) -> Dict[str, int]:
+        return self._owner(tuple(identifier)).fragment_term_frequencies(tuple(identifier))
+
+    def fragment_term_frequencies_for(
+        self, identifiers: Sequence[FragmentId]
+    ) -> Dict[FragmentId, Dict[str, int]]:
+        grouped = self._group_by_partition(identifiers)
+        vectors: Dict[FragmentId, Dict[str, int]] = {}
+        for partition, members in grouped.items():
+            vectors.update(self._primary(partition).fragment_term_frequencies_for(members))
+        return vectors
+
+    def fragment_size(self, identifier: FragmentId) -> int:
+        return self._owner(tuple(identifier)).fragment_size(tuple(identifier))
+
+    def fragment_sizes(self) -> Dict[FragmentId, int]:
+        sizes: Dict[FragmentId, int] = {}
+        for store in self._primaries():
+            sizes.update(store.fragment_sizes())
+        return sizes
+
+    def fragment_sizes_for(self, identifiers: Sequence[FragmentId]) -> Dict[FragmentId, int]:
+        grouped = self._group_by_partition(identifiers)
+        sizes: Dict[FragmentId, int] = {}
+        for partition, members in grouped.items():
+            sizes.update(self._primary(partition).fragment_sizes_for(members))
+        return sizes
+
+    def fragment_ids(self) -> Tuple[FragmentId, ...]:
+        identifiers: List[FragmentId] = []
+        for store in self._primaries():
+            identifiers.extend(store.fragment_ids())
+        return tuple(identifiers)
+
+    def has_fragment(self, identifier: FragmentId) -> bool:
+        return self._owner(tuple(identifier)).has_fragment(tuple(identifier))
+
+    def fragment_count(self) -> int:
+        return sum(store.fragment_count() for store in self._primaries())
+
+    def vocabulary(self) -> Tuple[str, ...]:
+        keywords: Set[str] = set()
+        for store in self._primaries():
+            keywords.update(store.vocabulary())
+        return tuple(sorted(keywords))
+
+    def vocabulary_size(self) -> int:
+        keywords: Set[str] = set()
+        for store in self._primaries():
+            keywords.update(store.vocabulary())
+        return len(keywords)
+
+    def iter_items(self) -> Iterator[Tuple[str, Tuple[Posting, ...]]]:
+        for keyword in self.vocabulary():
+            yield keyword, self.postings(keyword)
+
+    # ------------------------------------------------------------------
+    # graph section
+    # ------------------------------------------------------------------
+    def add_node(self, identifier: FragmentId, keyword_count: int) -> None:
+        identifier = tuple(identifier)
+        self._owner(identifier).add_node(identifier, keyword_count)
+        self._epoch_clock.tick_fragment(identifier)
+
+    def remove_node(self, identifier: FragmentId) -> None:
+        identifier = tuple(identifier)
+        self._owner(identifier).remove_node(identifier)
+        self._epoch_clock.tick_fragment(identifier)
+
+    def has_node(self, identifier: FragmentId) -> bool:
+        return self._owner(tuple(identifier)).has_node(tuple(identifier))
+
+    def node_keyword_count(self, identifier: FragmentId) -> int:
+        return self._owner(tuple(identifier)).node_keyword_count(tuple(identifier))
+
+    def set_node_keyword_count(self, identifier: FragmentId, keyword_count: int) -> None:
+        identifier = tuple(identifier)
+        self._owner(identifier).set_node_keyword_count(identifier, keyword_count)
+        self._epoch_clock.tick_fragment(identifier)
+
+    def node_ids(self) -> Tuple[FragmentId, ...]:
+        identifiers: List[FragmentId] = []
+        for store in self._primaries():
+            identifiers.extend(store.node_ids())
+        return tuple(identifiers)
+
+    def node_count(self) -> int:
+        return sum(store.node_count() for store in self._primaries())
+
+    def add_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        identifier, neighbor = tuple(identifier), tuple(neighbor)
+        owning = self.partition_of(identifier)
+        if self.partition_of(neighbor) != owning:
+            # Equality-group partitioning guarantees adjacency never crosses
+            # partitions; an edge that would is a partitioner bug, and
+            # storing it would silently break search locality.
+            raise StoreError(
+                f"cross-partition edge {identifier!r} -> {neighbor!r}: adjacency "
+                "must stay inside one equality group / partition"
+            )
+        self._primary(owning).add_neighbor(identifier, neighbor)
+        self._epoch_clock.tick_fragment(identifier)
+
+    def discard_neighbor(self, identifier: FragmentId, neighbor: FragmentId) -> None:
+        identifier = tuple(identifier)
+        self._owner(identifier).discard_neighbor(identifier, tuple(neighbor))
+        self._epoch_clock.tick_fragment(identifier)
+
+    def neighbors(self, identifier: FragmentId) -> Tuple[FragmentId, ...]:
+        return self._owner(tuple(identifier)).neighbors(tuple(identifier))
+
+    def edge_count(self) -> int:
+        return sum(store.edge_count() for store in self._primaries())
+
+    # ------------------------------------------------------------------
+    def _group_by_partition(
+        self, identifiers: Sequence[FragmentId]
+    ) -> Dict[int, List[FragmentId]]:
+        grouped: Dict[int, List[FragmentId]] = {}
+        for identifier in dict.fromkeys(tuple(entry) for entry in identifiers):
+            grouped.setdefault(self.partition_of(identifier), []).append(identifier)
+        return grouped
+
+
+def populate_from_store(cluster: ClusterStore, source: FragmentStore) -> None:
+    """Replay a built single store into the cluster facade.
+
+    Partition-restricted build: every posting, size entry, node and edge
+    routes to its owning partition's primary through the facade's write
+    methods, and the facade clock finally loads the *source* clock's state —
+    so cache stamps taken against the source store stay comparable, exactly
+    like a snapshot restore.  Partition stores keep the clocks their own
+    replayed writes produced; replicas are cut from those afterwards.
+    """
+    source.finalize()
+    for identifier in source.fragment_ids():
+        cluster.touch_fragment(identifier)
+    for keyword, postings in source.iter_items():
+        for posting in postings:
+            cluster.add_posting(keyword, posting.document_id, posting.term_frequency)
+    cluster.finalize()
+    for identifier in source.node_ids():
+        cluster.add_node(identifier, source.node_keyword_count(identifier))
+    for identifier in source.node_ids():
+        for neighbor in source.neighbors(identifier):
+            cluster.add_neighbor(identifier, neighbor)
+    epoch, keyword_epochs, fragment_epochs = source.epochs.state()
+    cluster.load_epochs(epoch, keyword_epochs, fragment_epochs, floor=source.epochs.floor)

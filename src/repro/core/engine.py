@@ -32,6 +32,7 @@ from repro.store import FragmentStore, StoreSpec, resolve_store
 from repro.webapp.application import WebApplication
 
 if TYPE_CHECKING:  # runtime import would be circular through repro.core
+    from repro.cluster.router import ClusterSearchService, NodeStoreSpec
     from repro.serving.service import SearchService
 
 
@@ -338,6 +339,55 @@ class DashEngine:
                 max_delay_seconds=maintenance_delay_seconds,
             )
         return service
+
+    def cluster(
+        self,
+        nodes: int = 2,
+        replicas: int = 1,
+        partitions: Optional[int] = None,
+        node_store: "NodeStoreSpec" = "memory",
+        store_dir: Optional[str] = None,
+        cache_size: int = 1024,
+        workers: int = 4,
+        default_k: int = 10,
+        default_size_threshold: int = 100,
+        max_dependencies: int = 4096,
+    ) -> "ClusterSearchService":
+        """Serve this engine's corpus from a simulated multi-node cluster.
+
+        Partitions the built corpus across ``nodes``
+        :class:`~repro.cluster.SearchNode`\\ s (``replicas`` copies per
+        partition, ``node_store`` picking each copy's backend) and returns a
+        :class:`~repro.cluster.ClusterSearchService` — the standard serving
+        layer, backed by the cluster's scatter-gather
+        :class:`~repro.cluster.QueryRouter` instead of a single searcher.
+        Results are byte-identical to single-store serving; closing the
+        returned service tears the whole cluster down.  The engine's own
+        store is only *read* during the build — subsequent mutations must go
+        through the returned service's cluster facade
+        (``service.cluster.store``), not this engine.
+        """
+        # Imported here for the same circularity reason as serving().
+        from repro.cluster import SearchCluster
+
+        built = SearchCluster.build(
+            query=self.application.query,
+            query_string_spec=self.application.query_string_spec,
+            uri=self.application.uri,
+            source_store=self.store,
+            nodes=nodes,
+            replicas=replicas,
+            partitions=partitions,
+            node_store=node_store,
+            store_dir=store_dir,
+        )
+        return built.service(
+            cache_size=cache_size,
+            workers=workers,
+            default_k=default_k,
+            default_size_threshold=default_size_threshold,
+            max_dependencies=max_dependencies,
+        )
 
     @property
     def searcher(self) -> TopKSearcher:

@@ -60,10 +60,25 @@ class PageStats:
 
 
 class DashScorer:
-    """Scores fragments and fragment combinations for a set of query keywords."""
+    """Scores fragments and fragment combinations for a set of query keywords.
+
+    ``idf_overrides`` replaces the locally derived per-keyword IDF values
+    (``1 / document frequency`` over this index) with caller-supplied ones.
+    The cluster router uses it to score every partition with the *merged*
+    corpus's IDF — each partition's document frequency is an exact integer,
+    their sum is the global document frequency, so every node computes
+    bit-identical scores to a single merged store.  Overriding IDF scales
+    the admissible seed/block bounds by exactly the factor it scales the
+    exact scores (both are ``idf``-linear per keyword), so the bounds stay
+    admissible.
+    """
 
     def __init__(
-        self, index: InvertedFragmentIndex, keywords: Iterable[str], lazy: bool = False
+        self,
+        index: InvertedFragmentIndex,
+        keywords: Iterable[str],
+        lazy: bool = False,
+        idf_overrides: Optional[Mapping[str, float]] = None,
     ) -> None:
         self.index = index
         self.keywords: Tuple[str, ...] = tuple(dict.fromkeys(keyword.lower() for keyword in keywords))
@@ -150,6 +165,13 @@ class DashScorer:
         # batches the fetches; stray lookups fall back one at a time.
         self._sizes: Dict[FragmentId, int] = {}
         self._seed_bounds: Optional[Dict[FragmentId, float]] = None
+        if idf_overrides is not None:
+            # Applied before _idf_list and before any block_plan/bound
+            # computation, so every score and every admissible bound uses
+            # the override consistently.
+            for keyword in self.keywords:
+                if keyword in idf_overrides:
+                    self._idf[keyword] = idf_overrides[keyword]
         # IDFs in keyword order, for the zip-based hot loops (the dict stays
         # authoritative for the public idf() accessor).
         self._idf_list: Tuple[float, ...] = tuple(self._idf[keyword] for keyword in self.keywords)

@@ -13,7 +13,7 @@ the ``k`` most relevant ones:
 4. stop when ``k`` results are collected or the queue empties, and formulate
    the result URLs by reverse query-string parsing.
 
-Three implementation notes beyond the paper's pseudo-code:
+Four implementation notes beyond the paper's pseudo-code:
 
 * **Exact block-max early termination** — seeds are *not* even read up
   front.  Each query keyword's impact-ordered inverted list is served as
@@ -53,6 +53,14 @@ Three implementation notes beyond the paper's pseudo-code:
   so evaluating an expansion candidate costs ``O(|W|)`` instead of
   re-scoring the whole page.  Scores come out bit-identical to the
   reference :meth:`~repro.core.scoring.DashScorer.score`.
+* **Resumable streams** — the dequeue loop lives in :class:`SearchStream`:
+  ``peek_entry`` exposes the exact key of the next dequeue (materializing
+  just enough blocks for that key to be final) and ``next_result`` processes
+  dequeues up to a caller-supplied key limit.  ``search_detailed`` drains
+  one stream; the cluster's :class:`~repro.cluster.QueryRouter` interleaves
+  per-partition streams by smallest next key, which replays the exact
+  dequeue sequence of a single merged store — scatter-gather results stay
+  byte-identical to a single-store run.
 """
 
 from __future__ import annotations
@@ -73,15 +81,36 @@ from repro.core.urls import UrlFormulator
 
 #: One priority-queue entry: (negated score, tie-break, fragments).  The
 #: tie-break is a tuple: seeds carry ``(0, identifier order)`` and expanded
-#: pages ``(1, insertion counter)``, so equal-score ties resolve
-#: deterministically for any backend and any materialization order — and the
-#: pending *block* heap's sentinel tie ``(0,)`` sorts at-or-before every
-#: queue tie, keeping the materialize-before-dequeue invariant exact.
+#: pages ``(1, member identifier orders)`` — both derived from the entry's
+#: *content*, never from insertion order, so equal-score ties resolve
+#: identically for any backend, any materialization order, and any
+#: partitioning of the corpus (the cluster router merges per-partition
+#: streams by exactly these keys) — and the pending *block* heap's sentinel
+#: tie ``(0,)`` sorts at-or-before every queue tie, keeping the
+#: materialize-before-dequeue invariant exact.
 QueueEntry = Tuple[float, Tuple, Tuple[FragmentId, ...]]
 
 #: One pending-block heap entry: (negated bound, sentinel tie, keyword
 #: index, block number, posting count).
 BlockEntry = Tuple[float, Tuple, int, int, int]
+
+#: ``SearchStatistics`` counters accumulated into lifetime totals — by every
+#: :class:`TopKSearcher` and, with the fan-out counters live, by the cluster
+#: router (both surface through ``SearchService.statistics()["search"]``).
+LIFETIME_FIELDS = (
+    "dequeues",
+    "expansions",
+    "seeds_scored",
+    "pruned_dequeues",
+    "pruned_expansions",
+    "blocks_skipped",
+    "blocks_decoded",
+    "postings_decoded",
+    "nodes_queried",
+    "nodes_short_circuited",
+    "partials_merged",
+    "partials_discarded",
+)
 
 
 @dataclass(frozen=True)
@@ -124,6 +153,16 @@ class SearchStatistics:
     :meth:`~repro.core.scoring.DashScorer.extended_score_bound`.  The
     pruned and block counters stay 0 on an ``early_termination=False``
     searcher (the exhaustive path reads whole lists, not blocks).
+
+    The fan-out counters are filled in by the cluster's scatter-gather
+    router (:class:`~repro.cluster.QueryRouter`) and stay 0 on a
+    single-store search: ``nodes_queried`` is how many distinct nodes served
+    a partition stream, ``nodes_short_circuited`` how many of them still had
+    undrained work when the merge collected its ``k``-th result (their best
+    remaining bound could no longer win), ``partials_merged`` how many
+    per-node partial results entered the merged ranking, and
+    ``partials_discarded`` how many materialized partial candidates the
+    merge abandoned unranked.
     """
 
     elapsed_seconds: float = 0.0
@@ -137,6 +176,10 @@ class SearchStatistics:
     blocks_decoded: int = 0
     postings_decoded: int = 0
     results: int = 0
+    nodes_queried: int = 0
+    nodes_short_circuited: int = 0
+    partials_merged: int = 0
+    partials_discarded: int = 0
 
 
 @dataclass(frozen=True)
@@ -283,17 +326,8 @@ class TopKSearcher:
         # Pruning pays off across requests, so the serving layer wants the
         # running totals, not just the last search's snapshot.
         self._lifetime_lock = threading.Lock()
-        self._lifetime: Dict[str, int] = {
-            "searches": 0,
-            "dequeues": 0,
-            "expansions": 0,
-            "seeds_scored": 0,
-            "pruned_dequeues": 0,
-            "pruned_expansions": 0,
-            "blocks_skipped": 0,
-            "blocks_decoded": 0,
-            "postings_decoded": 0,
-        }
+        self._lifetime: Dict[str, int] = {"searches": 0}
+        self._lifetime.update({field_name: 0 for field_name in LIFETIME_FIELDS})
         # Identifier -> deterministic sort key.  Scoped to this searcher on
         # purpose: Python equates 1 and True as dict keys, so a process-wide
         # cache could hand one engine's key to another engine's identifier;
@@ -346,130 +380,58 @@ class TopKSearcher:
         as before.  The returned :class:`DetailedSearch` carries everything a
         serving cache needs to stamp and later revalidate the entry.
         """
+        stream = self.stream(keywords, k, size_threshold, session=session)
+        while stream.next_result() is not None:
+            pass
+        detailed = stream.as_detailed()
+        self.last_statistics = detailed.statistics
+        self._record_lifetime(detailed.statistics)
+        return detailed
+
+    def stream(
+        self,
+        keywords: Iterable[str],
+        k: int = 10,
+        size_threshold: int = 100,
+        session: Optional[SearchSession] = None,
+        idf_overrides: Optional[Mapping[str, float]] = None,
+    ) -> "SearchStream":
+        """Open one search as a resumable, bound-ordered :class:`SearchStream`.
+
+        ``search_detailed`` drains a stream in one go; the cluster router
+        instead opens one stream per partition and interleaves them by
+        smallest next dequeue key.  ``idf_overrides`` substitutes
+        router-supplied global IDF values for the locally derived ones
+        (see :class:`~repro.core.scoring.DashScorer`) so a partition scores
+        every fragment exactly as the merged corpus would; overridden
+        streams always build a fresh scorer — a session's cached scorer
+        revalidates only against the *local* store epoch and could not see
+        a remote partition's mutations.
+        """
         if k < 1:
             raise ValueError("k must be at least 1")
         if size_threshold < 1:
             raise ValueError("the size threshold s must be at least 1")
-        started = time.perf_counter()
-        statistics = SearchStatistics()
-
         canonical = tuple(dict.fromkeys(str(keyword).lower() for keyword in keywords))
-        if session is not None:
+        if session is not None and idf_overrides is None:
             epoch, neighbor_cache = session.begin()
             scorer = session.scorer_for(canonical, epoch)
         else:
             epoch = self.index.store.epoch
             neighbor_cache = {}
-            scorer = DashScorer(self.index, canonical, lazy=self.early_termination)
-        statistics.seed_fragments = scorer.posting_count()
-        # Every fragment the search consults: materialized seeds and
-        # expansion candidates as they are evaluated.  Page members are
-        # always one or the other.  Fragments living only in never-decoded
-        # blocks are deliberately *not* dependencies — any mutation that
-        # could change them ticks their keywords' postings epochs, which a
-        # serving cache already revalidates against.
-        consulted: Set[FragmentId] = set()
-        # Distinct fragments decoded so far (bounded mode): a fragment
-        # relevant to several query keywords appears in several blocks but
-        # must be scored exactly once.
-        seen: Set[FragmentId] = set()
-
-        # Priority queue of pending db-pages, keyed by descending score with
-        # deterministic tuple tie-breaks (see QueueEntry).  Under early
-        # termination the queue starts empty and whole posting blocks wait
-        # in a bound-ordered heap; _materialize_blocks decodes exactly the
-        # blocks whose admissible bound could still win the next dequeue, so
-        # the pop sequence matches the eager queue's.
-        if self.early_termination:
-            pending_blocks: List[BlockEntry] = [
-                (-bound, (0,), keyword_index, block_no, count)
-                for bound, keyword_index, block_no, count in scorer.block_plan()
-            ]
-            heapq.heapify(pending_blocks)
-            queue: List[QueueEntry] = []
-        else:
-            pending_blocks = []
-            seeds = scorer.relevant_fragments()
-            consulted.update(seeds)
-            queue = self._seed_queue(seeds, scorer)
-            statistics.seeds_scored = len(seeds)
-        counter = itertools.count()
-
-        # Pending pages carry their integer occurrence/size statistics so each
-        # expansion evaluation is O(|W|); seeds compute theirs on first pop.
-        # The neighbour cache (session-shared when available) keeps each
-        # fragment's sorted neighbour list: the expansion loop re-visits every
-        # member of a growing page, and on partitioned stores each graph
-        # lookup is a shard round-trip.
-        stats_cache: Dict[Tuple[FragmentId, ...], PageStats] = {}
-        consumed: Set[FragmentId] = set()
-        results: List[SearchResult] = []
-        while len(results) < k:
-            if pending_blocks:
-                self._materialize_blocks(
-                    pending_blocks, queue, scorer, consumed, seen, consulted, statistics, k
-                )
-            if not queue:
-                break
-            negative_score, _tie, fragments = heapq.heappop(queue)
-            statistics.dequeues += 1
-            if len(fragments) == 1 and fragments[0] in consumed:
-                # This seed was absorbed into an expanded db-page already
-                # (the paper removes such entries from the queue).
-                continue
-            stats = stats_cache.pop(fragments, None)
-            if stats is None:
-                stats = scorer.page_stats(fragments)
-            expansion = self._expansion_candidate(
-                fragments, scorer, size_threshold, stats, neighbor_cache, consulted, statistics
+            scorer = DashScorer(
+                self.index,
+                canonical,
+                lazy=self.early_termination,
+                idf_overrides=idf_overrides,
             )
-            if expansion is None:
-                results.append(self._make_result(fragments, -negative_score, stats))
-                continue
-            candidate, expanded_stats = expansion
-            statistics.expansions += 1
-            consumed.add(candidate)
-            expanded = self._ordered(fragments + (candidate,))
-            stats_cache[expanded] = expanded_stats
-            heapq.heappush(
-                queue,
-                (-scorer.score_from_stats(expanded_stats), (1, next(counter)), expanded),
-            )
-        # Blocks still waiting behind their bounds were proven unable to win
-        # any dequeue this search performed: every posting inside is work
-        # the bound saved outright — never decoded, never scored.
-        for _bound, _tie, _keyword_index, _block_no, count in pending_blocks:
-            statistics.blocks_skipped += 1
-            statistics.pruned_dequeues += count
+        return SearchStream(self, canonical, k, size_threshold, scorer, epoch, neighbor_cache)
 
-        # Best-first emission is not strictly score-ordered when an expansion
-        # raises a pending page's score above an already-emitted result (the
-        # keyword-dense-neighbour case); a final stable sort restores the
-        # ranking without changing the result set.
-        results.sort(key=lambda result: -result.score)
-        statistics.results = len(results)
-        statistics.elapsed_seconds = time.perf_counter() - started
-        self.last_statistics = statistics
+    def _record_lifetime(self, statistics: SearchStatistics) -> None:
         with self._lifetime_lock:
             self._lifetime["searches"] += 1
-            for field_name in (
-                "dequeues",
-                "expansions",
-                "seeds_scored",
-                "pruned_dequeues",
-                "pruned_expansions",
-                "blocks_skipped",
-                "blocks_decoded",
-                "postings_decoded",
-            ):
+            for field_name in LIFETIME_FIELDS:
                 self._lifetime[field_name] += getattr(statistics, field_name)
-        return DetailedSearch(
-            results=tuple(results),
-            keywords=canonical,
-            dependencies=frozenset(consulted),
-            epoch=epoch,
-            statistics=statistics,
-        )
 
     # ------------------------------------------------------------------
     def _materialize_blocks(
@@ -691,6 +653,222 @@ class TopKSearcher:
 
     def _ordered(self, fragments: Tuple[FragmentId, ...]) -> Tuple[FragmentId, ...]:
         return tuple(sorted(set(fragments), key=self._order))
+
+
+class SearchStream:
+    """One search, advanced dequeue-by-dequeue in exact key order.
+
+    The unit of progress is one priority-queue *dequeue*: :meth:`peek_entry`
+    exposes the entry the next dequeue would pop — materializing exactly the
+    pending blocks whose admissible bound could still win it, so the key is
+    final — and :meth:`next_result` processes dequeues while that entry is
+    within a caller-supplied limit, returning as soon as one emits a result.
+    Queue keys are content-determined (exact score plus the deterministic
+    tie-breaks of :data:`QueueEntry`), so interleaving several streams by
+    smallest next entry replays the exact dequeue sequence a single merged
+    queue would perform.  That is the cluster's byte-identical merge: result
+    emission is *not* score-monotone (an expansion can raise a pending page
+    above an already-emitted result), so per-node top-k lists cannot simply
+    be merged by score — the router must, and with streams does, reproduce
+    the global dequeue order itself.  ``TopKSearcher.search_detailed`` is
+    the degenerate single-stream case and stays byte-identical to the
+    pre-stream implementation.
+
+    ``consulted`` collects every fragment the search reads — materialized
+    seeds, page members and every evaluated expansion candidate.  Fragments
+    living only in never-decoded blocks are deliberately *not* dependencies:
+    any mutation that could change them ticks their keywords' postings
+    epochs, which a serving cache already revalidates against.  That
+    argument is partition-local, so a router may union consulted sets from
+    streams that materialized more (or fewer) blind seeds than the
+    single-store run without weakening cache invalidation.
+    """
+
+    def __init__(
+        self,
+        searcher: TopKSearcher,
+        keywords: Tuple[str, ...],
+        k: int,
+        size_threshold: int,
+        scorer: DashScorer,
+        epoch: int,
+        neighbor_cache: Dict[FragmentId, Tuple[FragmentId, ...]],
+    ) -> None:
+        self._searcher = searcher
+        self.keywords = keywords
+        self.k = k
+        self.size_threshold = size_threshold
+        self.scorer = scorer
+        self.epoch = epoch
+        self.statistics = SearchStatistics()
+        self.statistics.seed_fragments = scorer.posting_count()
+        self.consulted: Set[FragmentId] = set()
+        self.results: List[SearchResult] = []
+        self._neighbor_cache = neighbor_cache
+        # Distinct fragments decoded so far (bounded mode): a fragment
+        # relevant to several query keywords appears in several blocks but
+        # must be scored exactly once.
+        self._seen: Set[FragmentId] = set()
+        self._consumed: Set[FragmentId] = set()
+        # Pending pages carry their integer occurrence/size statistics so
+        # each expansion evaluation is O(|W|); seeds compute theirs on
+        # first pop.
+        self._stats_cache: Dict[Tuple[FragmentId, ...], PageStats] = {}
+        self._finalized = False
+        self._started = time.perf_counter()
+        # Under early termination the queue starts empty and whole posting
+        # blocks wait in a bound-ordered heap; materialization decodes
+        # exactly the blocks whose admissible bound could still win the next
+        # dequeue, so the pop sequence matches the eager queue's.
+        if searcher.early_termination:
+            self._pending_blocks: List[BlockEntry] = [
+                (-bound, (0,), keyword_index, block_no, count)
+                for bound, keyword_index, block_no, count in scorer.block_plan()
+            ]
+            heapq.heapify(self._pending_blocks)
+            self._queue: List[QueueEntry] = []
+        else:
+            self._pending_blocks = []
+            seeds = scorer.relevant_fragments()
+            self.consulted.update(seeds)
+            self._queue = searcher._seed_queue(seeds, scorer)
+            self.statistics.seeds_scored = len(seeds)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further dequeue can possibly happen.
+
+        ``False`` means undrained work remains (the router counts such
+        streams as short-circuited when the merge stops first); pending
+        blocks that would decode to nothing but duplicates may leave this
+        conservatively ``False``.
+        """
+        return (
+            self._finalized
+            or len(self.results) >= self.k
+            or (not self._queue and not self._pending_blocks)
+        )
+
+    @property
+    def pending_candidates(self) -> int:
+        """Materialized (exactly scored) queue entries not yet dequeued."""
+        return len(self._queue)
+
+    def peek_entry(self) -> Optional[QueueEntry]:
+        """The exact entry the next dequeue would pop, or ``None`` when done.
+
+        Materializes every pending block whose bound could still win the
+        next dequeue first, so the returned entry is final — no unscored
+        block can beat it.  This is the stream's admissible *bound* surface:
+        a router comparing heads across partitions sees each node's best
+        remaining entry and can stop pulling from a node the moment its head
+        cannot beat the global k-th result.
+        """
+        if self._finalized or len(self.results) >= self.k:
+            return None
+        if self._pending_blocks:
+            self._searcher._materialize_blocks(
+                self._pending_blocks,
+                self._queue,
+                self.scorer,
+                self._consumed,
+                self._seen,
+                self.consulted,
+                self.statistics,
+                self.k,
+            )
+        if not self._queue:
+            return None
+        return self._queue[0]
+
+    def next_result(self, limit: Optional[QueueEntry] = None) -> Optional[SearchResult]:
+        """Process dequeues in key order until one emits a result.
+
+        Returns ``None`` once the next dequeue's entry exceeds ``limit``
+        (another stream's head, during a scatter-gather merge) or the stream
+        is exhausted; with ``limit=None`` only exhaustion stops it.  Entries
+        compare by ``(negated score, tie-break, fragments)``, so streams
+        over disjoint partitions never tie and the merge order is total.
+        """
+        searcher = self._searcher
+        scorer = self.scorer
+        statistics = self.statistics
+        while True:
+            if self.peek_entry() is None:
+                return None
+            if limit is not None and self._queue[0] > limit:
+                return None
+            negative_score, _tie, fragments = heapq.heappop(self._queue)
+            statistics.dequeues += 1
+            if len(fragments) == 1 and fragments[0] in self._consumed:
+                # This seed was absorbed into an expanded db-page already
+                # (the paper removes such entries from the queue).
+                continue
+            stats = self._stats_cache.pop(fragments, None)
+            if stats is None:
+                stats = scorer.page_stats(fragments)
+            expansion = searcher._expansion_candidate(
+                fragments,
+                scorer,
+                self.size_threshold,
+                stats,
+                self._neighbor_cache,
+                self.consulted,
+                statistics,
+            )
+            if expansion is None:
+                result = searcher._make_result(fragments, -negative_score, stats)
+                self.results.append(result)
+                return result
+            candidate, expanded_stats = expansion
+            statistics.expansions += 1
+            self._consumed.add(candidate)
+            expanded = searcher._ordered(fragments + (candidate,))
+            self._stats_cache[expanded] = expanded_stats
+            heapq.heappush(
+                self._queue,
+                (
+                    -scorer.score_from_stats(expanded_stats),
+                    (1, tuple(searcher._order(member) for member in expanded)),
+                    expanded,
+                ),
+            )
+
+    def finalize(self) -> SearchStatistics:
+        """Close the stream and return its statistics (idempotent).
+
+        Blocks still waiting behind their bounds were proven unable to win
+        any dequeue this stream performed: every posting inside is work the
+        bound saved outright — never decoded, never scored — and lands in
+        ``blocks_skipped``/``pruned_dequeues``.
+        """
+        if not self._finalized:
+            self._finalized = True
+            for _bound, _tie, _keyword_index, _block_no, count in self._pending_blocks:
+                self.statistics.blocks_skipped += 1
+                self.statistics.pruned_dequeues += count
+            self._pending_blocks = []
+            self.statistics.results = len(self.results)
+            self.statistics.elapsed_seconds = time.perf_counter() - self._started
+        return self.statistics
+
+    def as_detailed(self) -> DetailedSearch:
+        """Finalize and package the stream's output as a DetailedSearch.
+
+        Best-first emission is not strictly score-ordered when an expansion
+        raises a pending page's score above an already-emitted result (the
+        keyword-dense-neighbour case); a final stable sort restores the
+        ranking without changing the result set.
+        """
+        statistics = self.finalize()
+        ranked = sorted(self.results, key=lambda result: -result.score)
+        return DetailedSearch(
+            results=tuple(ranked),
+            keywords=self.keywords,
+            dependencies=frozenset(self.consulted),
+            epoch=self.epoch,
+            statistics=statistics,
+        )
 
 
 def _identifier_order(identifier: FragmentId):
