@@ -1,0 +1,22 @@
+"""Distributed crawl→index batch build (the paper's offline MapReduce build).
+
+:class:`BuildPipeline` turns a partitionable corpus source into a fully
+loaded serving store through four retried stages — partitioned map tasks,
+sorted-run reduce tasks, parallel per-shard bulk loads and a final merge —
+producing output byte-identical to a single-process ``DashEngine.build()``.
+See :mod:`repro.build.pipeline` for the stage-by-stage contract.
+"""
+
+from repro.build.pipeline import (
+    BuildPipeline,
+    BuildPipelineError,
+    BuildReport,
+    shard_path,
+)
+
+__all__ = [
+    "BuildPipeline",
+    "BuildPipelineError",
+    "BuildReport",
+    "shard_path",
+]

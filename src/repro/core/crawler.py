@@ -33,10 +33,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.fragment_index import InvertedFragmentIndex
-from repro.core.fragments import FragmentId
+from repro.core.fragments import Fragment, FragmentId
+from repro.db.algebra import group_by
 from repro.db.database import Database
 from repro.db.query import ParameterizedPSJQuery
-from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.mapreduce.job import KeyValue, MapReduceJob, default_partitioner
 from repro.mapreduce.joins import join_reducer, tag_mapper
 from repro.mapreduce.runtime import MapReduceRuntime
 from repro.mapreduce.workflow import Workflow, WorkflowMetrics
@@ -297,6 +298,65 @@ class _CrawlerBase:
 
     def crawl(self) -> CrawlResult:  # pragma: no cover - overridden
         raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# partitionable crawl frontier (the distributed build pipeline's source)
+# ----------------------------------------------------------------------
+class PartitionedCrawlFrontier:
+    """The crawl frontier of one query, split into disjoint map partitions.
+
+    The reference derivation (:func:`repro.core.fragments.derive_fragments`)
+    materialises the whole frontier — every fragment of the query — in one
+    in-memory dict.  The distributed build pipeline instead asks its corpus
+    source for ``partitions(count)``: a list of ``count`` zero-argument
+    callables, each streaming the ``(identifier, term_frequencies)`` pairs of
+    the fragments *it* owns, so one map task holds only its own slice of the
+    frontier.  Ownership is ``default_partitioner(identifier, count)`` — the
+    runtime's stable, process-independent hash — so the partitioning is
+    identical run to run and worker to worker, and the union over all
+    partitions is exactly the reference frontier (a property the build
+    pipeline's parity suite pins).
+    """
+
+    def __init__(self, query: ParameterizedPSJQuery, database: Database) -> None:
+        self.query = query
+        self.database = database
+
+    def partitions(self, count: int):
+        """``count`` disjoint streaming callables covering the whole frontier."""
+        if count < 1:
+            raise ValueError("partition count must be at least 1")
+        return [
+            (lambda index=index: self._stream_partition(index, count))
+            for index in range(count)
+        ]
+
+    def _stream_partition(
+        self, index: int, count: int
+    ) -> Iterator[Tuple[FragmentId, Dict[str, int]]]:
+        """Derive and stream only the fragments owned by partition ``index``.
+
+        Mirrors :func:`derive_fragments` stage by stage (same join, same
+        grouping, same NULL-identifier skip, same keyword accumulation) but
+        accumulates one owned fragment at a time instead of holding the whole
+        frontier.
+        """
+        joined = self.query.join_operands(self.database)
+        selection_attributes = [
+            self.query.resolve_attribute(joined.schema, attribute)
+            for attribute in self.query.selection_attributes
+        ]
+        projected_attributes = list(self.query.output_attributes(joined.schema))
+        for identifier, records in group_by(joined, selection_attributes).items():
+            if any(component is None for component in identifier):
+                continue
+            if default_partitioner(identifier, count) != index:
+                continue
+            fragment = Fragment(identifier=identifier)
+            for record in records:
+                fragment.add_row(record.as_dict(), projected_attributes)
+            yield identifier, dict(fragment.term_frequencies)
 
 
 # ----------------------------------------------------------------------

@@ -21,17 +21,23 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.analyzer import AnalyzedApplication, ApplicationAnalyzer
-from repro.core.crawler import CrawlResult, IntegratedCrawler, StepwiseCrawler
+from repro.core.crawler import (
+    CrawlResult,
+    IntegratedCrawler,
+    PartitionedCrawlFrontier,
+    StepwiseCrawler,
+)
 from repro.core.fragment_graph import FragmentGraph, GraphBuildReport
 from repro.core.fragment_index import InvertedFragmentIndex
 from repro.core.search import SearchResult, SearchSession, TopKSearcher
 from repro.core.urls import UrlFormulator
 from repro.db.database import Database
-from repro.mapreduce.runtime import MapReduceRuntime
+from repro.mapreduce.runtime import MapReduceRuntime, RetryPolicy
 from repro.store import FragmentStore, StoreSpec, resolve_store
 from repro.webapp.application import WebApplication
 
 if TYPE_CHECKING:  # runtime import would be circular through repro.core
+    from repro.build.pipeline import BuildReport
     from repro.cluster.router import ClusterSearchService, NodeStoreSpec
     from repro.serving.service import SearchService
 
@@ -55,11 +61,16 @@ def _close_store(store: FragmentStore) -> None:
 
 @dataclass
 class DashBuildReport:
-    """Everything measured while building an engine (used by benchmarks)."""
+    """Everything measured while building an engine (used by benchmarks).
 
-    crawl: CrawlResult
+    Exactly one of ``crawl`` (a :meth:`DashEngine.build` MapReduce crawl) and
+    ``pipeline`` (a :meth:`DashEngine.build_distributed` batch build) is set.
+    """
+
     graph: GraphBuildReport
+    crawl: Optional[CrawlResult] = None
     analyzed: Optional[AnalyzedApplication] = None
+    pipeline: Optional["BuildReport"] = None
 
 
 class DashEngine:
@@ -177,6 +188,96 @@ class DashEngine:
             application=effective_application,
             database=database,
             index=crawl_result.index,
+            graph=graph,
+            build_report=report,
+        )
+
+    @classmethod
+    def build_distributed(
+        cls,
+        application: WebApplication,
+        database: Database,
+        source: Any = None,
+        map_tasks: int = 4,
+        num_reduce_tasks: int = 4,
+        workers: int = 2,
+        workdir: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        analyze_source: bool = True,
+        presorted_graph: bool = True,
+        store: StoreSpec = None,
+        shards: Optional[int] = None,
+        store_path: Optional[str] = None,
+    ) -> "DashEngine":
+        """Build a searchable engine through the distributed batch pipeline.
+
+        The batch-scale sibling of :meth:`build`: instead of running the
+        MapReduce crawl simulation, the corpus is split into ``map_tasks``
+        partitioned crawl jobs and driven through
+        :class:`~repro.build.BuildPipeline` — map tasks emit per-reduce
+        posting spools, ``num_reduce_tasks`` reduce tasks sort them into
+        per-shard runs, and (for a disk target) each run is bulk-loaded into
+        its own shard file in parallel across ``workers`` before a final
+        merge into the serving store.  The resulting store, index, graph and
+        searcher are byte-identical to :meth:`build`'s, so everything
+        downstream — :meth:`serving`, :meth:`cluster`, a later
+        :meth:`open` — attaches unchanged.
+
+        ``source`` is any object with the ``partitions(count)`` streaming
+        protocol; it defaults to a
+        :class:`~repro.core.crawler.PartitionedCrawlFrontier` over the
+        application's (possibly source-recovered) query.  ``retry_policy``
+        governs worker-failure retries (and carries the test suite's fault
+        injector); ``workdir`` pins the spool/shard directory (a temporary
+        directory otherwise).  Store selection (``store``/``shards``/
+        ``store_path``) matches :meth:`build`.
+        """
+        # Imported here: repro.build programs against repro.core and the
+        # stores, so a module-level import would be circular.
+        from repro.build.pipeline import BuildPipeline
+
+        try:
+            fragment_store = resolve_store(store, shards=shards, path=store_path)
+        except Exception as error:
+            raise DashEngineError(str(error)) from error
+        if fragment_store.fragment_count() or fragment_store.node_count():
+            if not isinstance(store, FragmentStore):
+                _close_store(fragment_store)
+            raise DashEngineError(
+                "the configured store already holds fragments; build each engine "
+                "over a fresh FragmentStore"
+            )
+
+        effective_application, analyzed = cls._effective_application(
+            application, database, analyze_source
+        )
+        if source is None:
+            source = PartitionedCrawlFrontier(effective_application.query, database)
+
+        pipeline = BuildPipeline(
+            source,
+            map_tasks=map_tasks,
+            reduce_tasks=num_reduce_tasks,
+            workers=workers,
+            workdir=workdir,
+            retry_policy=retry_policy,
+        )
+        pipeline_report = pipeline.run(fragment_store)
+
+        index = InvertedFragmentIndex(store=fragment_store)
+        graph, graph_report = FragmentGraph.build_with_report(
+            effective_application.query,
+            index.fragment_sizes,
+            presorted=presorted_graph,
+            store=fragment_store,
+        )
+        report = DashBuildReport(
+            graph=graph_report, analyzed=analyzed, pipeline=pipeline_report
+        )
+        return cls(
+            application=effective_application,
+            database=database,
+            index=index,
             graph=graph,
             build_report=report,
         )
@@ -412,11 +513,15 @@ class DashEngine:
         Reopened engines (:meth:`open`) report ``algorithm: "reopened"`` and
         no crawl/graph-build timings — nothing was built in this process.
         """
+        if self.build_report is None:
+            algorithm = "reopened"
+        elif self.build_report.crawl is not None:
+            algorithm = self.build_report.crawl.algorithm
+        else:
+            algorithm = "distributed"
         statistics: Dict[str, Any] = {
             "application": self.application.name,
-            "algorithm": (
-                self.build_report.crawl.algorithm if self.build_report else "reopened"
-            ),
+            "algorithm": algorithm,
             "store_backend": type(self.store).__name__,
             "store_shards": self.store.shard_count,
             "fragments": self.index.fragment_count,
@@ -425,11 +530,14 @@ class DashEngine:
             "graph_edges": self.graph.edge_count,
         }
         if self.build_report is not None:
-            statistics.update(
-                {
-                    "graph_build_seconds": self.build_report.graph.build_seconds,
-                    "crawl_simulated_seconds": self.build_report.crawl.simulated_seconds(),
-                    "crawl_stage_seconds": self.build_report.crawl.stage_seconds(),
-                }
-            )
+            statistics["graph_build_seconds"] = self.build_report.graph.build_seconds
+            if self.build_report.crawl is not None:
+                statistics.update(
+                    {
+                        "crawl_simulated_seconds": self.build_report.crawl.simulated_seconds(),
+                        "crawl_stage_seconds": self.build_report.crawl.stage_seconds(),
+                    }
+                )
+            if self.build_report.pipeline is not None:
+                statistics["pipeline"] = self.build_report.pipeline.as_dict()
         return statistics

@@ -6,14 +6,20 @@
   in for the paper's small/medium/large dbgen datasets (Table II).
 * :mod:`repro.datasets.workloads` — keyword-workload selection (hot / warm /
   cold terms by document frequency, Section VII-B).
+* :mod:`repro.datasets.synthetic` — a seeded, streaming fragment-corpus
+  generator (up to 100k fragments) shared by the build-pipeline tests and
+  benchmark.
 """
 
 from repro.datasets.fooddb import build_fooddb, fooddb_search_query
+from repro.datasets.synthetic import HOT_KEYWORDS, SyntheticCorpus
 from repro.datasets.tpch import TpchScale, build_tpch, tpch_queries
 from repro.datasets.workloads import KeywordWorkload, select_keyword_workloads
 
 __all__ = [
+    "HOT_KEYWORDS",
     "KeywordWorkload",
+    "SyntheticCorpus",
     "TpchScale",
     "build_fooddb",
     "build_tpch",

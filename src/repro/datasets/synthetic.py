@@ -1,0 +1,113 @@
+"""Deterministic synthetic fragment corpora for scale tests and benchmarks.
+
+The real datasets (fooddb, the TPC-H generator) top out at a few thousand
+fragments; the build-pipeline benchmark needs 100k+.  :class:`SyntheticCorpus`
+streams an arbitrary number of fooddb-shaped fragments — identifiers are
+``(cuisine, budget)`` pairs so the standard ``Search`` query, graph chains and
+URL formulation all apply unchanged — without ever materializing the corpus.
+
+Determinism is per fragment, not per pass: fragment ``i``'s content comes from
+``random.Random(seed * PRIME + i)``, so any partitioning of the index space
+(the build pipeline's map partitions) regenerates exactly the same fragments
+in any order, and two corpora with equal parameters are identical.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.fragments import FragmentId
+
+#: Mixes the corpus seed with the fragment index; any odd prime well above the
+#: largest corpus keeps per-fragment streams independent.
+_SEED_STRIDE = 1_000_003
+
+#: Query keywords planted with ~50% probability, mirroring the hot terms of
+#: the store-backend benchmark's corpus.
+HOT_KEYWORDS: Tuple[str, ...] = ("burger", "noodle", "coffee")
+
+
+class SyntheticCorpus:
+    """A seeded, streaming corpus of ``count`` synthetic db-page fragments.
+
+    ``groups`` controls the equality-chain shape: fragment ``i`` gets
+    identifier ``(f"cuisine{i % groups}", budget)`` with budgets increasing
+    along each chain, so ``count // groups`` fragments share each cuisine —
+    the same chains-of-40 layout the 12k-fragment benchmarks use by default.
+    Identifiers are unique per index.
+
+    Iterating the corpus (or any of its :meth:`partitions`) yields
+    ``(identifier, term_frequencies)`` pairs with lower-cased keywords —
+    exactly what :meth:`InvertedFragmentIndex.add_fragment` and the build
+    pipeline consume.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        seed: int = 7,
+        vocabulary_size: int = 1500,
+        chain_length: int = 40,
+        min_terms: int = 6,
+        max_terms: int = 14,
+        hot_keywords: Sequence[str] = HOT_KEYWORDS,
+    ) -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if not 0 < min_terms <= max_terms:
+            raise ValueError("need 0 < min_terms <= max_terms")
+        self.count = count
+        self.seed = seed
+        self.vocabulary_size = max(1, vocabulary_size)
+        self.groups = max(1, count // max(1, chain_length))
+        self.min_terms = min_terms
+        self.max_terms = max_terms
+        self.hot_keywords = tuple(hot_keywords)
+
+    # ------------------------------------------------------------------
+    def fragment(self, index: int) -> Tuple[FragmentId, Dict[str, int]]:
+        """Fragment ``index``, regenerated independently of any other."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"fragment index {index} out of range [0, {self.count})")
+        rng = Random(self.seed * _SEED_STRIDE + index)
+        identifier = (f"cuisine{index % self.groups:05d}", 5 + index // self.groups)
+        terms: Dict[str, int] = {}
+        for _ in range(rng.randint(self.min_terms, self.max_terms)):
+            keyword = f"kw{rng.randrange(self.vocabulary_size):04d}"
+            terms[keyword] = terms.get(keyword, 0) + rng.randint(1, 4)
+        if self.hot_keywords and rng.random() < 0.5:
+            hot = self.hot_keywords[rng.randrange(len(self.hot_keywords))]
+            terms[hot] = terms.get(hot, 0) + rng.randint(1, 3)
+        return identifier, terms
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[Tuple[FragmentId, Dict[str, int]]]:
+        for index in range(self.count):
+            yield self.fragment(index)
+
+    # ------------------------------------------------------------------
+    # the build pipeline's fragment-source protocol
+    # ------------------------------------------------------------------
+    def partitions(
+        self, count: int
+    ) -> List[Callable[[], Iterator[Tuple[FragmentId, Dict[str, int]]]]]:
+        """``count`` independent streaming jobs covering the corpus disjointly.
+
+        Partition ``j`` owns indexes ``j, j + count, j + 2*count, ...`` —
+        each fragment belongs to exactly one partition, and per-fragment
+        seeding makes every partition's content independent of ``count``.
+        """
+        if count < 1:
+            raise ValueError("need at least one partition")
+
+        def job(start: int) -> Callable[[], Iterator[Tuple[FragmentId, Dict[str, int]]]]:
+            def stream() -> Iterator[Tuple[FragmentId, Dict[str, int]]]:
+                for index in range(start, self.count, count):
+                    yield self.fragment(index)
+
+            return stream
+
+        return [job(start) for start in range(count)]

@@ -30,7 +30,14 @@ from repro.mapreduce.cost import CostModel
 from repro.mapreduce.hdfs import DistributedFileSystem, HdfsFile
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.joins import repartition_join_job
-from repro.mapreduce.runtime import JobMetrics, MapReduceRuntime, PhaseMetrics
+from repro.mapreduce.errors import TaskFailure
+from repro.mapreduce.runtime import (
+    JobMetrics,
+    MapReduceRuntime,
+    PhaseMetrics,
+    RetryPolicy,
+    TaskRunner,
+)
 from repro.mapreduce.serialization import estimate_size
 from repro.mapreduce.workflow import Workflow, WorkflowMetrics
 
@@ -44,6 +51,9 @@ __all__ = [
     "MapReduceRuntime",
     "Node",
     "PhaseMetrics",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskRunner",
     "Workflow",
     "WorkflowMetrics",
     "estimate_size",

@@ -15,3 +15,13 @@ class HdfsError(MapReduceError):
 
 class JobError(MapReduceError):
     """Raised for invalid job specifications or failures during execution."""
+
+
+class TaskFailure(MapReduceError):
+    """A transient worker failure while executing one task attempt.
+
+    This is the retryable class: a :class:`~repro.mapreduce.runtime.TaskRunner`
+    re-runs the task on ``TaskFailure`` (a crashed or killed worker, an
+    injected fault) up to its policy's attempt budget, while any other
+    exception — a bug in the task function — propagates immediately.
+    """

@@ -11,17 +11,86 @@ quantity the Figure 10 reproduction reports alongside real wall-clock time.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
 
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.cost import CostModel
-from repro.mapreduce.errors import JobError
+from repro.mapreduce.errors import JobError, TaskFailure
 from repro.mapreduce.hdfs import DistributedFileSystem, HdfsFile
 from repro.mapreduce.job import KeyValue, MapReduceJob
 from repro.mapreduce.serialization import estimate_pair_size
+
+T = TypeVar("T")
+
+#: ``(phase, task_index, attempt)`` — raise :class:`TaskFailure` to fault the
+#: attempt.  ``attempt`` starts at 1.
+FailureInjector = Callable[[str, int, int], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`TaskRunner` responds to transient task failures.
+
+    ``max_attempts`` bounds the total tries per task (first run included).
+    ``failure_injector`` is the test seam the fault-injection suite uses: it
+    is invoked at the start of every attempt — and again at any named
+    checkpoint the task body declares via :meth:`TaskRunner.checkpoint` —
+    and faults the attempt by raising :class:`TaskFailure`.
+    """
+
+    max_attempts: int = 3
+    failure_injector: Optional[FailureInjector] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise JobError("RetryPolicy.max_attempts must be >= 1")
+
+
+class TaskRunner:
+    """Runs task attempts under a :class:`RetryPolicy` (the failing-task wrapper).
+
+    Shared by the MapReduce runtime's map/reduce phases and the build
+    pipeline's stages: the task callable must be free of external side
+    effects until it returns (or publish its output atomically), so that a
+    faulted attempt can simply be re-run.  Only :class:`TaskFailure` is
+    retried; any other exception is a task bug and propagates.  Retry counts
+    are tallied per phase in :attr:`retries`.
+    """
+
+    def __init__(self, policy: Optional[RetryPolicy] = None) -> None:
+        self.policy = policy or RetryPolicy()
+        self.retries: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def checkpoint(self, phase: str, task_index: int, attempt: int) -> None:
+        """Give the injector a mid-task fault point (no-op without one)."""
+        if self.policy.failure_injector is not None:
+            self.policy.failure_injector(phase, task_index, attempt)
+
+    def run(self, phase: str, task_index: int, task: Callable[[int], T]) -> T:
+        """Run ``task(attempt)`` until it succeeds or attempts are exhausted."""
+        last_failure: Optional[TaskFailure] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            try:
+                self.checkpoint(phase, task_index, attempt)
+                return task(attempt)
+            except TaskFailure as failure:
+                last_failure = failure
+                with self._lock:
+                    self.retries[phase] = self.retries.get(phase, 0) + 1
+        raise JobError(
+            f"{phase} task {task_index} failed {self.policy.max_attempts} attempts"
+        ) from last_failure
+
+    def retry_count(self, phase: Optional[str] = None) -> int:
+        with self._lock:
+            if phase is not None:
+                return self.retries.get(phase, 0)
+            return sum(self.retries.values())
 
 
 @dataclass
@@ -34,6 +103,7 @@ class PhaseMetrics:
     records_out: int = 0
     bytes_out: int = 0
     tasks: int = 0
+    retries: int = 0
     simulated_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
@@ -44,6 +114,7 @@ class PhaseMetrics:
             "records_out": self.records_out,
             "bytes_out": self.bytes_out,
             "tasks": self.tasks,
+            "retries": self.retries,
             "simulated_seconds": self.simulated_seconds,
         }
 
@@ -88,12 +159,14 @@ class MapReduceRuntime:
         cluster: Optional[Cluster] = None,
         filesystem: Optional[DistributedFileSystem] = None,
         cost_model: Optional[CostModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.cluster = cluster or Cluster.default()
         self.filesystem = filesystem or DistributedFileSystem(self.cluster)
         if self.filesystem.cluster is not self.cluster:
             raise JobError("filesystem and runtime must share the same cluster")
         self.cost_model = cost_model or CostModel()
+        self.task_runner = TaskRunner(retry_policy)
         self.history: List[JobMetrics] = []
 
     # ------------------------------------------------------------------
@@ -165,19 +238,30 @@ class MapReduceRuntime:
         node_input_records: Dict[str, int] = defaultdict(int)
         node_output_bytes: Dict[str, int] = defaultdict(int)
         num_map_tasks = 0
+        retries_before = self.task_runner.retry_count("map")
 
         for input_file, mapper in input_files:
             for block in input_file.blocks:
+                task_index = num_map_tasks
                 num_map_tasks += 1
                 node_id = block.primary_node
                 node_input_bytes[node_id] += block.size_bytes
                 node_input_records[node_id] += len(block.records)
-                task_output: List[KeyValue] = []
-                for key, value in block.records:
-                    for out_key, out_value in mapper(key, value):
-                        task_output.append((out_key, out_value))
-                if job.combiner is not None and not job.is_map_only:
-                    task_output = _apply_combiner(job, task_output)
+
+                # The map task is the pure computation over one block; it has
+                # no side effects, so a faulted attempt just re-runs.  The
+                # partition/accounting pass below happens once, on the output
+                # of the successful attempt.
+                def run_block(_attempt: int, mapper=mapper, block=block) -> List[KeyValue]:
+                    task_output: List[KeyValue] = []
+                    for key, value in block.records:
+                        for out_key, out_value in mapper(key, value):
+                            task_output.append((out_key, out_value))
+                    if job.combiner is not None and not job.is_map_only:
+                        task_output = _apply_combiner(job, task_output)
+                    return task_output
+
+                task_output = self.task_runner.run("map", task_index, run_block)
                 for out_key, out_value in task_output:
                     pair_bytes = estimate_pair_size(out_key, out_value)
                     node_output_bytes[node_id] += pair_bytes
@@ -187,6 +271,7 @@ class MapReduceRuntime:
                     partitions[partition].append((out_key, out_value))
 
         metrics.map.tasks = num_map_tasks
+        metrics.map.retries = self.task_runner.retry_count("map") - retries_before
         metrics.map.records_in = sum(node_input_records.values())
         metrics.map.bytes_in = sum(node_input_bytes.values())
         # Charge per-record CPU for records consumed and records emitted; a
@@ -262,28 +347,41 @@ class MapReduceRuntime:
         reduce_input_records = 0
         reduce_output_bytes = 0
         active_partitions = max(len([p for p in partitions.values() if p]), 1)
+        retries_before = self.task_runner.retry_count("reduce")
 
         for partition_index in range(job.num_reduce_tasks):
             records = partitions.get(partition_index, [])
             if not records:
                 continue
-            grouped: Dict[Any, List[Any]] = defaultdict(list)
-            key_order: List[Any] = []
-            for key, value in records:
-                if key not in grouped:
-                    key_order.append(key)
-                grouped[key].append(value)
-                reduce_input_records += 1
-            keys = sorted(grouped, key=_sort_token) if job.sort_keys else key_order
-            for key in keys:
-                for out_key, out_value in job.reducer(key, grouped[key]):
-                    output.append((out_key, out_value))
-                    pair_bytes = estimate_pair_size(out_key, out_value)
-                    reduce_output_bytes += pair_bytes
-                    metrics.reduce.records_out += 1
-                    metrics.reduce.bytes_out += pair_bytes
+            reduce_input_records += len(records)
+
+            # Like the map tasks: the reduce computation is pure, so the
+            # retry wrapper can re-run a faulted attempt; accounting happens
+            # once on the successful output.
+            def run_partition(_attempt: int, records=records) -> List[KeyValue]:
+                grouped: Dict[Any, List[Any]] = defaultdict(list)
+                key_order: List[Any] = []
+                for key, value in records:
+                    if key not in grouped:
+                        key_order.append(key)
+                    grouped[key].append(value)
+                keys = sorted(grouped, key=_sort_token) if job.sort_keys else key_order
+                task_output: List[KeyValue] = []
+                for key in keys:
+                    task_output.extend(job.reducer(key, grouped[key]))
+                return task_output
+
+            for out_key, out_value in self.task_runner.run(
+                "reduce", partition_index, run_partition
+            ):
+                output.append((out_key, out_value))
+                pair_bytes = estimate_pair_size(out_key, out_value)
+                reduce_output_bytes += pair_bytes
+                metrics.reduce.records_out += 1
+                metrics.reduce.bytes_out += pair_bytes
 
         metrics.reduce.tasks = min(job.num_reduce_tasks, active_partitions)
+        metrics.reduce.retries = self.task_runner.retry_count("reduce") - retries_before
         metrics.reduce.records_in = reduce_input_records
         metrics.reduce.bytes_in = metrics.shuffle.bytes_in
         parallel_reduce_slots = min(self.cluster.total_reduce_slots, metrics.reduce.tasks)

@@ -209,6 +209,35 @@ class FragmentStore(ABC):
     def finalize(self) -> None:
         """Sort every inverted list by descending occurrence count."""
 
+    def bulk_load(self, fragments, finalize: bool = True) -> int:
+        """Load whole fragments in one batch (the build pipeline's entry point).
+
+        ``fragments`` is an iterable of ``(identifier, term_frequencies)``
+        pairs — canonical identifiers, lower-cased keywords, positive
+        occurrence counts — for fragments **not yet stored**; a fragment with
+        an empty term map is registered at size 0.  The base implementation
+        loops :meth:`touch_fragment`/:meth:`add_posting` and finalizes once;
+        :class:`~repro.store.DiskStore` replaces the loop with batched
+        staged-log inserts so a bulk build never pays the per-posting write
+        path.  ``finalize=False`` lets a caller chain several loads before
+        one :meth:`finalize`.  Returns the number of fragments loaded.
+        """
+        count = 0
+        for identifier, term_frequencies in fragments:
+            count += 1
+            self.touch_fragment(identifier)
+            items = (
+                term_frequencies.items()
+                if hasattr(term_frequencies, "items")
+                else term_frequencies
+            )
+            for keyword, occurrences in items:
+                if occurrences > 0:
+                    self.add_posting(keyword, identifier, occurrences)
+        if finalize:
+            self.finalize()
+        return count
+
     # ------------------------------------------------------------------
     # postings section — batched writes
     # ------------------------------------------------------------------

@@ -1273,6 +1273,278 @@ class DiskStore(FragmentStore):
             self._flush_staged()
 
     # ------------------------------------------------------------------
+    # postings section — bulk loads (the batch build path)
+    # ------------------------------------------------------------------
+    def _tick_bulk_write(self, keywords, fragments_by_encoded: Dict[str, FragmentId]) -> None:
+        """One epoch tick (and epoch write-through) for a whole bulk load."""
+        if not keywords and not fragments_by_encoded:
+            return
+        if self._batch_depth:
+            self._batch_keywords.update(keywords)
+            self._batch_fragments.update(fragments_by_encoded)
+            return
+        self._epoch_clock.tick_batch(keywords, fragments_by_encoded.values())
+        self._persist_epoch()
+        epoch = self._epoch_clock.epoch
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO keyword_epochs (keyword, epoch) VALUES (?, ?)",
+            [(keyword, epoch) for keyword in keywords],
+        )
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO fragment_epochs (fragment, epoch) VALUES (?, ?)",
+            [(encoded, epoch) for encoded in fragments_by_encoded],
+        )
+
+    def _invalidate_bulk_caches(self, keywords, identifiers) -> None:
+        with self._cache_lock:
+            for keyword in keywords:
+                self._postings_cache.pop(keyword, None)
+                self._blocks_cache.pop(keyword, None)
+                self._block_cache.pop(keyword, None)
+            for identifier in identifiers:
+                self._sizes_cache.pop(identifier, None)
+                self._neighbors_cache.pop(identifier, None)
+                self._terms_cache.pop(identifier, None)
+
+    def bulk_load(self, fragments, finalize: bool = True) -> int:
+        """Stage whole new fragments with batched inserts (no per-posting path).
+
+        The disk-native form of :meth:`FragmentStore.bulk_load`: one
+        ``executemany`` each into ``fragments``, ``fragment_terms`` and the
+        ``staged_postings`` log, one dirty-mark per keyword and one epoch
+        tick for the whole batch; the next :meth:`finalize` (run here unless
+        ``finalize=False``) folds the log into canonical posting blocks.
+        Every fragment must be new — loading over an existing fragment would
+        duplicate its postings, so it raises :class:`StoreError` instead.
+        """
+        self._assert_writable()
+        with self._lock:
+            fragment_rows: List[Tuple[str, int]] = []
+            term_rows: List[Tuple[str, bytes]] = []
+            staged_rows: List[Tuple[str, str, str, int]] = []
+            keywords: Set[str] = set()
+            by_encoded: Dict[str, FragmentId] = {}
+            for identifier, term_frequencies in fragments:
+                identifier = tuple(identifier)
+                encoded = encode_identifier(identifier)
+                if encoded in by_encoded:
+                    raise StoreError(f"duplicate fragment {identifier!r} in bulk load")
+                by_encoded[encoded] = identifier
+                items = (
+                    term_frequencies.items()
+                    if hasattr(term_frequencies, "items")
+                    else term_frequencies
+                )
+                tie = str(identifier)
+                size = 0
+                clean: List[Tuple[str, int]] = []
+                for keyword, occurrences in items:
+                    if occurrences <= 0:
+                        continue
+                    clean.append((keyword, occurrences))
+                    staged_rows.append((keyword, encoded, tie, occurrences))
+                    keywords.add(keyword)
+                    size += occurrences
+                fragment_rows.append((encoded, size))
+                if clean:
+                    term_rows.append((encoded, encode_fragment_terms(clean)))
+            self._assert_fragments_absent(list(by_encoded))
+            connection = self._connection
+            connection.executemany(
+                "INSERT INTO fragments (id, size) VALUES (?, ?)", fragment_rows
+            )
+            connection.executemany(
+                "INSERT INTO fragment_terms (fragment, terms) VALUES (?, ?)", term_rows
+            )
+            connection.executemany(
+                "INSERT INTO staged_postings (keyword, fragment, tie, occurrences) "
+                "VALUES (?, ?, ?, ?)",
+                staged_rows,
+            )
+            self._dirty_keywords.update(keywords)
+            self._invalidate_bulk_caches(keywords, by_encoded.values())
+            self._tick_bulk_write(keywords, by_encoded)
+        if finalize:
+            self.finalize()
+        return len(by_encoded)
+
+    def _assert_fragments_absent(self, encoded_ids: List[str]) -> None:
+        for start in range(0, len(encoded_ids), self._IN_CHUNK):
+            chunk = encoded_ids[start : start + self._IN_CHUNK]
+            placeholders = ",".join("?" for _ in chunk)
+            row = self._connection.execute(
+                f"SELECT id FROM fragments WHERE id IN ({placeholders}) LIMIT 1",
+                tuple(chunk),
+            ).fetchone()
+            if row is not None:
+                raise StoreError(
+                    f"bulk load would duplicate stored fragment {row[0]!r}; "
+                    "bulk loads require fresh fragments"
+                )
+
+    def bulk_load_run(self, postings, sizes, finalize: bool = False) -> int:
+        """Stage one sorted posting run with authoritative fragment sizes.
+
+        The build pipeline's per-shard loader: ``postings`` is an iterable of
+        ``(keyword, identifier, occurrences)`` in canonical run order —
+        typically a *keyword partition*, so the run's fragments are not whole
+        here — and ``sizes`` maps every member identifier to its **global**
+        size (``INSERT OR REPLACE``, never accumulated), which is what keeps
+        the block summaries the next compaction builds bit-identical to a
+        whole-corpus build.  Term vectors are not touched; a merge step loads
+        them separately (:meth:`bulk_load_fragment_vectors`).  Returns the
+        number of staged postings.
+        """
+        self._assert_writable()
+        with self._lock:
+            by_encoded: Dict[str, FragmentId] = {}
+            fragment_rows: List[Tuple[str, int]] = []
+            for identifier, size in sizes.items():
+                identifier = tuple(identifier)
+                encoded = encode_identifier(identifier)
+                by_encoded[encoded] = identifier
+                fragment_rows.append((encoded, int(size)))
+            encoded_cache: Dict[FragmentId, Tuple[str, str]] = {}
+            staged_rows: List[Tuple[str, str, str, int]] = []
+            keywords: Set[str] = set()
+            for keyword, identifier, occurrences in postings:
+                if occurrences <= 0:
+                    continue
+                identifier = tuple(identifier)
+                try:
+                    encoded, tie = encoded_cache[identifier]
+                except KeyError:
+                    encoded, tie = encoded_cache.setdefault(
+                        identifier, (encode_identifier(identifier), str(identifier))
+                    )
+                staged_rows.append((keyword, encoded, tie, occurrences))
+                keywords.add(keyword)
+            connection = self._connection
+            connection.executemany(
+                "INSERT INTO fragments (id, size) VALUES (?, ?) "
+                "ON CONFLICT (id) DO UPDATE SET size = excluded.size",
+                fragment_rows,
+            )
+            connection.executemany(
+                "INSERT INTO staged_postings (keyword, fragment, tie, occurrences) "
+                "VALUES (?, ?, ?, ?)",
+                staged_rows,
+            )
+            self._dirty_keywords.update(keywords)
+            self._invalidate_bulk_caches(keywords, by_encoded.values())
+            self._tick_bulk_write(keywords, by_encoded)
+        if finalize:
+            self.finalize()
+        return len(staged_rows)
+
+    def bulk_load_fragment_vectors(self, fragments) -> int:
+        """Write whole fragment rows — size and term vector — without postings.
+
+        The merge step of a sharded build: the posting blocks arrive via
+        :meth:`absorb_index_shard`, and this writes the authoritative
+        ``fragments`` / ``fragment_terms`` rows from the pipeline's fragment
+        spools (``(identifier, term_frequencies)`` pairs, whole vectors).
+        ``INSERT OR REPLACE`` semantics; the caller commits via
+        :meth:`finalize`.  Returns the number of fragments written.
+        """
+        self._assert_writable()
+        with self._lock:
+            fragment_rows: List[Tuple[str, int]] = []
+            term_rows: List[Tuple[str, bytes]] = []
+            by_encoded: Dict[str, FragmentId] = {}
+            for identifier, term_frequencies in fragments:
+                identifier = tuple(identifier)
+                encoded = encode_identifier(identifier)
+                items = [
+                    (keyword, occurrences)
+                    for keyword, occurrences in (
+                        term_frequencies.items()
+                        if hasattr(term_frequencies, "items")
+                        else term_frequencies
+                    )
+                    if occurrences > 0
+                ]
+                fragment_rows.append((encoded, sum(occ for _kw, occ in items)))
+                if items:
+                    term_rows.append((encoded, encode_fragment_terms(items)))
+                by_encoded[encoded] = identifier
+            connection = self._connection
+            connection.executemany(
+                "INSERT INTO fragments (id, size) VALUES (?, ?) "
+                "ON CONFLICT (id) DO UPDATE SET size = excluded.size",
+                fragment_rows,
+            )
+            connection.executemany(
+                "INSERT INTO fragment_terms (fragment, terms) VALUES (?, ?) "
+                "ON CONFLICT (fragment) DO UPDATE SET terms = excluded.terms",
+                term_rows,
+            )
+            self._invalidate_bulk_caches((), by_encoded.values())
+            self._tick_bulk_write(set(), by_encoded)
+        return len(fragment_rows)
+
+    def absorb_index_shard(self, path: str) -> int:
+        """Copy another finalized DiskStore file's posting blocks into this one.
+
+        The fan-in step of the sharded build: each shard file holds the
+        canonical, already-compacted ``posting_blocks`` rows of a disjoint
+        keyword partition (built against global fragment sizes), so
+        absorbing is a straight row copy — no decoding, no re-sorting, no
+        re-blocking.  The shard must be finalized (empty staged log), its
+        keywords must not already exist here, and this store must hold no
+        staged writes for them; violating either raises
+        :class:`StoreError`.  The caller commits via :meth:`finalize`.
+        Returns the number of block rows copied.
+        """
+        self._assert_writable()
+        with self._lock:
+            source = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+            try:
+                staged = source.execute(
+                    "SELECT (SELECT COUNT(*) FROM staged_postings) + "
+                    "(SELECT COUNT(*) FROM pending_removals)"
+                ).fetchone()[0]
+                if staged:
+                    raise StoreError(
+                        f"index shard {path!r} holds {staged} unfinalized staged "
+                        "writes; finalize the shard before absorbing it"
+                    )
+                cursor = source.execute(
+                    "SELECT keyword, block_no, count, max_occurrences, max_weight, "
+                    "entries FROM posting_blocks"
+                )
+                keywords: Set[str] = set()
+                copied = 0
+                while True:
+                    rows = cursor.fetchmany(4096)
+                    if not rows:
+                        break
+                    keywords.update(row[0] for row in rows)
+                    if self._dirty_keywords.intersection(keywords):
+                        raise StoreError(
+                            "absorbing a shard over staged writes for its keywords "
+                            "would fold them twice; finalize this store first"
+                        )
+                    try:
+                        self._connection.executemany(
+                            "INSERT INTO posting_blocks "
+                            "(keyword, block_no, count, max_occurrences, max_weight, "
+                            "entries) VALUES (?, ?, ?, ?, ?, ?)",
+                            rows,
+                        )
+                    except sqlite3.IntegrityError as error:
+                        raise StoreError(
+                            f"index shard {path!r} overlaps keywords already stored "
+                            "here; shards must hold disjoint keyword partitions"
+                        ) from error
+                    copied += len(rows)
+            finally:
+                source.close()
+            self._invalidate_bulk_caches(keywords, ())
+            self._tick_bulk_write(keywords, {})
+        return copied
+
+    # ------------------------------------------------------------------
     # postings section — reads
     # ------------------------------------------------------------------
     #: Bound variables per IN (...) chunk — stays under sqlite's default

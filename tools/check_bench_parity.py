@@ -6,7 +6,8 @@ files so a refactor that silently stops asserting (or stops running a
 backend) still fails the smoke job.  Usage::
 
     python tools/check_bench_parity.py BENCH_store_backends.json \
-        BENCH_serving.json BENCH_maintenance.json BENCH_cluster_serving.json
+        BENCH_serving.json BENCH_maintenance.json BENCH_cluster_serving.json \
+        BENCH_build_pipeline.json
 
 Two flag families are collected: ``parity_ok`` (every backend ranked
 exactly like the seed path — for ``BENCH_cluster_serving.json`` one flag
@@ -69,6 +70,7 @@ def main(argv: List[str]) -> int:
         "BENCH_serving.json",
         "BENCH_maintenance.json",
         "BENCH_cluster_serving.json",
+        "BENCH_build_pipeline.json",
     ]
     problems: List[str] = []
     for filename in filenames:

@@ -1,0 +1,135 @@
+"""Measure line coverage of ``src/repro`` under the tier-1 suite — stdlib only.
+
+CI enforces the coverage floor with ``pytest-cov`` (see
+``.github/workflows/ci.yml``), but that package is not part of the local
+toolchain; this tool produces a comparable line-coverage number using only
+the standard library, so the floor can be measured (and re-derived after a
+refactor) on any box that can run the tests:
+
+* the tier-1 suite runs under :class:`trace.Trace` (count mode, installed on
+  every new thread via ``threading.settrace``),
+* each module's *executable* line set comes from its compiled code objects
+  (``co_lines`` over the whole nesting tree — the same substrate
+  ``coverage.py`` builds on),
+* coverage is ``executed / executable`` over every ``repro`` module.
+
+Thread-heavy lines can be under-counted relative to ``pytest-cov`` (the
+tracer attaches to threads at creation, not retroactively), so the measured
+number is a conservative lower bound of what CI will see — which is the safe
+direction for deriving a floor.  Usage::
+
+    PYTHONPATH=src python tools/measure_coverage.py             # report
+    PYTHONPATH=src python tools/measure_coverage.py --min 83.0  # enforce
+
+Extra arguments after ``--`` are passed to pytest (default: ``-x -q tests``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import trace
+import types
+from typing import Dict, Set, Tuple
+
+
+def executable_lines(path: str) -> Set[int]:
+    """Line numbers that can execute, from the compiled code-object tree."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines: Set[int] = set()
+    try:
+        code = compile(source, path, "exec")
+    except SyntaxError:
+        return lines
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        for _start, _end, lineno in obj.co_lines():
+            if lineno:
+                lines.add(lineno)
+        for const in obj.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+    return lines
+
+
+def source_files(root: str) -> Dict[str, str]:
+    """``{absolute path: repo-relative label}`` for every repro module."""
+    files: Dict[str, str] = {}
+    for directory, _subdirs, names in os.walk(root):
+        for name in names:
+            if name.endswith(".py"):
+                path = os.path.abspath(os.path.join(directory, name))
+                files[path] = os.path.relpath(path, os.path.dirname(root))
+    return files
+
+
+def run_suite_traced(pytest_args) -> trace.CoverageResults:
+    import pytest
+
+    tracer = trace.Trace(count=1, trace=0, ignoredirs=[sys.prefix, sys.exec_prefix])
+    # Cover code running on worker threads too (serving/maintenance tests).
+    threading.settrace(tracer.globaltrace)
+    try:
+        exit_code = tracer.runfunc(pytest.main, list(pytest_args))
+    finally:
+        threading.settrace(None)
+    if exit_code not in (0,):
+        raise SystemExit(f"tier-1 suite failed under tracing (exit {exit_code})")
+    return tracer.results()
+
+
+def measure(pytest_args) -> Tuple[float, Dict[str, Tuple[int, int]]]:
+    src_root = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src", "repro"))
+    files = source_files(src_root)
+    results = run_suite_traced(pytest_args)
+    executed: Dict[str, Set[int]] = {}
+    for (filename, lineno), count in results.counts.items():
+        if count > 0:
+            executed.setdefault(os.path.abspath(filename), set()).add(lineno)
+    per_file: Dict[str, Tuple[int, int]] = {}
+    total_executable = 0
+    total_executed = 0
+    for path, label in sorted(files.items(), key=lambda item: item[1]):
+        candidates = executable_lines(path)
+        covered = len(candidates & executed.get(path, set()))
+        per_file[label] = (covered, len(candidates))
+        total_executable += len(candidates)
+        total_executed += covered
+    percent = 100.0 * total_executed / total_executable if total_executable else 0.0
+    return percent, per_file
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min", type=float, default=None,
+        help="fail (exit 1) when total coverage is below this percentage",
+    )
+    parser.add_argument(
+        "--per-file", action="store_true", help="print the per-module breakdown"
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*", default=None,
+        help="arguments passed to pytest (after --); default: -x -q tests",
+    )
+    options = parser.parse_args(argv)
+    pytest_args = options.pytest_args or ["-x", "-q", "tests"]
+    percent, per_file = measure(pytest_args)
+    if options.per_file:
+        for label, (covered, executable) in per_file.items():
+            share = 100.0 * covered / executable if executable else 100.0
+            print(f"{share:6.1f}%  {covered:5d}/{executable:<5d}  {label}")
+    print(f"TOTAL line coverage (src/repro): {percent:.2f}%")
+    if options.min is not None and percent < options.min:
+        print(f"coverage {percent:.2f}% is below the floor {options.min:.2f}%",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
