@@ -16,8 +16,18 @@ and deriving a cluster-wide epoch clock), :class:`SearchCluster` owns the
 topology (replica catch-up and live rebalancing via the snapshot
 machinery), and :class:`ClusterSearchService` is a stock serving layer
 over the router — see :meth:`repro.core.engine.DashEngine.cluster`.
+
+Serving is fault-tolerant: per-node :class:`NodeHealth` circuit breakers
+(fed by router-observed outcomes) fence off dying nodes, every
+per-partition read fails over across fresh replicas under an optional
+per-query deadline, dead primaries are auto-promoted, and queries that
+lose every copy of a partition either raise a typed
+:class:`~repro.serving.PartialResultError` or (``degraded_ok=True``)
+return flagged, never-cached partial results.  Chaos is injected with
+:class:`repro.faults.FaultPlane`.
 """
 
+from repro.cluster.health import NodeHealth
 from repro.cluster.node import HostedPartition, SearchNode
 from repro.cluster.partitioning import GroupPartitioner, HashRing
 from repro.cluster.router import (
@@ -35,6 +45,7 @@ __all__ = [
     "GroupPartitioner",
     "HashRing",
     "HostedPartition",
+    "NodeHealth",
     "PartitionAssignment",
     "QueryRouter",
     "RouterSession",

@@ -1,0 +1,126 @@
+"""Per-node failure detection for the serving cluster.
+
+One :class:`NodeHealth` per :class:`~repro.cluster.SearchNode` tracks
+consecutive read failures behind a three-state circuit breaker:
+
+* **closed** — the node serves normally; each success resets the
+  consecutive-failure counter, each failure increments it, and reaching
+  ``failure_threshold`` opens the circuit;
+* **open** — the node is presumed dead: candidate selection skips it, so
+  no query wastes deadline budget probing it.  After ``reset_seconds`` the
+  breaker transitions to half-open on the next availability check;
+* **half-open** — the node is offered traffic again as a probe: the first
+  success closes the circuit, the first failure re-opens it (restarting
+  the reset timer).
+
+The breaker learns only from *observed* outcomes — the router reports
+every per-copy read success/failure — so it needs no side channel to the
+fault plane: a killed node fails its first ``failure_threshold`` reads
+(each failed over to a replica) and is then fenced off until its probe
+window reopens.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+#: Breaker states (stringly-typed on purpose: they surface verbatim in
+#: ``SearchCluster.statistics()["health"]`` and the bench payload).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class NodeHealth:
+    """One node's failure counters and circuit breaker (thread-safe)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        failure_threshold: int = 3,
+        reset_seconds: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_seconds < 0:
+            raise ValueError(f"reset_seconds must be >= 0, got {reset_seconds}")
+        self.node_id = node_id
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._failures_total = 0
+        self._successes_total = 0
+        self._opens_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current breaker state (open lazily decays to half-open)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def available(self) -> bool:
+        """Whether the node should be offered traffic right now.
+
+        Closed and half-open say yes (half-open is the probe); open says
+        no until ``reset_seconds`` have elapsed since it opened, at which
+        point the breaker moves to half-open and answers yes once more.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != OPEN
+
+    def record_success(self) -> None:
+        """One successful read: resets the counter, closes a probe."""
+        with self._lock:
+            self._successes_total += 1
+            self._consecutive_failures = 0
+            self._state = CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> str:
+        """One failed read; returns the resulting breaker state."""
+        with self._lock:
+            self._maybe_half_open()
+            self._failures_total += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, timer restarted.
+                self._trip()
+            else:
+                self._consecutive_failures += 1
+                if self._state == CLOSED and self._consecutive_failures >= self.failure_threshold:
+                    self._trip()
+            return self._state
+
+    def _trip(self) -> None:
+        if self._state != OPEN:
+            self._opens_total += 1
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = max(self._consecutive_failures, self.failure_threshold)
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.reset_seconds:
+                self._state = HALF_OPEN
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """One statistics row (state, counters) for cluster inspection."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failures_total": self._failures_total,
+                "successes_total": self._successes_total,
+                "opens_total": self._opens_total,
+            }

@@ -35,6 +35,28 @@ serving entry point: a stock :class:`~repro.serving.SearchService` whose
 "searcher" is the router and whose "store" is the
 :class:`~repro.cluster.ClusterStore` facade — admission, result caching
 and epoch invalidation run unchanged.
+
+**Fault tolerance.**  The healthy path above assumes every selected copy
+answers; the fault-tolerant path makes each per-partition read a *failover
+loop* instead.  The cluster keeps one
+:class:`~repro.cluster.health.NodeHealth` circuit breaker per node, fed by
+the router's observed read outcomes; candidate selection
+(:meth:`SearchCluster.serving_candidates`) skips open-circuit nodes and
+stale replicas, and a query whose read fails (or times out against its
+per-query deadline budget) retries on the next fresh copy.  A dead primary
+is demoted in place (:meth:`SearchCluster.ensure_live_primary` promotes a
+fresh available replica through the same assignment flip ``rebalance()``
+uses), so writes and freshness checks keep a live anchor.  Because a fresh
+replica is byte-identical to its primary — and a replacement stream can be
+deterministically fast-forwarded past the results the merge already took —
+failover preserves the byte-parity guarantee whenever any fresh copy of
+every partition survives.  When none does, the router raises a typed
+:class:`~repro.serving.errors.PartialResultError`, or — under
+``degraded_ok=True`` — answers from the surviving partitions with
+``complete=False`` and the lost partitions named in
+:class:`~repro.core.search.SearchStatistics.missing_partitions` (such
+results are never cached).  With zero faults firing the whole machinery
+reduces to the PR 7 fan-out plus a candidate-list build per partition.
 """
 
 from __future__ import annotations
@@ -45,7 +67,8 @@ import shutil
 import tempfile
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -57,10 +80,13 @@ from repro.core.search import (
     SearchStatistics,
     SearchStream,
 )
+from repro.cluster.health import NodeHealth
 from repro.cluster.node import HostedPartition, SearchNode
 from repro.cluster.partitioning import GroupPartitioner, HashRing
 from repro.cluster.store import ClusterStore, populate_from_store
 from repro.db.query import ParameterizedPSJQuery
+from repro.faults.plane import FaultPlane
+from repro.serving.errors import PartialResultError, PartitionUnavailableError
 from repro.serving.service import SearchService
 from repro.store.base import FragmentStore
 from repro.store.disk import DiskStore
@@ -129,15 +155,38 @@ class QueryRouter:
     whole serving layer stacks on a cluster unchanged.
     """
 
-    def __init__(self, cluster: "SearchCluster", workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        cluster: "SearchCluster",
+        workers: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        degraded_ok: bool = False,
+    ) -> None:
         self._cluster = cluster
         self.index = _RouterIndex(cluster.store)
         self.partition_count = cluster.store.partition_count
+        #: Per-query failover budget in seconds (``None`` = no deadline).
+        #: The budget bounds time spent *tolerating faults*: fan-out reads
+        #: are preempted against it, replica retries stop at it — but a
+        #: healthy merge is never aborted by it, so zero-fault results are
+        #: identical with or without a deadline.
+        self.deadline_seconds = deadline_seconds
+        #: Whether queries that lose every copy of a partition return
+        #: flagged partial results (``True``) or raise
+        #: :class:`~repro.serving.errors.PartialResultError` (``False``).
+        self.degraded_ok = degraded_ok
         if workers is None:
             workers = min(16, max(4, 2 * self.partition_count))
+        # A pool exists whenever fan-out parallelism or deadline preemption
+        # can be needed; a single-partition, fault-free router stays inline.
+        need_pool = (
+            self.partition_count > 1
+            or deadline_seconds is not None
+            or cluster.fault_plane is not None
+        )
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(max_workers=workers, thread_name_prefix="cluster-router")
-            if self.partition_count > 1
+            if need_pool
             else None
         )
         self.last_statistics = SearchStatistics()
@@ -161,10 +210,160 @@ class QueryRouter:
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def _fan_out(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
-        if self._executor is None or len(tasks) <= 1:
-            return [task() for task in tasks]
-        return list(self._executor.map(lambda task: task(), tasks))
+    def _submit(self, task: Callable, *args) -> "Future":
+        """Run ``task`` on the fan-out pool (or inline, completed-future)."""
+        if self._executor is not None:
+            return self._executor.submit(task, *args)
+        future: "Future" = Future()
+        try:
+            future.set_result(task(*args))
+        except BaseException as error:
+            future.set_exception(error)
+        return future
+
+    def _partition_read_failed(
+        self, partition: int, node_id: str, statistics: SearchStatistics
+    ) -> None:
+        """Bookkeeping for one failed per-copy read: breaker + promotion."""
+        statistics.failovers += 1
+        self._cluster.note_failure(node_id)
+        # A primary whose circuit just opened hands its write/freshness
+        # anchor to a fresh available replica (no-op while it is healthy).
+        self._cluster.ensure_live_primary(partition)
+
+    def _failover_fan_out(
+        self,
+        partitions: Sequence[int],
+        task: Callable[[int, HostedPartition], object],
+        deadline: Optional[float],
+        statistics: SearchStatistics,
+        pinned: Optional[Dict[int, Tuple[str, HostedPartition]]] = None,
+    ) -> Tuple[Dict[int, Tuple[str, HostedPartition, object]], Dict[int, str]]:
+        """Run ``task(partition, hosted)`` per partition with replica failover.
+
+        Each partition gets an ordered candidate list (``pinned`` first when
+        given — phase 2 reuses phase 1's copy — then the fresh, available
+        copies); an attempt that raises or exceeds the deadline budget fails
+        over to the next candidate.  While more candidates remain, an
+        attempt is only granted half the remaining budget, so a hung copy
+        leaves room for its replica.  Returns ``(resolved, lost)`` where
+        ``resolved`` maps partition to ``(node_id, hosted, value)`` and
+        ``lost`` maps abandoned partitions to a reason string.
+        """
+        queues: Dict[int, List[Tuple[str, HostedPartition]]] = {}
+        for partition in partitions:
+            if pinned is not None and partition in pinned:
+                first_node, first_hosted = pinned[partition]
+                candidates = [(first_node, first_hosted)] + [
+                    (node_id, hosted)
+                    for node_id, hosted in self._cluster.serving_candidates(
+                        partition, rotate=False
+                    )
+                    if node_id != first_node
+                ]
+            else:
+                candidates = list(self._cluster.serving_candidates(partition))
+            queues[partition] = candidates
+        resolved: Dict[int, Tuple[str, HostedPartition, object]] = {}
+        lost: Dict[int, str] = {}
+        pending: Set[int] = set(queues)
+        while pending:
+            submitted: Dict[int, Tuple[str, HostedPartition, "Future"]] = {}
+            for partition in sorted(pending):
+                queue = queues[partition]
+                choice: Optional[Tuple[str, HostedPartition]] = None
+                while queue:
+                    node_id, hosted = queue.pop(0)
+                    # Re-check availability at dispatch: another partition's
+                    # failure this round may have opened the circuit since
+                    # the candidate list was cut.
+                    if self._cluster.node_available(node_id):
+                        choice = (node_id, hosted)
+                        break
+                if choice is None:
+                    lost[partition] = "no reachable fresh copy"
+                    continue
+                submitted[partition] = (
+                    choice[0],
+                    choice[1],
+                    self._submit(task, partition, choice[1]),
+                )
+            pending = set()
+            for partition, (node_id, hosted, future) in submitted.items():
+                timeout = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    timeout = max(0.0, remaining / 2 if queues[partition] else remaining)
+                try:
+                    value = future.result(timeout=timeout)
+                except FuturesTimeout:
+                    future.cancel()
+                    self._partition_read_failed(partition, node_id, statistics)
+                    if queues[partition] and time.perf_counter() < deadline:
+                        pending.add(partition)
+                    else:
+                        lost[partition] = f"deadline exceeded reading from {node_id}"
+                except Exception as error:
+                    self._partition_read_failed(partition, node_id, statistics)
+                    out_of_time = (
+                        deadline is not None and time.perf_counter() >= deadline
+                    )
+                    if queues[partition] and not out_of_time:
+                        pending.add(partition)
+                    else:
+                        lost[partition] = (
+                            f"{type(error).__name__} from {node_id}: {error}"
+                        )
+                else:
+                    self._cluster.note_success(node_id)
+                    resolved[partition] = (node_id, hosted, value)
+        return resolved, lost
+
+    def _replace_stream(
+        self,
+        partition: int,
+        failed_node: str,
+        tried: Dict[int, Set[str]],
+        canonical: Tuple[str, ...],
+        k: int,
+        size_threshold: int,
+        idf_overrides: Dict[str, float],
+        emitted: int,
+        deadline: Optional[float],
+        statistics: SearchStatistics,
+    ) -> Optional[Tuple[str, SearchStream]]:
+        """Mid-merge failover: reopen the partition's stream on a fresh copy.
+
+        The replacement is deterministically fast-forwarded past the
+        ``emitted`` results the merge already took from the failed stream —
+        a fresh copy holds byte-identical data, so it replays the identical
+        dequeue sequence, and its next head key can only sit at or behind
+        the failed stream's (re-consuming an expansion dequeue the failed
+        stream had already absorbed is a no-op re-run of the same state
+        transition).  Returns ``(node_id, stream)`` or ``None`` when no
+        fresh copy answers within the deadline.
+        """
+        tried.setdefault(partition, set()).add(failed_node)
+        self._partition_read_failed(partition, failed_node, statistics)
+        for node_id, hosted in self._cluster.serving_candidates(partition, rotate=False):
+            if node_id in tried[partition]:
+                continue
+            if deadline is not None and time.perf_counter() >= deadline:
+                return None
+            try:
+                stream = hosted.searcher.stream(
+                    canonical, k, size_threshold, idf_overrides=idf_overrides
+                )
+                for _ in range(emitted):
+                    if stream.next_result(None) is None:
+                        break
+            except Exception:
+                tried[partition].add(node_id)
+                self._partition_read_failed(partition, node_id, statistics)
+                continue
+            self._cluster.note_success(node_id)
+            return node_id, stream
+        return None
 
     # ------------------------------------------------------------------
     def search(
@@ -183,6 +382,8 @@ class QueryRouter:
         k: int = 10,
         size_threshold: int = 100,
         session: Optional[RouterSession] = None,
+        deadline_seconds: Optional[float] = None,
+        degraded_ok: Optional[bool] = None,
     ) -> DetailedSearch:
         """Scatter-gather one query; byte-identical to a single-store run.
 
@@ -191,31 +392,46 @@ class QueryRouter:
         IDF.  The returned epoch is the facade (router-clock) epoch observed
         before the first partition read, so serving-cache stamps invalidate
         exactly as over a single store.
+
+        ``deadline_seconds``/``degraded_ok`` override the router defaults
+        for this query (see :meth:`__init__`).  Every per-partition read —
+        the DF round, the stream-open round, and each merge advance — fails
+        over across the partition's fresh copies; a partition that loses
+        every copy raises :class:`~repro.serving.errors.PartialResultError`
+        unless degradation is allowed, in which case the answer is flagged
+        ``complete=False`` with the lost partitions in the statistics.
         """
         if k < 1:
             raise ValueError("k must be at least 1")
         if size_threshold < 1:
             raise ValueError("the size threshold s must be at least 1")
+        budget = self.deadline_seconds if deadline_seconds is None else deadline_seconds
+        degraded = self.degraded_ok if degraded_ok is None else degraded_ok
         started = time.perf_counter()
+        deadline = None if budget is None else started + budget
         canonical = tuple(dict.fromkeys(str(keyword).lower() for keyword in keywords))
         epoch = self.index.store.epoch
-        # Pin one serving copy per partition for the whole query (round-robin
-        # over the primary and its fresh replicas) so both fan-out rounds
-        # read the same store objects even if a rebalance lands mid-query.
-        selections = [
-            self._cluster.select_serving(partition)
-            for partition in range(self.partition_count)
-        ]
+        statistics = SearchStatistics()
 
-        def partition_frequencies(hosted: HostedPartition) -> Dict[str, int]:
+        # Round 1 — global document frequencies, with per-copy failover.
+        # The selected copy is pinned per partition (round-robin over the
+        # primary and its fresh replicas) and reused by round 2, so a
+        # fault-free query reads each partition from one store object even
+        # if a rebalance lands mid-query.
+        def read_frequencies(partition: int, hosted: HostedPartition) -> Dict[str, int]:
+            del partition
             directories = hosted.store.posting_blocks_for_many(canonical)
             return {keyword: directories[keyword].posting_count for keyword in canonical}
 
-        frequency_maps = self._fan_out(
-            [lambda hosted=hosted: partition_frequencies(hosted) for _node, hosted in selections]
+        frequency_reads, missing = self._failover_fan_out(
+            range(self.partition_count), read_frequencies, deadline, statistics
         )
+        if missing and not degraded:
+            raise PartialResultError(missing, detail="; ".join(missing.values()))
         global_frequencies = {
-            keyword: sum(frequencies[keyword] for frequencies in frequency_maps)
+            keyword: sum(
+                frequencies[keyword] for _node, _hosted, frequencies in frequency_reads.values()
+            )
             for keyword in canonical
         }
         idf_overrides = {
@@ -223,54 +439,104 @@ class QueryRouter:
             for keyword, frequency in global_frequencies.items()
         }
 
-        def open_stream(hosted: HostedPartition):
+        # Round 2 — open the bound-ordered partial streams (first frontier
+        # materialized inside the fan-out), pinned to round 1's copies.
+        def open_stream(partition: int, hosted: HostedPartition):
+            del partition
             stream = hosted.searcher.stream(
                 canonical, k, size_threshold, idf_overrides=idf_overrides
             )
-            # First materialization (the admissible frontier) runs inside
-            # the fan-out; afterwards the stream is advanced only by the
-            # merge thread.
             return stream, stream.peek_entry()
 
-        opened = self._fan_out(
-            [lambda hosted=hosted: open_stream(hosted) for _node, hosted in selections]
+        pinned = {
+            partition: (node_id, hosted)
+            for partition, (node_id, hosted, _f) in frequency_reads.items()
+        }
+        opened, lost_streams = self._failover_fan_out(
+            sorted(frequency_reads), open_stream, deadline, statistics, pinned=pinned
         )
-        streams: List[SearchStream] = [stream for stream, _entry in opened]
+        missing.update(lost_streams)
+        if lost_streams and not degraded:
+            raise PartialResultError(missing, detail="; ".join(missing.values()))
 
+        streams: Dict[int, SearchStream] = {}
+        stream_nodes: Dict[int, str] = {}
+        emitted: Dict[int, int] = {}
+        tried: Dict[int, Set[str]] = {}
         heap: List[Tuple[tuple, int]] = []
-        for sequence, (_stream, entry) in enumerate(opened):
+        for partition, (node_id, _hosted, (stream, entry)) in opened.items():
+            streams[partition] = stream
+            stream_nodes[partition] = node_id
+            emitted[partition] = 0
             if entry is not None:
-                heap.append((entry, sequence))
+                heap.append((entry, partition))
         heap.sort()
         merged: List[SearchResult] = []
         while heap and len(merged) < k:
-            entry, sequence = heap[0]
+            entry, partition = heap[0]
             # The runner-up's head entry bounds how far this stream may
             # advance: every dequeue it performs within the limit is
             # provably the globally smallest pending entry.
             limit = heap[1][0] if len(heap) > 1 else None
-            stream = streams[sequence]
-            result = stream.next_result(limit)
+            stream = streams[partition]
+            try:
+                result = stream.next_result(limit)
+                refreshed = stream.peek_entry()
+            except Exception as error:
+                # Merge-stage failover runs on the merge thread: the
+                # deadline here is cooperative (checked between replica
+                # attempts), preemptive timeouts cover the fan-out rounds.
+                replacement = self._replace_stream(
+                    partition,
+                    stream_nodes[partition],
+                    tried,
+                    canonical,
+                    k,
+                    size_threshold,
+                    idf_overrides,
+                    emitted[partition],
+                    deadline,
+                    statistics,
+                )
+                if replacement is None:
+                    reason = (
+                        f"{type(error).__name__} from {stream_nodes[partition]} "
+                        "mid-merge, no fresh copy left"
+                    )
+                    if not degraded:
+                        missing[partition] = reason
+                        raise PartialResultError(missing, detail=reason)
+                    missing[partition] = reason
+                    streams.pop(partition)
+                    stream_nodes.pop(partition)
+                    heap.pop(0)
+                    continue
+                node_id, new_stream = replacement
+                streams[partition] = new_stream
+                stream_nodes[partition] = node_id
+                head = new_stream.peek_entry()
+                if head is None:
+                    heap.pop(0)
+                else:
+                    heap[0] = (head, partition)
+                heap.sort()
+                continue
             if result is not None:
                 merged.append(result)
-            refreshed = stream.peek_entry()
+                emitted[partition] += 1
             if refreshed is None:
                 heap.pop(0)
             else:
-                heap[0] = (refreshed, sequence)
+                heap[0] = (refreshed, partition)
             heap.sort()
 
-        statistics = SearchStatistics()
-        statistics.nodes_queried = len({node_id for node_id, _hosted in selections})
+        statistics.nodes_queried = len(set(stream_nodes.values()))
         short_circuited: Set[str] = set()
-        for (node_id, _hosted), stream in zip(selections, streams):
-            if not stream.exhausted:
-                short_circuited.add(node_id)
-            statistics.partials_discarded += stream.pending_candidates
-        statistics.nodes_short_circuited = len(short_circuited)
-        statistics.partials_merged = len(merged)
         dependencies: Set[FragmentId] = set()
-        for stream in streams:
+        for partition, stream in streams.items():
+            if not stream.exhausted:
+                short_circuited.add(stream_nodes[partition])
+            statistics.partials_discarded += stream.pending_candidates
             stream_statistics = stream.finalize()
             dependencies.update(stream.consulted)
             for field_name in _STREAM_SUM_FIELDS:
@@ -279,10 +545,14 @@ class QueryRouter:
                     field_name,
                     getattr(statistics, field_name) + getattr(stream_statistics, field_name),
                 )
+        statistics.nodes_short_circuited = len(short_circuited)
+        statistics.partials_merged = len(merged)
         # Same final step as a single stream: emission order is not strictly
         # score-ordered, the stable sort restores the ranking.
         merged.sort(key=lambda result: -result.score)
         statistics.results = len(merged)
+        statistics.complete = not missing
+        statistics.missing_partitions = tuple(sorted(missing))
         statistics.elapsed_seconds = time.perf_counter() - started
         self.last_statistics = statistics
         with self._lifetime_lock:
@@ -339,6 +609,9 @@ class SearchCluster:
         replicas: int,
         node_store: NodeStoreSpec = "memory",
         store_dir: Optional[str] = None,
+        fault_plane: Optional[FaultPlane] = None,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 0.5,
     ) -> None:
         self.partitioner = GroupPartitioner(query, partitions)
         self.ring = HashRing(node_ids)
@@ -347,6 +620,15 @@ class SearchCluster:
             for node_id in node_ids
         }
         self.replication = max(1, min(replicas, len(node_ids)))
+        self.fault_plane = fault_plane
+        self._health: Dict[str, NodeHealth] = {
+            node_id: NodeHealth(
+                node_id,
+                failure_threshold=breaker_threshold,
+                reset_seconds=breaker_reset_seconds,
+            )
+            for node_id in node_ids
+        }
         self._node_store = node_store
         self._store_dir = store_dir
         self._owns_store_dir = False
@@ -378,6 +660,11 @@ class SearchCluster:
         node_store: NodeStoreSpec = "memory",
         store_dir: Optional[str] = None,
         router_workers: Optional[int] = None,
+        fault_plane: Optional[FaultPlane] = None,
+        deadline_seconds: Optional[float] = None,
+        degraded_ok: bool = False,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 0.5,
     ) -> "SearchCluster":
         """Partition a built corpus across ``nodes`` and wire the router.
 
@@ -385,6 +672,13 @@ class SearchCluster:
         ``node_store`` picks each partition copy's backend (see
         :data:`NodeStoreSpec`), ``store_dir`` where disk backends land
         their files (a managed temporary directory when omitted).
+
+        ``fault_plane`` wraps every partition copy with a
+        :class:`~repro.faults.FaultPlane` proxy (chaos testing);
+        ``deadline_seconds``/``degraded_ok`` set the router's default
+        failover budget and partial-result policy, and the ``breaker_*``
+        knobs tune each node's circuit breaker (see
+        :class:`~repro.cluster.health.NodeHealth`).
         """
         if nodes < 1:
             raise ValueError(f"node count must be at least 1, got {nodes}")
@@ -398,6 +692,9 @@ class SearchCluster:
             replicas=replicas,
             node_store=node_store,
             store_dir=store_dir,
+            fault_plane=fault_plane,
+            breaker_threshold=breaker_threshold,
+            breaker_reset_seconds=breaker_reset_seconds,
         )
         for partition, assignment in cluster._assignments.items():
             store = cluster._new_partition_store(partition, assignment.primary)
@@ -408,7 +705,12 @@ class SearchCluster:
                 cluster.nodes[node_id].host(
                     partition, cluster._clone_partition(partition, node_id)
                 )
-        cluster.router = QueryRouter(cluster, workers=router_workers)
+        cluster.router = QueryRouter(
+            cluster,
+            workers=router_workers,
+            deadline_seconds=deadline_seconds,
+            degraded_ok=degraded_ok,
+        )
         return cluster
 
     def service(self, **kwargs) -> "ClusterSearchService":
@@ -440,32 +742,113 @@ class SearchCluster:
             node_id = self._assignments[partition].primary
         return self.nodes[node_id].hosted(partition).store
 
-    def select_serving(self, partition: int) -> Tuple[str, HostedPartition]:
-        """Pick the copy to serve one query's reads of ``partition``.
+    def node_available(self, node_id: str) -> bool:
+        """Whether ``node_id``'s circuit breaker currently admits traffic."""
+        return self._health[node_id].available()
 
-        Round-robin over the primary and its replicas, skipping replicas
-        whose epoch trails the primary's (stale until
-        :meth:`sync_replicas`); falls back to the primary.  This is what
-        spreads a hot partition's read load ``replicas``-ways.
+    def node_health(self, node_id: str) -> NodeHealth:
+        """The breaker/counter record of one node."""
+        return self._health[node_id]
+
+    def note_failure(self, node_id: str) -> str:
+        """Record one observed read failure; returns the breaker state."""
+        return self._health[node_id].record_failure()
+
+    def note_success(self, node_id: str) -> None:
+        """Record one observed read success (closes a probing breaker)."""
+        self._health[node_id].record_success()
+
+    def serving_candidates(
+        self, partition: int, rotate: bool = True
+    ) -> List[Tuple[str, HostedPartition]]:
+        """Every copy currently eligible to serve ``partition``, best first.
+
+        Round-robin over the primary and its replicas (``rotate=False``
+        reads the rotation without advancing it — failover re-reads reuse
+        the query's pinned rotation), skipping copies whose node breaker is
+        open and replicas whose epoch trails the primary's (stale until
+        :meth:`sync_replicas`).  This is what spreads a hot partition's read
+        load ``replicas``-ways; the first entry is the pick the old
+        single-copy selection would have made.
         """
         with self._topology_lock:
             assignment = self._assignments[partition]
             order = (assignment.primary,) + assignment.replicas
             start = assignment.round_robin
-            assignment.round_robin = (assignment.round_robin + 1) % len(order)
+            if rotate:
+                assignment.round_robin = (assignment.round_robin + 1) % len(order)
         primary_hosted = self.nodes[assignment.primary].hosted(partition)
         primary_epoch = primary_hosted.store.epoch
+        candidates: List[Tuple[str, HostedPartition]] = []
         for offset in range(len(order)):
             node_id = order[(start + offset) % len(order)]
+            if not self.node_available(node_id):
+                continue
             if node_id == assignment.primary:
-                return node_id, primary_hosted
+                candidates.append((node_id, primary_hosted))
+                continue
             node = self.nodes[node_id]
             if not node.hosts(partition):
                 continue
             hosted = node.hosted(partition)
             if hosted.store.epoch == primary_epoch:
-                return node_id, hosted
-        return assignment.primary, primary_hosted
+                candidates.append((node_id, hosted))
+        return candidates
+
+    def select_serving(self, partition: int) -> Tuple[str, HostedPartition]:
+        """Pick the copy to serve one query's reads of ``partition``.
+
+        The head of :meth:`serving_candidates` — round-robin over the
+        primary and its fresh replicas.  Unlike the historical behaviour
+        this never silently falls back to a primary whose breaker is open:
+        if no copy is eligible it raises
+        :class:`~repro.serving.errors.PartitionUnavailableError` so callers
+        can fail over or surface the outage instead of querying a node
+        known to be dead.
+        """
+        candidates = self.serving_candidates(partition)
+        if not candidates:
+            assignment = self.assignment(partition)
+            raise PartitionUnavailableError(
+                partition,
+                tried=(assignment.primary,) + assignment.replicas,
+                reason="primary dead and no fresh available replica",
+            )
+        return candidates[0]
+
+    def ensure_live_primary(self, partition: int) -> Optional[str]:
+        """Promote a fresh replica if ``partition``'s primary looks dead.
+
+        No-op (returns ``None``) while the primary's breaker admits
+        traffic.  Otherwise the first available replica hosting a copy at
+        the primary's epoch is promoted via the :meth:`rebalance` flip
+        machinery — the dead node demotes to replica so it can be re-synced
+        if it comes back — and its id is returned.  With no eligible
+        replica the partition stays on the dead primary (callers see
+        :class:`~repro.serving.errors.PartitionUnavailableError` until the
+        breaker's probe window reopens).
+        """
+        assignment = self.assignment(partition)
+        if self.node_available(assignment.primary):
+            return None
+        primary_epoch = self.nodes[assignment.primary].hosted(partition).store.epoch
+        for node_id in assignment.replicas:
+            if not self.node_available(node_id):
+                continue
+            node = self.nodes[node_id]
+            if not node.hosts(partition):
+                continue
+            if node.hosted(partition).store.epoch != primary_epoch:
+                continue
+            if self._flip_primary(
+                partition,
+                node_id,
+                keep_source=True,
+                expected_primary=assignment.primary,
+            ):
+                return node_id
+            return None
+        return None
 
     # ------------------------------------------------------------------
     # rebalancing and replica catch-up
@@ -497,24 +880,49 @@ class SearchCluster:
             # A same-partition write raced the copy; retire it and recut.
             self._retired.append(new_store)
         self.nodes[target_node_id].host(partition, new_store)
-        with self._topology_lock:
-            assignment = self._assignments[partition]
-            was_replica = target_node_id in assignment.replicas
-            remaining = tuple(
-                node_id for node_id in assignment.replicas if node_id != target_node_id
-            )
-            assignment.primary = target_node_id
-            assignment.replicas = (
-                remaining + (source_node_id,) if was_replica else remaining
-            )
-            keep_source = was_replica
+        flipped = self._flip_primary(partition, target_node_id)
+        if flipped is None:
+            return True
+        flipped_source, keep_source = flipped
         if not keep_source:
-            dropped = self.nodes[source_node_id].drop(partition)
+            dropped = self.nodes[flipped_source].drop(partition)
             if dropped is not None:
                 # In-flight queries pinned to the old copy finish against it;
                 # the store closes with the cluster, not under them.
                 self._retired.append(dropped.store)
         return True
+
+    def _flip_primary(
+        self,
+        partition: int,
+        target_node_id: str,
+        keep_source: Optional[bool] = None,
+        expected_primary: Optional[str] = None,
+    ) -> Optional[Tuple[str, bool]]:
+        """Atomically make ``target_node_id`` the primary of ``partition``.
+
+        ``keep_source`` forces whether the old primary stays listed as a
+        replica (default: only if the target *was* a replica, i.e. its
+        copy is reusable).  ``expected_primary`` aborts the flip (returns
+        ``None``) if the assignment moved since the caller looked — the
+        promotion equivalent of a compare-and-swap.  Returns the old
+        primary and whether it was kept.
+        """
+        with self._topology_lock:
+            assignment = self._assignments[partition]
+            if expected_primary is not None and assignment.primary != expected_primary:
+                return None
+            source_node_id = assignment.primary
+            if source_node_id == target_node_id:
+                return None
+            was_replica = target_node_id in assignment.replicas
+            keep = was_replica if keep_source is None else keep_source
+            remaining = tuple(
+                node_id for node_id in assignment.replicas if node_id != target_node_id
+            )
+            assignment.primary = target_node_id
+            assignment.replicas = remaining + (source_node_id,) if keep else remaining
+        return source_node_id, keep
 
     def sync_replicas(self, partition: Optional[int] = None) -> int:
         """Cut fresh snapshot copies for stale replicas (epoch catch-up).
@@ -553,7 +961,7 @@ class SearchCluster:
                 "replicas": list(assignment.replicas),
                 "epoch": self.primary_store(partition).epoch,
             }
-        return {
+        payload: Dict[str, object] = {
             "nodes": {
                 node_id: {"partitions": list(node.partitions())}
                 for node_id, node in self.nodes.items()
@@ -562,7 +970,13 @@ class SearchCluster:
             "partition_epochs": self.store.partition_epochs(),
             "epoch": self.store.epoch,
             "replication": self.replication,
+            "health": {
+                node_id: health.as_dict() for node_id, health in self._health.items()
+            },
         }
+        if self.fault_plane is not None:
+            payload["faults"] = self.fault_plane.statistics()
+        return payload
 
     def close(self) -> None:
         """Shut the router down and close every hosted and retired store."""
@@ -588,6 +1002,15 @@ class SearchCluster:
         return self._store_dir
 
     def _new_partition_store(self, partition: int, node_id: str) -> FragmentStore:
+        return self._wrap_store(node_id, self._new_raw_partition_store(partition, node_id))
+
+    def _new_raw_partition_store(self, partition: int, node_id: str) -> FragmentStore:
+        """A bare (unwrapped) backend for one partition copy.
+
+        Snapshot restores need the bare store — the fault-plane proxy is
+        not a :class:`FragmentStore` and must only be layered on *after*
+        the copy is complete (see :meth:`_wrap_store`).
+        """
         spec = self._node_store
         if callable(spec):
             return spec(node_id, partition)
@@ -600,6 +1023,12 @@ class SearchCluster:
             f"unknown node store spec {spec!r}; expected 'memory', 'disk' or a "
             "(node_id, partition) -> FragmentStore factory"
         )
+
+    def _wrap_store(self, node_id: str, store: FragmentStore):
+        """Layer the cluster's fault plane (if any) over one copy."""
+        if self.fault_plane is None:
+            return store
+        return self.fault_plane.wrap_store(node_id, store)
 
     def _clone_partition(self, partition: int, target_node_id: str) -> FragmentStore:
         """Snapshot the partition's primary and restore it into a fresh store.
@@ -616,10 +1045,11 @@ class SearchCluster:
         )
         source.snapshot(snapshot_path)
         try:
-            return load_snapshot(
+            restored = load_snapshot(
                 snapshot_path,
-                store=self._new_partition_store(partition, target_node_id),
+                store=self._new_raw_partition_store(partition, target_node_id),
             )
+            return self._wrap_store(target_node_id, restored)
         finally:
             try:
                 os.remove(snapshot_path)
@@ -638,10 +1068,22 @@ class ClusterSearchService(SearchService):
     closes the cluster (router pool, every partition store, managed files).
     """
 
-    def __init__(self, cluster: SearchCluster, **kwargs) -> None:
+    def __init__(
+        self,
+        cluster: SearchCluster,
+        degraded_ok: Optional[bool] = None,
+        deadline_seconds: Optional[float] = None,
+        **kwargs,
+    ) -> None:
         if cluster.router is None:
             raise ValueError("the cluster has no router; build it with SearchCluster.build")
         self.cluster = cluster
+        # Non-None overrides win over whatever SearchCluster.build wired in;
+        # the serving layer is where the degraded-results policy lives.
+        if degraded_ok is not None:
+            cluster.router.degraded_ok = degraded_ok
+        if deadline_seconds is not None:
+            cluster.router.deadline_seconds = deadline_seconds
         super().__init__(cluster.router, session=cluster.router.session(), **kwargs)
 
     def close(self) -> None:

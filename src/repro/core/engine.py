@@ -39,6 +39,7 @@ from repro.webapp.application import WebApplication
 if TYPE_CHECKING:  # runtime import would be circular through repro.core
     from repro.build.pipeline import BuildReport
     from repro.cluster.router import ClusterSearchService, NodeStoreSpec
+    from repro.faults.plane import FaultPlane
     from repro.serving.service import SearchService
 
 
@@ -453,6 +454,11 @@ class DashEngine:
         default_k: int = 10,
         default_size_threshold: int = 100,
         max_dependencies: int = 4096,
+        fault_plane: Optional["FaultPlane"] = None,
+        deadline_seconds: Optional[float] = None,
+        degraded_ok: bool = False,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 0.5,
     ) -> "ClusterSearchService":
         """Serve this engine's corpus from a simulated multi-node cluster.
 
@@ -467,6 +473,13 @@ class DashEngine:
         store is only *read* during the build — subsequent mutations must go
         through the returned service's cluster facade
         (``service.cluster.store``), not this engine.
+
+        ``fault_plane`` (a :class:`~repro.faults.FaultPlane`) wraps every
+        partition copy for chaos testing; ``deadline_seconds`` bounds each
+        query's failover budget, ``degraded_ok`` opts into flagged partial
+        results instead of :class:`~repro.serving.PartialResultError` when a
+        partition loses every copy, and the ``breaker_*`` knobs tune the
+        per-node circuit breakers.
         """
         # Imported here for the same circularity reason as serving().
         from repro.cluster import SearchCluster
@@ -481,6 +494,11 @@ class DashEngine:
             partitions=partitions,
             node_store=node_store,
             store_dir=store_dir,
+            fault_plane=fault_plane,
+            deadline_seconds=deadline_seconds,
+            degraded_ok=degraded_ok,
+            breaker_threshold=breaker_threshold,
+            breaker_reset_seconds=breaker_reset_seconds,
         )
         return built.service(
             cache_size=cache_size,

@@ -110,6 +110,7 @@ LIFETIME_FIELDS = (
     "nodes_short_circuited",
     "partials_merged",
     "partials_discarded",
+    "failovers",
 )
 
 
@@ -163,6 +164,14 @@ class SearchStatistics:
     per-node partial results entered the merged ranking, and
     ``partials_discarded`` how many materialized partial candidates the
     merge abandoned unranked.
+
+    The fault-tolerance fields are router-filled too: ``failovers`` counts
+    partition read attempts that failed and were retried on another fresh
+    copy (or abandoned); ``complete`` flips to ``False`` — with the lost
+    partitions in ``missing_partitions`` — when the query was answered
+    under ``degraded_ok=True`` without every partition (see
+    :mod:`repro.cluster.router`).  Single-store searches are always
+    complete.
     """
 
     elapsed_seconds: float = 0.0
@@ -180,6 +189,9 @@ class SearchStatistics:
     nodes_short_circuited: int = 0
     partials_merged: int = 0
     partials_discarded: int = 0
+    failovers: int = 0
+    complete: bool = True
+    missing_partitions: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,31 @@
+"""Serving-side chaos engineering: deterministic, seedable fault injection.
+
+One :class:`FaultPlane` wraps cluster partition stores
+(:meth:`FaultPlane.wrap_store`) and injects crashes, latency spikes, error
+bursts and permanent node death by :class:`FaultRule` (nth-call,
+probability, per-node) — reusing the build pipeline's injector contract
+(:mod:`repro.mapreduce.runtime`) so build and serving share one chaos
+vocabulary.  See :mod:`repro.faults.plane` for determinism notes and
+:meth:`repro.core.engine.DashEngine.cluster` (``fault_plane=``) for the
+blessed wiring into a cluster.
+"""
+
+from repro.faults.plane import (
+    INTERCEPTED_OPERATIONS,
+    FaultError,
+    FaultInjectedStore,
+    FaultPlane,
+    FaultRule,
+    NodeDown,
+    NodeFault,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultInjectedStore",
+    "FaultPlane",
+    "FaultRule",
+    "INTERCEPTED_OPERATIONS",
+    "NodeDown",
+    "NodeFault",
+]

@@ -27,7 +27,10 @@ from repro.mapreduce.serialization import estimate_pair_size
 T = TypeVar("T")
 
 #: ``(phase, task_index, attempt)`` — raise :class:`TaskFailure` to fault the
-#: attempt.  ``attempt`` starts at 1.
+#: attempt.  ``attempt`` starts at 1.  This is the chaos vocabulary shared
+#: with the serving side: :meth:`repro.faults.FaultPlane.failure_injector`
+#: adapts a seeded serving fault plane to this contract, so one rule set
+#: can fault a distributed build and the cluster serving its output.
 FailureInjector = Callable[[str, int, int], None]
 
 

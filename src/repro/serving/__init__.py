@@ -25,8 +25,11 @@ from repro.serving.cache import CachedResult, CacheStatistics, ResultCache
 from repro.serving.errors import (
     InvalidParameterError,
     InvalidQueryError,
+    PartialResultError,
+    PartitionUnavailableError,
     ServiceClosedError,
     ServiceConfigurationError,
+    ServiceStoppedError,
     ServingError,
 )
 from repro.serving.gateway import SearchGateway
@@ -41,12 +44,15 @@ __all__ = [
     "InvalidParameterError",
     "InvalidQueryError",
     "MaintenanceService",
+    "PartialResultError",
+    "PartitionUnavailableError",
     "ReadWriteGate",
     "ResultCache",
     "SearchGateway",
     "SearchService",
     "ServiceClosedError",
     "ServiceConfigurationError",
+    "ServiceStoppedError",
     "ServingError",
     "ServingResult",
 ]

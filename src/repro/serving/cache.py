@@ -36,7 +36,7 @@ from repro.store.base import FragmentStore
 class CachedResult:
     """One cached search outcome (mutable stamp for revalidation)."""
 
-    __slots__ = ("results", "keywords", "dependencies", "epoch")
+    __slots__ = ("results", "keywords", "dependencies", "epoch", "complete", "missing_partitions")
 
     def __init__(
         self,
@@ -44,6 +44,8 @@ class CachedResult:
         keywords: Tuple[str, ...],
         dependencies: Optional[FrozenSet[FragmentId]],
         epoch: int,
+        complete: bool = True,
+        missing_partitions: Tuple[int, ...] = (),
     ) -> None:
         self.results = results
         self.keywords = keywords
@@ -51,6 +53,12 @@ class CachedResult:
         #: entry then goes stale on *any* store mutation.
         self.dependencies = dependencies
         self.epoch = epoch
+        #: ``False`` marks a degraded (partial) answer — some cluster
+        #: partitions were unreachable.  Partial entries are never stored
+        #: (:meth:`ResultCache.put` refuses them); the flag exists so
+        #: single-flight followers of a degraded leader see it.
+        self.complete = complete
+        self.missing_partitions = missing_partitions
 
 
 @dataclass
@@ -117,6 +125,10 @@ class ResultCache:
 
     def put(self, key: Hashable, entry: CachedResult) -> None:
         if self.capacity == 0:
+            return
+        if not entry.complete:
+            # A degraded answer reflects an outage, not the corpus: caching
+            # it would keep serving partial results after the cluster heals.
             return
         with self._lock:
             self._entries[key] = entry

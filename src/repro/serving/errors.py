@@ -2,10 +2,16 @@
 
 Everything the query frontend can reject is a :class:`ServingError` subclass,
 so callers (the web gateway, benchmark drivers, tests) can tell admission
-failures apart from engine bugs and map each to the right response.
+failures apart from engine bugs and map each to the right response.  The
+fault-tolerance errors (:class:`PartitionUnavailableError`,
+:class:`PartialResultError`, :class:`ServiceStoppedError`) carry enough
+structure — partition ids, tried nodes, the killing error — for a caller to
+decide between retrying, degrading and alerting.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
 
 
 class ServingError(Exception):
@@ -26,3 +32,58 @@ class ServiceConfigurationError(ServingError):
 
 class ServiceClosedError(ServingError):
     """The service was asked to search after :meth:`SearchService.close`."""
+
+
+class ServiceStoppedError(ServingError):
+    """The maintenance writer thread died; the queue no longer drains.
+
+    Carries the error that killed the thread as :attr:`cause` so callers
+    (and every already-queued ticket, which is failed with that same error)
+    can see what actually went wrong instead of hanging on ``flush()``.
+    """
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
+class PartitionUnavailableError(ServingError):
+    """No reachable fresh copy of one partition exists right now.
+
+    Raised by :meth:`~repro.cluster.SearchCluster.select_serving` when the
+    primary's circuit is open and no fresh replica is available — the
+    router's per-copy failover raises it per partition, and a query that
+    cannot be degraded surfaces it wrapped in :class:`PartialResultError`.
+    """
+
+    def __init__(
+        self,
+        partition: int,
+        tried: Sequence[str] = (),
+        reason: str = "no reachable fresh copy",
+    ) -> None:
+        nodes = ", ".join(tried) if tried else "none"
+        super().__init__(
+            f"partition {partition} is unavailable ({reason}; copies tried: {nodes})"
+        )
+        self.partition = partition
+        self.tried: Tuple[str, ...] = tuple(tried)
+        self.reason = reason
+
+
+class PartialResultError(ServingError):
+    """A routed query could not cover every partition within its deadline.
+
+    Raised when ``degraded_ok`` is off; under ``degraded_ok=True`` the
+    router returns flagged partial results instead (``complete=False`` with
+    the same :attr:`missing_partitions` in the search statistics).
+    """
+
+    def __init__(self, missing_partitions: Sequence[int], detail: str = "") -> None:
+        missing = tuple(sorted(missing_partitions))
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"no reachable copy of partition(s) {list(missing)} within the "
+            f"query deadline{suffix}; pass degraded_ok=True to accept partial results"
+        )
+        self.missing_partitions: Tuple[int, ...] = missing

@@ -175,6 +175,12 @@ class SearchGateway:
         title = f"{self.name}: {' '.join(served.keywords)}"
         text_lines = []
         html_rows = []
+        banner = ""
+        if not getattr(served, "complete", True):
+            missing = " ".join(str(partition) for partition in served.missing_partitions)
+            incomplete = f"INCOMPLETE missing partitions {missing}"
+            text_lines.append(incomplete)
+            banner = f"<p><strong>{html.escape(incomplete)}</strong></p>\n"
         for rank, result in enumerate(served.results, start=1):
             text_lines.append(f"{rank} {result.url} {result.score:.6f}")
             html_rows.append(
@@ -183,7 +189,7 @@ class SearchGateway:
             )
         page_html = (
             f"<html><head><title>{html.escape(title)}</title></head><body>\n"
-            f"<h1>{html.escape(title)}</h1>\n"
+            f"<h1>{html.escape(title)}</h1>\n" + banner +
             f"<ol>\n" + "\n".join(html_rows) + "\n</ol>\n"
             f"</body></html>"
         )

@@ -50,7 +50,7 @@ from repro.core.incremental import (
     IncrementalMaintainer,
     InsertRecord,
 )
-from repro.serving.errors import ServiceClosedError
+from repro.serving.errors import ServiceClosedError, ServiceStoppedError
 
 
 class ReadWriteGate:
@@ -153,6 +153,7 @@ class MaintenanceService:
         self._pending: Deque[Tuple[DatabaseUpdate, "Future[AppliedBatch]"]] = deque()
         self._inflight = 0  # queued + currently-applying tickets
         self._closed = False
+        self._stopped: Optional[BaseException] = None  # writer-thread death cause
         self._failed_batches = 0
         self._batches_applied = 0
         self._updates_applied = 0
@@ -186,6 +187,11 @@ class MaintenanceService:
         """
         ticket: "Future[AppliedBatch]" = Future()
         with self._condition:
+            if self._stopped is not None:
+                raise ServiceStoppedError(
+                    f"the maintenance writer thread died: {self._stopped!r}",
+                    cause=self._stopped,
+                )
             if self._closed:
                 raise ServiceClosedError("this MaintenanceService has been closed")
             self._pending.append((update, ticket))
@@ -197,24 +203,61 @@ class MaintenanceService:
     # the writer thread
     # ------------------------------------------------------------------
     def _run(self) -> None:
+        try:
+            self._drain_loop()
+        except BaseException as error:  # writer died: fail fast, not silently
+            self._abort(error)
+
+    def _collect_batch(
+        self,
+    ) -> Optional[List[Tuple[DatabaseUpdate, "Future[AppliedBatch]"]]]:
+        """Wait for work, run the coalescing window, pop one batch.
+
+        Returns ``None`` when the service is closed and drained (the writer
+        should exit) and a possibly-empty list otherwise (empty when
+        ``close(drain=False)`` cancelled the queue mid-window).
+        """
+        with self._condition:
+            while not self._pending and not self._closed:
+                self._condition.wait()
+            if not self._pending and self._closed:
+                return None
+            if self._max_delay and len(self._pending) < self._max_batch:
+                # Coalescing window: give a burst a moment to finish
+                # arriving so it lands as one batch, not many.
+                deadline = time.monotonic() + self._max_delay
+                while len(self._pending) < self._max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._condition.wait(remaining) is False:
+                        break
+            return [
+                self._pending.popleft()
+                for _ in range(min(len(self._pending), self._max_batch))
+            ]
+
+    def _abort(self, error: BaseException) -> None:
+        """The writer thread died: fail every queued ticket, unblock waiters.
+
+        Without this, tickets whose batch was never applied would hang
+        forever and ``flush()`` would never return.  Subsequent
+        :meth:`submit`/:meth:`flush` calls raise
+        :class:`~repro.serving.errors.ServiceStoppedError` carrying the
+        original cause.
+        """
+        with self._condition:
+            self._stopped = error
+            failed = list(self._pending)
+            self._pending.clear()
+            self._inflight = 0
+            self._condition.notify_all()
+        for _update, ticket in failed:
+            ticket.set_exception(error)
+
+    def _drain_loop(self) -> None:
         while True:
-            with self._condition:
-                while not self._pending and not self._closed:
-                    self._condition.wait()
-                if not self._pending and self._closed:
-                    return
-                if self._max_delay and len(self._pending) < self._max_batch:
-                    # Coalescing window: give a burst a moment to finish
-                    # arriving so it lands as one batch, not many.
-                    deadline = time.monotonic() + self._max_delay
-                    while len(self._pending) < self._max_batch and not self._closed:
-                        remaining = deadline - time.monotonic()
-                        if remaining <= 0 or self._condition.wait(remaining) is False:
-                            break
-                batch = [
-                    self._pending.popleft()
-                    for _ in range(min(len(self._pending), self._max_batch))
-                ]
+            batch = self._collect_batch()
+            if batch is None:
+                return
             if not batch:
                 # close(drain=False) cancelled the queue while we sat in the
                 # coalescing window — nothing to apply, nothing to count.
@@ -255,15 +298,28 @@ class MaintenanceService:
     def flush(self, timeout: Optional[float] = None) -> bool:
         """Block until every update submitted so far has been applied.
 
-        Returns ``False`` when ``timeout`` (seconds) elapsed first.
+        Returns ``False`` when ``timeout`` (seconds) elapsed first.  Raises
+        :class:`~repro.serving.errors.ServiceStoppedError` if the writer
+        thread died (queued tickets were failed with its error) — the
+        alternative would be hanging forever on work nobody will apply.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._condition:
             while self._inflight:
+                if self._stopped is not None:
+                    raise ServiceStoppedError(
+                        f"the maintenance writer thread died: {self._stopped!r}",
+                        cause=self._stopped,
+                    )
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     return False
                 self._condition.wait(remaining)
+            if self._stopped is not None:
+                raise ServiceStoppedError(
+                    f"the maintenance writer thread died: {self._stopped!r}",
+                    cause=self._stopped,
+                )
         return True
 
     def close(self, drain: bool = True) -> None:
@@ -312,6 +368,7 @@ class MaintenanceService:
                 "updates_coalesced": self._updates_coalesced,
                 "failed_batches": self._failed_batches,
                 "pending": len(self._pending),
+                "stopped": self._stopped is not None,
                 "apply_seconds": self._apply_seconds,
                 "mean_batch_size": (self._updates_applied / batches) if batches else 0.0,
                 "fragments_touched": self._maintainer.fragments_touched,

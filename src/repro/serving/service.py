@@ -68,7 +68,10 @@ class ServingResult:
 
     ``cached`` — served straight from the result cache;
     ``coalesced`` — computed once by a concurrent identical request and
-    shared; ``epoch`` — the store epoch the results are valid against.
+    shared; ``epoch`` — the store epoch the results are valid against;
+    ``complete`` — ``False`` for a degraded cluster answer with the
+    unreachable partitions in ``missing_partitions`` (degraded answers are
+    never served from or stored into the cache).
     """
 
     results: Tuple[SearchResult, ...]
@@ -79,6 +82,8 @@ class ServingResult:
     coalesced: bool
     epoch: int
     elapsed_seconds: float
+    complete: bool = True
+    missing_partitions: Tuple[int, ...] = ()
 
     @property
     def urls(self) -> Tuple[str, ...]:
@@ -358,6 +363,10 @@ class SearchService:
                             session=self._session,
                         )
                 dependencies = detailed.dependencies
+                # Single-store searchers have no notion of partial answers;
+                # the cluster router stamps these on its statistics.
+                complete = getattr(detailed.statistics, "complete", True)
+                missing = tuple(getattr(detailed.statistics, "missing_partitions", ()))
                 entry = CachedResult(
                     results=detailed.results,
                     keywords=detailed.keywords,
@@ -365,8 +374,12 @@ class SearchService:
                         dependencies if len(dependencies) <= self._max_dependencies else None
                     ),
                     epoch=detailed.epoch,
+                    complete=complete,
+                    missing_partitions=missing,
                 )
-                self._cache.put(key, entry)
+                # The cache refuses partial entries too (defense in depth).
+                if complete:
+                    self._cache.put(key, entry)
                 with self._counter_lock:
                     self._computed += 1
                 future.set_result(entry)
@@ -407,6 +420,8 @@ class SearchService:
             coalesced=coalesced,
             epoch=entry.epoch,
             elapsed_seconds=time.perf_counter() - started,
+            complete=getattr(entry, "complete", True),
+            missing_partitions=tuple(getattr(entry, "missing_partitions", ())),
         )
 
     def _ensure_executor(self) -> ThreadPoolExecutor:

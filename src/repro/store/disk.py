@@ -113,6 +113,7 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.fragments import FragmentId
@@ -696,16 +697,41 @@ class DiskStore(FragmentStore):
                 # check_same_thread=False only so close() (and the sweep
                 # above) can close pooled readers from whatever thread runs
                 # them; reads still use each connection from its owner.
-                connection = sqlite3.connect(self.path, check_same_thread=False)
-                try:
-                    connection.execute("PRAGMA query_only=ON")
-                    connection.execute("PRAGMA busy_timeout=5000")
-                except BaseException:
-                    connection.close()
-                    raise
+                connection = self._connect_reader()
                 self._pooled_readers.append((threading.current_thread(), connection))
             self._thread_reader.connection = connection
         return connection
+
+    def _connect_reader(self) -> sqlite3.Connection:
+        """Open + configure one pooled read-only connection, with retry.
+
+        ``busy_timeout`` only protects statements on an *established*
+        connection — the connect itself (and the PRAGMAs before the timeout
+        is installed) can still hit a writer holding the file lock and
+        raise ``sqlite3.OperationalError: database is locked``.  Those are
+        retried within the same ~5 s budget the busy handler would have
+        granted; any other operational error propagates immediately.
+        """
+        deadline = time.monotonic() + 5.0  # mirrors PRAGMA busy_timeout=5000
+        while True:
+            connection = None
+            try:
+                connection = sqlite3.connect(self.path, check_same_thread=False)
+                connection.execute("PRAGMA query_only=ON")
+                connection.execute("PRAGMA busy_timeout=5000")
+                return connection
+            except sqlite3.OperationalError as error:
+                if connection is not None:
+                    connection.close()
+                message = str(error).lower()
+                transient = "locked" in message or "busy" in message
+                if not transient or time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.02)
+            except BaseException:
+                if connection is not None:
+                    connection.close()
+                raise
 
     def _execute_read(self, sql: str, parameters: Tuple = ()) -> List[Tuple]:
         """Run one SELECT on this thread's pooled reader (or, while a bulk

@@ -23,7 +23,7 @@ from repro.core.incremental import (
 )
 from repro.datasets.fooddb import build_fooddb, fooddb_search_query
 from repro.datasets.workloads import zipf_mutation_stream
-from repro.serving import MaintenanceService, ServiceClosedError
+from repro.serving import MaintenanceService, ServiceClosedError, ServiceStoppedError
 from repro.store import (
     DiskStore,
     InMemoryStore,
@@ -402,6 +402,51 @@ class TestMaintenanceService:
         assert ticket.result(timeout=5).updates >= 1
         with pytest.raises(ServiceClosedError):
             maintenance.insert("comment", ("731", "001", "120", "late", "07/12"))
+
+    def test_writer_death_fails_tickets_instead_of_hanging(self, monkeypatch):
+        """Regression: an unexpected error *outside* batch application
+        (coalescing/dequeue logic) used to kill the writer thread silently,
+        leaving queued tickets unresolved and ``flush()`` hanging forever.
+        Now the service fails every queued ticket with the error and rejects
+        further work with a typed ``ServiceStoppedError``."""
+        _database, engine = build_engine()
+        service = engine.serving(workers=1, maintenance=True)
+        maintenance = service.maintenance
+
+        boom = RuntimeError("internal writer bug")
+
+        def dying_collect():
+            # A faithful stand-in for a bug in the coalescing/dequeue
+            # logic: the error fires with the ticket still queued.
+            with maintenance._condition:
+                while not maintenance._pending and not maintenance._closed:
+                    maintenance._condition.wait()
+            raise boom
+
+        monkeypatch.setattr(maintenance, "_collect_batch", dying_collect)
+        # The writer may still be parked inside the *real* _collect_batch;
+        # push one sacrificial update through so its next loop iteration
+        # picks up the dying replacement.
+        sacrificial = maintenance.insert(
+            "comment", ("739", "001", "120", "sacrificial", "07/12")
+        )
+        assert sacrificial.result(timeout=5).updates >= 1
+        ticket = maintenance.insert(
+            "comment", ("740", "001", "120", "doomed", "07/12")
+        )
+        # The queued ticket resolves with the internal error, never hangs.
+        with pytest.raises(RuntimeError, match="internal writer bug"):
+            ticket.result(timeout=5)
+        # flush() raises instead of waiting on work nobody will apply.
+        with pytest.raises(ServiceStoppedError) as excinfo:
+            maintenance.flush(timeout=5)
+        assert excinfo.value.cause is boom
+        # New submissions are rejected with the stopped error, not queued.
+        with pytest.raises(ServiceStoppedError):
+            maintenance.insert("comment", ("741", "001", "120", "late", "07/12"))
+        assert maintenance.statistics()["stopped"]
+        monkeypatch.undo()
+        service.close()
 
 
 # ----------------------------------------------------------------------

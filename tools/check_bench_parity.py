@@ -7,13 +7,14 @@ backend) still fails the smoke job.  Usage::
 
     python tools/check_bench_parity.py BENCH_store_backends.json \
         BENCH_serving.json BENCH_maintenance.json BENCH_cluster_serving.json \
-        BENCH_build_pipeline.json
+        BENCH_build_pipeline.json BENCH_fault_tolerance.json
 
 Two flag families are collected: ``parity_ok`` (every backend ranked
 exactly like the seed path — for ``BENCH_cluster_serving.json`` one flag
 per node-count and replica-count row, plus the merge and rebalance
 sections, each certifying the routed results byte-identical to the
-single-store reference) and ``block_parity_ok`` (the disk backend's
+single-store reference; for ``BENCH_fault_tolerance.json`` one flag per
+chaos-sweep point, certifying recoverable chaos stayed byte-invisible) and ``block_parity_ok`` (the disk backend's
 delta+varint posting blocks decoded back to the canonical posting lists,
 recorded per ``index_layout`` entry).  Exits non-zero when a file is
 missing, holds no parity flags at all, or holds any flag that is not
@@ -71,6 +72,7 @@ def main(argv: List[str]) -> int:
         "BENCH_maintenance.json",
         "BENCH_cluster_serving.json",
         "BENCH_build_pipeline.json",
+        "BENCH_fault_tolerance.json",
     ]
     problems: List[str] = []
     for filename in filenames:
