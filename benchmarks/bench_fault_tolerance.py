@@ -20,6 +20,13 @@ machinery promises:
 3. **Latency-spike chaos** — one node's directory reads stall far past the
    query deadline every Nth call; the deadline preempts the read and fails
    over.  Same availability/p99 split at replicas 1 vs 2.
+4. **Cached-DF survival** — the availability win of the epoch-validated
+   :class:`~repro.cluster.TermStatsCache`: at replicas=1 the cache is
+   warmed while healthy, then a node is killed.  Queries whose consulted
+   partitions are all alive skip the DF scatter *and* prune the dead
+   partitions (bound zero), so they answer complete with byte parity —
+   where the always-scatter router recorded 0% availability.  Queries that
+   do consult the dead partitions still degrade gracefully.
 
 Run under pytest (``PYTHONPATH=src python -m pytest benchmarks/bench_fault_tolerance.py``)
 or standalone (``PYTHONPATH=src python benchmarks/bench_fault_tolerance.py``);
@@ -41,7 +48,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.reporting import print_table, write_json
-from repro.cluster import SearchCluster
+from repro.cluster import GroupPartitioner, SearchCluster
 from repro.core.fragment_graph import FragmentGraph
 from repro.core.fragment_index import InvertedFragmentIndex
 from repro.core.search import TopKSearcher
@@ -256,6 +263,129 @@ def run_chaos_sweep(
 
 
 # ----------------------------------------------------------------------
+# section 4: cached DF survival at replicas=1 — the fan-out-tax win
+# ----------------------------------------------------------------------
+def run_cached_df_survival(queries) -> Dict:
+    """Warm the term-stats cache while healthy, kill a node, slice queries.
+
+    A *survivor* query's keywords are absent from every partition the dead
+    node hosted: warm, the cached DFs skip round 1 and the zero bounds
+    prune the dead partitions before any stream opens, so the query never
+    touches the dead node — complete, byte-identical answers at replicas=1.
+    The always-scatter router failed 100% of these (round 1 touched every
+    partition).  Queries that do consult the dead partitions remain
+    degraded, proving the slice split is load-bearing.
+
+    The section builds its own corpus with one rare keyword planted per
+    partition (confined to a single cuisine chain): at full scale the
+    shared zipf vocabulary spreads every keyword across all partitions, so
+    without planting the survivor slice would be empty by construction.
+    """
+    fragments = synthetic_fragments(min(FRAGMENTS, 2000))
+    partitioner = GroupPartitioner(QUERY, NODES)
+    group_partition = {
+        identifier[0]: partitioner.partition_of(identifier)
+        for identifier in fragments
+    }
+    planted: Dict[int, str] = {}
+    for group in sorted(group_partition):
+        partition = group_partition[group]
+        if partition in planted:
+            continue
+        keyword = f"survivorperk{partition}"
+        planted[partition] = keyword
+        for identifier, term_frequencies in fragments.items():
+            if identifier[0] == group:
+                term_frequencies[keyword] = 2 + partition
+        if len(planted) == NODES:
+            break
+    source_store = InMemoryStore()
+    searcher = build_searcher(fragments, source_store)
+    plane = FaultPlane(seed=29)
+    cluster = SearchCluster.build(
+        QUERY, SPEC, URI, source_store,
+        nodes=NODES, replicas=1, partitions=NODES,
+        fault_plane=plane, degraded_ok=True, breaker_reset_seconds=300.0,
+    )
+    try:
+        router = cluster.router
+        victim = cluster.assignment(0).primary
+        victim_partitions = {
+            partition
+            for partition in range(cluster.partition_count)
+            if cluster.assignment(partition).primary == victim
+        }
+        presence: Dict[str, set] = {}
+        for identifier, term_frequencies in fragments.items():
+            partition = partitioner.partition_of(identifier)
+            for keyword in term_frequencies:
+                presence.setdefault(keyword, set()).add(partition)
+        candidates = [
+            (keyword,) for _, keyword in sorted(planted.items())
+        ] + list(queries)
+        survivors = [
+            keywords
+            for keywords in candidates
+            if not any(
+                presence.get(keyword, set()) & victim_partitions
+                for keyword in keywords
+            )
+        ]
+        doomed = [keywords for keywords in candidates if keywords not in survivors]
+        reference = {
+            keywords: as_comparable(
+                searcher.search(list(keywords), k=K, size_threshold=SIZE_THRESHOLD)
+            )
+            for keywords in survivors
+        }
+        # Warm every slice while the cluster is healthy, then kill.
+        for keywords in survivors + doomed:
+            router.search_detailed(keywords, k=K, size_threshold=SIZE_THRESHOLD)
+        plane.kill_node(victim)
+
+        def slice_sweep(slice_queries, check_parity: bool) -> Dict:
+            complete = 0
+            parity_ok = True
+            for keywords in slice_queries:
+                detailed = router.search_detailed(
+                    keywords, k=K, size_threshold=SIZE_THRESHOLD
+                )
+                if detailed.statistics.complete:
+                    complete += 1
+                if check_parity:
+                    parity_ok = parity_ok and (
+                        as_comparable(detailed.results) == reference[keywords]
+                    )
+            total = len(slice_queries)
+            return {
+                "queries": total,
+                "complete": complete,
+                "availability_pct": 100.0 * complete / total if total else 0.0,
+                "parity_ok": parity_ok,
+            }
+
+        survivor_point = slice_sweep(survivors, check_parity=True)
+        doomed_point = slice_sweep(doomed, check_parity=False)
+        lifetime = router.lifetime_statistics()
+        return {
+            "replicas": 1,
+            "victim": victim,
+            "victim_partitions": sorted(victim_partitions),
+            "survivor_queries": survivor_point,
+            "consulting_queries": doomed_point,
+            "df_cache_hits": lifetime["df_cache_hits"],
+            "partitions_pruned": lifetime["partitions_pruned"],
+            "note": (
+                "survivor = no query keyword present in any dead partition; "
+                "warm cached DFs + zero bounds mean the query never contacts "
+                "the dead node at all"
+            ),
+        }
+    finally:
+        cluster.close()
+
+
+# ----------------------------------------------------------------------
 def run_benchmark() -> Dict:
     fragments = synthetic_fragments(FRAGMENTS)
     source_store = InMemoryStore()
@@ -280,6 +410,7 @@ def run_benchmark() -> Dict:
     latency_spike = run_chaos_sweep(
         source_store, queries, reference, chaos="latency_spike"
     )
+    cached_survival = run_cached_df_survival(queries)
 
     payload = {
         "fragments": FRAGMENTS,
@@ -292,6 +423,7 @@ def run_benchmark() -> Dict:
         "zero_fault_overhead": overhead,
         "node_kill": node_kill,
         "latency_spike": latency_spike,
+        "cached_df_survival": cached_survival,
     }
 
     print_table(
@@ -324,6 +456,24 @@ def run_benchmark() -> Dict:
             ],
             title=f"{section['chaos']} chaos at {NODES} nodes (degraded_ok)",
         )
+    print_table(
+        ["slice", "queries", "availability (%)", "parity"],
+        [
+            (
+                "survivor (dead partitions not consulted)",
+                cached_survival["survivor_queries"]["queries"],
+                round(cached_survival["survivor_queries"]["availability_pct"], 1),
+                "ok" if cached_survival["survivor_queries"]["parity_ok"] else "MISMATCH",
+            ),
+            (
+                "consulting dead partitions",
+                cached_survival["consulting_queries"]["queries"],
+                round(cached_survival["consulting_queries"]["availability_pct"], 1),
+                "-",
+            ),
+        ],
+        title="cached-DF survival at replicas=1 (warm term-stats cache, node killed)",
+    )
 
     path = write_json("BENCH_fault_tolerance.json", payload)
     print(f"\nwrote {path}")
@@ -346,6 +496,14 @@ def test_fault_tolerance_benchmark(benchmark):
     solo = next(p for p in payload["node_kill"]["points"] if p["replicas"] == 1)
     assert solo["partial_results"] > 0, solo
     assert solo["availability_pct"] < 100.0, solo
+    # cached-DF survival: with a warm term-stats cache at replicas=1,
+    # queries that never consult the dead partitions answer complete and
+    # byte-identical — availability > 0% where always-scatter recorded 0%
+    survival = payload["cached_df_survival"]
+    survivor_slice = survival["survivor_queries"]
+    assert survivor_slice["queries"] > 0, survival
+    assert survivor_slice["availability_pct"] == 100.0, survival
+    assert survivor_slice["parity_ok"], survival
     # acceptance: <= 5% zero-fault routing overhead beyond measurement
     # noise (the same-config calibration disparity — on shared hardware two
     # identical runs already differ by several percent, and the fault stack

@@ -5,9 +5,12 @@ it.  A built corpus is split into consistent-hash partitions that never
 cut a db-page chain (:class:`GroupPartitioner`), partitions are placed on
 :class:`SearchNode`\\ s by a :class:`HashRing` (primary + replicas), and a
 :class:`QueryRouter` answers queries by scatter-gather: global document
-frequencies first, then per-partition bound-ordered
+frequencies first (served from the epoch-validated :class:`TermStatsCache`
+when warm, so steady-state queries pay one fan-out round instead of two),
+then per-partition bound-ordered
 :class:`~repro.core.search.SearchStream`\\ s merged in exact dequeue
-order — results are byte-identical to a single-store run, and partitions
+order — results are byte-identical to a single-store run, partitions whose
+admissible bound is zero are pruned before any stream opens, and streams
 whose bounds never reach the global frontier are short-circuited.
 
 :class:`ClusterStore` is the write/freshness facade (a real
@@ -37,6 +40,7 @@ from repro.cluster.router import (
     RouterSession,
     SearchCluster,
 )
+from repro.cluster.stats import TermStatsCache, TermStatsEntry, partition_bounds
 from repro.cluster.store import ClusterStore, populate_from_store
 
 __all__ = [
@@ -51,5 +55,8 @@ __all__ = [
     "RouterSession",
     "SearchCluster",
     "SearchNode",
+    "TermStatsCache",
+    "TermStatsEntry",
+    "partition_bounds",
     "populate_from_store",
 ]

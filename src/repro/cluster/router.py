@@ -1,30 +1,53 @@
 """Scatter-gather top-k over the partitioned cluster, byte-identical.
 
-The :class:`QueryRouter` answers one query in two fan-out rounds and one
-merge:
+The :class:`QueryRouter` answers one query in at most two fan-out rounds
+and one merge:
 
-1. **global document frequencies** — each selected partition copy reports
-   its exact per-keyword DF (an integer, read from the cached block
-   directories); their sum is the merged corpus's DF, so ``1/df`` — the
-   IDF every node then scores with via
-   :class:`~repro.core.scoring.DashScorer`'s ``idf_overrides`` — is the
-   bit-identical float a single store would compute.
-2. **bound-ordered partial streams** — each copy opens a
-   :class:`~repro.core.search.SearchStream` and materializes its first
-   admissible frontier in parallel.
-3. **precedence merge** — the router repeatedly advances the stream whose
-   next dequeue entry is smallest, bounded by the runner-up's entry.
-   Queue keys are content-determined (exact score + the deterministic
-   tie-breaks of :data:`repro.core.search.QueueEntry`) and every db-page
-   chain lives inside one partition, so this greedy interleave replays the
-   *exact global dequeue sequence* of a single merged store — result
-   emission is not score-monotone (expansions can raise pending pages
-   above emitted results), which is why merging per-node top-k lists by
-   score alone would not be byte-identical, and replaying the dequeue
-   order is.  The merge stops at the global ``k``-th emission; streams
-   whose best remaining bound never reaches the frontier are never pulled
-   (``nodes_short_circuited``), and their materialized-but-unranked
-   candidates are counted in ``partials_discarded``.
+1. **global document frequencies** — served from the router's
+   epoch-validated :class:`~repro.cluster.stats.TermStatsCache` when every
+   query keyword's entry is fresh (steady state: the whole round is
+   skipped, half the fan-out submits).  On a miss, each selected partition
+   copy reports its exact per-keyword DF *and* its directory-wide weight
+   ceiling (both read from the same cached block directories); the DF sum
+   is the merged corpus's DF, so ``1/df`` — the IDF every node then scores
+   with via :class:`~repro.core.scoring.DashScorer`'s ``idf_overrides`` —
+   is the bit-identical float a single store would compute, and the
+   ``(frequency, ceilings)`` rows are written back to the cache stamped
+   with the query's facade epoch.
+2. **bound-ordered partial streams** — an admissible per-partition score
+   bound falls out of the ceilings
+   (:func:`~repro.cluster.stats.partition_bounds`); partitions whose bound
+   is 0 provably hold no relevant fragment and are *never contacted*
+   (``partitions_pruned`` — with a warm cache such a partition plays no
+   part in the query at all, which is what lets a query survive a dead
+   partition it does not consult).  Every remaining partition opens a
+   :class:`~repro.core.search.SearchStream` in parallel — building the
+   scorer, **not** materializing the first frontier.
+3. **precedence merge** — every stream lives in the merge heap under an
+   *admissible bound key*, never a peek-finalized head: initially the
+   ceiling-derived ``(-bound, (0,))`` sentinel, afterwards
+   :meth:`~repro.core.search.SearchStream.bound_key` (``min`` of the
+   materialized head and the best undecoded block's sentinel), both of
+   which sort at-or-before every real entry the partition could still
+   enqueue (the sentinel tie is the pending-block heap's, see
+   :data:`repro.core.search.QueueEntry`).  A stream only decodes blocks
+   when its bound actually reaches the top of the heap — i.e. could win
+   the next global dequeue — and then only blocks keying within the
+   runner-up's limit; streams whose bound never surfaces before the
+   ``k``-th emission never decode a block or score a seed at all.  The
+   router repeatedly advances the top stream — in *batches*
+   (:meth:`~repro.core.search.SearchStream.next_results`) bounded by the
+   runner-up's key, with ``heapq`` sift operations instead of re-sorting,
+   and without the trailing head-peek once the global ``k``-th result is
+   taken.  Queue keys are content-determined and every db-page chain lives
+   inside one partition, so this greedy interleave replays the *exact
+   global dequeue sequence* of a single merged store — result emission is
+   not score-monotone (expansions can raise pending pages above emitted
+   results), which is why merging per-node top-k lists by score alone
+   would not be byte-identical, and replaying the dequeue order is.
+   Streams with undrained work when the merge stops are counted in
+   ``nodes_short_circuited``, their materialized-but-unranked candidates
+   in ``partials_discarded``.
 
 :class:`SearchCluster` owns the topology: consistent-hash partition
 assignment (:class:`~repro.cluster.HashRing`), replica placement with
@@ -61,6 +84,7 @@ reduces to the PR 7 fan-out plus a candidate-list build per partition.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import os
 import shutil
@@ -83,6 +107,7 @@ from repro.core.search import (
 from repro.cluster.health import NodeHealth
 from repro.cluster.node import HostedPartition, SearchNode
 from repro.cluster.partitioning import GroupPartitioner, HashRing
+from repro.cluster.stats import TermStatsCache, partition_bounds
 from repro.cluster.store import ClusterStore, populate_from_store
 from repro.db.query import ParameterizedPSJQuery
 from repro.faults.plane import FaultPlane
@@ -142,7 +167,13 @@ class RouterSession:
             "cached_scorers": 0,
             "cached_neighbor_lists": 0,
             "scorer_reuses": 0,
-            "scorer_builds": lifetime["searches"] * self._router.partition_count,
+            # One scorer per opened partition stream; pruned partitions
+            # never build one (replacement streams after a failover are
+            # not counted — rare enough to keep this a derivation).
+            "scorer_builds": int(
+                lifetime["searches"] * self._router.partition_count
+                - lifetime["partitions_pruned"]
+            ),
         }
 
 
@@ -191,27 +222,50 @@ class QueryRouter:
         )
         self.last_statistics = SearchStatistics()
         self._lifetime_lock = threading.Lock()
-        self._lifetime: Dict[str, int] = {"searches": 0}
+        self._lifetime: Dict[str, int] = {"searches": 0, "fanout_submits": 0}
         self._lifetime.update({field_name: 0 for field_name in LIFETIME_FIELDS})
+        #: Epoch-validated global term statistics (DFs + per-partition
+        #: weight ceilings); write-through invalidation rides the facade's
+        #: mutation listeners on top of the epoch revalidation.
+        self.term_stats = TermStatsCache(cluster.store)
+        cluster.store.add_mutation_listener(self._on_mutations)
 
     # ------------------------------------------------------------------
     def session(self) -> RouterSession:
         """The router's session shim (see :class:`RouterSession`)."""
         return RouterSession(self)
 
-    def lifetime_statistics(self) -> Dict[str, int]:
-        """Running totals over every routed search (includes fan-out counters)."""
+    def lifetime_statistics(self) -> Dict[str, float]:
+        """Running totals over every routed search (includes fan-out counters).
+
+        ``fanout_submits`` counts per-partition read attempts dispatched by
+        the fan-out rounds (a warm term-stats cache halves it — the DF
+        round is skipped); the derived ``discard_ratio`` is
+        ``partials_discarded / partials_merged`` (0.0 when nothing merged).
+        """
         with self._lifetime_lock:
-            return dict(self._lifetime)
+            snapshot: Dict[str, float] = dict(self._lifetime)
+        merged = snapshot.get("partials_merged", 0)
+        snapshot["discard_ratio"] = (
+            snapshot.get("partials_discarded", 0) / merged if merged else 0.0
+        )
+        return snapshot
+
+    def _on_mutations(self, affected_keywords: Iterable[str]) -> None:
+        """Facade mutation listener: write-through term-stats invalidation."""
+        self.term_stats.invalidate_keywords(affected_keywords)
 
     def close(self) -> None:
         """Shut the fan-out pool down (idempotent)."""
+        self.index.store.remove_mutation_listener(self._on_mutations)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
 
     def _submit(self, task: Callable, *args) -> "Future":
         """Run ``task`` on the fan-out pool (or inline, completed-future)."""
+        with self._lifetime_lock:
+            self._lifetime["fanout_submits"] += 1
         if self._executor is not None:
             return self._executor.submit(task, *args)
         future: "Future" = Future()
@@ -413,47 +467,100 @@ class QueryRouter:
         epoch = self.index.store.epoch
         statistics = SearchStatistics()
 
-        # Round 1 — global document frequencies, with per-copy failover.
-        # The selected copy is pinned per partition (round-robin over the
-        # primary and its fresh replicas) and reused by round 2, so a
-        # fault-free query reads each partition from one store object even
-        # if a rebalance lands mid-query.
-        def read_frequencies(partition: int, hosted: HostedPartition) -> Dict[str, int]:
-            del partition
-            directories = hosted.store.posting_blocks_for_many(canonical)
-            return {keyword: directories[keyword].posting_count for keyword in canonical}
+        # Round 1 — global document frequencies and per-partition weight
+        # ceilings, served from the epoch-validated term-stats cache when
+        # every keyword's entry is fresh.  On a miss the scatter reads both
+        # from each partition's block directories in one call, with
+        # per-copy failover; the selected copy is pinned per partition
+        # (round-robin over the primary and its fresh replicas) and reused
+        # by round 2, so a fault-free cold query reads each partition from
+        # one store object even if a rebalance lands mid-query.
+        missing: Dict[int, str] = {}
+        pinned: Optional[Dict[int, Tuple[str, HostedPartition]]] = None
+        cached = self.term_stats.lookup(canonical)
+        if cached is not None:
+            statistics.df_cache_hits = len(canonical)
+            global_frequencies = {
+                keyword: cached[keyword].frequency for keyword in canonical
+            }
+            ceilings = {keyword: cached[keyword].ceilings for keyword in canonical}
+            reachable: List[int] = list(range(self.partition_count))
+        else:
+            statistics.df_cache_misses = len(canonical)
 
-        frequency_reads, missing = self._failover_fan_out(
-            range(self.partition_count), read_frequencies, deadline, statistics
-        )
-        if missing and not degraded:
-            raise PartialResultError(missing, detail="; ".join(missing.values()))
-        global_frequencies = {
-            keyword: sum(
-                frequencies[keyword] for _node, _hosted, frequencies in frequency_reads.values()
+            def read_term_stats(
+                partition: int, hosted: HostedPartition
+            ) -> Dict[str, Tuple[int, float]]:
+                del partition
+                directories = hosted.store.posting_blocks_for_many(canonical)
+                return {
+                    keyword: (
+                        directories[keyword].posting_count,
+                        directories[keyword].max_weight,
+                    )
+                    for keyword in canonical
+                }
+
+            frequency_reads, missing = self._failover_fan_out(
+                range(self.partition_count), read_term_stats, deadline, statistics
             )
-            for keyword in canonical
-        }
+            if missing and not degraded:
+                raise PartialResultError(missing, detail="; ".join(missing.values()))
+            global_frequencies = {
+                keyword: sum(
+                    stats_map[keyword][0]
+                    for _node, _hosted, stats_map in frequency_reads.values()
+                )
+                for keyword in canonical
+            }
+            ceilings = {
+                keyword: {
+                    partition: stats_map[keyword][1]
+                    for partition, (_node, _hosted, stats_map) in frequency_reads.items()
+                    if stats_map[keyword][1] > 0.0
+                }
+                for keyword in canonical
+            }
+            if not missing:
+                # A degraded read must not poison the cache: its DF sums
+                # are missing the lost partitions' counts.
+                self.term_stats.record(
+                    (
+                        (keyword, global_frequencies[keyword], ceilings[keyword])
+                        for keyword in canonical
+                    ),
+                    epoch,
+                )
+            pinned = {
+                partition: (node_id, hosted)
+                for partition, (node_id, hosted, _stats) in frequency_reads.items()
+            }
+            reachable = sorted(frequency_reads)
         idf_overrides = {
             keyword: (1.0 / frequency if frequency else 0.0)
             for keyword, frequency in global_frequencies.items()
         }
 
-        # Round 2 — open the bound-ordered partial streams (first frontier
-        # materialized inside the fan-out), pinned to round 1's copies.
-        def open_stream(partition: int, hosted: HostedPartition):
+        # Bound-aware partition pruning: a partition whose admissible bound
+        # is 0 holds no relevant fragment — no stream is opened and (with a
+        # warm cache) the partition is never contacted at all, which is the
+        # availability win under a dead node the query does not consult.
+        bounds = partition_bounds(canonical, idf_overrides, ceilings, reachable)
+        contenders = [partition for partition in reachable if bounds[partition] > 0.0]
+        statistics.partitions_pruned = len(reachable) - len(contenders)
+
+        # Round 2 — open the bound-ordered partial streams in parallel:
+        # scorer built (one directory read), first frontier deliberately
+        # *not* materialized — the merge's sentinels decide which frontiers
+        # are ever worth paying for.  Cold queries pin round 1's copies.
+        def open_stream(partition: int, hosted: HostedPartition) -> SearchStream:
             del partition
-            stream = hosted.searcher.stream(
+            return hosted.searcher.stream(
                 canonical, k, size_threshold, idf_overrides=idf_overrides
             )
-            return stream, stream.peek_entry()
 
-        pinned = {
-            partition: (node_id, hosted)
-            for partition, (node_id, hosted, _f) in frequency_reads.items()
-        }
         opened, lost_streams = self._failover_fan_out(
-            sorted(frequency_reads), open_stream, deadline, statistics, pinned=pinned
+            contenders, open_stream, deadline, statistics, pinned=pinned
         )
         missing.update(lost_streams)
         if lost_streams and not degraded:
@@ -464,28 +571,52 @@ class QueryRouter:
         emitted: Dict[int, int] = {}
         tried: Dict[int, Set[str]] = {}
         heap: List[Tuple[tuple, int]] = []
-        for partition, (node_id, _hosted, (stream, entry)) in opened.items():
+        for partition, (node_id, _hosted, stream) in opened.items():
             streams[partition] = stream
             stream_nodes[partition] = node_id
             emitted[partition] = 0
-            if entry is not None:
-                heap.append((entry, partition))
-        heap.sort()
+            # The sentinel key sorts at-or-before every real entry the
+            # partition could enqueue: any score it produces is at most the
+            # bound, and on equality the block-heap sentinel tie ``(0,)``
+            # precedes every content tie-break.
+            heap.append(((-bounds[partition], (0,)), partition))
+        heapq.heapify(heap)
         merged: List[SearchResult] = []
         while heap and len(merged) < k:
-            entry, partition = heap[0]
-            # The runner-up's head entry bounds how far this stream may
-            # advance: every dequeue it performs within the limit is
-            # provably the globally smallest pending entry.
-            limit = heap[1][0] if len(heap) > 1 else None
+            _key, partition = heap[0]
+            # The runner-up's key bounds how far this stream may advance:
+            # in a binary heap only the root's children can hold the
+            # second-smallest entry.
+            if len(heap) >= 3:
+                limit = min(heap[1][0], heap[2][0])
+            elif len(heap) == 2:
+                limit = heap[1][0]
+            else:
+                limit = None
             stream = streams[partition]
             try:
-                result = stream.next_result(limit)
-                refreshed = stream.peek_entry()
+                # The stream's bound surfaced: something it holds could win
+                # the next global dequeue.  The advance materializes only
+                # blocks keying within the runner-up limit, so a stream
+                # whose bound never gets here never decodes a block or
+                # scores a seed — and one that does decodes just the
+                # frontier the merge actually consumes.
+                batch = stream.next_results(limit, k - len(merged))
+                if batch:
+                    merged.extend(batch)
+                    emitted[partition] += len(batch)
+                    if len(merged) >= k:
+                        # The global k-th emission: stop without refreshing
+                        # this stream's bound — nobody consumes more.
+                        break
+                refreshed = stream.bound_key()
             except Exception as error:
                 # Merge-stage failover runs on the merge thread: the
                 # deadline here is cooperative (checked between replica
                 # attempts), preemptive timeouts cover the fan-out rounds.
+                # Results a half-finished batch already emitted are
+                # regenerated deterministically: the replacement is only
+                # fast-forwarded past the results the merge *kept*.
                 replacement = self._replace_stream(
                     partition,
                     stream_nodes[partition],
@@ -509,26 +640,21 @@ class QueryRouter:
                     missing[partition] = reason
                     streams.pop(partition)
                     stream_nodes.pop(partition)
-                    heap.pop(0)
+                    heapq.heappop(heap)
                     continue
                 node_id, new_stream = replacement
                 streams[partition] = new_stream
                 stream_nodes[partition] = node_id
-                head = new_stream.peek_entry()
+                head = new_stream.bound_key()
                 if head is None:
-                    heap.pop(0)
+                    heapq.heappop(heap)
                 else:
-                    heap[0] = (head, partition)
-                heap.sort()
+                    heapq.heapreplace(heap, (head, partition))
                 continue
-            if result is not None:
-                merged.append(result)
-                emitted[partition] += 1
             if refreshed is None:
-                heap.pop(0)
+                heapq.heappop(heap)
             else:
-                heap[0] = (refreshed, partition)
-            heap.sort()
+                heapq.heapreplace(heap, (refreshed, partition))
 
         statistics.nodes_queried = len(set(stream_nodes.values()))
         short_circuited: Set[str] = set()
@@ -974,6 +1100,9 @@ class SearchCluster:
                 node_id: health.as_dict() for node_id, health in self._health.items()
             },
         }
+        if self.router is not None:
+            payload["term_stats_cache"] = self.router.term_stats.statistics()
+            payload["search"] = self.router.lifetime_statistics()
         if self.fault_plane is not None:
             payload["faults"] = self.fault_plane.statistics()
         return payload

@@ -63,6 +63,35 @@ class ClusterStore(FragmentStore):
         super().__init__(clock=clock)
         self._partitioner = partitioner
         self._primary = primary_resolver
+        self._mutation_listeners: List[Callable[[Set[str]], None]] = []
+
+    # ------------------------------------------------------------------
+    # mutation listeners (write-through invalidation)
+    # ------------------------------------------------------------------
+    def add_mutation_listener(self, listener: Callable[[Set[str]], None]) -> None:
+        """Call ``listener(affected_keywords)`` after each committed write.
+
+        Fired *after* the facade clock ticks, so by the time a listener
+        runs, epoch-based revalidation already sees the write — listeners
+        are a write-through fast path (the router's
+        :class:`~repro.cluster.stats.TermStatsCache` drops affected
+        entries eagerly instead of waiting for a stale lookup), never a
+        correctness requirement.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: Callable[[Set[str]], None]) -> None:
+        """Detach a previously added listener (no-op when absent)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_mutation(self, affected_keywords: Set[str]) -> None:
+        if not self._mutation_listeners or not affected_keywords:
+            return
+        for listener in tuple(self._mutation_listeners):
+            listener(affected_keywords)
 
     # ------------------------------------------------------------------
     # partition plumbing
@@ -115,6 +144,7 @@ class ClusterStore(FragmentStore):
         identifier = tuple(identifier)
         self._owner(identifier).add_posting(keyword, identifier, occurrences)
         self._epoch_clock.tick_posting(keyword, identifier)
+        self._notify_mutation({keyword})
 
     def remove_fragment(self, identifier: FragmentId) -> None:
         identifier = tuple(identifier)
@@ -124,6 +154,7 @@ class ClusterStore(FragmentStore):
         keywords = tuple(owner.fragment_term_frequencies(identifier))
         owner.remove_fragment(identifier)
         self._epoch_clock.tick_removal(identifier, keywords)
+        self._notify_mutation(set(keywords))
 
     def finalize(self) -> None:
         for store in self._primaries():
@@ -168,6 +199,7 @@ class ClusterStore(FragmentStore):
                     )
             applied += store.apply_mutations(partition_ops)
         self._epoch_clock.tick_batch(affected_keywords, affected_fragments)
+        self._notify_mutation(affected_keywords)
         return applied
 
     # ------------------------------------------------------------------

@@ -111,6 +111,9 @@ LIFETIME_FIELDS = (
     "partials_merged",
     "partials_discarded",
     "failovers",
+    "df_cache_hits",
+    "df_cache_misses",
+    "partitions_pruned",
 )
 
 
@@ -172,6 +175,17 @@ class SearchStatistics:
     under ``degraded_ok=True`` without every partition (see
     :mod:`repro.cluster.router`).  Single-store searches are always
     complete.
+
+    The term-statistics fields are router-filled as well:
+    ``df_cache_hits``/``df_cache_misses`` count query keywords whose global
+    document frequency was served from (or had to be read past) the
+    router's epoch-validated :class:`~repro.cluster.stats.TermStatsCache`
+    — a fully-hit query skips the DF fan-out round entirely — and
+    ``partitions_pruned`` counts partitions the router never opened a
+    stream on because their cached upper-bound score could not contribute
+    (see :func:`~repro.cluster.stats.partition_bounds`).
+    ``discard_ratio`` derives ``partials_discarded / partials_merged``
+    (0.0 when nothing merged) — the merge's waste factor.
     """
 
     elapsed_seconds: float = 0.0
@@ -190,8 +204,18 @@ class SearchStatistics:
     partials_merged: int = 0
     partials_discarded: int = 0
     failovers: int = 0
+    df_cache_hits: int = 0
+    df_cache_misses: int = 0
+    partitions_pruned: int = 0
     complete: bool = True
     missing_partitions: Tuple[int, ...] = ()
+
+    @property
+    def discard_ratio(self) -> float:
+        """``partials_discarded / partials_merged`` (0.0 when nothing merged)."""
+        if not self.partials_merged:
+            return 0.0
+        return self.partials_discarded / self.partials_merged
 
 
 @dataclass(frozen=True)
@@ -346,10 +370,20 @@ class TopKSearcher:
         # within a single index/graph such identifiers are the same fragment.
         self._order_cache: Dict[FragmentId, Tuple] = {}
 
-    def lifetime_statistics(self) -> Dict[str, int]:
-        """Running totals over every search this searcher has answered."""
+    def lifetime_statistics(self) -> Dict[str, float]:
+        """Running totals over every search this searcher has answered.
+
+        Includes the derived ``discard_ratio`` (``partials_discarded /
+        partials_merged``, 0.0 on a single-store searcher where both stay
+        0) alongside the raw accumulated counters.
+        """
         with self._lifetime_lock:
-            return dict(self._lifetime)
+            snapshot: Dict[str, float] = dict(self._lifetime)
+        merged = snapshot.get("partials_merged", 0)
+        snapshot["discard_ratio"] = (
+            snapshot.get("partials_discarded", 0) / merged if merged else 0.0
+        )
+        return snapshot
 
     def _order(self, identifier: FragmentId) -> Tuple:
         key = self._order_cache.get(identifier)
@@ -456,6 +490,7 @@ class TopKSearcher:
         consulted: Set[FragmentId],
         statistics: SearchStatistics,
         k: int,
+        limit: Optional[tuple] = None,
     ) -> None:
         """Decode every waiting block whose bound could still win the next pop.
 
@@ -465,22 +500,36 @@ class TopKSearcher:
         block *not* decoded provably loses the pop to the queue head, and
         the dequeue sequence is exactly the eager path's (the sentinel tie
         ``(0,)`` sorts at-or-before every queue tie, so equality still
-        decodes).  Decoded fragments are materialized in batches — one
-        batched vector read plus one batched size read per batch; while the
-        queue is still empty (the first blocks of a search) up to
-        ``SEED_BATCH`` best-bound fragments are materialized blind.
-        Duplicates of already-materialized fragments and fragments already
-        absorbed into an expanded page are dropped unscored — the eager
-        path would dequeue and discard them.
+        decodes).  A scatter-gather merge additionally passes its runner-up
+        ``limit``: blocks keying after the limit cannot contribute to any
+        dequeue this advance is allowed to perform (their members key
+        at-or-after the block sentinel), so they stay undecoded until —
+        unless — their bound itself surfaces in the merge.  Decoded
+        fragments are materialized in batches — one batched vector read
+        plus one batched size read per batch; while the queue is still
+        empty (the first blocks of a search) up to ``SEED_BATCH``
+        best-bound fragments are materialized blind.  Duplicates of
+        already-materialized fragments and fragments already absorbed into
+        an expanded page are dropped unscored — the eager path would
+        dequeue and discard them.
         """
         blind_batch = min(self.SEED_BATCH, max(2 * k, 8))
-        while pending_blocks and (not queue or pending_blocks[0][:2] <= queue[0][:2]):
+        limit_key = None if limit is None else tuple(limit[:2])
+        while (
+            pending_blocks
+            and (limit_key is None or pending_blocks[0][:2] <= limit_key)
+            and (not queue or pending_blocks[0][:2] <= queue[0][:2])
+        ):
             threshold = queue[0][:2] if queue else None
             batch: List[FragmentId] = []
-            while pending_blocks and (
-                pending_blocks[0][:2] <= threshold
-                if threshold is not None
-                else len(batch) < blind_batch
+            while (
+                pending_blocks
+                and (limit_key is None or pending_blocks[0][:2] <= limit_key)
+                and (
+                    pending_blocks[0][:2] <= threshold
+                    if threshold is not None
+                    else len(batch) < blind_batch
+                )
             ):
                 _bound, _tie, keyword_index, block_no, _count = heapq.heappop(pending_blocks)
                 entries = scorer.decode_block(keyword_index, block_no)
@@ -766,6 +815,29 @@ class SearchStream:
         """Materialized (exactly scored) queue entries not yet dequeued."""
         return len(self._queue)
 
+    def bound_key(self) -> Optional[tuple]:
+        """Admissible lower bound on the next dequeue's key — no decoding.
+
+        ``min(queue head, best pending-block sentinel)``: every entry a
+        waiting block can produce keys at-or-after the block's
+        ``(-bound, (0,))`` sentinel (the sentinel tie sorts before every
+        content tie-break at equal score), so while the stream rests no
+        future dequeue can compare before the returned key.  ``None``
+        means the stream is done.  A scatter-gather merge keeps each
+        stream in its heap under this key: a stream only decodes blocks
+        once its bound actually surfaces as the global minimum, and then
+        only up to the merge's runner-up limit
+        (:meth:`next_result`'s ``limit``).
+        """
+        if self._finalized or len(self.results) >= self.k:
+            return None
+        head = self._queue[0] if self._queue else None
+        if self._pending_blocks:
+            sentinel = (self._pending_blocks[0][0], (0,))
+            if head is None or sentinel < head:
+                return sentinel
+        return head
+
     def peek_entry(self) -> Optional[QueueEntry]:
         """The exact entry the next dequeue would pop, or ``None`` when done.
 
@@ -797,16 +869,36 @@ class SearchStream:
         """Process dequeues in key order until one emits a result.
 
         Returns ``None`` once the next dequeue's entry exceeds ``limit``
-        (another stream's head, during a scatter-gather merge) or the stream
-        is exhausted; with ``limit=None`` only exhaustion stops it.  Entries
-        compare by ``(negated score, tie-break, fragments)``, so streams
-        over disjoint partitions never tie and the merge order is total.
+        (another stream's bound, during a scatter-gather merge) or the
+        stream is exhausted; with ``limit=None`` only exhaustion stops it.
+        Entries compare by ``(negated score, tie-break, fragments)``, so
+        streams over disjoint partitions never tie and the merge order is
+        total.  Materialization honours the limit too: blocks keying after
+        it are left undecoded (their members provably key after it as
+        well), so an advance bounded by a tight runner-up decodes at most
+        the blocks that could actually win a dequeue *now* — when the head
+        is popped, every still-waiting block keys after it (it either keys
+        after the limit, or the head itself), so the pop is final.
         """
         searcher = self._searcher
         scorer = self.scorer
         statistics = self.statistics
         while True:
-            if self.peek_entry() is None:
+            if self._finalized or len(self.results) >= self.k:
+                return None
+            if self._pending_blocks:
+                searcher._materialize_blocks(
+                    self._pending_blocks,
+                    self._queue,
+                    scorer,
+                    self._consumed,
+                    self._seen,
+                    self.consulted,
+                    statistics,
+                    self.k,
+                    limit,
+                )
+            if not self._queue:
                 return None
             if limit is not None and self._queue[0] > limit:
                 return None
@@ -845,6 +937,27 @@ class SearchStream:
                     expanded,
                 ),
             )
+
+    def next_results(
+        self, limit: Optional[QueueEntry] = None, max_results: int = 1
+    ) -> List[SearchResult]:
+        """Batch form of :meth:`next_result`: up to ``max_results`` results.
+
+        Emits results while the next dequeue entry stays within ``limit``,
+        stopping early once the batch is full.  Never decodes past the
+        limit: a full batch returns without touching the next frontier,
+        and a short batch stopped by ``limit`` or exhaustion leaves every
+        block keying after the limit undecoded — the merge re-inserts the
+        stream under :meth:`bound_key` (which costs nothing) rather than
+        under a peek-finalized head.
+        """
+        collected: List[SearchResult] = []
+        while len(collected) < max_results:
+            result = self.next_result(limit)
+            if result is None:
+                break
+            collected.append(result)
+        return collected
 
     def finalize(self) -> SearchStatistics:
         """Close the stream and return its statistics (idempotent).

@@ -22,6 +22,7 @@ from repro.cluster import (
     GroupPartitioner,
     HashRing,
     SearchCluster,
+    TermStatsCache,
 )
 from repro.core.fragment_graph import FragmentGraph
 from repro.core.fragment_index import InvertedFragmentIndex
@@ -487,3 +488,211 @@ def test_routed_cluster_equals_single_store(backend, fragments, keywords, k, tmp
                 assert_parity(searcher, cluster, (keywords, ["burger"]), k=k)
         finally:
             cluster.close()
+
+
+# ----------------------------------------------------------------------
+# the epoch-validated term-statistics cache and bound-aware pruning
+# ----------------------------------------------------------------------
+class TestTermStatsCache:
+    def test_warm_query_skips_df_round(self):
+        """Second identical query hits the cache: half the fan-out submits,
+        byte-identical answer."""
+        store, searcher = build_corpus(synthetic_corpus(60, seed=3))
+        cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=4)
+        try:
+            router = cluster.router
+            cold = router.search_detailed(["burger", "thai"], k=10)
+            cold_submits = router.lifetime_statistics()["fanout_submits"]
+            assert cold.statistics.df_cache_misses == 2
+            assert cold.statistics.df_cache_hits == 0
+            warm = router.search_detailed(["burger", "thai"], k=10)
+            warm_submits = router.lifetime_statistics()["fanout_submits"] - cold_submits
+            assert warm.statistics.df_cache_hits == 2
+            assert warm.statistics.df_cache_misses == 0
+            # the cold query paid round 1 (every partition) + round 2; the
+            # warm one paid round 2 alone
+            assert warm_submits <= cold_submits - router.partition_count
+            assert as_comparable(cold.results) == as_comparable(warm.results)
+            single = searcher.search_detailed(["burger", "thai"], k=10)
+            assert as_comparable(single.results) == as_comparable(warm.results)
+        finally:
+            cluster.close()
+
+    def test_negative_entries_cache_unseen_keywords(self):
+        store, _searcher = build_corpus(synthetic_corpus(40, seed=5))
+        cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=2)
+        try:
+            router = cluster.router
+            cold = router.search_detailed(["nosuchterm"], k=5)
+            assert cold.results == ()
+            assert cold.statistics.df_cache_misses == 1
+            warm = router.search_detailed(["nosuchterm"], k=5)
+            assert warm.results == ()
+            assert warm.statistics.df_cache_hits == 1
+            # nothing anywhere: every partition pruned, no streams opened
+            assert warm.statistics.partitions_pruned == router.partition_count
+        finally:
+            cluster.close()
+
+    def test_mutation_invalidates_only_affected_keywords(self):
+        fragments = {
+            ("CuisineA", 5): {"burger": 2, "coffee": 1},
+            ("CuisineA", 6): {"soup": 2},
+            ("CuisineB", 5): {"thai": 3},
+        }
+        store, searcher = build_corpus(fragments)
+        cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=2)
+        try:
+            router = cluster.router
+            router.search_detailed(["coffee"], k=5)
+            router.search_detailed(["thai"], k=5)
+            assert "coffee" in router.term_stats and "thai" in router.term_stats
+            burst = [ReplaceFragment(("CuisineA", 5), (("burger", 1),))]
+            store.apply_mutations(burst)
+            cluster.store.apply_mutations(burst)
+            # write-through invalidation dropped the touched keywords only
+            assert "coffee" not in router.term_stats
+            assert "thai" in router.term_stats
+            # the unaffected entry revalidates across the epoch move and hits
+            warm = router.search_detailed(["thai"], k=5)
+            assert warm.statistics.df_cache_hits == 1
+            # the affected one re-scatters — and parity holds either way
+            cold = router.search_detailed(["coffee"], k=5)
+            assert cold.statistics.df_cache_misses == 1
+            for keywords in (["coffee"], ["thai"], ["burger"]):
+                single = searcher.search_detailed(keywords, k=5)
+                routed = router.search_detailed(keywords, k=5)
+                assert as_comparable(single.results) == as_comparable(routed.results)
+        finally:
+            cluster.close()
+
+    def test_lru_eviction_bounds_occupancy(self):
+        store, _searcher = build_corpus(synthetic_corpus(30, seed=9))
+        cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=2)
+        try:
+            cache = TermStatsCache(cluster.store, capacity=2)
+            cache.record(
+                [("a", 1, {}), ("b", 2, {0: 0.5}), ("c", 3, {1: 0.25})],
+                cluster.store.epoch,
+            )
+            assert len(cache) == 2
+            statistics = cache.statistics()
+            assert statistics["evictions"] == 1
+            assert "a" not in cache and "b" in cache and "c" in cache
+        finally:
+            cluster.close()
+
+    def test_stale_entry_dropped_on_revalidation(self):
+        """An unwired cache (no mutation listener) still never serves stale
+        statistics: per-keyword epoch revalidation catches the move."""
+        store, _searcher = build_corpus(synthetic_corpus(30, seed=9))
+        cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=2)
+        try:
+            cache = TermStatsCache(cluster.store, capacity=8)
+            cache.record([("burger", 7, {0: 0.9})], cluster.store.epoch)
+            victim = next(iter(store.fragment_ids()))
+            burst = [ReplaceFragment(victim, (("burger", 5),))]
+            store.apply_mutations(burst)
+            cluster.store.apply_mutations(burst)
+            assert cache.lookup(("burger",)) is None
+            assert cache.statistics()["stale_drops"] == 1
+        finally:
+            cluster.close()
+
+    def test_cluster_statistics_expose_cache_and_search_payloads(self):
+        store, _searcher = build_corpus(synthetic_corpus(30, seed=9))
+        cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=2)
+        try:
+            cluster.router.search_detailed(["burger"], k=5)
+            payload = cluster.statistics()
+            assert payload["term_stats_cache"]["misses"] >= 1
+            assert payload["search"]["searches"] == 1
+            assert "discard_ratio" in payload["search"]
+            assert "partitions_pruned" in payload["search"]
+        finally:
+            cluster.close()
+
+
+class TestPartitionPruning:
+    def test_rare_keyword_prunes_partitions(self):
+        """A keyword confined to one cuisine chain lets the router skip every
+        other partition outright — cold and warm, with byte parity."""
+        fragments = synthetic_corpus(60, seed=3)
+        rare_group = next(iter(fragments))[0]
+        for identifier in fragments:
+            if identifier[0] == rare_group:
+                fragments[identifier]["saffron"] = 3
+        store, searcher = build_corpus(fragments)
+        cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=4)
+        try:
+            router = cluster.router
+            for _pass in ("cold", "warm"):
+                routed = router.search_detailed(["saffron"], k=10)
+                single = searcher.search_detailed(["saffron"], k=10)
+                assert as_comparable(routed.results) == as_comparable(single.results)
+                assert routed.statistics.partitions_pruned >= 1
+            assert routed.statistics.df_cache_hits == 1
+        finally:
+            cluster.close()
+
+    def test_pruned_partition_counters_stay_consistent(self):
+        """Pruning must not disturb the per-stream counter identities the
+        merged statistics are built from."""
+        fragments = synthetic_corpus(60, seed=3)
+        rare_group = next(iter(fragments))[0]
+        for identifier in fragments:
+            if identifier[0] == rare_group:
+                fragments[identifier]["saffron"] = 3
+        store, _searcher = build_corpus(fragments)
+        cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=4)
+        try:
+            detailed = cluster.router.search_detailed(["saffron"], k=10)
+            statistics = detailed.statistics
+            assert statistics.seeds_scored + statistics.pruned_dequeues == (
+                statistics.seed_fragments
+            )
+            assert statistics.complete
+        finally:
+            cluster.close()
+
+
+@given(
+    fragments=corpus_fragments,
+    keywords=query_keywords,
+    k=st.integers(min_value=1, max_value=12),
+    data=st.data(),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_warm_stats_cache_parity_across_mutation_bursts(fragments, keywords, k, data):
+    """The cache's correctness oracle: with the term-stats cache warm, routed
+    results stay byte-identical to the single store through mutation bursts —
+    the cache must never serve stale DFs or stale bounds."""
+    store, searcher = build_corpus(fragments)
+    cluster = SearchCluster.build(QUERY, SPEC, URI, store, nodes=2, replicas=1)
+    try:
+        queries = (keywords, ["burger"], ["burger", "absent"])
+        assert_parity(searcher, cluster, queries, k=k)  # cold: fills the cache
+        assert_parity(searcher, cluster, queries, k=k)  # warm: served from it
+        warm = cluster.router.search_detailed(keywords, k=k)
+        assert warm.statistics.df_cache_misses == 0
+        assert warm.statistics.df_cache_hits > 0
+        victim = data.draw(
+            st.sampled_from(sorted(store.fragment_ids())), label="victim"
+        )
+        burst = [
+            ReplaceFragment(victim, (("burger", 3), ("extra", 1))),
+            ReplaceFragment(("CuisineE", 6), (("coffee", 2),)),
+        ]
+        store.apply_mutations(burst)
+        cluster.store.apply_mutations(burst)
+        store.add_node(("CuisineE", 6), 1)
+        cluster.store.add_node(("CuisineE", 6), 1)
+        assert_parity(searcher, cluster, queries + (["coffee"], ["extra"]), k=k)
+        # warm again after the burst — still byte-identical
+        assert_parity(searcher, cluster, queries + (["coffee"], ["extra"]), k=k)
+    finally:
+        cluster.close()

@@ -184,6 +184,49 @@ class TestTopKSearch:
         assert len(combos) == len(set(combos))
 
 
+class TestSearchStreamBatching:
+    """``next_results``: the router's batched merge advancement API."""
+
+    @staticmethod
+    def _comparable(results):
+        return [(r.url, r.score, r.fragments, r.size) for r in results]
+
+    def test_batch_matches_sequential_next_result(self, built):
+        _index, _graph, _formulator, searcher = built
+        batched = searcher.stream(["burger"], 5, 20)
+        sequential = searcher.stream(["burger"], 5, 20)
+        batch = batched.next_results(None, 3)
+        singles = []
+        for _ in range(3):
+            result = sequential.next_result(None)
+            if result is None:
+                break
+            singles.append(result)
+        assert self._comparable(batch) == self._comparable(singles)
+
+    def test_batch_respects_limit(self, built):
+        # size_threshold=1 keeps every dequeue a direct emission (no
+        # expansion re-enqueues), so the head entry must emit within its
+        # own limit and everything left behind must exceed it.
+        _index, _graph, _formulator, searcher = built
+        stream = searcher.stream(["burger"], 5, 1)
+        head = stream.peek_entry()
+        batch = stream.next_results(head, 5)
+        assert len(batch) >= 1
+        refreshed = stream.peek_entry()
+        assert refreshed is None or refreshed > head
+
+    def test_batch_stops_at_max_results(self, built):
+        _index, _graph, _formulator, searcher = built
+        stream = searcher.stream(["burger"], 5, 20)
+        assert len(stream.next_results(None, 2)) == 2
+
+    def test_empty_stream_returns_empty_batch(self, built):
+        _index, _graph, _formulator, searcher = built
+        stream = searcher.stream(["nonexistent"], 5, 20)
+        assert stream.next_results(None, 10) == []
+
+
 class TestEngineEndToEnd:
     def test_engine_search_urls_generate_relevant_pages(self, fooddb, fooddb_engine, fooddb_server):
         """The URLs Dash suggests really produce db-pages containing the keyword."""

@@ -16,7 +16,7 @@ import time
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.cluster import SearchCluster
+from repro.cluster import GroupPartitioner, SearchCluster
 from repro.cluster.health import CLOSED, HALF_OPEN, OPEN, NodeHealth
 from repro.faults import (
     FaultInjectedStore,
@@ -34,6 +34,7 @@ from repro.serving import (
     ResultCache,
 )
 from repro.store.memory import InMemoryStore
+from repro.store.mutations import ReplaceFragment
 
 from test_cluster import (
     QUERIES,
@@ -551,3 +552,76 @@ def test_property_recoverable_chaos_is_invisible(seed, count, nodes, kill_choice
         assert routed.statistics.complete
     finally:
         cluster.close()
+
+
+# ----------------------------------------------------------------------
+# cached-DF survival: warm term statistics beat a dead partition
+# ----------------------------------------------------------------------
+class TestCachedDfSurvival:
+    def test_warm_query_survives_dead_unconsulted_partition(self):
+        """At replicas=1, a query whose keywords are absent from the dead
+        node's partitions answers complete: the warm term-stats cache skips
+        the DF scatter and the zero bounds prune the dead partitions before
+        any stream opens — the always-scatter router failed 100% of these."""
+        fragments = synthetic_corpus(60, seed=7)
+        store, searcher = build_corpus(fragments)
+        cluster, plane = build_chaos_cluster(store, nodes=4, replicas=1)
+        try:
+            router = cluster.router
+            victim = primary_of(cluster, 0)
+            victim_partitions = {
+                partition
+                for partition in range(cluster.partition_count)
+                if primary_of(cluster, partition) == victim
+            }
+            partitioner = GroupPartitioner(QUERY, cluster.partition_count)
+            safe = next(
+                identifier
+                for identifier in sorted(fragments)
+                if partitioner.partition_of(identifier) not in victim_partitions
+            )
+            # Plant a keyword that lives only in a partition the victim does
+            # not host — routed through both stores so parity holds.
+            burst = [
+                ReplaceFragment(
+                    safe, tuple(fragments[safe].items()) + (("survivor", 3),)
+                )
+            ]
+            store.apply_mutations(burst)
+            cluster.store.apply_mutations(burst)
+            single = searcher.search_detailed(["survivor"], k=10, size_threshold=100)
+            warm = router.search_detailed(["survivor"], k=10, size_threshold=100)
+            assert as_comparable(warm.results) == as_comparable(single.results)
+            plane.kill_node(victim)
+            survived = router.search_detailed(["survivor"], k=10, size_threshold=100)
+            assert survived.statistics.complete
+            assert survived.statistics.df_cache_hits == 1
+            assert survived.statistics.partitions_pruned >= 1
+            assert as_comparable(survived.results) == as_comparable(single.results)
+            # Control: a query that does consult the dead partition still
+            # raises the typed partial-result error (every fragment holds
+            # "burger", so partition 0 is always a contender).
+            with pytest.raises(PartialResultError):
+                router.search_detailed(["burger"], k=10, size_threshold=100)
+        finally:
+            cluster.close()
+
+    def test_cold_query_on_dead_partition_still_degrades(self):
+        """Without a warm cache the DF scatter touches the dead partition:
+        the torn read must degrade (or raise), never poison the cache."""
+        fragments = synthetic_corpus(60, seed=7)
+        store, _searcher = build_corpus(fragments)
+        cluster, plane = build_chaos_cluster(
+            store, nodes=4, replicas=1, degraded_ok=True
+        )
+        try:
+            router = cluster.router
+            plane.kill_node(primary_of(cluster, 0))
+            degraded = router.search_detailed(["burger"], k=10, size_threshold=100)
+            assert not degraded.statistics.complete
+            # the torn DF read was not recorded: the next query re-scatters
+            again = router.search_detailed(["burger"], k=10, size_threshold=100)
+            assert again.statistics.df_cache_misses == 1
+            assert "burger" not in router.term_stats
+        finally:
+            cluster.close()

@@ -11,12 +11,15 @@ backend) still fails the smoke job.  Usage::
 
 Two flag families are collected: ``parity_ok`` (every backend ranked
 exactly like the seed path — for ``BENCH_cluster_serving.json`` one flag
-per node-count and replica-count row, plus the merge and rebalance
+per node-count and replica-count row, plus the merge, rebalance,
+warm-stats-cache (cold *and* warm passes) and partition-pruning
 sections, each certifying the routed results byte-identical to the
 single-store reference; for ``BENCH_fault_tolerance.json`` one flag per
-chaos-sweep point, certifying recoverable chaos stayed byte-invisible) and ``block_parity_ok`` (the disk backend's
-delta+varint posting blocks decoded back to the canonical posting lists,
-recorded per ``index_layout`` entry).  Exits non-zero when a file is
+chaos-sweep point plus the cached-DF-survival survivor slice,
+certifying recoverable chaos stayed byte-invisible) and
+``block_parity_ok`` (the disk backend's delta+varint posting blocks
+decoded back to the canonical posting lists, recorded per
+``index_layout`` entry).  Exits non-zero when a file is
 missing, holds no parity flags at all, or holds any flag that is not
 ``true`` — including a regressed decoded-block flag.
 """

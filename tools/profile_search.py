@@ -13,6 +13,7 @@ Usage::
     PYTHONPATH=src python tools/profile_search.py --backend memory --output profile.txt
     PYTHONPATH=src python tools/profile_search.py --backend disk --no-early-termination
     PYTHONPATH=src python tools/profile_search.py --compare memory,disk
+    PYTHONPATH=src python tools/profile_search.py --cluster nodes=4,replicas=2
 
 ``--backend`` accepts ``seed`` (the pre-store baseline searcher), ``memory``,
 ``sharded-N`` and ``disk``.  ``--no-early-termination`` profiles the
@@ -20,8 +21,13 @@ exhaustive oracle path instead of the block-max bounded one.
 ``--compare a,b,...`` profiles every listed backend twice — bounded and
 exhaustive — in one run, so block-decode hot spots (``decode_block``,
 ``posting_blocks_for_many``) can be read side by side against the full-scan
-path.  Referenced from docs/benchmarks.md; CI runs it on the smoke corpus
-and uploads the output as an artifact.
+path.  ``--cluster nodes=N,replicas=R`` profiles the
+:class:`~repro.cluster.QueryRouter` hot paths (term-stats cache lookups,
+bound-aware pruning, sentinel merge) with the same corpus and query mix as
+the single-store backends — the warm-up pass fills the term-stats cache, so
+the profile shows the one-fan-out-round steady state.  Referenced from
+docs/benchmarks.md; CI runs it on the smoke corpus and uploads the output
+as an artifact.
 """
 
 from __future__ import annotations
@@ -39,7 +45,11 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from bench_store_backends import (  # noqa: E402  (path set up above)
     K,
+    QUERY,
     SIZE_THRESHOLDS,
+    SPEC,
+    URI,
+    build_backend,
     keyword_workload,
     searcher_for,
     synthetic_fragments,
@@ -94,6 +104,67 @@ def profile_backend(
     return header + buffer.getvalue()
 
 
+def profile_cluster(spec: str, fragments: int, repeats: int, top: int) -> str:
+    """Profile the routed (cluster) read path with a warm term-stats cache.
+
+    ``spec`` is ``nodes=N,replicas=R`` (both optional, defaults 4 and 1).
+    The warm-up pass both exercises the cold DF scatter and fills the
+    epoch-validated term-stats cache, so the profiled loop is the
+    steady-state single-fan-out-round path the router serves hot traffic
+    with.
+    """
+    from repro.cluster import SearchCluster
+    from repro.store import InMemoryStore
+
+    options = dict(
+        part.split("=", 1) for part in spec.split(",") if part.strip()
+    )
+    nodes = int(options.get("nodes", "4"))
+    replicas = int(options.get("replicas", "1"))
+    corpus = synthetic_fragments(fragments)
+    source_store = InMemoryStore()
+    index, _graph = build_backend(corpus, source_store)
+    cluster = SearchCluster.build(
+        QUERY, SPEC, URI, source_store, nodes=nodes, replicas=replicas
+    )
+    router = cluster.router
+    workload = keyword_workload(index)
+    queries = [[keyword] for keyword in workload.values()]
+    queries.append(list(workload.values()))  # one multi-keyword query
+    for keywords in queries:  # warm the term-stats cache (and page caches)
+        router.search(keywords, k=K, size_threshold=SIZE_THRESHOLDS[0])
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(repeats):
+        for keywords in queries:
+            for size_threshold in SIZE_THRESHOLDS:
+                router.search(keywords, k=K, size_threshold=size_threshold)
+    profiler.disable()
+
+    lifetime = router.lifetime_statistics()
+    cache = router.term_stats.statistics()
+    cluster.close()
+    source_store.close()
+
+    buffer = io.StringIO()
+    statistics = pstats.Stats(profiler, stream=buffer)
+    statistics.sort_stats("cumulative").print_stats(top)
+    header = (
+        f"cluster nodes={nodes} replicas={replicas} fragments={fragments} "
+        f"repeats={repeats} queries/pass={len(queries) * len(SIZE_THRESHOLDS)}\n"
+        f"lifetime: searches={lifetime['searches']:.0f} "
+        f"fanout_submits={lifetime['fanout_submits']:.0f} "
+        f"df_cache_hits={lifetime['df_cache_hits']:.0f} "
+        f"df_cache_misses={lifetime['df_cache_misses']:.0f} "
+        f"partitions_pruned={lifetime['partitions_pruned']:.0f} "
+        f"discard_ratio={lifetime['discard_ratio']:.2f}\n"
+        f"term-stats cache: hits={cache['hits']} misses={cache['misses']} "
+        f"entries={cache['entries']}\n"
+    )
+    return header + buffer.getvalue()
+
+
 def main(argv=None) -> int:
     """Parse arguments, profile one backend, print (or write) the report."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -118,9 +189,20 @@ def main(argv=None) -> int:
         help="comma-separated backends; profiles each one bounded AND "
         "exhaustive in a single run (overrides --backend)",
     )
+    parser.add_argument(
+        "--cluster",
+        default=None,
+        metavar="SPEC",
+        help="profile the routed cluster read path instead, e.g. "
+        "nodes=4,replicas=2 (overrides --backend/--compare)",
+    )
     arguments = parser.parse_args(argv)
 
-    if arguments.compare:
+    if arguments.cluster:
+        report = profile_cluster(
+            arguments.cluster, arguments.fragments, arguments.repeats, arguments.top
+        )
+    elif arguments.compare:
         sections = []
         for backend in [name.strip() for name in arguments.compare.split(",") if name.strip()]:
             for early_termination in (True, False):
